@@ -1,0 +1,62 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] [all | <id>...]
+//! ```
+//!
+//! With `all` (the default) every artifact is regenerated in paper order;
+//! `--quick` shrinks the sweeps (3 datasets, 3 GCN dims) for smoke runs;
+//! `--out DIR` additionally writes one text file per artifact.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .cloned()
+        .collect();
+
+    let catalog = sparseweaver_bench::experiments::catalog();
+    if selected.iter().any(|s| s == "list") {
+        for (id, desc, _) in &catalog {
+            println!("{id:8}  {desc}");
+        }
+        return;
+    }
+    let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let mut ran = 0;
+    for (id, desc, f) in &catalog {
+        if !run_all && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        eprintln!("== running {id}: {desc} ==");
+        let started = std::time::Instant::now();
+        let report = f(quick);
+        eprintln!("== {id} done in {:?} ==", started.elapsed());
+        println!("{report}");
+        println!("{}", "=".repeat(78));
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{id}.txt");
+            let mut file = std::fs::File::create(&path).expect("create report file");
+            file.write_all(report.as_bytes()).expect("write report");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id; use `experiments list`");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Breadth-first search (pull direction, level-synchronous).
+//!
+//! BFS has both a destination filter (only unvisited vertices gather) and
+//! a source filter (only frontier neighbors count), and it exits a
+//! vertex's gather as soon as one frontier parent is found — the
+//! early-exit pattern `WEAVER_SKIP` exists for ("algorithms like BFS that
+//! do not need to process remaining neighbors during gather processing
+//! once the needed information has been collected", Section III-C).
+
+use sparseweaver_graph::{Csr, Direction, VertexId};
+use sparseweaver_isa::{Asm, Reg, Width};
+
+use crate::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
+use crate::output::AlgoOutput;
+use crate::runtime::{args, Runtime};
+use crate::FrameworkError;
+
+use super::{Algorithm, INF};
+
+/// Level-synchronous BFS from a source vertex.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    /// The search root.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// BFS from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+}
+
+const A_DIST: u8 = args::ALGO0;
+const A_CUR: u8 = args::ALGO0 + 1;
+const A_NEXT: u8 = args::ALGO0 + 2;
+const A_LEVEL: u8 = args::ALGO0 + 3;
+
+struct BfsGather;
+
+impl GatherOps for BfsGather {
+    fn has_early_exit(&self) -> bool {
+        true
+    }
+
+    fn emit_pro(&self, a: &mut Asm) -> Vec<Reg> {
+        let dist = a.reg();
+        let cur = a.reg();
+        let next = a.reg();
+        let level = a.reg();
+        a.ldarg(dist, A_DIST);
+        a.ldarg(cur, A_CUR);
+        a.ldarg(next, A_NEXT);
+        a.ldarg(level, A_LEVEL);
+        vec![dist, cur, next, level]
+    }
+
+    /// Destination filter: gather only into unvisited vertices.
+    fn emit_base_filter(&self, a: &mut Asm, pro: &[Reg], vid: Reg, out: Reg) -> bool {
+        let addr = a.reg();
+        a.slli(addr, vid, 3);
+        a.add(addr, addr, pro[0]);
+        a.ldg(out, addr, 0, Width::B8);
+        a.seqi(out, out, -1); // dist == INF
+        a.free(addr);
+        true
+    }
+
+    /// Source filter: only frontier neighbors contribute.
+    fn emit_other_filter(&self, a: &mut Asm, pro: &[Reg], other: Reg, out: Reg) -> bool {
+        let addr = a.reg();
+        a.add(addr, other, pro[1]);
+        a.ldg(out, addr, 0, Width::B1);
+        a.free(addr);
+        true
+    }
+
+    /// A vertex is satisfied once its distance is set.
+    fn emit_satisfied(&self, a: &mut Asm, pro: &[Reg], base: Reg, out: Reg) {
+        let addr = a.reg();
+        a.slli(addr, base, 3);
+        a.add(addr, addr, pro[0]);
+        a.ldg(out, addr, 0, Width::B8);
+        a.snei(out, out, -1); // satisfied when dist != INF
+        a.free(addr);
+    }
+
+    fn emit_compute(&self, a: &mut Asm, pro: &[Reg], e: &EdgeRegs, _exclusive: bool) {
+        // dist[base] = level; next[base] = 1 (idempotent: racing writers
+        // in the same level store the same value).
+        let addr = a.reg();
+        a.slli(addr, e.base, 3);
+        a.add(addr, addr, pro[0]);
+        a.stg(pro[3], addr, 0, Width::B8);
+        a.add(addr, e.base, pro[2]);
+        let one = a.reg();
+        a.li(one, 1);
+        a.stg(one, addr, 0, Width::B1);
+        a.free(one);
+        a.free(addr);
+        if let Some(sat) = e.satisfied {
+            a.li(sat, 1); // break the vertex-mapped inner loop
+        }
+    }
+}
+
+impl Algorithm for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Pull
+    }
+
+    fn run(&self, rt: &mut Runtime<'_>) -> Result<AlgoOutput, FrameworkError> {
+        let nv = rt.graph.num_vertices();
+        if nv == 0 {
+            return Ok(AlgoOutput::U64(Vec::new()));
+        }
+        assert!((self.source as usize) < nv, "BFS source out of range");
+        let dist = rt.alloc_u64(nv, INF);
+        let cur = rt.alloc_u8(nv, 0);
+        let next = rt.alloc_u8(nv, 0);
+        rt.write_u64(dist + 8 * self.source as u64, 0);
+        rt.write_u8(cur + self.source as u64, 1);
+
+        let gather = build_gather_kernel("bfs", &BfsGather, rt.schedule(), rt.gpu().config());
+        let mut level: u64 = 1;
+        loop {
+            rt.launch(&gather, &[dist, cur, next, level])?;
+            // Host-side frontier swap (device-visible state only).
+            let next_bytes: Vec<u64> = (0..nv as u64)
+                .map(|i| rt.gpu().mem().read(next + i, 1))
+                .collect();
+            if next_bytes.iter().all(|&b| b == 0) {
+                break;
+            }
+            rt.copy_bytes(next, cur, nv);
+            rt.fill_bytes(next, 0, nv);
+            level += 1;
+            if level > nv as u64 + 1 {
+                return Err(FrameworkError::NoConvergence {
+                    algorithm: "bfs".into(),
+                    iterations: level,
+                });
+            }
+        }
+        Ok(AlgoOutput::U64(rt.read_u64_vec(dist, nv)))
+    }
+
+    fn reference(&self, graph: &Csr) -> AlgoOutput {
+        let nv = graph.num_vertices();
+        let mut dist = vec![INF; nv];
+        if nv == 0 {
+            return AlgoOutput::U64(dist);
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[self.source as usize] = 0;
+        queue.push_back(self.source);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                if dist[v as usize] == INF {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        AlgoOutput::U64(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_on_path() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = Bfs::new(0).reference(&g);
+        assert_eq!(d.as_u64(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        let d = Bfs::new(0).reference(&g);
+        assert_eq!(d.as_u64()[2], INF);
+    }
+
+    #[test]
+    fn reference_takes_shortest_levels() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3: dist(3) = 2 either way; plus 0 -> 3.
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]);
+        let d = Bfs::new(0).reference(&g);
+        assert_eq!(d.as_u64()[3], 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Connected components (pull-direction min-label propagation with a
+//! shortcutting apply kernel).
+//!
+//! Every vertex starts labeled with its own ID; the gather stage pulls the
+//! minimum neighbor label, and the apply stage additionally shortcuts
+//! through the label graph (`label[v] = label[label[v]]`) — the paper's
+//! "apply kernel to rapidly propagate connection IDs among connected
+//! components" (Section V-A).
+
+use sparseweaver_graph::{Csr, Direction};
+use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
+use sparseweaver_sim::Phase;
+
+use crate::compiler::{build_gather_kernel, build_vertex_kernel, EdgeRegs, GatherOps};
+use crate::output::AlgoOutput;
+use crate::runtime::{args, Runtime};
+use crate::FrameworkError;
+
+use super::Algorithm;
+
+/// Min-label connected components. The converged label of every vertex is
+/// the smallest vertex ID in its (weakly, on symmetric graphs) connected
+/// component.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectedComponents;
+
+impl ConnectedComponents {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        ConnectedComponents
+    }
+}
+
+const A_LABEL: u8 = args::ALGO0;
+const A_CHANGED: u8 = args::ALGO0 + 1;
+
+struct CcGather;
+
+impl GatherOps for CcGather {
+    fn emit_pro(&self, a: &mut Asm) -> Vec<Reg> {
+        let label = a.reg();
+        let changed = a.reg();
+        a.ldarg(label, A_LABEL);
+        a.ldarg(changed, A_CHANGED);
+        vec![label, changed]
+    }
+
+    fn emit_compute(&self, a: &mut Asm, pro: &[Reg], e: &EdgeRegs, exclusive_base: bool) {
+        let (label, changed) = (pro[0], pro[1]);
+        let lv = a.reg();
+        let addr = a.reg();
+        a.slli(addr, e.other, 3);
+        a.add(addr, addr, label);
+        a.ldg(lv, addr, 0, Width::B8);
+        a.slli(addr, e.base, 3);
+        a.add(addr, addr, label);
+        let imp = a.reg();
+        if exclusive_base {
+            let lb = a.reg();
+            a.ldg(lb, addr, 0, Width::B8);
+            a.sltu(imp, lv, lb);
+            a.if_nonzero(imp, |a| {
+                a.stg(lv, addr, 0, Width::B8);
+            });
+            a.free(lb);
+        } else {
+            let old = a.reg();
+            a.atom(AtomOp::MinU, old, addr, lv);
+            a.sltu(imp, lv, old);
+            a.free(old);
+        }
+        a.if_nonzero(imp, |a| {
+            let one = a.reg();
+            a.li(one, 1);
+            a.stg(one, changed, 0, Width::B1);
+            a.free(one);
+        });
+        a.free(imp);
+        a.free(addr);
+        a.free(lv);
+    }
+}
+
+impl Algorithm for ConnectedComponents {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Pull
+    }
+
+    fn run(&self, rt: &mut Runtime<'_>) -> Result<AlgoOutput, FrameworkError> {
+        let nv = rt.graph.num_vertices();
+        if nv == 0 {
+            return Ok(AlgoOutput::U64(Vec::new()));
+        }
+        let label = rt.alloc(8 * nv as u64);
+        for v in 0..nv as u64 {
+            rt.write_u64(label + 8 * v, v);
+        }
+        let changed = rt.alloc_u8(64, 0);
+
+        let gather = build_gather_kernel("cc", &CcGather, rt.schedule(), rt.gpu().config());
+        // Shortcutting apply: label[v] = min(label[v], label[label[v]]).
+        let apply = build_vertex_kernel(
+            "cc_apply",
+            Phase::Other,
+            |a| {
+                let label = a.reg();
+                let changed = a.reg();
+                a.ldarg(label, A_LABEL);
+                a.ldarg(changed, A_CHANGED);
+                vec![label, changed]
+            },
+            |a, _c, v, pro| {
+                let addr = a.reg();
+                let l = a.reg();
+                let ll = a.reg();
+                a.slli(addr, v, 3);
+                a.add(addr, addr, pro[0]);
+                a.ldg(l, addr, 0, Width::B8);
+                let laddr = a.reg();
+                a.slli(laddr, l, 3);
+                a.add(laddr, laddr, pro[0]);
+                a.ldg(ll, laddr, 0, Width::B8);
+                let imp = a.reg();
+                a.sltu(imp, ll, l);
+                a.if_nonzero(imp, |a| {
+                    a.stg(ll, addr, 0, Width::B8);
+                    let one = a.reg();
+                    a.li(one, 1);
+                    a.stg(one, pro[1], 0, Width::B1);
+                    a.free(one);
+                });
+                a.free(imp);
+                a.free(laddr);
+                a.free(ll);
+                a.free(l);
+                a.free(addr);
+            },
+        );
+
+        let mut rounds: u64 = 0;
+        loop {
+            rt.write_u8(changed, 0);
+            rt.launch(&gather, &[label, changed])?;
+            rt.launch(&apply, &[label, changed])?;
+            if rt.gpu().mem().read(changed, 1) == 0 {
+                break;
+            }
+            rounds += 1;
+            if rounds > nv as u64 + 1 {
+                return Err(FrameworkError::NoConvergence {
+                    algorithm: "cc".into(),
+                    iterations: rounds,
+                });
+            }
+        }
+        Ok(AlgoOutput::U64(rt.read_u64_vec(label, nv)))
+    }
+
+    fn reference(&self, graph: &Csr) -> AlgoOutput {
+        // Union-find, then canonicalize to the minimum vertex ID per
+        // component (treating edges as undirected, as label propagation on
+        // a symmetric graph does).
+        let nv = graph.num_vertices();
+        let mut parent: Vec<usize> = (0..nv).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut r = x;
+            while parent[r] != r {
+                r = parent[r];
+            }
+            let mut c = x;
+            while parent[c] != c {
+                let n = parent[c];
+                parent[c] = r;
+                c = n;
+            }
+            r
+        }
+        for (s, d, _) in graph.iter_edges() {
+            let a = find(&mut parent, s as usize);
+            let b = find(&mut parent, d as usize);
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        let mut min_of = vec![u64::MAX; nv];
+        for v in 0..nv {
+            let r = find(&mut parent, v);
+            min_of[r] = min_of[r].min(v as u64);
+        }
+        let labels = (0..nv)
+            .map(|v| {
+                let r = find(&mut parent, v);
+                min_of[r]
+            })
+            .collect();
+        AlgoOutput::U64(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_two_components() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (3, 4), (4, 3)]);
+        let l = ConnectedComponents::new().reference(&g);
+        assert_eq!(l.as_u64(), &[0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn reference_chain_collapses_to_zero() {
+        let edges: Vec<(u32, u32)> = (0..9u32).flat_map(|v| [(v, v + 1), (v + 1, v)]).collect();
+        let g = Csr::from_edges(10, &edges);
+        let l = ConnectedComponents::new().reference(&g);
+        assert!(l.as_u64().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_ids() {
+        let g = Csr::from_edges(3, &[]);
+        let l = ConnectedComponents::new().reference(&g);
+        assert_eq!(l.as_u64(), &[0, 1, 2]);
+    }
+}

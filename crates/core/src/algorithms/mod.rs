@@ -1,0 +1,52 @@
+//! The graph algorithms of the evaluation: PageRank, BFS, SSSP,
+//! Connected Components (Fig. 10) and the GCN operators (Case Study 2).
+//!
+//! Each algorithm is expressed the way the paper's framework expects:
+//! init / gather / apply / filter user-defined functions, compiled against
+//! any [`crate::Schedule`]. Each also carries a host-side reference
+//! implementation; the test suite checks that *every schedule produces
+//! the reference answer* — the correctness oracle of the reproduction.
+
+mod bfs;
+mod cc;
+mod gcn;
+mod pagerank;
+mod spmv;
+mod sssp;
+
+pub use bfs::Bfs;
+pub use cc::ConnectedComponents;
+pub use gcn::{Gcn, GcnReport};
+pub use pagerank::PageRank;
+pub use spmv::Spmv;
+pub use sssp::Sssp;
+
+use sparseweaver_graph::{Csr, Direction};
+
+use crate::output::AlgoOutput;
+use crate::runtime::Runtime;
+use crate::FrameworkError;
+
+/// A graph algorithm runnable under any scheduling scheme.
+pub trait Algorithm {
+    /// The algorithm's short name (used in kernel names and reports).
+    fn name(&self) -> &'static str;
+
+    /// The gather direction the algorithm uses by default.
+    fn direction(&self) -> Direction;
+
+    /// Drives the full algorithm on the device: allocates properties,
+    /// compiles kernels for the runtime's schedule, launches supersteps
+    /// until convergence, and returns the final vertex properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns simulator errors or [`FrameworkError::NoConvergence`].
+    fn run(&self, rt: &mut Runtime<'_>) -> Result<AlgoOutput, FrameworkError>;
+
+    /// The host-side reference implementation (correctness oracle).
+    fn reference(&self, graph: &Csr) -> AlgoOutput;
+}
+
+/// Distance value for unreached vertices (BFS/SSSP).
+pub const INF: u64 = u64::MAX;

@@ -1,0 +1,302 @@
+//! PageRank (pull direction, fixed iteration count).
+//!
+//! `rank'[v] = (1 - d)/N + d * Σ_{u -> v} rank[u] / outdeg[u]`
+//!
+//! The gather stage accumulates neighbor contributions; the apply stage
+//! folds in damping and refreshes each vertex's contribution. PR "performs
+//! for all edges in the gather step, resulting in better opportunities to
+//! benefit from workload balance" (Section V-A) — it is the paper's
+//! primary sweep workload.
+
+use sparseweaver_graph::{Csr, Direction};
+use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
+use sparseweaver_sim::Phase;
+
+use crate::compiler::{build_gather_kernel, build_vertex_kernel, EdgeRegs, GatherOps};
+use crate::output::AlgoOutput;
+use crate::runtime::{args, Runtime};
+use crate::FrameworkError;
+
+use super::Algorithm;
+
+/// PageRank with a fixed number of power iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRank {
+    /// Number of iterations (the paper's gather/apply supersteps).
+    pub iterations: u32,
+    /// Damping factor `d` (0.85 by convention).
+    pub damping: f64,
+    /// Gather direction. Pull gathers `contrib[other]` into the owned
+    /// base vertex; push scatters `contrib[base]` into `accum[other]`
+    /// with atomics — the asymmetry behind the Fig. 17 breakdown.
+    pub direction: Direction,
+}
+
+impl PageRank {
+    /// PageRank with `iterations` supersteps and damping 0.85 (pull).
+    pub fn new(iterations: u32) -> Self {
+        PageRank {
+            iterations,
+            damping: 0.85,
+            direction: Direction::Pull,
+        }
+    }
+
+    /// Selects the gather direction (Fig. 17 runs both).
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+}
+
+// Argument indices owned by PageRank (starting at args::ALGO0).
+const A_RANK: u8 = args::ALGO0;
+const A_CONTRIB: u8 = args::ALGO0 + 1;
+const A_ACCUM: u8 = args::ALGO0 + 2;
+const A_INVOD: u8 = args::ALGO0 + 3;
+const A_BASE_SCORE: u8 = args::ALGO0 + 4; // (1-d)/N as f64 bits
+const A_DAMPING: u8 = args::ALGO0 + 5; // d as f64 bits
+const A_INIT_RANK: u8 = args::ALGO0 + 6; // 1/N as f64 bits
+
+struct PrGather {
+    push: bool,
+}
+
+impl GatherOps for PrGather {
+    fn emit_pro(&self, a: &mut Asm) -> Vec<Reg> {
+        let contrib = a.reg();
+        let accum = a.reg();
+        a.ldarg(contrib, A_CONTRIB);
+        a.ldarg(accum, A_ACCUM);
+        vec![contrib, accum]
+    }
+
+    fn emit_compute(&self, a: &mut Asm, pro: &[Reg], e: &EdgeRegs, exclusive_base: bool) {
+        let (contrib, accum) = (pro[0], pro[1]);
+        let (src, dst) = if self.push {
+            (e.base, e.other) // scatter: contributions flow out of base
+        } else {
+            (e.other, e.base) // gather: contributions flow into base
+        };
+        let cv = a.reg();
+        let addr = a.reg();
+        a.slli(addr, src, 3);
+        a.add(addr, addr, contrib);
+        a.ldg(cv, addr, 0, Width::B8);
+        a.slli(addr, dst, 3);
+        a.add(addr, addr, accum);
+        if exclusive_base && !self.push {
+            // Pull under vertex mapping owns the base vertex: plain
+            // read-modify-write. Push always scatters into shared
+            // destinations and needs atomics.
+            let av = a.reg();
+            a.ldg(av, addr, 0, Width::B8);
+            a.fadd(av, av, cv);
+            a.stg(av, addr, 0, Width::B8);
+            a.free(av);
+        } else {
+            let old = a.reg();
+            a.atom(AtomOp::FAdd, old, addr, cv);
+            a.free(old);
+        }
+        a.free(addr);
+        a.free(cv);
+    }
+}
+
+impl Algorithm for PageRank {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    fn run(&self, rt: &mut Runtime<'_>) -> Result<AlgoOutput, FrameworkError> {
+        let nv = rt.graph.num_vertices();
+        if nv == 0 {
+            return Ok(AlgoOutput::F64(Vec::new()));
+        }
+        // Inverse out-degree of the ORIGINAL graph (contributions divide
+        // by out-degree regardless of gather direction).
+        let invod: Vec<f64> = (0..nv as u32)
+            .map(|v| {
+                let d = rt.graph.degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        let rank = rt.alloc_f64(nv, 0.0);
+        let contrib = rt.alloc_f64(nv, 0.0);
+        let accum = rt.alloc_f64(nv, 0.0);
+        let invod_dev = rt.upload_f64(&invod);
+        let base_score = ((1.0 - self.damping) / nv as f64).to_bits();
+        let init_rank = (1.0 / nv as f64).to_bits();
+        let extra = [
+            rank,
+            contrib,
+            accum,
+            invod_dev,
+            base_score,
+            self.damping.to_bits(),
+            init_rank,
+        ];
+
+        // init: rank = 1/N, contrib = rank * invod, accum = 0.
+        let init = build_vertex_kernel(
+            "pagerank_init",
+            Phase::Init,
+            |a| {
+                let regs: Vec<Reg> = (0..4).map(|_| a.reg()).collect();
+                a.ldarg(regs[0], A_RANK);
+                a.ldarg(regs[1], A_CONTRIB);
+                a.ldarg(regs[2], A_INVOD);
+                a.ldarg(regs[3], A_INIT_RANK);
+                regs
+            },
+            |a, _c, v, pro| {
+                let addr = a.reg();
+                let val = a.reg();
+                a.slli(addr, v, 3);
+                let r0 = a.reg();
+                a.add(r0, addr, pro[0]);
+                a.stg(pro[3], r0, 0, Width::B8);
+                a.add(r0, addr, pro[2]);
+                a.ldg(val, r0, 0, Width::B8);
+                a.fmul(val, val, pro[3]);
+                a.add(r0, addr, pro[1]);
+                a.stg(val, r0, 0, Width::B8);
+                a.free(r0);
+                a.free(val);
+                a.free(addr);
+            },
+        );
+        // apply: rank = base + d * accum; contrib = rank * invod; accum = 0.
+        let apply = build_vertex_kernel(
+            "pagerank_apply",
+            Phase::Other,
+            |a| {
+                let regs: Vec<Reg> = (0..6).map(|_| a.reg()).collect();
+                a.ldarg(regs[0], A_RANK);
+                a.ldarg(regs[1], A_CONTRIB);
+                a.ldarg(regs[2], A_ACCUM);
+                a.ldarg(regs[3], A_INVOD);
+                a.ldarg(regs[4], A_BASE_SCORE);
+                a.ldarg(regs[5], A_DAMPING);
+                regs
+            },
+            |a, _c, v, pro| {
+                let addr = a.reg();
+                let acc = a.reg();
+                let t = a.reg();
+                a.slli(addr, v, 3);
+                let p = a.reg();
+                a.add(p, addr, pro[2]);
+                a.ldg(acc, p, 0, Width::B8);
+                // rank = base + d * acc
+                a.fmul(acc, acc, pro[5]);
+                a.fadd(acc, acc, pro[4]);
+                a.add(p, addr, pro[0]);
+                a.stg(acc, p, 0, Width::B8);
+                // contrib = rank * invod
+                a.add(p, addr, pro[3]);
+                a.ldg(t, p, 0, Width::B8);
+                a.fmul(t, t, acc);
+                a.add(p, addr, pro[1]);
+                a.stg(t, p, 0, Width::B8);
+                // accum = 0
+                a.li(t, 0);
+                a.add(p, addr, pro[2]);
+                a.stg(t, p, 0, Width::B8);
+                a.free(p);
+                a.free(t);
+                a.free(acc);
+                a.free(addr);
+            },
+        );
+        let gather = build_gather_kernel(
+            "pagerank",
+            &PrGather {
+                push: rt.direction() == Direction::Push,
+            },
+            rt.schedule(),
+            rt.gpu().config(),
+        );
+
+        rt.launch(&init, &extra)?;
+        for _ in 0..self.iterations {
+            rt.launch(&gather, &extra)?;
+            rt.launch(&apply, &extra)?;
+        }
+        Ok(AlgoOutput::F64(rt.read_f64_vec(rank, nv)))
+    }
+
+    fn reference(&self, graph: &Csr) -> AlgoOutput {
+        let nv = graph.num_vertices();
+        if nv == 0 {
+            return AlgoOutput::F64(Vec::new());
+        }
+        let n = nv as f64;
+        let mut rank = vec![1.0 / n; nv];
+        let base = (1.0 - self.damping) / n;
+        for _ in 0..self.iterations {
+            let contrib: Vec<f64> = (0..nv as u32)
+                .map(|v| {
+                    let d = graph.degree(v);
+                    if d == 0 {
+                        0.0
+                    } else {
+                        rank[v as usize] / d as f64
+                    }
+                })
+                .collect();
+            let mut accum = vec![0.0; nv];
+            for (s, d, _) in graph.iter_edges() {
+                accum[d as usize] += contrib[s as usize];
+            }
+            for v in 0..nv {
+                rank[v] = base + self.damping * accum[v];
+            }
+        }
+        AlgoOutput::F64(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sums_to_less_than_one() {
+        // With dangling vertices mass leaks, but stays bounded by 1.
+        let g = sparseweaver_graph::generators::uniform(50, 200, 3);
+        let r = PageRank::new(5).reference(&g);
+        let sum: f64 = r.as_f64().iter().sum();
+        assert!(sum > 0.1 && sum <= 1.0 + 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn reference_uniform_on_cycle() {
+        // A directed cycle: stationary distribution is uniform.
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|v| (v, (v + 1) % 8)).collect();
+        let g = Csr::from_edges(8, &edges);
+        let r = PageRank::new(30).reference(&g);
+        for &x in r.as_f64() {
+            assert!((x - 0.125).abs() < 1e-9, "{x}");
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        // Star pointing at vertex 0.
+        let edges: Vec<(u32, u32)> = (1..20u32).map(|v| (v, 0)).collect();
+        let g = Csr::from_edges(20, &edges);
+        let r = PageRank::new(10).reference(&g);
+        let ranks = r.as_f64();
+        assert!(ranks[0] > ranks[1] * 5.0);
+    }
+}

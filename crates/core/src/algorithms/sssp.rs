@@ -1,0 +1,344 @@
+//! Single-source shortest paths (push direction, frontier Bellman-Ford).
+//!
+//! Frontier vertices relax their outgoing edges with an atomic minimum on
+//! the destination distance; improved destinations form the next
+//! frontier. SSSP has a source filter (frontier membership) and uses edge
+//! weights — which is why the paper sees slightly less speedup than BFS
+//! ("BFS shows more speedup than SSSP because it does not use edge weight
+//! information", Section V-A).
+//!
+//! Two frontier representations are provided:
+//!
+//! - **scan** (default): a byte flag per vertex; every round scans all
+//!   vertices and filters (the registration-filter pattern of Fig. 9);
+//! - **worklist**: a compacted `wset` of active vertex IDs, appended on
+//!   the device with atomics and handed to the kernel as Fig. 9's `wset`
+//!   — registration then touches exactly the active vertices.
+
+use sparseweaver_graph::{Csr, Direction, VertexId};
+use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
+
+use crate::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
+use crate::output::AlgoOutput;
+use crate::runtime::{args, Runtime};
+use crate::FrameworkError;
+
+use super::{Algorithm, INF};
+
+/// Frontier-based SSSP from a source vertex, with `u32` edge weights.
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Use a compacted device worklist (`wset`) instead of a scan-and-
+    /// filter frontier.
+    pub worklist: bool,
+}
+
+impl Sssp {
+    /// SSSP from `source` with the scan-based frontier.
+    pub fn new(source: VertexId) -> Self {
+        Sssp {
+            source,
+            worklist: false,
+        }
+    }
+
+    /// Switches to the compacted-worklist frontier (Fig. 9's `wset`).
+    pub fn with_worklist(mut self, yes: bool) -> Self {
+        self.worklist = yes;
+        self
+    }
+}
+
+const A_DIST: u8 = args::ALGO0;
+const A_CUR: u8 = args::ALGO0 + 1;
+const A_NEXT: u8 = args::ALGO0 + 2;
+// Worklist mode only:
+const A_WLEN: u8 = args::ALGO0 + 3;
+const A_NEXT_CNT: u8 = args::ALGO0 + 4;
+const A_IN_NEXT: u8 = args::ALGO0 + 5;
+
+struct SsspGather {
+    worklist: bool,
+}
+
+impl GatherOps for SsspGather {
+    fn uses_weight(&self) -> bool {
+        true
+    }
+
+    fn worklist_args(&self) -> Option<(u8, u8)> {
+        if self.worklist {
+            Some((A_CUR, A_WLEN))
+        } else {
+            None
+        }
+    }
+
+    fn emit_pro(&self, a: &mut Asm) -> Vec<Reg> {
+        let dist = a.reg();
+        let cur = a.reg();
+        let next = a.reg();
+        a.ldarg(dist, A_DIST);
+        a.ldarg(cur, A_CUR);
+        a.ldarg(next, A_NEXT);
+        let mut pro = vec![dist, cur, next];
+        if self.worklist {
+            let cnt = a.reg();
+            let in_next = a.reg();
+            a.ldarg(cnt, A_NEXT_CNT);
+            a.ldarg(in_next, A_IN_NEXT);
+            pro.push(cnt);
+            pro.push(in_next);
+        }
+        pro
+    }
+
+    /// Source filter (scan mode): frontier membership byte. The worklist
+    /// mode needs no filter — the `wset` contains exactly the frontier.
+    fn emit_base_filter(&self, a: &mut Asm, pro: &[Reg], vid: Reg, out: Reg) -> bool {
+        if self.worklist {
+            return false;
+        }
+        let addr = a.reg();
+        a.add(addr, vid, pro[1]);
+        a.ldg(out, addr, 0, Width::B1);
+        a.free(addr);
+        true
+    }
+
+    fn emit_compute(&self, a: &mut Asm, pro: &[Reg], e: &EdgeRegs, _exclusive: bool) {
+        let w = e.weight.expect("SSSP uses weights");
+        // cand = dist[base] + w
+        let cand = a.reg();
+        let addr = a.reg();
+        a.slli(addr, e.base, 3);
+        a.add(addr, addr, pro[0]);
+        a.ldg(cand, addr, 0, Width::B8);
+        // Saturating add: an unreached base (dist = INF = u64::MAX) must
+        // stay INF rather than wrap. Edge mapping reaches this code for
+        // every edge (it has no worklist), so the guard is load-bearing.
+        let db = a.reg();
+        a.mv(db, cand);
+        a.add(cand, cand, w);
+        let wrapped = a.reg();
+        a.sltu(wrapped, cand, db);
+        a.sub(wrapped, a.zero(), wrapped); // 0 or all-ones
+        a.or(cand, cand, wrapped);
+        a.free(wrapped);
+        a.free(db);
+        // old = atomic-min(dist[other], cand)
+        a.slli(addr, e.other, 3);
+        a.add(addr, addr, pro[0]);
+        let old = a.reg();
+        a.atom(AtomOp::MinU, old, addr, cand);
+        let imp = a.reg();
+        a.sltu(imp, cand, old);
+        if self.worklist {
+            // Improved: enqueue `other` once (atomic test-and-set on the
+            // in_next flag, then an atomic slot grab).
+            let (cnt, in_next) = (pro[3], pro[4]);
+            a.if_nonzero(imp, |a| {
+                let flag_addr = a.reg();
+                a.slli(flag_addr, e.other, 3);
+                a.add(flag_addr, flag_addr, in_next);
+                let one = a.reg();
+                let was = a.reg();
+                a.li(one, 1);
+                a.atom(AtomOp::Exch, was, flag_addr, one);
+                let fresh = a.reg();
+                a.seqi(fresh, was, 0);
+                a.if_nonzero(fresh, |a| {
+                    let slot = a.reg();
+                    a.atom(AtomOp::Add, slot, cnt, one);
+                    let dst = a.reg();
+                    a.slli(dst, slot, 2);
+                    a.add(dst, dst, pro[2]);
+                    a.stg(e.other, dst, 0, Width::B4);
+                    a.free(dst);
+                    a.free(slot);
+                });
+                a.free(fresh);
+                a.free(was);
+                a.free(one);
+                a.free(flag_addr);
+            });
+        } else {
+            a.if_nonzero(imp, |a| {
+                let naddr = a.reg();
+                a.add(naddr, e.other, pro[2]);
+                let one = a.reg();
+                a.li(one, 1);
+                a.stg(one, naddr, 0, Width::B1);
+                a.free(one);
+                a.free(naddr);
+            });
+        }
+        a.free(imp);
+        a.free(old);
+        a.free(addr);
+        a.free(cand);
+    }
+}
+
+impl Algorithm for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Push
+    }
+
+    fn run(&self, rt: &mut Runtime<'_>) -> Result<AlgoOutput, FrameworkError> {
+        let nv = rt.graph.num_vertices();
+        if nv == 0 {
+            return Ok(AlgoOutput::U64(Vec::new()));
+        }
+        assert!((self.source as usize) < nv, "SSSP source out of range");
+        if self.worklist {
+            self.run_worklist(rt, nv)
+        } else {
+            self.run_scan(rt, nv)
+        }
+    }
+
+    fn reference(&self, graph: &Csr) -> AlgoOutput {
+        // Dijkstra with a binary heap (weights are positive).
+        let nv = graph.num_vertices();
+        let mut dist = vec![INF; nv];
+        if nv == 0 {
+            return AlgoOutput::U64(dist);
+        }
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[self.source as usize] = 0;
+        heap.push(std::cmp::Reverse((0u64, self.source)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            let ws = graph.neighbor_weights(u);
+            for (i, &v) in graph.neighbors(u).iter().enumerate() {
+                let cand = d + ws[i] as u64;
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    heap.push(std::cmp::Reverse((cand, v)));
+                }
+            }
+        }
+        AlgoOutput::U64(dist)
+    }
+}
+
+impl Sssp {
+    fn run_scan(&self, rt: &mut Runtime<'_>, nv: usize) -> Result<AlgoOutput, FrameworkError> {
+        let dist = rt.alloc_u64(nv, INF);
+        let cur = rt.alloc_u8(nv, 0);
+        let next = rt.alloc_u8(nv, 0);
+        rt.write_u64(dist + 8 * self.source as u64, 0);
+        rt.write_u8(cur + self.source as u64, 1);
+
+        let gather = build_gather_kernel(
+            "sssp",
+            &SsspGather { worklist: false },
+            rt.schedule(),
+            rt.gpu().config(),
+        );
+        let mut rounds: u64 = 0;
+        loop {
+            rt.launch(&gather, &[dist, cur, next])?;
+            let changed = (0..nv as u64).any(|i| rt.gpu().mem().read(next + i, 1) != 0);
+            if !changed {
+                break;
+            }
+            rt.copy_bytes(next, cur, nv);
+            rt.fill_bytes(next, 0, nv);
+            rounds += 1;
+            if rounds > nv as u64 + 1 {
+                return Err(FrameworkError::NoConvergence {
+                    algorithm: "sssp".into(),
+                    iterations: rounds,
+                });
+            }
+        }
+        Ok(AlgoOutput::U64(rt.read_u64_vec(dist, nv)))
+    }
+
+    fn run_worklist(&self, rt: &mut Runtime<'_>, nv: usize) -> Result<AlgoOutput, FrameworkError> {
+        let dist = rt.alloc_u64(nv, INF);
+        let list_a = rt.alloc(4 * nv as u64);
+        let list_b = rt.alloc(4 * nv as u64);
+        let next_cnt = rt.alloc_u64(1, 0);
+        let in_next = rt.alloc_u64(nv, 0);
+        rt.write_u64(dist + 8 * self.source as u64, 0);
+        rt.write_u32(list_a, self.source);
+
+        let gather = build_gather_kernel(
+            "sssp_wl",
+            &SsspGather { worklist: true },
+            rt.schedule(),
+            rt.gpu().config(),
+        );
+        let (mut cur_list, mut next_list) = (list_a, list_b);
+        let mut wlen: u64 = 1;
+        let mut rounds: u64 = 0;
+        while wlen > 0 {
+            rt.write_u64(next_cnt, 0);
+            rt.launch(
+                &gather,
+                &[dist, cur_list, next_list, wlen, next_cnt, in_next],
+            )?;
+            wlen = rt.read_u64(next_cnt);
+            // Clear the membership flags for the vertices just queued.
+            for i in 0..wlen {
+                let v = rt.gpu().mem().read(next_list + 4 * i, 4);
+                rt.write_u64(in_next + 8 * v, 0);
+            }
+            std::mem::swap(&mut cur_list, &mut next_list);
+            rounds += 1;
+            if rounds > nv as u64 + 1 {
+                return Err(FrameworkError::NoConvergence {
+                    algorithm: "sssp".into(),
+                    iterations: rounds,
+                });
+            }
+        }
+        Ok(AlgoOutput::U64(rt.read_u64_vec(dist, nv)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_prefers_lighter_path() {
+        // 0 -(10)-> 2 and 0 -(1)-> 1 -(2)-> 2.
+        let g = Csr::from_weighted_edges(3, &[(0, 2, 10), (0, 1, 1), (1, 2, 2)]);
+        let d = Sssp::new(0).reference(&g);
+        assert_eq!(d.as_u64(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = Csr::from_weighted_edges(3, &[(0, 1, 5)]);
+        let d = Sssp::new(0).reference(&g);
+        assert_eq!(d.as_u64()[2], INF);
+    }
+
+    #[test]
+    fn zero_distance_at_source() {
+        let g = Csr::from_weighted_edges(2, &[(0, 1, 7)]);
+        let d = Sssp::new(1).reference(&g);
+        assert_eq!(d.as_u64(), &[INF, 0]);
+    }
+
+    #[test]
+    fn worklist_flag_is_builder_style() {
+        let s = Sssp::new(3).with_worklist(true);
+        assert!(s.worklist);
+        assert_eq!(s.source, 3);
+        assert!(!Sssp::new(3).worklist);
+    }
+}

@@ -1,0 +1,118 @@
+//! The auto-tuner baseline of Case Study 3 (Table V).
+//!
+//! Auto-tuners for GPU graph processing search the space of software
+//! schedules per (graph, algorithm) pair, paying a large one-off tuning
+//! cost. SparseWeaver's point is that the hardware makes the search
+//! unnecessary: a single SparseWeaver run "has better performance compared
+//! to S_vm, even without requiring the tuning time that the Autotuner
+//! demands".
+
+use sparseweaver_graph::Csr;
+
+use crate::algorithms::Algorithm;
+use crate::schedule::Schedule;
+use crate::session::Session;
+use crate::FrameworkError;
+
+/// The outcome of an exhaustive software-schedule search.
+#[derive(Debug, Clone)]
+pub struct AutotuneResult {
+    /// Cycles per candidate schedule, in [`AutotuneResult::CANDIDATES`]
+    /// order.
+    pub candidate_cycles: Vec<(Schedule, u64)>,
+    /// Total cycles spent searching (the tuning cost).
+    pub tuning_cycles: u64,
+    /// The best software schedule found.
+    pub best: Schedule,
+    /// Cycles of the best schedule.
+    pub best_cycles: u64,
+    /// Cycles of the `S_vm` baseline.
+    pub svm_cycles: u64,
+    /// Cycles of a single (untuned) SparseWeaver run.
+    pub sparseweaver_cycles: u64,
+}
+
+impl AutotuneResult {
+    /// The software schedules an auto-tuner searches over.
+    pub const CANDIDATES: [Schedule; 4] =
+        [Schedule::Svm, Schedule::Sem, Schedule::Swm, Schedule::Scm];
+
+    /// Best-tuned speedup over `S_vm`.
+    pub fn tuned_speedup(&self) -> f64 {
+        self.svm_cycles as f64 / self.best_cycles.max(1) as f64
+    }
+
+    /// SparseWeaver's speedup over `S_vm` — no tuning required.
+    pub fn sparseweaver_speedup(&self) -> f64 {
+        self.svm_cycles as f64 / self.sparseweaver_cycles.max(1) as f64
+    }
+}
+
+/// Exhaustively evaluates every software schedule (the tuning pass), then
+/// runs SparseWeaver once for comparison.
+///
+/// # Errors
+///
+/// Propagates run errors.
+pub fn autotune(
+    session: &mut Session,
+    graph: &Csr,
+    algorithm: &dyn Algorithm,
+) -> Result<AutotuneResult, FrameworkError> {
+    let mut candidate_cycles = Vec::new();
+    let mut tuning_cycles = 0u64;
+    for s in AutotuneResult::CANDIDATES {
+        let r = session.run(graph, algorithm, s)?;
+        tuning_cycles += r.cycles;
+        candidate_cycles.push((s, r.cycles));
+    }
+    let (&(best, best_cycles), _) = candidate_cycles
+        .iter()
+        .map(|c| (c, c.1))
+        .min_by_key(|&(_, cy)| cy)
+        .expect("non-empty candidates");
+    let svm_cycles = candidate_cycles
+        .iter()
+        .find(|(s, _)| *s == Schedule::Svm)
+        .expect("svm is a candidate")
+        .1;
+    let sw = session.run(graph, algorithm, Schedule::SparseWeaver)?;
+    Ok(AutotuneResult {
+        candidate_cycles,
+        tuning_cycles,
+        best,
+        best_cycles,
+        svm_cycles,
+        sparseweaver_cycles: sw.cycles,
+    })
+}
+
+/// Converts simulated cycles to milliseconds at the given core clock
+/// (the paper reports Vortex numbers in ms).
+pub fn cycles_to_ms(cycles: u64, clock_mhz: f64) -> f64 {
+    cycles as f64 / (clock_mhz * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::PageRank;
+    use sparseweaver_sim::GpuConfig;
+
+    #[test]
+    fn tuning_cost_exceeds_any_single_run() {
+        let g = sparseweaver_graph::generators::powerlaw(64, 512, 1.8, 2);
+        let mut s = Session::new(GpuConfig::small_test());
+        let r = autotune(&mut s, &g, &PageRank::new(2)).unwrap();
+        assert!(r.tuning_cycles > r.best_cycles);
+        assert!(r.tuning_cycles > r.sparseweaver_cycles);
+        assert!(r.best_cycles <= r.svm_cycles);
+        assert_eq!(r.candidate_cycles.len(), 4);
+    }
+
+    #[test]
+    fn cycles_to_ms_conversion() {
+        // 500k cycles at 500 MHz = 1 ms.
+        assert!((cycles_to_ms(500_000, 500.0) - 1.0).abs() < 1e-12);
+    }
+}

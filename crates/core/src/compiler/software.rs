@@ -1,0 +1,855 @@
+//! The four software scheduling templates: `S_vm`, `S_em`, `S_wm`, `S_cm`.
+
+use sparseweaver_isa::{Asm, CsrKind, Program, Reg, VoteOp, Width};
+use sparseweaver_sim::{GpuConfig, Phase};
+
+use super::{
+    emit_edge_body, emit_get_neighbor, emit_prologue, emit_tid_nt, Domain, EdgeSource, GatherOps,
+};
+
+/// Vertex mapping: one thread per vertex, walking its whole neighbor list.
+/// The warp's time is set by its highest-degree vertex — the imbalance of
+/// Fig. 1.
+pub(crate) fn build_svm(name: &str, ops: &dyn GatherOps) -> Program {
+    let mut a = Asm::new(format!("{name}_svm"));
+    let c = emit_prologue(&mut a);
+    let pro = ops.emit_pro(&mut a);
+    let dom = Domain::emit(&mut a, &c, ops);
+    let (tid, nt) = emit_tid_nt(&mut a);
+    let id = a.reg();
+    a.mv(id, tid);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    let cond = a.reg();
+    let any = a.reg();
+    a.bind(top);
+    a.sltu(cond, id, dom.bound);
+    a.vote(VoteOp::Any, any, cond);
+    a.beq(any, a.zero(), done);
+    a.if_nonzero(cond, |a| {
+        a.phase(Phase::Registration as u8);
+        let v = dom.emit_get_frontier(a, id);
+        let rf = a.reg();
+        let has_filter = ops.emit_base_filter(a, &pro, v, rf);
+        let body = |a: &mut Asm| {
+            let (start, end) = emit_get_neighbor(a, &c, v);
+            a.phase(Phase::EdgeSchedule as u8);
+            let e = a.reg();
+            a.mv(e, start);
+            let sat = if ops.has_early_exit() {
+                let s = a.reg();
+                a.li(s, 0);
+                Some(s)
+            } else {
+                None
+            };
+            let itop = a.new_label();
+            let idone = a.new_label();
+            let icond = a.reg();
+            let iany = a.reg();
+            a.bind(itop);
+            a.phase(Phase::EdgeSchedule as u8);
+            a.sltu(icond, e, end);
+            if let Some(s) = sat {
+                // Stop early once this lane's base vertex is satisfied.
+                let ns = a.reg();
+                a.seqi(ns, s, 0);
+                a.and(icond, icond, ns);
+                a.free(ns);
+            }
+            a.vote(VoteOp::Any, iany, icond);
+            a.beq(iany, a.zero(), idone);
+            a.if_nonzero(icond, |a| {
+                emit_edge_body(a, ops, &c, &pro, v, e, true, sat, EdgeSource::Global);
+            });
+            a.addi(e, e, 1);
+            a.jmp(itop);
+            a.bind(idone);
+            a.free(icond);
+            a.free(iany);
+            a.free(e);
+            if let Some(s) = sat {
+                a.free(s);
+            }
+            a.free(start);
+            a.free(end);
+        };
+        if has_filter {
+            a.if_nonzero(rf, body);
+        } else {
+            body(a);
+        }
+        a.free(rf);
+        a.free(v);
+    });
+    a.add(id, id, nt);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+/// Edge mapping: one thread per edge. Balanced, but the base vertex must
+/// be read from the per-edge array — the second of the "2|E|" edge memory
+/// accesses Table I charges this scheme.
+pub(crate) fn build_sem(name: &str, ops: &dyn GatherOps) -> Program {
+    let mut a = Asm::new(format!("{name}_sem"));
+    let c = emit_prologue(&mut a);
+    let pro = ops.emit_pro(&mut a);
+    let (tid, nt) = emit_tid_nt(&mut a);
+    let e = a.reg();
+    a.mv(e, tid);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    let cond = a.reg();
+    let any = a.reg();
+    a.bind(top);
+    a.sltu(cond, e, c.ne);
+    a.vote(VoteOp::Any, any, cond);
+    a.beq(any, a.zero(), done);
+    a.if_nonzero(cond, |a| {
+        a.phase(Phase::EdgeInfoAccess as u8);
+        let base = a.reg();
+        let addr = a.reg();
+        a.slli(addr, e, 2);
+        a.add(addr, addr, c.srcs);
+        a.ldg(base, addr, 0, Width::B4);
+        a.free(addr);
+        let rf = a.reg();
+        let has_filter = ops.emit_base_filter(a, &pro, base, rf);
+        let body = |a: &mut Asm| {
+            emit_edge_body(a, ops, &c, &pro, base, e, false, None, EdgeSource::Global);
+        };
+        if has_filter {
+            a.if_nonzero(rf, body);
+        } else {
+            body(a);
+        }
+        a.free(rf);
+        a.free(base);
+    });
+    a.add(e, e, nt);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+/// Unrolled binary search over an inclusive prefix-sum array in shared
+/// memory: returns the register holding the smallest `s` with
+/// `pref[s] > i`. `n` must be a power of two.
+fn emit_binary_search(a: &mut Asm, pref_base: Reg, i: Reg, n: usize) -> Reg {
+    assert!(
+        n.is_power_of_two(),
+        "binary search needs a power-of-two size"
+    );
+    let lo = a.reg();
+    let hi = a.reg();
+    a.li(lo, 0);
+    a.li(hi, n as i64);
+    let t = a.reg();
+    let pm = a.reg();
+    let c2 = a.reg();
+    let diff = a.reg();
+    // `lo = mid + 1` steps shrink the span to `mid - lo`, so the interval
+    // needs log2(n) + 1 halvings to be pinched to a single index.
+    for _ in 0..n.trailing_zeros() + 1 {
+        a.add(t, lo, hi);
+        a.srli(t, t, 1); // t = mid
+        a.slli(pm, t, 3);
+        a.add(pm, pm, pref_base);
+        a.lds(pm, pm, 0, Width::B8); // pm = pref[mid]
+        a.sltu(c2, i, pm);
+        a.seqi(c2, c2, 0); // c2 = (pref[mid] <= i)
+                           // lo = lo + c2 * (mid + 1 - lo)
+        a.addi(diff, t, 1);
+        a.sub(diff, diff, lo);
+        a.mul(diff, diff, c2);
+        a.add(lo, lo, diff);
+        // hi = hi - (1 - c2) * (hi - mid)
+        a.seqi(c2, c2, 0);
+        a.sub(diff, hi, t);
+        a.mul(diff, diff, c2);
+        a.sub(hi, hi, diff);
+    }
+    a.free(t);
+    a.free(pm);
+    a.free(c2);
+    a.free(diff);
+    a.free(hi);
+    lo
+}
+
+/// Shared code of `S_wm`/`S_cm`: registration of `(deg, start)` into
+/// shared arrays at `pref_base`/`start_base` for the chunk vertex
+/// `v = cb + slot`, with the base filter folding into degree 0.
+#[allow(clippy::too_many_arguments)]
+fn emit_register_to_shared(
+    a: &mut Asm,
+    ops: &dyn GatherOps,
+    c: &super::CommonRegs,
+    pro: &[Reg],
+    dom: &Domain,
+    idx: Reg,
+    slot: Reg,
+    pref_base: Reg,
+    start_base: Reg,
+    vid_base: Option<Reg>,
+) {
+    a.phase(Phase::Registration as u8);
+    let deg = a.reg();
+    let st = a.reg();
+    let vid_out = a.reg();
+    let valid = a.reg();
+    a.li(deg, 0);
+    a.li(st, 0);
+    a.li(vid_out, 0);
+    a.sltu(valid, idx, dom.bound);
+    a.if_nonzero(valid, |a| {
+        let v = dom.emit_get_frontier(a, idx);
+        a.mv(vid_out, v);
+        let rf = a.reg();
+        let has_filter = ops.emit_base_filter(a, pro, v, rf);
+        let load = |a: &mut Asm| {
+            let (s, e) = emit_get_neighbor(a, c, v);
+            a.sub(deg, e, s);
+            a.mv(st, s);
+            a.free(s);
+            a.free(e);
+        };
+        if has_filter {
+            a.if_nonzero(rf, load);
+        } else {
+            load(a);
+        }
+        a.free(rf);
+        a.free(v);
+    });
+    a.free(valid);
+    let addr = a.reg();
+    a.slli(addr, slot, 3);
+    let tmp = a.reg();
+    a.add(tmp, addr, pref_base);
+    a.sts(deg, tmp, 0, Width::B8);
+    a.add(tmp, addr, start_base);
+    a.sts(st, tmp, 0, Width::B8);
+    if let Some(vb) = vid_base {
+        a.add(tmp, addr, vb);
+        a.sts(vid_out, tmp, 0, Width::B8);
+    }
+    a.free(tmp);
+    a.free(addr);
+    a.free(deg);
+    a.free(st);
+    a.free(vid_out);
+}
+
+/// The shared distribution loop of `S_wm`/`S_cm`: edges `i = slot, slot +
+/// n, ...` up to `total`, each resolved by binary search over the prefix
+/// array.
+#[allow(clippy::too_many_arguments)]
+fn emit_distribute_from_shared(
+    a: &mut Asm,
+    ops: &dyn GatherOps,
+    c: &super::CommonRegs,
+    pro: &[Reg],
+    cb: Reg,
+    slot: Reg,
+    pref_base: Reg,
+    start_base: Reg,
+    vid_base: Option<Reg>,
+    total: Reg,
+    n: usize,
+) {
+    let i = a.reg();
+    a.mv(i, slot);
+    let dtop = a.new_label();
+    let ddone = a.new_label();
+    let dcond = a.reg();
+    let dany = a.reg();
+    a.bind(dtop);
+    a.phase(Phase::EdgeSchedule as u8);
+    a.sltu(dcond, i, total);
+    a.vote(VoteOp::Any, dany, dcond);
+    a.beq(dany, a.zero(), ddone);
+    a.if_nonzero(dcond, |a| {
+        let s = emit_binary_search(a, pref_base, i, n);
+        let base = a.reg();
+        match vid_base {
+            // Worklist: the registered VID lives in the shared vid array
+            // (Table I's third shared buffer for S_wm/S_cm).
+            Some(vb) => {
+                a.slli(base, s, 3);
+                a.add(base, base, vb);
+                a.lds(base, base, 0, Width::B8);
+            }
+            None => a.add(base, cb, s),
+        }
+        // pprev = (s == 0) ? 0 : pref[s-1]
+        let nz = a.reg();
+        let pprev = a.reg();
+        a.snei(nz, s, 0);
+        a.addi(pprev, s, -1);
+        a.mul(pprev, pprev, nz); // clamps the address to slot 0 when s == 0
+        a.slli(pprev, pprev, 3);
+        a.add(pprev, pprev, pref_base);
+        a.lds(pprev, pprev, 0, Width::B8);
+        a.mul(pprev, pprev, nz);
+        // eid = start[s] + (i - pprev)
+        let eid = a.reg();
+        a.slli(eid, s, 3);
+        a.add(eid, eid, start_base);
+        a.lds(eid, eid, 0, Width::B8);
+        let off_in_seg = a.reg();
+        a.sub(off_in_seg, i, pprev);
+        a.add(eid, eid, off_in_seg);
+        a.free(off_in_seg);
+        a.free(pprev);
+        a.free(nz);
+        emit_edge_body(a, ops, c, pro, base, eid, false, None, EdgeSource::Global);
+        a.free(eid);
+        a.free(base);
+        a.free(s);
+    });
+    a.addi(i, i, n as i64);
+    a.jmp(dtop);
+    a.bind(ddone);
+    a.free(dcond);
+    a.free(dany);
+    a.free(i);
+}
+
+/// Warp mapping (`S_wm` [33]): each warp takes 32 vertices, shares their
+/// degrees through a warp-local prefix sum in shared memory, and each
+/// lane binary-searches the prefix array per edge.
+pub(crate) fn build_swm(name: &str, ops: &dyn GatherOps, cfg: &GpuConfig) -> Program {
+    let tpw = cfg.threads_per_warp;
+    let mut a = Asm::new(format!("{name}_swm"));
+    let c = emit_prologue(&mut a);
+    let pro = ops.emit_pro(&mut a);
+    let dom = Domain::emit(&mut a, &c, ops);
+
+    let lane = a.reg();
+    let wid = a.reg();
+    let cid = a.reg();
+    let wpc = a.reg();
+    let ncores = a.reg();
+    a.csr(lane, CsrKind::LaneId);
+    a.csr(wid, CsrKind::WarpId);
+    a.csr(cid, CsrKind::CoreId);
+    a.csr(wpc, CsrKind::WarpsPerCore);
+    a.csr(ncores, CsrKind::NumCores);
+
+    // Per-warp shared arrays: prefix at warp_base, starts at +tpw*8,
+    // and (for worklist kernels) registered VIDs at +tpw*16.
+    let stride = if ops.worklist_args().is_some() {
+        24
+    } else {
+        16
+    };
+    let pref_base = a.reg();
+    let start_base = a.reg();
+    a.muli(pref_base, wid, (tpw * stride) as i64);
+    a.addi(start_base, pref_base, (tpw * 8) as i64);
+    let vid_base = ops.worklist_args().map(|_| {
+        let vb = a.reg();
+        a.addi(vb, pref_base, (tpw * 16) as i64);
+        vb
+    });
+
+    // Global warp id and chunk stride.
+    let gwid = a.reg();
+    a.mul(gwid, cid, wpc);
+    a.add(gwid, gwid, wid);
+    let step = a.reg();
+    a.mul(step, ncores, wpc);
+    a.muli(step, step, tpw as i64);
+    let cb = a.reg();
+    a.muli(cb, gwid, tpw as i64);
+    a.free(gwid);
+    a.free(wpc);
+    a.free(ncores);
+    a.free(cid);
+    a.free(wid);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    a.bind(top);
+    a.bgeu(cb, dom.bound, done); // cb is warp-uniform
+
+    // Registration: lane slot = lane, work item index = cb + lane.
+    let idx = a.reg();
+    a.add(idx, cb, lane);
+    emit_register_to_shared(
+        &mut a, ops, &c, &pro, &dom, idx, lane, pref_base, start_base, vid_base,
+    );
+    a.free(idx);
+
+    // Warp-synchronous Hillis-Steele inclusive scan (lockstep: no sync).
+    a.phase(Phase::EdgeSchedule as u8);
+    let paddr = a.reg();
+    a.slli(paddr, lane, 3);
+    a.add(paddr, paddr, pref_base);
+    let nb = a.reg();
+    let own = a.reg();
+    let cond = a.reg();
+    let tmp = a.reg();
+    let mut d = 1usize;
+    while d < tpw {
+        a.sltui(cond, lane, d as i64);
+        a.seqi(cond, cond, 0); // cond = lane >= d
+        a.li(nb, 0);
+        a.if_nonzero(cond, |a| {
+            a.addi(tmp, lane, -(d as i64));
+            a.slli(tmp, tmp, 3);
+            a.add(tmp, tmp, pref_base);
+            a.lds(nb, tmp, 0, Width::B8);
+        });
+        a.lds(own, paddr, 0, Width::B8);
+        a.add(own, own, nb);
+        a.sts(own, paddr, 0, Width::B8);
+        d *= 2;
+    }
+    a.free(tmp);
+    a.free(cond);
+    a.free(own);
+    a.free(nb);
+    a.free(paddr);
+    let total = a.reg();
+    a.li(total, ((tpw - 1) * 8) as i64);
+    a.add(total, total, pref_base);
+    a.lds(total, total, 0, Width::B8);
+
+    emit_distribute_from_shared(
+        &mut a, ops, &c, &pro, cb, lane, pref_base, start_base, vid_base, total, tpw,
+    );
+    a.free(total);
+
+    a.add(cb, cb, step);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+/// CTA/core mapping (`S_cm` [33]): like `S_wm`, but the whole core shares
+/// one prefix array, scanned with barrier-separated steps (the "17 syncs"
+/// of Table I) and searched over the full block.
+pub(crate) fn build_scm(name: &str, ops: &dyn GatherOps, cfg: &GpuConfig) -> Program {
+    let n = cfg.threads_per_core();
+    assert!(
+        n.is_power_of_two(),
+        "S_cm requires a power-of-two threads per core"
+    );
+    let mut a = Asm::new(format!("{name}_scm"));
+    let c = emit_prologue(&mut a);
+    let pro = ops.emit_pro(&mut a);
+    let dom = Domain::emit(&mut a, &c, ops);
+
+    let ctid = a.reg();
+    let cid = a.reg();
+    let ncores = a.reg();
+    a.csr(ctid, CsrKind::CoreTid);
+    a.csr(cid, CsrKind::CoreId);
+    a.csr(ncores, CsrKind::NumCores);
+
+    // Core-wide shared arrays: prefix at 0, starts at n*8, registered
+    // VIDs (worklist kernels) at 2n*8.
+    let pref_base = a.reg();
+    let start_base = a.reg();
+    a.li(pref_base, 0);
+    a.li(start_base, (n * 8) as i64);
+    let vid_base = ops.worklist_args().map(|_| {
+        let vb = a.reg();
+        a.li(vb, (2 * n * 8) as i64);
+        vb
+    });
+
+    let cb = a.reg();
+    a.muli(cb, cid, n as i64);
+    let step = a.reg();
+    a.muli(step, ncores, n as i64);
+    a.free(ncores);
+    a.free(cid);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    a.bind(top);
+    a.bgeu(cb, dom.bound, done); // cb is core-uniform
+
+    let idx = a.reg();
+    a.add(idx, cb, ctid);
+    emit_register_to_shared(
+        &mut a, ops, &c, &pro, &dom, idx, ctid, pref_base, start_base, vid_base,
+    );
+    a.free(idx);
+    a.bar();
+
+    // Block-level Hillis-Steele scan: read, barrier, write, barrier.
+    a.phase(Phase::EdgeSchedule as u8);
+    let paddr = a.reg();
+    a.slli(paddr, ctid, 3);
+    a.add(paddr, paddr, pref_base);
+    let nb = a.reg();
+    let own = a.reg();
+    let cond = a.reg();
+    let tmp = a.reg();
+    let mut d = 1usize;
+    while d < n {
+        a.sltui(cond, ctid, d as i64);
+        a.seqi(cond, cond, 0);
+        a.li(nb, 0);
+        a.if_nonzero(cond, |a| {
+            a.addi(tmp, ctid, -(d as i64));
+            a.slli(tmp, tmp, 3);
+            a.add(tmp, tmp, pref_base);
+            a.lds(nb, tmp, 0, Width::B8);
+        });
+        a.lds(own, paddr, 0, Width::B8);
+        a.add(own, own, nb);
+        a.bar();
+        a.sts(own, paddr, 0, Width::B8);
+        a.bar();
+        d *= 2;
+    }
+    a.free(tmp);
+    a.free(cond);
+    a.free(own);
+    a.free(nb);
+    a.free(paddr);
+    let total = a.reg();
+    a.li(total, ((n - 1) * 8) as i64);
+    a.add(total, total, pref_base);
+    a.lds(total, total, 0, Width::B8);
+
+    emit_distribute_from_shared(
+        &mut a, ops, &c, &pro, cb, ctid, pref_base, start_base, vid_base, total, n,
+    );
+    a.free(total);
+    a.bar(); // shared arrays are reused next chunk
+
+    a.add(cb, cb, step);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+/// Thread/warp/CTA dynamic mapping (`S_twc`, Merrill et al. [34]): each
+/// chunk classifies vertices by degree — supernodes enter a block-wide
+/// queue drained by the whole core, medium vertices enter per-warp queues
+/// drained warp-wide, and small vertices are walked directly by their
+/// owning thread (whose imbalance is bounded by the medium threshold).
+///
+/// The queues live in shared memory behind shared-memory atomic counters —
+/// the "registration atomics" Table I charges this family of schemes.
+pub(crate) fn build_stwc(name: &str, ops: &dyn GatherOps, cfg: &GpuConfig) -> Program {
+    use sparseweaver_isa::AtomOp;
+
+    let tpw = cfg.threads_per_warp;
+    let n = cfg.threads_per_core();
+    let warps = cfg.warps_per_core;
+    let med_thresh = 4i64; // degree >= 4 -> warp queue
+    let big_thresh = (4 * tpw) as i64; // degree >= 4*tpw -> block queue
+
+    // Shared layout (all entries 8 bytes):
+    //   [0]                  block-queue counter
+    //   [64 ..)              block queue: vid[n], start[n], deg[n]
+    //   [wq_cnt ..)          per-warp counters
+    //   [wq ..)              warp queues: per warp, vid[tpw], start[tpw], deg[tpw]
+    let bq_vid = 64i64;
+    let bq_start = bq_vid + 8 * n as i64;
+    let bq_deg = bq_start + 8 * n as i64;
+    let wq_cnt = bq_deg + 8 * n as i64;
+    let wq = wq_cnt + 8 * warps as i64;
+    let wq_stride = 24 * tpw as i64;
+
+    let mut a = Asm::new(format!("{name}_stwc"));
+    let c = emit_prologue(&mut a);
+    let pro = ops.emit_pro(&mut a);
+    let dom = Domain::emit(&mut a, &c, ops);
+
+    let ctid = a.reg();
+    let cid = a.reg();
+    let lane = a.reg();
+    let wid = a.reg();
+    let ncores = a.reg();
+    a.csr(ctid, CsrKind::CoreTid);
+    a.csr(cid, CsrKind::CoreId);
+    a.csr(lane, CsrKind::LaneId);
+    a.csr(wid, CsrKind::WarpId);
+    a.csr(ncores, CsrKind::NumCores);
+
+    let cb = a.reg();
+    a.muli(cb, cid, n as i64);
+    let step = a.reg();
+    a.muli(step, ncores, n as i64);
+    a.free(ncores);
+    a.free(cid);
+
+    // Per-warp queue base for this warp.
+    let mywq = a.reg();
+    a.muli(mywq, wid, wq_stride);
+    a.addi(mywq, mywq, wq);
+    let mywq_cnt = a.reg();
+    a.slli(mywq_cnt, wid, 3);
+    a.addi(mywq_cnt, mywq_cnt, wq_cnt);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    a.bind(top);
+    a.bgeu(cb, dom.bound, done); // core-uniform
+
+    // (1) Reset the queue counters.
+    {
+        let z = a.reg();
+        let is0 = a.reg();
+        a.li(z, 0);
+        a.seqi(is0, ctid, 0);
+        a.if_nonzero(is0, |a| {
+            let bc = a.reg();
+            a.li(bc, 0);
+            a.sts(z, bc, 0, Width::B8);
+            a.free(bc);
+        });
+        a.seqi(is0, lane, 0);
+        a.if_nonzero(is0, |a| a.sts(z, mywq_cnt, 0, Width::B8));
+        a.free(is0);
+        a.free(z);
+    }
+    a.bar();
+
+    // (2) Classification (+ direct processing of small vertices).
+    a.phase(Phase::Registration as u8);
+    let idx = a.reg();
+    a.add(idx, cb, ctid);
+    let valid = a.reg();
+    a.sltu(valid, idx, dom.bound);
+    a.if_nonzero(valid, |a| {
+        let v = dom.emit_get_frontier(a, idx);
+        let rf = a.reg();
+        let has_filter = ops.emit_base_filter(a, &pro, v, rf);
+        let classify = |a: &mut Asm| {
+            let (start, end) = emit_get_neighbor(a, &c, v);
+            let deg = a.reg();
+            a.sub(deg, end, start);
+            let t = a.reg();
+            let isbig = a.reg();
+            let ismed = a.reg();
+            a.sltui(t, deg, big_thresh);
+            a.seqi(isbig, t, 0); // deg >= big
+            a.sltui(t, deg, med_thresh);
+            a.seqi(ismed, t, 0); // deg >= med
+            a.sub(ismed, ismed, isbig); // med only
+            a.if_nonzero(isbig, |a| {
+                // Block queue: slot = atomic add on the shared counter.
+                let one = a.reg();
+                let slot = a.reg();
+                let qaddr = a.reg();
+                a.li(one, 1);
+                a.li(qaddr, 0);
+                a.atom_shared(AtomOp::Add, slot, qaddr, one);
+                a.slli(slot, slot, 3);
+                a.addi(qaddr, slot, bq_vid);
+                a.sts(v, qaddr, 0, Width::B8);
+                a.addi(qaddr, slot, bq_start);
+                a.sts(start, qaddr, 0, Width::B8);
+                a.addi(qaddr, slot, bq_deg);
+                a.sts(deg, qaddr, 0, Width::B8);
+                a.free(qaddr);
+                a.free(slot);
+                a.free(one);
+            });
+            a.if_nonzero(ismed, |a| {
+                let one = a.reg();
+                let slot = a.reg();
+                let qaddr = a.reg();
+                a.li(one, 1);
+                a.atom_shared(AtomOp::Add, slot, mywq_cnt, one);
+                a.slli(slot, slot, 3);
+                a.add(slot, slot, mywq);
+                a.mv(qaddr, slot);
+                a.sts(v, qaddr, 0, Width::B8);
+                a.addi(qaddr, slot, 8 * tpw as i64);
+                a.sts(start, qaddr, 0, Width::B8);
+                a.addi(qaddr, slot, 16 * tpw as i64);
+                a.sts(deg, qaddr, 0, Width::B8);
+                a.free(qaddr);
+                a.free(slot);
+                a.free(one);
+            });
+            // Small vertices: walked directly (bounded imbalance).
+            let issmall = a.reg();
+            a.or(issmall, isbig, ismed);
+            a.seqi(issmall, issmall, 0);
+            let nz = a.reg();
+            a.snei(nz, deg, 0);
+            a.and(issmall, issmall, nz);
+            a.free(nz);
+            a.if_nonzero(issmall, |a| {
+                let e = a.reg();
+                a.mv(e, start);
+                let itop = a.new_label();
+                let idone = a.new_label();
+                let icond = a.reg();
+                let iany = a.reg();
+                a.bind(itop);
+                a.sltu(icond, e, end);
+                a.vote(VoteOp::Any, iany, icond);
+                a.beq(iany, a.zero(), idone);
+                a.if_nonzero(icond, |a| {
+                    emit_edge_body(a, ops, &c, &pro, v, e, false, None, EdgeSource::Global);
+                });
+                a.addi(e, e, 1);
+                a.jmp(itop);
+                a.bind(idone);
+                a.free(iany);
+                a.free(icond);
+                a.free(e);
+            });
+            a.free(issmall);
+            a.free(ismed);
+            a.free(isbig);
+            a.free(t);
+            a.free(deg);
+            a.free(start);
+            a.free(end);
+        };
+        if has_filter {
+            a.if_nonzero(rf, classify);
+        } else {
+            classify(a);
+        }
+        a.free(rf);
+        a.free(v);
+    });
+    a.free(valid);
+    a.free(idx);
+    a.bar();
+
+    // (3) Block-queue phase: the whole core strides each supernode.
+    a.phase(Phase::EdgeSchedule as u8);
+    {
+        let bqc = a.reg();
+        let zero_addr = a.reg();
+        a.li(zero_addr, 0);
+        a.lds(bqc, zero_addr, 0, Width::B8);
+        a.free(zero_addr);
+        let qi = a.reg();
+        a.li(qi, 0);
+        let qtop = a.new_label();
+        let qdone = a.new_label();
+        a.bind(qtop);
+        a.bgeu(qi, bqc, qdone); // core-uniform
+        let slot = a.reg();
+        let vid = a.reg();
+        let start = a.reg();
+        let deg = a.reg();
+        a.slli(slot, qi, 3);
+        a.addi(slot, slot, 0);
+        let t = a.reg();
+        a.addi(t, slot, bq_vid);
+        a.lds(vid, t, 0, Width::B8);
+        a.addi(t, slot, bq_start);
+        a.lds(start, t, 0, Width::B8);
+        a.addi(t, slot, bq_deg);
+        a.lds(deg, t, 0, Width::B8);
+        a.free(t);
+        let e = a.reg();
+        let endv = a.reg();
+        a.add(e, start, ctid);
+        a.add(endv, start, deg);
+        let itop = a.new_label();
+        let idone = a.new_label();
+        let icond = a.reg();
+        let iany = a.reg();
+        a.bind(itop);
+        a.sltu(icond, e, endv);
+        a.vote(VoteOp::Any, iany, icond);
+        a.beq(iany, a.zero(), idone);
+        a.if_nonzero(icond, |a| {
+            emit_edge_body(a, ops, &c, &pro, vid, e, false, None, EdgeSource::Global);
+        });
+        a.addi(e, e, n as i64);
+        a.jmp(itop);
+        a.bind(idone);
+        a.free(iany);
+        a.free(icond);
+        a.free(endv);
+        a.free(e);
+        a.free(deg);
+        a.free(start);
+        a.free(vid);
+        a.free(slot);
+        a.addi(qi, qi, 1);
+        a.jmp(qtop);
+        a.bind(qdone);
+        a.free(qi);
+        a.free(bqc);
+    }
+
+    // (4) Warp-queue phase: each warp strides its medium vertices.
+    {
+        let wqc = a.reg();
+        a.lds(wqc, mywq_cnt, 0, Width::B8);
+        let qi = a.reg();
+        a.li(qi, 0);
+        let qtop = a.new_label();
+        let qdone = a.new_label();
+        a.bind(qtop);
+        a.bgeu(qi, wqc, qdone); // warp-uniform
+        let slot = a.reg();
+        let vid = a.reg();
+        let start = a.reg();
+        let deg = a.reg();
+        a.slli(slot, qi, 3);
+        a.add(slot, slot, mywq);
+        a.lds(vid, slot, 0, Width::B8);
+        let t = a.reg();
+        a.addi(t, slot, 8 * tpw as i64);
+        a.lds(start, t, 0, Width::B8);
+        a.addi(t, slot, 16 * tpw as i64);
+        a.lds(deg, t, 0, Width::B8);
+        a.free(t);
+        let e = a.reg();
+        let endv = a.reg();
+        a.add(e, start, lane);
+        a.add(endv, start, deg);
+        let itop = a.new_label();
+        let idone = a.new_label();
+        let icond = a.reg();
+        let iany = a.reg();
+        a.bind(itop);
+        a.sltu(icond, e, endv);
+        a.vote(VoteOp::Any, iany, icond);
+        a.beq(iany, a.zero(), idone);
+        a.if_nonzero(icond, |a| {
+            emit_edge_body(a, ops, &c, &pro, vid, e, false, None, EdgeSource::Global);
+        });
+        a.addi(e, e, tpw as i64);
+        a.jmp(itop);
+        a.bind(idone);
+        a.free(iany);
+        a.free(icond);
+        a.free(endv);
+        a.free(e);
+        a.free(deg);
+        a.free(start);
+        a.free(vid);
+        a.free(slot);
+        a.addi(qi, qi, 1);
+        a.jmp(qtop);
+        a.bind(qdone);
+        a.free(qi);
+        a.free(wqc);
+    }
+    a.bar(); // all queue entries consumed before the next chunk's reset
+
+    a.add(cb, cb, step);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}

@@ -1,0 +1,75 @@
+//! Dense vertex-parallel kernels (init and apply stages).
+//!
+//! The first step of edge access — and the whole apply stage — is "a dense
+//! operation on vertices and can be easily parallelized across threads"
+//! (Section II-A), so one strided template serves every algorithm's init
+//! and apply kernels.
+
+use sparseweaver_isa::{Asm, Program, Reg, VoteOp};
+use sparseweaver_sim::Phase;
+
+use super::{emit_prologue, emit_tid_nt, CommonRegs};
+
+/// Builds a vertex-parallel kernel: every thread processes vertices
+/// `tid, tid + nthreads, ...`, with `body` emitted under the bounds
+/// predicate.
+///
+/// `pro` loads algorithm arguments once; `body` receives the common
+/// registers, the vertex register, and the prologue registers.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_core::compiler::build_vertex_kernel;
+/// use sparseweaver_isa::Width;
+/// use sparseweaver_sim::Phase;
+///
+/// // out[v] = v (identity property).
+/// let k = build_vertex_kernel(
+///     "iota",
+///     Phase::Init,
+///     |a| {
+///         let out = a.reg();
+///         a.ldarg(out, 8);
+///         vec![out]
+///     },
+///     |a, _c, v, pro| {
+///         let addr = a.reg();
+///         a.slli(addr, v, 3);
+///         a.add(addr, addr, pro[0]);
+///         a.stg(v, addr, 0, Width::B8);
+///         a.free(addr);
+///     },
+/// );
+/// assert!(k.len() > 5);
+/// ```
+pub fn build_vertex_kernel<F, B>(name: &str, phase: Phase, pro: F, body: B) -> Program
+where
+    F: FnOnce(&mut Asm) -> Vec<Reg>,
+    B: FnOnce(&mut Asm, &CommonRegs, Reg, &[Reg]),
+{
+    let mut a = Asm::new(name.to_string());
+    let c = emit_prologue(&mut a);
+    let pro_regs = pro(&mut a);
+    a.phase(phase as u8);
+    let (tid, nt) = emit_tid_nt(&mut a);
+    let v = a.reg();
+    a.mv(v, tid);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    let cond = a.reg();
+    let any = a.reg();
+    a.bind(top);
+    a.sltu(cond, v, c.nv);
+    a.vote(VoteOp::Any, any, cond);
+    a.beq(any, a.zero(), done);
+    a.if_nonzero(cond, |a| {
+        body(a, &c, v, &pro_regs);
+    });
+    a.add(v, v, nt);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}

@@ -1,0 +1,204 @@
+//! The SparseWeaver template (Fig. 9) and the EGHW baseline template.
+
+use sparseweaver_isa::{Asm, CsrKind, Program, VoteOp};
+use sparseweaver_sim::{GpuConfig, Phase};
+
+use super::{emit_edge_body, emit_get_neighbor, emit_prologue, Domain, EdgeSource, GatherOps};
+use crate::runtime::args;
+
+struct UnitTemplate<'a> {
+    ops: &'a dyn GatherOps,
+    cfg: &'a GpuConfig,
+    eghw: bool,
+}
+
+/// Emits the shared registration + synchronization + distribution
+/// structure of Fig. 9, chunked to the ST capacity.
+fn build_unit_kernel(name: &str, t: UnitTemplate<'_>) -> Program {
+    let mut a = Asm::new(name.to_string());
+    let c = emit_prologue(&mut a);
+    let pro = t.ops.emit_pro(&mut a);
+    let dom = Domain::emit(&mut a, &c, t.ops);
+    let auto_mask = t.cfg.weaver.auto_mask;
+
+    let ctid = a.reg();
+    let cid = a.reg();
+    let ncores = a.reg();
+    a.csr(ctid, CsrKind::CoreTid);
+    a.csr(cid, CsrKind::CoreId);
+    a.csr(ncores, CsrKind::NumCores);
+    let chunk = a.reg();
+    a.ldarg(chunk, args::ST_CHUNK);
+    let staging = a.reg();
+    a.ldarg(staging, args::EGHW_STAGING);
+
+    // Block-level balancing: each core owns a contiguous vertex range
+    // (Section III-A: "we aim to design hardware that achieves block-level
+    // workload balancing").
+    let per = a.reg();
+    a.add(per, dom.bound, ncores);
+    a.addi(per, per, -1);
+    a.divu(per, per, ncores);
+    let lo = a.reg();
+    let hi = a.reg();
+    a.mul(lo, cid, per);
+    a.add(hi, lo, per);
+    a.alu(sparseweaver_isa::AluOp::MinU, hi, hi, dom.bound);
+    a.free(per);
+    a.free(ncores);
+    a.free(cid);
+
+    // Full-thread-mask constant for the backend's mask restore.
+    let fm = a.reg();
+    {
+        let one = a.reg();
+        let tpw = a.reg();
+        a.csr(tpw, CsrKind::ThreadsPerWarp);
+        a.li(one, 1);
+        a.alu(sparseweaver_isa::AluOp::Sll, fm, one, tpw);
+        a.addi(fm, fm, -1);
+        a.free(one);
+        a.free(tpw);
+    }
+
+    let cb = a.reg();
+    a.mv(cb, lo);
+    a.free(lo);
+
+    let top = a.new_label();
+    let done = a.new_label();
+    a.bind(top);
+    a.bgeu(cb, hi, done); // cb/hi are core-uniform
+
+    // --- Registration stage (Fig. 9 lines 4-9) ---
+    a.phase(Phase::Registration as u8);
+    let idx = a.reg();
+    a.add(idx, cb, ctid);
+    let valid = a.reg();
+    {
+        let in_chunk = a.reg();
+        a.sltu(in_chunk, ctid, chunk);
+        a.sltu(valid, idx, hi);
+        a.and(valid, valid, in_chunk);
+        a.free(in_chunk);
+    }
+    a.if_nonzero(valid, |a| {
+        // vid = getFrontier(id) (Fig. 9 line 5).
+        let v = dom.emit_get_frontier(a, idx);
+        let rf = a.reg();
+        let has_filter = t.ops.emit_base_filter(a, &pro, v, rf);
+        // Filtered vertices skip topology access and registration
+        // entirely — Fig. 9 lines 6-7 `continue`; their ST slot stays
+        // invalid, which the FSM scan steps over.
+        let register = |a: &mut Asm| {
+            if t.eghw {
+                // EGHW receives only vids; it reads topology itself.
+                a.weaver_reg(v, a.zero(), a.zero());
+            } else {
+                let (start, end) = emit_get_neighbor(a, &c, v);
+                let deg = a.reg();
+                a.sub(deg, end, start);
+                a.weaver_reg(v, start, deg);
+                a.free(deg);
+                a.free(start);
+                a.free(end);
+            }
+        };
+        if has_filter {
+            a.if_nonzero(rf, register);
+        } else {
+            register(a);
+        }
+        a.free(rf);
+        a.free(v);
+    });
+    a.free(valid);
+    a.free(idx);
+
+    // --- Synchronization between registration and distribution ---
+    a.bar();
+
+    // --- Distribution stage (Fig. 9 lines 11-22) ---
+    let dtop = a.new_label();
+    let ddone = a.new_label();
+    let wv = a.reg();
+    let we = a.reg();
+    let has = a.reg();
+    let any = a.reg();
+    a.bind(dtop);
+    a.phase(Phase::EdgeSchedule as u8);
+    a.weaver_dec_id(wv);
+    a.snei(has, wv, -1);
+    a.vote(VoteOp::Any, any, has);
+    a.beq(any, a.zero(), ddone);
+    a.weaver_dec_loc(we);
+
+    let source = if t.eghw {
+        EdgeSource::Staging(staging, ctid)
+    } else {
+        EdgeSource::Global
+    };
+    let body = |a: &mut Asm| {
+        if t.ops.has_early_exit() {
+            // Dynamic base filter + skip signal (Fig. 9 lines 17-18).
+            let sat = a.reg();
+            t.ops.emit_satisfied(a, &pro, wv, sat);
+            if !t.eghw {
+                a.if_nonzero(sat, |a| a.weaver_skip(wv));
+            }
+            let notsat = a.reg();
+            a.seqi(notsat, sat, 0);
+            a.if_nonzero(notsat, |a| {
+                emit_edge_body(a, t.ops, &c, &pro, wv, we, false, None, source);
+            });
+            a.free(notsat);
+            a.free(sat);
+        } else {
+            emit_edge_body(a, t.ops, &c, &pro, wv, we, false, None, source);
+        }
+    };
+    if auto_mask {
+        // The backend's hardware-controlled thread activation: the mask
+        // installed by WEAVER_DEC_ID predicates the body.
+        body(&mut a);
+    } else {
+        a.if_nonzero(has, body);
+    }
+    a.jmp(dtop);
+    a.bind(ddone);
+    if auto_mask {
+        a.tmc(fm); // restore the saved full mask (backend pass)
+    }
+    a.bar();
+
+    a.add(cb, cb, chunk);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+/// The SparseWeaver gather kernel of Fig. 9.
+pub(crate) fn build_weaver(name: &str, ops: &dyn GatherOps, cfg: &GpuConfig) -> Program {
+    build_unit_kernel(
+        &format!("{name}_weaver"),
+        UnitTemplate {
+            ops,
+            cfg,
+            eghw: false,
+        },
+    )
+}
+
+/// The EGHW gather kernel of Case Study 1: the unit reads topology and
+/// edge info itself; the GPU reads staged records from shared memory.
+pub(crate) fn build_eghw(name: &str, ops: &dyn GatherOps, cfg: &GpuConfig) -> Program {
+    build_unit_kernel(
+        &format!("{name}_eghw"),
+        UnitTemplate {
+            ops,
+            cfg,
+            eghw: true,
+        },
+    )
+}

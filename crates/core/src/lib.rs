@@ -1,0 +1,95 @@
+//! The SparseWeaver graph-processing framework (Section IV).
+//!
+//! This crate is the user-facing layer of the reproduction. Like the
+//! paper's framework, it takes a graph algorithm expressed as user-defined
+//! functions (init / gather / apply / filter), a graph in a storage format
+//! with a `getNeighbor`/`getEdge` interface, and a gather direction — and
+//! compiles GPU kernels for a chosen *scheduling scheme*:
+//!
+//! - [`Schedule::Svm`] — vertex mapping (the naive baseline);
+//! - [`Schedule::Sem`] — edge mapping (balanced, but 2|E| edge reads);
+//! - [`Schedule::Swm`] — warp mapping with shared-memory prefix sums and
+//!   per-edge binary search;
+//! - [`Schedule::Scm`] — CTA/core mapping, block-level balancing;
+//! - [`Schedule::SparseWeaver`] — the paper's hardware/software co-design
+//!   (Fig. 9 kernels driving the Weaver unit);
+//! - [`Schedule::Eghw`] — the edge-generating-hardware baseline of Case
+//!   Study 1.
+//!
+//! The [`compiler`] module is the analog of the paper's PoCL/LLVM
+//! extensions: a frontend that stitches schedule templates together with
+//! algorithm snippets, and a backend concern (thread-mask activation)
+//! folded into the Weaver template. The [`runtime`] module is the host
+//! runtime: device memory layout, kernel launches, convergence loops. The
+//! [`algorithms`] module ships PageRank, BFS, SSSP, Connected Components
+//! and the GCN operators used in the evaluation, each with a host-side
+//! reference implementation that every schedule is checked against.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod analytic;
+pub mod autotune;
+pub mod compiler;
+pub mod output;
+pub mod runtime;
+pub mod schedule;
+pub mod session;
+
+pub use output::AlgoOutput;
+pub use runtime::Runtime;
+pub use schedule::Schedule;
+pub use session::{RunReport, Session};
+
+/// Framework-level errors.
+#[derive(Debug)]
+pub enum FrameworkError {
+    /// The simulator rejected a kernel (a compiler bug) or hit a limit.
+    Sim(sparseweaver_sim::SimError),
+    /// The graph does not fit the device model.
+    GraphTooLarge {
+        /// What overflowed.
+        what: String,
+    },
+    /// An algorithm failed to converge within its iteration bound.
+    NoConvergence {
+        /// Algorithm name.
+        algorithm: String,
+        /// Iterations attempted.
+        iterations: u64,
+    },
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::Sim(e) => write!(f, "simulation error: {e}"),
+            FrameworkError::GraphTooLarge { what } => {
+                write!(f, "graph too large for the device model: {what}")
+            }
+            FrameworkError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge in {iterations} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+impl From<sparseweaver_sim::SimError> for FrameworkError {
+    fn from(e: sparseweaver_sim::SimError) -> Self {
+        FrameworkError::Sim(e)
+    }
+}
+
+/// Convenient imports for framework users.
+pub mod prelude {
+    pub use crate::algorithms::{Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
+    pub use crate::output::AlgoOutput;
+    pub use crate::schedule::Schedule;
+    pub use crate::session::{RunReport, Session};
+    pub use crate::FrameworkError;
+    pub use sparseweaver_graph::Direction;
+    pub use sparseweaver_sim::GpuConfig;
+}

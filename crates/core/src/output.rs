@@ -1,0 +1,120 @@
+//! Algorithm result values (vertex properties).
+
+/// The vertex-property vector an algorithm produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoOutput {
+    /// Floating-point properties (PageRank ranks, GCN features).
+    F64(Vec<f64>),
+    /// Integer properties (BFS/SSSP distances, component labels).
+    U64(Vec<u64>),
+}
+
+impl AlgoOutput {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            AlgoOutput::F64(v) => v.len(),
+            AlgoOutput::U64(v) => v.len(),
+        }
+    }
+
+    /// Whether the output is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The float vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output holds integers.
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            AlgoOutput::F64(v) => v,
+            AlgoOutput::U64(_) => panic!("expected f64 output"),
+        }
+    }
+
+    /// The integer vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output holds floats.
+    pub fn as_u64(&self) -> &[u64] {
+        match self {
+            AlgoOutput::U64(v) => v,
+            AlgoOutput::F64(_) => panic!("expected u64 output"),
+        }
+    }
+
+    /// Compares against `other`: exact for integers, within `tol`
+    /// (absolute or relative, whichever is looser) for floats. Returns the
+    /// first mismatching index.
+    pub fn mismatch(&self, other: &AlgoOutput, tol: f64) -> Option<usize> {
+        match (self, other) {
+            (AlgoOutput::U64(a), AlgoOutput::U64(b)) => {
+                if a.len() != b.len() {
+                    return Some(a.len().min(b.len()));
+                }
+                a.iter().zip(b).position(|(x, y)| x != y)
+            }
+            (AlgoOutput::F64(a), AlgoOutput::F64(b)) => {
+                if a.len() != b.len() {
+                    return Some(a.len().min(b.len()));
+                }
+                a.iter().zip(b).position(|(x, y)| {
+                    let diff = (x - y).abs();
+                    diff > tol && diff > tol * x.abs().max(y.abs())
+                })
+            }
+            _ => Some(0),
+        }
+    }
+
+    /// Whether the outputs agree (see [`AlgoOutput::mismatch`]).
+    pub fn approx_eq(&self, other: &AlgoOutput, tol: f64) -> bool {
+        self.mismatch(other, tol).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_comparison_is_exact() {
+        let a = AlgoOutput::U64(vec![1, 2, 3]);
+        let b = AlgoOutput::U64(vec![1, 2, 4]);
+        assert_eq!(a.mismatch(&b, 0.0), Some(2));
+        assert!(a.approx_eq(&a.clone(), 0.0));
+    }
+
+    #[test]
+    fn float_comparison_uses_tolerance() {
+        let a = AlgoOutput::F64(vec![1.0, 2.0]);
+        let b = AlgoOutput::F64(vec![1.0 + 1e-12, 2.0]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = AlgoOutput::F64(vec![1.5, 2.0]);
+        assert_eq!(a.mismatch(&c, 1e-9), Some(0));
+    }
+
+    #[test]
+    fn type_mismatch_is_mismatch() {
+        let a = AlgoOutput::F64(vec![1.0]);
+        let b = AlgoOutput::U64(vec![1]);
+        assert!(!a.approx_eq(&b, 1.0));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = AlgoOutput::U64(vec![1, 2]);
+        let b = AlgoOutput::U64(vec![1]);
+        assert_eq!(a.mismatch(&b, 0.0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected f64")]
+    fn wrong_accessor_panics() {
+        AlgoOutput::U64(vec![1]).as_f64();
+    }
+}

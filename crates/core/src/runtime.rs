@@ -1,0 +1,400 @@
+//! The host runtime: device memory layout, uploads, kernel launches.
+
+use sparseweaver_graph::{Csr, Direction};
+use sparseweaver_isa::Program;
+use sparseweaver_sim::{Gpu, KernelStats};
+use sparseweaver_weaver::eghw::EghwLayout;
+
+use crate::schedule::Schedule;
+use crate::FrameworkError;
+
+/// Kernel-argument indices shared by every schedule template.
+pub mod args {
+    /// Number of vertices.
+    pub const NUM_VERTICES: u8 = 0;
+    /// Offsets array base (direction view).
+    pub const OFFSETS: u8 = 1;
+    /// Edge (other-endpoint) array base.
+    pub const EDGES: u8 = 2;
+    /// Edge weight array base.
+    pub const WEIGHTS: u8 = 3;
+    /// Per-edge base-vertex array (edge mapping's second endpoint read).
+    pub const SRCS: u8 = 4;
+    /// Number of edges in the view.
+    pub const NUM_EDGES: u8 = 5;
+    /// Registration chunk size (Weaver ST capacity clamp).
+    pub const ST_CHUNK: u8 = 6;
+    /// EGHW staging-buffer base in shared memory.
+    pub const EGHW_STAGING: u8 = 7;
+    /// First algorithm-owned argument index.
+    pub const ALGO0: u8 = 8;
+    /// Number of common arguments.
+    pub const COMMON: usize = 8;
+}
+
+/// Addresses of the uploaded graph view.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceGraph {
+    /// Vertex count.
+    pub num_vertices: u64,
+    /// Edge count of the view.
+    pub num_edges: u64,
+    /// Offsets base address.
+    pub offsets: u64,
+    /// Edge-target base address.
+    pub edges: u64,
+    /// Weight base address.
+    pub weights: u64,
+    /// Per-edge base-vertex array address.
+    pub srcs: u64,
+}
+
+/// The per-run host runtime an [`crate::algorithms::Algorithm`] drives.
+///
+/// Owns the simulated GPU for one `(graph, algorithm, schedule)` run:
+/// uploads the direction view, allocates property buffers, compiles and
+/// launches kernels, and accumulates per-kernel statistics.
+pub struct Runtime<'a> {
+    gpu: Gpu,
+    /// The original input graph.
+    pub graph: &'a Csr,
+    /// The direction view kernels traverse (original for push, reverse
+    /// for pull).
+    pub view: Csr,
+    /// Uploaded graph addresses.
+    pub device: DeviceGraph,
+    schedule: Schedule,
+    direction: Direction,
+    next_alloc: u64,
+    per_kernel: Vec<(String, KernelStats)>,
+    total: KernelStats,
+}
+
+impl<'a> Runtime<'a> {
+    /// Creates a runtime: builds the `direction` view of `graph` and
+    /// uploads its CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::GraphTooLarge`] if counts exceed `u32`.
+    pub fn new(
+        mut gpu: Gpu,
+        graph: &'a Csr,
+        direction: Direction,
+        schedule: Schedule,
+    ) -> Result<Self, FrameworkError> {
+        if graph.num_edges() > u32::MAX as usize / 2 {
+            return Err(FrameworkError::GraphTooLarge {
+                what: format!("{} edges", graph.num_edges()),
+            });
+        }
+        let view = graph.view(direction);
+        let mut rt = Runtime {
+            device: DeviceGraph {
+                num_vertices: view.num_vertices() as u64,
+                num_edges: view.num_edges() as u64,
+                offsets: 0,
+                edges: 0,
+                weights: 0,
+                srcs: 0,
+            },
+            gpu: {
+                gpu.mem_mut().grow_to(1 << 20);
+                gpu
+            },
+            graph,
+            view,
+            schedule,
+            direction,
+            next_alloc: 64,
+            per_kernel: Vec::new(),
+            total: KernelStats::default(),
+        };
+        rt.device.offsets = rt.upload_u32(rt.view.offsets().to_vec().as_slice());
+        rt.device.edges = rt.upload_u32(rt.view.targets().to_vec().as_slice());
+        rt.device.weights = rt.upload_u32(rt.view.weights().to_vec().as_slice());
+        rt.device.srcs = rt.upload_u32(rt.view.sources().to_vec().as_slice());
+        if schedule == Schedule::Eghw {
+            let layout = EghwLayout {
+                offsets_base: rt.device.offsets,
+                edges_base: rt.device.edges,
+                weights_base: rt.device.weights,
+            };
+            rt.gpu.set_eghw_layout(layout);
+        }
+        Ok(rt)
+    }
+
+    /// The schedule this runtime compiles for.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The gather direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The simulated GPU.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Allocates `bytes` of device memory (64-byte aligned).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next_alloc;
+        self.next_alloc = (self.next_alloc + bytes + 63) & !63;
+        self.gpu.mem_mut().grow_to(self.next_alloc as usize);
+        base
+    }
+
+    /// Uploads a `u32` slice; returns its device address.
+    pub fn upload_u32(&mut self, data: &[u32]) -> u64 {
+        let base = self.alloc(4 * data.len() as u64);
+        self.gpu.mem_mut().write_u32_slice(base, data);
+        base
+    }
+
+    /// Uploads an `f64` slice; returns its device address.
+    pub fn upload_f64(&mut self, data: &[f64]) -> u64 {
+        let base = self.alloc(8 * data.len() as u64);
+        self.gpu.mem_mut().write_f64_slice(base, data);
+        base
+    }
+
+    /// Allocates `count` `f64`s initialized to `fill`.
+    pub fn alloc_f64(&mut self, count: usize, fill: f64) -> u64 {
+        self.upload_f64(&vec![fill; count])
+    }
+
+    /// Allocates `count` `u64`s initialized to `fill`.
+    pub fn alloc_u64(&mut self, count: usize, fill: u64) -> u64 {
+        let base = self.alloc(8 * count as u64);
+        for i in 0..count {
+            self.gpu.mem_mut().write(base + 8 * i as u64, fill, 8);
+        }
+        base
+    }
+
+    /// Allocates `count` bytes initialized to `fill`.
+    pub fn alloc_u8(&mut self, count: usize, fill: u8) -> u64 {
+        let base = self.alloc(count as u64);
+        for i in 0..count {
+            self.gpu.mem_mut().write(base + i as u64, fill as u64, 1);
+        }
+        base
+    }
+
+    /// Reads one 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.gpu.mem().read(addr, 8)
+    }
+
+    /// Writes one 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.gpu.mem_mut().write(addr, value, 8);
+    }
+
+    /// Writes one 32-bit word.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.gpu.mem_mut().write(addr, value as u64, 4);
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.gpu.mem_mut().write(addr, value as u64, 1);
+    }
+
+    /// Reads `count` f64s.
+    pub fn read_f64_vec(&self, addr: u64, count: usize) -> Vec<f64> {
+        self.gpu.mem().read_f64_slice(addr, count)
+    }
+
+    /// Reads `count` u64s.
+    pub fn read_u64_vec(&self, addr: u64, count: usize) -> Vec<u64> {
+        (0..count)
+            .map(|i| self.gpu.mem().read(addr + 8 * i as u64, 8))
+            .collect()
+    }
+
+    /// Host-side copy of `count` bytes (frontier swaps).
+    pub fn copy_bytes(&mut self, src: u64, dst: u64, count: usize) {
+        for i in 0..count as u64 {
+            let v = self.gpu.mem().read(src + i, 1);
+            self.gpu.mem_mut().write(dst + i, v, 1);
+        }
+    }
+
+    /// Fills `count` bytes with `value`.
+    pub fn fill_bytes(&mut self, addr: u64, value: u8, count: usize) {
+        for i in 0..count as u64 {
+            self.gpu.mem_mut().write(addr + i, value as u64, 1);
+        }
+    }
+
+    /// The common argument vector every template expects.
+    pub fn common_args(&self) -> Vec<u64> {
+        let cfg = self.gpu.config();
+        let tpc = cfg.threads_per_core() as u64;
+        let st_chunk = match self.schedule {
+            Schedule::SparseWeaver => (cfg.weaver.st_capacity as u64).min(tpc),
+            _ => tpc,
+        };
+        let staging = sparseweaver_sim::core::eghw_staging_base(
+            cfg.shared_mem_bytes,
+            cfg.warps_per_core,
+            cfg.threads_per_warp,
+        );
+        vec![
+            self.device.num_vertices,
+            self.device.offsets,
+            self.device.edges,
+            self.device.weights,
+            self.device.srcs,
+            self.device.num_edges,
+            st_chunk,
+            staging,
+        ]
+    }
+
+    /// Launches `program` with the common arguments plus `extra` (starting
+    /// at [`args::ALGO0`]), recording stats under the program's name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn launch(
+        &mut self,
+        program: &Program,
+        extra: &[u64],
+    ) -> Result<KernelStats, FrameworkError> {
+        let mut argv = self.common_args();
+        argv.extend_from_slice(extra);
+        let stats = self.gpu.launch(program, &argv)?;
+        self.total.accumulate(&stats);
+        if let Some((_, agg)) = self
+            .per_kernel
+            .iter_mut()
+            .find(|(n, _)| n == program.name())
+        {
+            agg.accumulate(&stats);
+        } else {
+            self.per_kernel
+                .push((program.name().to_string(), stats.clone()));
+        }
+        Ok(stats)
+    }
+
+    /// Accumulated stats across all launches so far.
+    pub fn total_stats(&self) -> &KernelStats {
+        &self.total
+    }
+
+    /// Per-kernel accumulated stats, in first-launch order.
+    pub fn per_kernel_stats(&self) -> &[(String, KernelStats)] {
+        &self.per_kernel
+    }
+
+    /// Consumes the runtime, returning `(total, per-kernel)` stats.
+    pub fn into_stats(self) -> (KernelStats, Vec<(String, KernelStats)>) {
+        (self.total, self.per_kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseweaver_graph::generators;
+    use sparseweaver_sim::{Gpu, GpuConfig};
+
+    fn rt(schedule: Schedule) -> (sparseweaver_graph::Csr, Runtime<'static>) {
+        // Leak the graph for a 'static runtime in tests only.
+        let g: &'static Csr = Box::leak(Box::new(generators::uniform(30, 120, 9)));
+        let gpu = Gpu::new(GpuConfig::small_test());
+        let rt = Runtime::new(gpu, g, Direction::Pull, schedule).unwrap();
+        (g.clone(), rt)
+    }
+
+    #[test]
+    fn graph_arrays_uploaded_correctly() {
+        let (g, rt) = rt(Schedule::Svm);
+        let view = g.view(Direction::Pull);
+        let offs = rt
+            .gpu()
+            .mem()
+            .read_u32_slice(rt.device.offsets, view.num_vertices() + 1);
+        assert_eq!(offs, view.offsets());
+        let edges = rt
+            .gpu()
+            .mem()
+            .read_u32_slice(rt.device.edges, view.num_edges());
+        assert_eq!(edges, view.targets());
+        assert_eq!(rt.device.num_edges, view.num_edges() as u64);
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let (_, mut rt) = rt(Schedule::Svm);
+        let a = rt.alloc(100);
+        let b = rt.alloc(1);
+        let c = rt.alloc(64);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert_eq!(c % 64, 0);
+        assert!(b >= a + 100);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn common_args_layout() {
+        let (_, rt) = rt(Schedule::SparseWeaver);
+        let args_v = rt.common_args();
+        assert_eq!(args_v.len(), args::COMMON);
+        assert_eq!(args_v[args::NUM_VERTICES as usize], rt.device.num_vertices);
+        assert_eq!(args_v[args::OFFSETS as usize], rt.device.offsets);
+        // The weaver chunk is clamped to the ST capacity.
+        let cfg = rt.gpu().config();
+        assert_eq!(
+            args_v[args::ST_CHUNK as usize],
+            (cfg.weaver.st_capacity as u64).min(cfg.threads_per_core() as u64)
+        );
+    }
+
+    #[test]
+    fn fill_and_copy_bytes() {
+        let (_, mut rt) = rt(Schedule::Svm);
+        let a = rt.alloc_u8(16, 7);
+        let b = rt.alloc_u8(16, 0);
+        rt.copy_bytes(a, b, 16);
+        for i in 0..16 {
+            assert_eq!(rt.gpu().mem().read(b + i, 1), 7);
+        }
+        rt.fill_bytes(b, 0, 16);
+        assert_eq!(rt.gpu().mem().read(b + 3, 1), 0);
+    }
+
+    #[test]
+    fn per_kernel_stats_aggregate_by_name() {
+        let (_, mut rt) = rt(Schedule::Svm);
+        let mut a = sparseweaver_isa::Asm::new("k1");
+        a.halt();
+        let p = a.finish();
+        rt.launch(&p, &[]).unwrap();
+        rt.launch(&p, &[]).unwrap();
+        let per = rt.per_kernel_stats();
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].0, "k1");
+        assert_eq!(per[0].1.launches, 2);
+        assert_eq!(rt.total_stats().launches, 2);
+    }
+
+    #[test]
+    fn oversized_graph_rejected() {
+        // A graph with too many edges must be rejected up front; fabricate
+        // via the edge-count check by constructing a large fake... the
+        // builder cannot reach u32::MAX/2 edges in a test, so this is a
+        // compile-time documented boundary; assert the small case passes.
+        let (_, rt) = rt(Schedule::Svm);
+        assert!(rt.device.num_edges < u32::MAX as u64 / 2);
+    }
+}

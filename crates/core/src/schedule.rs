@@ -1,0 +1,101 @@
+//! The scheduling schemes compared in the evaluation.
+
+use std::fmt;
+
+/// A workload-to-thread mapping scheme (Table I, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Schedule {
+    /// Vertex mapping (`S_vm`): each thread owns a vertex and walks its
+    /// whole neighbor list — the naive scheme whose warp time is set by
+    /// the highest-degree vertex in the warp (Fig. 1).
+    Svm,
+    /// Edge mapping (`S_em`): each thread owns an edge. Balanced, but
+    /// reads both endpoints per edge (2|E| edge memory accesses).
+    Sem,
+    /// Warp mapping (`S_wm`, Meng et al. \[33\]): a warp shares its 32 vertices' edges
+    /// via a shared-memory degree prefix sum and per-edge binary search.
+    Swm,
+    /// CTA/core mapping (`S_cm`, Meng et al. \[33\]): like `S_wm` but balanced across
+    /// the whole thread block, with block-wide scans and barriers.
+    Scm,
+    /// Thread/warp/CTA dynamic mapping (`S_twc`, Merrill et al. \[34\]):
+    /// vertices are bucketed by degree — supernodes go to a block-wide
+    /// queue, medium vertices to per-warp queues (shared-memory atomics),
+    /// and small vertices are processed directly by their owning thread.
+    Stwc,
+    /// The SparseWeaver hardware/software co-design: registration +
+    /// `WEAVER_DEC_*` distribution (Fig. 9).
+    SparseWeaver,
+    /// The edge-generating-hardware baseline of Case Study 1.
+    Eghw,
+}
+
+impl Schedule {
+    /// The four software schemes plus SparseWeaver, as in Fig. 10.
+    pub const FIG10: [Schedule; 5] = [
+        Schedule::Svm,
+        Schedule::Sem,
+        Schedule::Swm,
+        Schedule::Scm,
+        Schedule::SparseWeaver,
+    ];
+
+    /// All schemes.
+    pub const ALL: [Schedule; 7] = [
+        Schedule::Svm,
+        Schedule::Sem,
+        Schedule::Swm,
+        Schedule::Scm,
+        Schedule::Stwc,
+        Schedule::SparseWeaver,
+        Schedule::Eghw,
+    ];
+
+    /// Whether the schedule needs the Weaver/EGHW functional unit.
+    pub fn uses_unit(self) -> bool {
+        matches!(self, Schedule::SparseWeaver | Schedule::Eghw)
+    }
+
+    /// The paper's notation for the scheme.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Schedule::Svm => "S_vm",
+            Schedule::Sem => "S_em",
+            Schedule::Swm => "S_wm",
+            Schedule::Scm => "S_cm",
+            Schedule::Stwc => "S_twc",
+            Schedule::SparseWeaver => "SparseWeaver",
+            Schedule::Eghw => "EGHW",
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(Schedule::Svm.to_string(), "S_vm");
+        assert_eq!(Schedule::SparseWeaver.to_string(), "SparseWeaver");
+    }
+
+    #[test]
+    fn unit_usage() {
+        assert!(Schedule::SparseWeaver.uses_unit());
+        assert!(Schedule::Eghw.uses_unit());
+        assert!(!Schedule::Swm.uses_unit());
+    }
+
+    #[test]
+    fn fig10_has_five_schemes() {
+        assert_eq!(Schedule::FIG10.len(), 5);
+        assert!(!Schedule::FIG10.contains(&Schedule::Eghw));
+    }
+}

@@ -1,0 +1,176 @@
+//! Top-level entry point: run an algorithm on a graph under a schedule.
+
+use sparseweaver_graph::{Csr, Direction};
+use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, WeaverMode};
+
+use crate::algorithms::Algorithm;
+use crate::output::AlgoOutput;
+use crate::runtime::Runtime;
+use crate::schedule::Schedule;
+use crate::FrameworkError;
+
+/// The result of one `(graph, algorithm, schedule)` run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The schedule that produced this run.
+    pub schedule: Schedule,
+    /// The algorithm's name.
+    pub algorithm: String,
+    /// Total simulated cycles across all kernel launches.
+    pub cycles: u64,
+    /// Accumulated statistics.
+    pub stats: KernelStats,
+    /// Per-kernel accumulated statistics.
+    pub per_kernel: Vec<(String, KernelStats)>,
+    /// The final vertex properties.
+    pub output: AlgoOutput,
+}
+
+impl RunReport {
+    /// Speedup of this run over `baseline` (cycles ratio).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// A session: a machine configuration under which runs are executed.
+///
+/// Each run gets a *fresh* GPU (cold caches) so schedules are compared
+/// fairly; the SparseWeaver/EGHW runs apply the paper's L1 penalty (the
+/// 512-entry ST/DT tables halve the L1, Section V) unless
+/// [`Session::l1_penalty`] is disabled.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_core::prelude::*;
+///
+/// let graph = sparseweaver_graph::generators::powerlaw(64, 400, 1.8, 1);
+/// let mut session = Session::new(GpuConfig::small_test());
+/// let svm = session.run(&graph, &PageRank::new(2), Schedule::Svm)?;
+/// let sw = session.run(&graph, &PageRank::new(2), Schedule::SparseWeaver)?;
+/// assert!(svm.output.approx_eq(&sw.output, 1e-9));
+/// # Ok::<(), FrameworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: GpuConfig,
+    /// Apply the halved-L1 penalty to unit-backed schedules (default on).
+    pub l1_penalty: bool,
+}
+
+impl Session {
+    /// Creates a session on the given machine configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate();
+        Session {
+            cfg,
+            l1_penalty: true,
+        }
+    }
+
+    /// The base machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the base configuration (for sweeps).
+    pub fn config_mut(&mut self) -> &mut GpuConfig {
+        &mut self.cfg
+    }
+
+    /// The effective configuration used for `schedule`.
+    pub fn config_for(&self, schedule: Schedule) -> GpuConfig {
+        let mut cfg = self.cfg;
+        cfg.weaver_mode = match schedule {
+            Schedule::Eghw => WeaverMode::Eghw,
+            _ => WeaverMode::Weaver,
+        };
+        if schedule.uses_unit() && self.l1_penalty {
+            cfg.hierarchy.l1 = sparseweaver_mem::CacheConfig::new(
+                cfg.hierarchy.l1.size_bytes / 2,
+                cfg.hierarchy.l1.ways,
+            );
+        }
+        cfg
+    }
+
+    /// Creates a runtime for custom driving (e.g. the GCN case study).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph does not fit the device model.
+    pub fn runtime<'g>(
+        &self,
+        graph: &'g Csr,
+        direction: Direction,
+        schedule: Schedule,
+    ) -> Result<Runtime<'g>, FrameworkError> {
+        let gpu = Gpu::new(self.config_for(schedule));
+        Runtime::new(gpu, graph, direction, schedule)
+    }
+
+    /// Runs `algorithm` on `graph` under `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler/simulator/convergence errors.
+    pub fn run(
+        &mut self,
+        graph: &Csr,
+        algorithm: &dyn Algorithm,
+        schedule: Schedule,
+    ) -> Result<RunReport, FrameworkError> {
+        let mut rt = self.runtime(graph, algorithm.direction(), schedule)?;
+        let output = algorithm.run(&mut rt)?;
+        let (stats, per_kernel) = rt.into_stats();
+        Ok(RunReport {
+            schedule,
+            algorithm: algorithm.name().to_string(),
+            cycles: stats.cycles,
+            stats,
+            per_kernel,
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::PageRank;
+
+    #[test]
+    fn l1_penalty_applies_only_to_unit_schedules() {
+        let s = Session::new(GpuConfig::small_test());
+        let base = s.config_for(Schedule::Svm).hierarchy.l1.size_bytes;
+        let sw = s.config_for(Schedule::SparseWeaver).hierarchy.l1.size_bytes;
+        assert_eq!(sw * 2, base);
+        let mut s2 = s.clone();
+        s2.l1_penalty = false;
+        assert_eq!(
+            s2.config_for(Schedule::SparseWeaver)
+                .hierarchy
+                .l1
+                .size_bytes,
+            base
+        );
+    }
+
+    #[test]
+    fn eghw_selects_eghw_mode() {
+        let s = Session::new(GpuConfig::small_test());
+        assert_eq!(s.config_for(Schedule::Eghw).weaver_mode, WeaverMode::Eghw);
+        assert_eq!(s.config_for(Schedule::Svm).weaver_mode, WeaverMode::Weaver);
+    }
+
+    #[test]
+    fn run_produces_report() {
+        let g = sparseweaver_graph::generators::uniform(40, 160, 5);
+        let mut s = Session::new(GpuConfig::small_test());
+        let r = s.run(&g, &PageRank::new(2), Schedule::Svm).unwrap();
+        assert!(r.cycles > 0);
+        assert_eq!(r.algorithm, "pagerank");
+        assert_eq!(r.output.len(), 40);
+    }
+}

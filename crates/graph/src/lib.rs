@@ -1,0 +1,42 @@
+//! Graph substrate for the SparseWeaver reproduction.
+//!
+//! The paper evaluates on nine real-world graphs from the
+//! [network data repository] stored in Compressed Sparse Row (CSR) format.
+//! Those datasets (hundreds of millions of edges) are not available offline
+//! and would be far too large for a cycle-level interpreter, so this crate
+//! provides:
+//!
+//! - [`Csr`] — the storage format the paper's framework consumes, including
+//!   the auxiliary per-edge source array that edge-mapped scheduling
+//!   (`S_em`) needs (the "2|E| edge memory accesses" of Table I);
+//! - [`builder::GraphBuilder`] — edge-list accumulation, deduplication,
+//!   symmetrization;
+//! - [`generators`] — synthetic generators matching the *shape* of each
+//!   dataset class (power-law/Zipf for bio/web/social graphs, R-MAT for
+//!   graph500, near-uniform grids for road networks);
+//! - [`datasets`] — deterministic, scaled stand-ins for the nine graphs of
+//!   Table III;
+//! - [`stats`] — degree-distribution statistics, including the skewness
+//!   measure used in the paper's Section V-B sensitivity study.
+//!
+//! [network data repository]: https://networkrepository.com
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod stats;
+pub mod transform;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, Direction};
+pub use datasets::{dataset, DatasetId, ScaledDataset};
+pub use stats::DegreeStats;
+
+/// Vertex identifier. Scaled stand-in graphs stay well below `u32::MAX`.
+pub type VertexId = u32;
+/// Edge index into the CSR edge array.
+pub type EdgeId = u32;

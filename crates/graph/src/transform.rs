@@ -1,0 +1,163 @@
+//! Graph transforms: degree-capped vertex splitting (virtualization).
+//!
+//! Tigr \[37\] and CR2 \[20\] attack workload imbalance *statically* by
+//! splitting high-degree vertices into bounded-degree virtual vertices.
+//! Section III-D notes that SparseWeaver composes with such formats:
+//! "SparseWeaver can accommodate non-consecutive labeling by splitting
+//! vertices and registering split vertices as separate entries", because
+//! the unit receives explicit vertex IDs and imposes no ordering on them.
+//!
+//! [`split_vertices`] produces a virtual topology whose edge *slices*
+//! alias the original edge array — edge IDs are preserved, so edge
+//! weights and per-edge data need no translation; only the base vertex
+//! needs mapping through [`VirtualGraph::real_of`].
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// A degree-capped virtualized view of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualGraph {
+    /// The virtual topology: every vertex has degree `<= cap`.
+    pub topology: Csr,
+    /// Maps each virtual vertex to the real vertex it splits.
+    pub real_of: Vec<VertexId>,
+    /// The degree cap the split was built with.
+    pub cap: usize,
+}
+
+impl VirtualGraph {
+    /// Number of virtual vertices.
+    pub fn num_virtual(&self) -> usize {
+        self.topology.num_vertices()
+    }
+}
+
+/// Splits every vertex of degree `> cap` into `ceil(degree / cap)`
+/// virtual vertices, each owning a consecutive slice of the original
+/// neighbor list.
+///
+/// The returned topology has the same edge multiset (targets and weights)
+/// in the same order, so an edge ID in the virtual graph indexes the same
+/// edge as in `g`.
+///
+/// # Panics
+///
+/// Panics if `cap == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_graph::{transform::split_vertices, Csr};
+///
+/// // A star: vertex 0 has degree 5.
+/// let edges: Vec<(u32, u32)> = (1..6).map(|v| (0, v)).collect();
+/// let g = Csr::from_edges(6, &edges);
+/// let vg = split_vertices(&g, 2);
+/// assert_eq!(vg.topology.max_degree(), 2);
+/// // Vertex 0 became ceil(5/2) = 3 virtual vertices.
+/// assert_eq!(vg.real_of.iter().filter(|&&r| r == 0).count(), 3);
+/// ```
+pub fn split_vertices(g: &Csr, cap: usize) -> VirtualGraph {
+    assert!(cap > 0, "degree cap must be positive");
+    let mut edges: Vec<(VertexId, VertexId, u32)> = Vec::with_capacity(g.num_edges());
+    let mut real_of = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let neighbors = g.neighbors(v);
+        let weights = g.neighbor_weights(v);
+        if neighbors.is_empty() {
+            // Zero-degree vertices keep one (empty) virtual vertex so
+            // every real vertex appears in the mapping.
+            real_of.push(v);
+            continue;
+        }
+        for chunk in 0..neighbors.len().div_ceil(cap) {
+            let vid = real_of.len() as VertexId;
+            real_of.push(v);
+            let lo = chunk * cap;
+            let hi = (lo + cap).min(neighbors.len());
+            for i in lo..hi {
+                edges.push((vid, neighbors[i], weights[i]));
+            }
+        }
+    }
+    let topology = Csr::from_weighted_edges(real_of.len(), &edges);
+    VirtualGraph {
+        topology,
+        real_of,
+        cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degrees_are_capped() {
+        let g = generators::powerlaw(100, 800, 2.0, 3);
+        for cap in [1usize, 4, 16] {
+            let vg = split_vertices(&g, cap);
+            assert!(vg.topology.max_degree() <= cap, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn edge_multiset_preserved() {
+        let g = generators::uniform(40, 160, 7);
+        let vg = split_vertices(&g, 3);
+        assert_eq!(vg.topology.num_edges(), g.num_edges());
+        let mut orig: Vec<(VertexId, VertexId, u32)> = g.iter_edges().collect();
+        let mut virt: Vec<(VertexId, VertexId, u32)> = vg
+            .topology
+            .iter_edges()
+            .map(|(s, d, w)| (vg.real_of[s as usize], d, w))
+            .collect();
+        orig.sort_unstable();
+        virt.sort_unstable();
+        assert_eq!(orig, virt);
+    }
+
+    #[test]
+    fn every_real_vertex_is_mapped() {
+        let g = generators::powerlaw(50, 300, 1.8, 5);
+        let vg = split_vertices(&g, 4);
+        let mut seen = vec![false; g.num_vertices()];
+        for &r in &vg.real_of {
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chunk_count_is_ceil_degree_over_cap() {
+        let edges: Vec<(u32, u32)> = (1..10u32).map(|v| (0, v)).collect();
+        let g = Csr::from_edges(10, &edges); // degree(0) = 9
+        let vg = split_vertices(&g, 4);
+        // 9/4 -> 3 chunks of sizes 4, 4, 1.
+        let zeros: Vec<usize> = vg
+            .real_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == 0)
+            .map(|(i, _)| vg.topology.degree(i as u32))
+            .collect();
+        assert_eq!(zeros, vec![4, 4, 1]);
+    }
+
+    #[test]
+    fn cap_larger_than_max_degree_is_identity_shaped() {
+        let g = generators::uniform(30, 90, 2);
+        let vg = split_vertices(&g, 1_000);
+        assert_eq!(vg.num_virtual(), g.num_vertices());
+        assert_eq!(vg.real_of, (0..30u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn zero_cap_panics() {
+        let g = generators::uniform(4, 4, 0);
+        let _ = split_vertices(&g, 0);
+    }
+}

@@ -1,0 +1,704 @@
+//! The assembler: labels, virtual registers, structured divergence.
+//!
+//! The SparseWeaver frontend compiler composes kernels from schedule
+//! templates and user-defined-function snippets (Section IV-B). Both are
+//! written against [`Asm`], which provides:
+//!
+//! - register allocation from the 64-entry architectural file;
+//! - forward labels with fixups resolved at [`Asm::finish`];
+//! - structured divergence helpers ([`Asm::if_nonzero`],
+//!   [`Asm::if_else`]) that lower to Vortex-style `split`/`join` pairs.
+
+use crate::instr::{
+    AluOp, AtomOp, BrCond, CsrKind, FCmpOp, FpuOp, Instr, Reg, Space, VoteOp, Width,
+};
+use crate::program::Program;
+use crate::{NUM_REGS, ZERO};
+
+/// A code label. Created unbound by [`Asm::new_label`], positioned by
+/// [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    BrTarget(Label),
+    JmpTarget(Label),
+    SplitTargets(Label, Label),
+}
+
+/// Kernel assembler.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new("count_to_ten");
+/// let i = a.reg();
+/// let ten = a.reg();
+/// a.li(i, 0);
+/// a.li(ten, 10);
+/// let top = a.new_label();
+/// a.bind(top);
+/// a.addi(i, i, 1);
+/// a.bltu(i, ten, top);
+/// a.halt();
+/// let prog = a.finish();
+/// assert_eq!(prog.name(), "count_to_ten");
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    name: String,
+    instrs: Vec<Instr>,
+    fixups: Vec<(usize, Fixup)>,
+    labels: Vec<Option<u32>>,
+    free: Vec<u8>,
+    high_water: usize,
+}
+
+impl Asm {
+    /// Creates an assembler for a kernel called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        // x0 is the zero register; allocate upward from x1.
+        let free = (1..NUM_REGS as u8).rev().collect();
+        Asm {
+            name: name.into(),
+            instrs: Vec::new(),
+            fixups: Vec::new(),
+            labels: Vec::new(),
+            free,
+            high_water: 0,
+        }
+    }
+
+    /// The always-zero register `x0`.
+    pub fn zero(&self) -> Reg {
+        ZERO
+    }
+
+    /// Allocates a fresh register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all 63 allocatable registers are live.
+    pub fn reg(&mut self) -> Reg {
+        let r = self
+            .free
+            .pop()
+            .unwrap_or_else(|| panic!("kernel `{}` ran out of registers", self.name));
+        self.high_water = self.high_water.max((NUM_REGS - 1) - self.free.len());
+        Reg(r)
+    }
+
+    /// Returns a register to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free or on freeing `x0`.
+    pub fn free(&mut self, r: Reg) {
+        assert!(r != ZERO, "cannot free x0");
+        assert!(!self.free.contains(&r.0), "double free of {r}");
+        self.free.push(r.0);
+    }
+
+    /// Maximum number of registers ever live at once.
+    pub fn register_high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Current instruction position.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice in `{}`",
+            self.name
+        );
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Appends a raw instruction (no fixups).
+    pub fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    // --- control -----------------------------------------------------------
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    /// Emits a core-wide barrier.
+    pub fn bar(&mut self) {
+        self.emit(Instr::Bar);
+    }
+
+    /// Emits a zero-cost phase marker for cycle attribution.
+    pub fn phase(&mut self, p: u8) {
+        self.emit(Instr::Phase(p));
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn br(&mut self, cond: BrCond, rs1: Reg, rs2: Reg, label: Label) {
+        self.fixups
+            .push((self.instrs.len(), Fixup::BrTarget(label)));
+        self.emit(Instr::Br {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX,
+        });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.br(BrCond::Eq, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.br(BrCond::Ne, rs1, rs2, label);
+    }
+
+    /// `bltu rs1, rs2, label` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.br(BrCond::LtU, rs1, rs2, label);
+    }
+
+    /// `bgeu rs1, rs2, label` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.br(BrCond::GeU, rs1, rs2, label);
+    }
+
+    /// `blts rs1, rs2, label` (signed).
+    pub fn blts(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.br(BrCond::LtS, rs1, rs2, label);
+    }
+
+    /// `bges rs1, rs2, label` (signed).
+    pub fn bges(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.br(BrCond::GeS, rs1, rs2, label);
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.fixups
+            .push((self.instrs.len(), Fixup::JmpTarget(label)));
+        self.emit(Instr::Jmp { target: u32::MAX });
+    }
+
+    // --- integer ALU --------------------------------------------------------
+
+    /// `rd <- imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Instr::LdImm { rd, imm });
+    }
+
+    /// Register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// Register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluI { op, rd, rs1, imm });
+    }
+
+    /// `rd <- rs1` (move).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) {
+        self.alui(AluOp::Add, rd, rs1, 0);
+    }
+
+    /// `rd <- rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Add, rd, rs1, imm);
+    }
+
+    /// `rd <- rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 * imm`.
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Mul, rd, rs1, imm);
+    }
+
+    /// `rd <- rs1 / rs2` (unsigned).
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::DivU, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 % rs2` (unsigned).
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::RemU, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Sll, rd, rs1, imm);
+    }
+
+    /// `rd <- rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Srl, rd, rs1, imm);
+    }
+
+    /// `rd <- (rs1 < rs2) ? 1 : 0` (unsigned).
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::SltU, rd, rs1, rs2);
+    }
+
+    /// `rd <- (rs1 < imm) ? 1 : 0` (unsigned).
+    pub fn sltui(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::SltU, rd, rs1, imm);
+    }
+
+    /// `rd <- (rs1 == rs2) ? 1 : 0`.
+    pub fn seq(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Seq, rd, rs1, rs2);
+    }
+
+    /// `rd <- (rs1 == imm) ? 1 : 0`.
+    pub fn seqi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Seq, rd, rs1, imm);
+    }
+
+    /// `rd <- (rs1 != rs2) ? 1 : 0`.
+    pub fn sne(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sne, rd, rs1, rs2);
+    }
+
+    /// `rd <- (rs1 != imm) ? 1 : 0`.
+    pub fn snei(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Sne, rd, rs1, imm);
+    }
+
+    /// `rd <- min(rs1, rs2)` (unsigned).
+    pub fn minu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::MinU, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::And, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Or, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Xor, rd, rs1, imm);
+    }
+
+    // --- floating point ------------------------------------------------------
+
+    /// Register-register FPU operation on f64 bit patterns.
+    pub fn fpu(&mut self, op: FpuOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Fpu { op, rd, rs1, rs2 });
+    }
+
+    /// `rd <- rs1 + rs2` (f64).
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.fpu(FpuOp::Add, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 * rs2` (f64).
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.fpu(FpuOp::Mul, rd, rs1, rs2);
+    }
+
+    /// `rd <- rs1 / rs2` (f64).
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.fpu(FpuOp::Div, rd, rs1, rs2);
+    }
+
+    /// `rd <- cmp(rs1, rs2)` on f64 values.
+    pub fn fcmp(&mut self, op: FCmpOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FCmp { op, rd, rs1, rs2 });
+    }
+
+    /// `rd <- (f64)(i64)rs1`.
+    pub fn i2f(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::CvtIF { rd, rs1 });
+    }
+
+    /// `rd <- (i64)(f64)rs1`.
+    pub fn f2i(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::CvtFI { rd, rs1 });
+    }
+
+    /// Loads an f64 constant's bit pattern.
+    pub fn lif(&mut self, rd: Reg, value: f64) {
+        self.emit(Instr::LdImm {
+            rd,
+            imm: value.to_bits() as i64,
+        });
+    }
+
+    // --- system ---------------------------------------------------------------
+
+    /// Reads a CSR.
+    pub fn csr(&mut self, rd: Reg, kind: CsrKind) {
+        self.emit(Instr::Csr { rd, kind });
+    }
+
+    /// Loads kernel argument `idx`.
+    pub fn ldarg(&mut self, rd: Reg, idx: u8) {
+        self.emit(Instr::LdArg { rd, idx });
+    }
+
+    /// Warp vote.
+    pub fn vote(&mut self, op: VoteOp, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Vote { op, rd, rs1 });
+    }
+
+    /// Thread-mask control.
+    pub fn tmc(&mut self, rs1: Reg) {
+        self.emit(Instr::Tmc { rs1 });
+    }
+
+    // --- memory ----------------------------------------------------------------
+
+    /// Global load.
+    pub fn ldg(&mut self, rd: Reg, addr: Reg, offset: i32, width: Width) {
+        self.emit(Instr::Ld {
+            rd,
+            addr,
+            offset,
+            width,
+            space: Space::Global,
+        });
+    }
+
+    /// Shared-memory load.
+    pub fn lds(&mut self, rd: Reg, addr: Reg, offset: i32, width: Width) {
+        self.emit(Instr::Ld {
+            rd,
+            addr,
+            offset,
+            width,
+            space: Space::Shared,
+        });
+    }
+
+    /// Global store.
+    pub fn stg(&mut self, src: Reg, addr: Reg, offset: i32, width: Width) {
+        self.emit(Instr::St {
+            src,
+            addr,
+            offset,
+            width,
+            space: Space::Global,
+        });
+    }
+
+    /// Shared-memory store.
+    pub fn sts(&mut self, src: Reg, addr: Reg, offset: i32, width: Width) {
+        self.emit(Instr::St {
+            src,
+            addr,
+            offset,
+            width,
+            space: Space::Shared,
+        });
+    }
+
+    /// Atomic read-modify-write on global memory.
+    pub fn atom(&mut self, op: AtomOp, rd: Reg, addr: Reg, src: Reg) {
+        self.emit(Instr::Atom {
+            op,
+            rd,
+            addr,
+            src,
+            space: Space::Global,
+        });
+    }
+
+    /// Atomic read-modify-write on shared memory (queue counters etc.).
+    pub fn atom_shared(&mut self, op: AtomOp, rd: Reg, addr: Reg, src: Reg) {
+        self.emit(Instr::Atom {
+            op,
+            rd,
+            addr,
+            src,
+            space: Space::Shared,
+        });
+    }
+
+    // --- weaver ------------------------------------------------------------------
+
+    /// `WEAVER_REG vid, loc, deg`.
+    pub fn weaver_reg(&mut self, vid: Reg, loc: Reg, deg: Reg) {
+        self.emit(Instr::WeaverReg { vid, loc, deg });
+    }
+
+    /// `WEAVER_DEC_ID rd`.
+    pub fn weaver_dec_id(&mut self, rd: Reg) {
+        self.emit(Instr::WeaverDecId { rd });
+    }
+
+    /// `WEAVER_DEC_LOC rd`.
+    pub fn weaver_dec_loc(&mut self, rd: Reg) {
+        self.emit(Instr::WeaverDecLoc { rd });
+    }
+
+    /// `WEAVER_SKIP vid`.
+    pub fn weaver_skip(&mut self, vid: Reg) {
+        self.emit(Instr::WeaverSkip { vid });
+    }
+
+    // --- structured divergence ------------------------------------------------------
+
+    /// Runs `body` only on lanes where `cond != 0`, lowering to a
+    /// `split`/`join` pair (the classic predicated-if of SIMT code).
+    pub fn if_nonzero<F: FnOnce(&mut Asm)>(&mut self, cond: Reg, body: F) {
+        let l_join = self.new_label();
+        let l_end = self.new_label();
+        self.fixups
+            .push((self.instrs.len(), Fixup::SplitTargets(l_join, l_end)));
+        self.emit(Instr::Split {
+            rs1: cond,
+            else_target: u32::MAX,
+            end_target: u32::MAX,
+        });
+        body(self);
+        self.bind(l_join);
+        self.emit(Instr::Join);
+        self.bind(l_end);
+    }
+
+    /// Two-armed divergent if: lanes with `cond != 0` run `then_body`,
+    /// the rest run `else_body`.
+    pub fn if_else<T: FnOnce(&mut Asm), E: FnOnce(&mut Asm)>(
+        &mut self,
+        cond: Reg,
+        then_body: T,
+        else_body: E,
+    ) {
+        let l_else = self.new_label();
+        let l_end = self.new_label();
+        self.fixups
+            .push((self.instrs.len(), Fixup::SplitTargets(l_else, l_end)));
+        self.emit(Instr::Split {
+            rs1: cond,
+            else_target: u32::MAX,
+            end_target: u32::MAX,
+        });
+        then_body(self);
+        self.emit(Instr::Join);
+        self.bind(l_else);
+        else_body(self);
+        self.emit(Instr::Join);
+        self.bind(l_end);
+    }
+
+    /// Resolves fixups and produces the [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Program {
+        for &(at, fixup) in &self.fixups {
+            let resolve = |l: Label| -> u32 {
+                self.labels[l.0]
+                    .unwrap_or_else(|| panic!("unbound label in kernel `{}`", self.name))
+            };
+            match (fixup, &mut self.instrs[at]) {
+                (Fixup::BrTarget(l), Instr::Br { target, .. }) => *target = resolve(l),
+                (Fixup::JmpTarget(l), Instr::Jmp { target }) => *target = resolve(l),
+                (
+                    Fixup::SplitTargets(le, lend),
+                    Instr::Split {
+                        else_target,
+                        end_target,
+                        ..
+                    },
+                ) => {
+                    *else_target = resolve(le);
+                    *end_target = resolve(lend);
+                }
+                (f, i) => panic!("fixup {f:?} does not match instruction {i}"),
+            }
+        }
+        Program::new(self.name, self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut a = Asm::new("fwd");
+        let end = a.new_label();
+        a.jmp(end);
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.get(0), Some(&Instr::Jmp { target: 2 }));
+    }
+
+    #[test]
+    fn backward_labels_resolve() {
+        let mut a = Asm::new("back");
+        let top = a.new_label();
+        a.bind(top);
+        a.nop();
+        let (r1, r2) = {
+            let r1 = a.reg();
+            let r2 = a.reg();
+            (r1, r2)
+        };
+        a.bne(r1, r2, top);
+        a.halt();
+        let p = a.finish();
+        match p.get(1) {
+            Some(&Instr::Br { target, .. }) => assert_eq!(target, 0),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new("bad");
+        let l = a.new_label();
+        a.jmp(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    fn register_pool_reuse() {
+        let mut a = Asm::new("regs");
+        let r1 = a.reg();
+        assert_eq!(r1, Reg(1));
+        a.free(r1);
+        let r2 = a.reg();
+        assert_eq!(r2, Reg(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = Asm::new("regs");
+        let r = a.reg();
+        a.free(r);
+        a.free(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "ran out of registers")]
+    fn register_exhaustion_panics() {
+        let mut a = Asm::new("greedy");
+        for _ in 0..100 {
+            let _ = a.reg();
+        }
+    }
+
+    #[test]
+    fn if_nonzero_lowering() {
+        let mut a = Asm::new("ifnz");
+        let c = a.reg();
+        a.if_nonzero(c, |a| a.nop());
+        a.halt();
+        let p = a.finish();
+        // split, nop, join, halt
+        match p.get(0) {
+            Some(&Instr::Split {
+                else_target,
+                end_target,
+                ..
+            }) => {
+                assert_eq!(else_target, 2); // the join
+                assert_eq!(end_target, 3); // past the join
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+        assert_eq!(p.get(2), Some(&Instr::Join));
+    }
+
+    #[test]
+    fn if_else_lowering() {
+        let mut a = Asm::new("ifelse");
+        let c = a.reg();
+        a.if_else(c, |a| a.nop(), |a| a.bar());
+        a.halt();
+        let p = a.finish();
+        // 0: split  1: nop  2: join  3: bar  4: join  5: halt
+        match p.get(0) {
+            Some(&Instr::Split {
+                else_target,
+                end_target,
+                ..
+            }) => {
+                assert_eq!(else_target, 3);
+                assert_eq!(end_target, 5);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+        assert_eq!(p.get(2), Some(&Instr::Join));
+        assert_eq!(p.get(4), Some(&Instr::Join));
+    }
+
+    #[test]
+    fn high_water_tracks_live_registers() {
+        let mut a = Asm::new("hw");
+        let r1 = a.reg();
+        let r2 = a.reg();
+        a.free(r1);
+        a.free(r2);
+        let _ = a.reg();
+        assert_eq!(a.register_high_water(), 2);
+    }
+
+    #[test]
+    fn lif_round_trips_f64() {
+        let mut a = Asm::new("f");
+        let r = a.reg();
+        a.lif(r, 0.85);
+        let p = a.finish();
+        match p.get(0) {
+            Some(&Instr::LdImm { imm, .. }) => {
+                assert_eq!(f64::from_bits(imm as u64), 0.85);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Instruction encodings.
+//!
+//! Two encoders live here:
+//!
+//! 1. [`encode_weaver`]/[`decode_weaver`] — the exact 32-bit RISC-V
+//!    encodings of the four Weaver instructions from Table II. Following
+//!    the paper, `WEAVER_DEC_ID`/`WEAVER_DEC_LOC` are R-type instructions
+//!    on the `custom-0` opcode and `WEAVER_REG`/`WEAVER_SKIP` are R4-type
+//!    ("C"-form) instructions on `custom-1`; `funct` values are 7, 8, 1
+//!    and 2 respectively. (The paper distinguishes instructions "using
+//!    funct3 and funct2"; since 8 does not fit in 3 bits, the R-type funct
+//!    is carried in `funct7` — a detail the paper leaves open.)
+//! 2. [`encode_instr`]/[`decode_instr`] — a lossless 96-bit encoding of the
+//!    full IR, used by the backend compiler's "ISA table expansion" and by
+//!    round-trip tests.
+
+use crate::instr::{
+    AluOp, AtomOp, BrCond, CsrKind, FCmpOp, FpuOp, Instr, Reg, Space, VoteOp, Width,
+};
+
+/// RISC-V `custom-0` major opcode (bits 6:0 = `0001011`).
+pub const OPC_CUSTOM0: u32 = 0x0B;
+/// RISC-V `custom-1` major opcode (bits 6:0 = `0101011`).
+pub const OPC_CUSTOM1: u32 = 0x2B;
+
+/// `funct` value of `WEAVER_REG` (Table II).
+pub const FUNCT_WEAVER_REG: u32 = 1;
+/// `funct` value of `WEAVER_SKIP` (Table II).
+pub const FUNCT_WEAVER_SKIP: u32 = 2;
+/// `funct` value of `WEAVER_DEC_ID` (Table II).
+pub const FUNCT_WEAVER_DEC_ID: u32 = 7;
+/// `funct` value of `WEAVER_DEC_LOC` (Table II).
+pub const FUNCT_WEAVER_DEC_LOC: u32 = 8;
+
+/// Error decoding a machine word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn r_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct7: u32) -> u32 {
+    opcode
+        | ((rd as u32 & 0x1f) << 7)
+        | ((funct3 & 0x7) << 12)
+        | ((rs1 as u32 & 0x1f) << 15)
+        | ((rs2 as u32 & 0x1f) << 20)
+        | ((funct7 & 0x7f) << 25)
+}
+
+fn r4_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct2: u32, rs3: u8) -> u32 {
+    opcode
+        | ((rd as u32 & 0x1f) << 7)
+        | ((funct3 & 0x7) << 12)
+        | ((rs1 as u32 & 0x1f) << 15)
+        | ((rs2 as u32 & 0x1f) << 20)
+        | ((funct2 & 0x3) << 25)
+        | ((rs3 as u32 & 0x1f) << 27)
+}
+
+/// Encodes one of the four Weaver instructions into its 32-bit RISC-V word
+/// (Table II). Returns `None` for non-Weaver instructions.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_isa::{encode, Instr, Reg};
+///
+/// let w = encode::encode_weaver(&Instr::WeaverDecId { rd: Reg(5) }).unwrap();
+/// assert_eq!(w & 0x7f, encode::OPC_CUSTOM0);
+/// ```
+pub fn encode_weaver(instr: &Instr) -> Option<u32> {
+    match *instr {
+        Instr::WeaverReg { vid, loc, deg } => Some(r4_type(
+            OPC_CUSTOM1,
+            0,
+            FUNCT_WEAVER_REG,
+            vid.0,
+            loc.0,
+            FUNCT_WEAVER_REG,
+            deg.0,
+        )),
+        Instr::WeaverSkip { vid } => Some(r4_type(
+            OPC_CUSTOM1,
+            0,
+            FUNCT_WEAVER_SKIP,
+            vid.0,
+            0,
+            FUNCT_WEAVER_SKIP,
+            0,
+        )),
+        Instr::WeaverDecId { rd } => Some(r_type(OPC_CUSTOM0, rd.0, 0, 0, 0, FUNCT_WEAVER_DEC_ID)),
+        Instr::WeaverDecLoc { rd } => {
+            Some(r_type(OPC_CUSTOM0, rd.0, 0, 0, 0, FUNCT_WEAVER_DEC_LOC))
+        }
+        _ => None,
+    }
+}
+
+/// Decodes a 32-bit word on the `custom-0`/`custom-1` opcodes back into a
+/// Weaver instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid Weaver encoding.
+pub fn decode_weaver(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7f;
+    let rd = ((word >> 7) & 0x1f) as u8;
+    let rs1 = ((word >> 15) & 0x1f) as u8;
+    let rs2 = ((word >> 20) & 0x1f) as u8;
+    let funct7 = (word >> 25) & 0x7f;
+    let funct2 = (word >> 25) & 0x3;
+    let rs3 = ((word >> 27) & 0x1f) as u8;
+    match opcode {
+        OPC_CUSTOM0 => match funct7 {
+            FUNCT_WEAVER_DEC_ID => Ok(Instr::WeaverDecId { rd: Reg(rd) }),
+            FUNCT_WEAVER_DEC_LOC => Ok(Instr::WeaverDecLoc { rd: Reg(rd) }),
+            f => Err(DecodeError {
+                reason: format!("unknown custom-0 funct7 {f}"),
+            }),
+        },
+        OPC_CUSTOM1 => match funct2 {
+            FUNCT_WEAVER_REG => Ok(Instr::WeaverReg {
+                vid: Reg(rs1),
+                loc: Reg(rs2),
+                deg: Reg(rs3),
+            }),
+            FUNCT_WEAVER_SKIP => Ok(Instr::WeaverSkip { vid: Reg(rs1) }),
+            f => Err(DecodeError {
+                reason: format!("unknown custom-1 funct2 {f}"),
+            }),
+        },
+        o => Err(DecodeError {
+            reason: format!("opcode {o:#x} is not custom-0/custom-1"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-IR lossless encoding: 96 bits as (u32 header, u64 payload).
+// Header: [7:0]=opcode, [15:8]=rd, [23:16]=rs1, [31:24]=rs2.
+// Payload: immediate / targets / subop, packed per opcode.
+// ---------------------------------------------------------------------------
+
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_BAR: u8 = 2;
+const OP_PHASE: u8 = 3;
+const OP_LDIMM: u8 = 4;
+const OP_ALU: u8 = 5;
+const OP_ALUI: u8 = 6;
+const OP_FPU: u8 = 7;
+const OP_FCMP: u8 = 8;
+const OP_CVTIF: u8 = 9;
+const OP_CVTFI: u8 = 10;
+const OP_CSR: u8 = 11;
+const OP_LDARG: u8 = 12;
+const OP_LD: u8 = 13;
+const OP_ST: u8 = 14;
+const OP_ATOM: u8 = 15;
+const OP_BR: u8 = 16;
+const OP_JMP: u8 = 17;
+const OP_SPLIT: u8 = 18;
+const OP_JOIN: u8 = 19;
+const OP_VOTE: u8 = 20;
+const OP_TMC: u8 = 21;
+const OP_WREG: u8 = 22;
+const OP_WDECID: u8 = 23;
+const OP_WDECLOC: u8 = 24;
+const OP_WSKIP: u8 = 25;
+
+fn header(op: u8, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    op as u32 | (rd as u32) << 8 | (rs1 as u32) << 16 | (rs2 as u32) << 24
+}
+
+fn subop_index<T: PartialEq + Copy>(all: &[T], v: T) -> u64 {
+    all.iter().position(|&x| x == v).expect("subop in table") as u64
+}
+
+fn mem_payload(op_idx: u64, offset: i32, width: Width, space: Space) -> u64 {
+    let w = subop_index(&Width::ALL, width);
+    let s = match space {
+        Space::Global => 0u64,
+        Space::Shared => 1,
+    };
+    op_idx | w << 4 | s << 6 | ((offset as u32 as u64) << 16)
+}
+
+/// Encodes any IR instruction losslessly into a `(header, payload)` pair.
+pub fn encode_instr(instr: &Instr) -> (u32, u64) {
+    match *instr {
+        Instr::Nop => (header(OP_NOP, 0, 0, 0), 0),
+        Instr::Halt => (header(OP_HALT, 0, 0, 0), 0),
+        Instr::Bar => (header(OP_BAR, 0, 0, 0), 0),
+        Instr::Phase(p) => (header(OP_PHASE, 0, 0, 0), p as u64),
+        Instr::LdImm { rd, imm } => (header(OP_LDIMM, rd.0, 0, 0), imm as u64),
+        Instr::Alu { op, rd, rs1, rs2 } => (
+            header(OP_ALU, rd.0, rs1.0, rs2.0),
+            subop_index(&AluOp::ALL, op),
+        ),
+        Instr::AluI { op, rd, rs1, imm } => (
+            header(OP_ALUI, rd.0, rs1.0, 0),
+            subop_index(&AluOp::ALL, op) | ((imm as i32 as u32 as u64) << 8),
+        ),
+        Instr::Fpu { op, rd, rs1, rs2 } => (
+            header(OP_FPU, rd.0, rs1.0, rs2.0),
+            subop_index(&FpuOp::ALL, op),
+        ),
+        Instr::FCmp { op, rd, rs1, rs2 } => (
+            header(OP_FCMP, rd.0, rs1.0, rs2.0),
+            subop_index(&FCmpOp::ALL, op),
+        ),
+        Instr::CvtIF { rd, rs1 } => (header(OP_CVTIF, rd.0, rs1.0, 0), 0),
+        Instr::CvtFI { rd, rs1 } => (header(OP_CVTFI, rd.0, rs1.0, 0), 0),
+        Instr::Csr { rd, kind } => (header(OP_CSR, rd.0, 0, 0), subop_index(&CsrKind::ALL, kind)),
+        Instr::LdArg { rd, idx } => (header(OP_LDARG, rd.0, 0, 0), idx as u64),
+        Instr::Ld {
+            rd,
+            addr,
+            offset,
+            width,
+            space,
+        } => (
+            header(OP_LD, rd.0, addr.0, 0),
+            mem_payload(0, offset, width, space),
+        ),
+        Instr::St {
+            src,
+            addr,
+            offset,
+            width,
+            space,
+        } => (
+            header(OP_ST, 0, src.0, addr.0),
+            mem_payload(0, offset, width, space),
+        ),
+        Instr::Atom {
+            op,
+            rd,
+            addr,
+            src,
+            space,
+        } => (
+            header(OP_ATOM, rd.0, addr.0, src.0),
+            subop_index(&AtomOp::ALL, op)
+                | if space == Space::Shared { 1 << 8 } else { 0 },
+        ),
+        Instr::Br {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => (
+            header(OP_BR, 0, rs1.0, rs2.0),
+            subop_index(&BrCond::ALL, cond) | (target as u64) << 8,
+        ),
+        Instr::Jmp { target } => (header(OP_JMP, 0, 0, 0), target as u64),
+        Instr::Split {
+            rs1,
+            else_target,
+            end_target,
+        } => (
+            header(OP_SPLIT, 0, rs1.0, 0),
+            else_target as u64 | (end_target as u64) << 32,
+        ),
+        Instr::Join => (header(OP_JOIN, 0, 0, 0), 0),
+        Instr::Vote { op, rd, rs1 } => (
+            header(OP_VOTE, rd.0, rs1.0, 0),
+            subop_index(&VoteOp::ALL, op),
+        ),
+        Instr::Tmc { rs1 } => (header(OP_TMC, 0, rs1.0, 0), 0),
+        Instr::WeaverReg { vid, loc, deg } => (header(OP_WREG, 0, vid.0, loc.0), deg.0 as u64),
+        Instr::WeaverDecId { rd } => (header(OP_WDECID, rd.0, 0, 0), 0),
+        Instr::WeaverDecLoc { rd } => (header(OP_WDECLOC, rd.0, 0, 0), 0),
+        Instr::WeaverSkip { vid } => (header(OP_WSKIP, 0, vid.0, 0), 0),
+    }
+}
+
+/// Decodes a `(header, payload)` pair produced by [`encode_instr`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on unknown opcodes or sub-operation indices.
+pub fn decode_instr(hdr: u32, payload: u64) -> Result<Instr, DecodeError> {
+    let op = (hdr & 0xff) as u8;
+    let rd = Reg(((hdr >> 8) & 0xff) as u8);
+    let rs1 = Reg(((hdr >> 16) & 0xff) as u8);
+    let rs2 = Reg(((hdr >> 24) & 0xff) as u8);
+    let sub = |all_len: usize| -> Result<usize, DecodeError> {
+        let i = (payload & 0xff) as usize;
+        if i < all_len {
+            Ok(i)
+        } else {
+            Err(DecodeError {
+                reason: format!("subop {i} out of range"),
+            })
+        }
+    };
+    let mem = || -> (i32, Width, Space) {
+        let w = Width::ALL[((payload >> 4) & 0x3) as usize % 3];
+        let s = if (payload >> 6) & 1 == 0 {
+            Space::Global
+        } else {
+            Space::Shared
+        };
+        ((payload >> 16) as u32 as i32, w, s)
+    };
+    Ok(match op {
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        OP_BAR => Instr::Bar,
+        OP_PHASE => Instr::Phase(payload as u8),
+        OP_LDIMM => Instr::LdImm {
+            rd,
+            imm: payload as i64,
+        },
+        OP_ALU => Instr::Alu {
+            op: AluOp::ALL[sub(AluOp::ALL.len())?],
+            rd,
+            rs1,
+            rs2,
+        },
+        OP_ALUI => {
+            let i = (payload & 0xff) as usize;
+            if i >= AluOp::ALL.len() {
+                return Err(DecodeError {
+                    reason: format!("alui subop {i}"),
+                });
+            }
+            Instr::AluI {
+                op: AluOp::ALL[i],
+                rd,
+                rs1,
+                imm: (payload >> 8) as u32 as i32 as i64,
+            }
+        }
+        OP_FPU => Instr::Fpu {
+            op: FpuOp::ALL[sub(FpuOp::ALL.len())?],
+            rd,
+            rs1,
+            rs2,
+        },
+        OP_FCMP => Instr::FCmp {
+            op: FCmpOp::ALL[sub(FCmpOp::ALL.len())?],
+            rd,
+            rs1,
+            rs2,
+        },
+        OP_CVTIF => Instr::CvtIF { rd, rs1 },
+        OP_CVTFI => Instr::CvtFI { rd, rs1 },
+        OP_CSR => Instr::Csr {
+            rd,
+            kind: CsrKind::ALL[(payload as usize) % CsrKind::ALL.len()],
+        },
+        OP_LDARG => Instr::LdArg {
+            rd,
+            idx: payload as u8,
+        },
+        OP_LD => {
+            let (offset, width, space) = mem();
+            Instr::Ld {
+                rd,
+                addr: rs1,
+                offset,
+                width,
+                space,
+            }
+        }
+        OP_ST => {
+            let (offset, width, space) = mem();
+            Instr::St {
+                src: rs1,
+                addr: rs2,
+                offset,
+                width,
+                space,
+            }
+        }
+        OP_ATOM => Instr::Atom {
+            op: AtomOp::ALL[(payload & 0xf) as usize % AtomOp::ALL.len()],
+            rd,
+            addr: rs1,
+            src: rs2,
+            space: if payload >> 8 & 1 == 1 {
+                Space::Shared
+            } else {
+                Space::Global
+            },
+        },
+        OP_BR => Instr::Br {
+            cond: BrCond::ALL[sub(BrCond::ALL.len())?],
+            rs1,
+            rs2,
+            target: (payload >> 8) as u32,
+        },
+        OP_JMP => Instr::Jmp {
+            target: payload as u32,
+        },
+        OP_SPLIT => Instr::Split {
+            rs1,
+            else_target: payload as u32,
+            end_target: (payload >> 32) as u32,
+        },
+        OP_JOIN => Instr::Join,
+        OP_VOTE => Instr::Vote {
+            op: VoteOp::ALL[sub(VoteOp::ALL.len())?],
+            rd,
+            rs1,
+        },
+        OP_TMC => Instr::Tmc { rs1 },
+        OP_WREG => Instr::WeaverReg {
+            vid: rs1,
+            loc: rs2,
+            deg: Reg(payload as u8),
+        },
+        OP_WDECID => Instr::WeaverDecId { rd },
+        OP_WDECLOC => Instr::WeaverDecLoc { rd },
+        OP_WSKIP => Instr::WeaverSkip { vid: rs1 },
+        o => {
+            return Err(DecodeError {
+                reason: format!("unknown opcode {o}"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_opcodes() {
+        // WEAVER_REG: CUSTOM1, funct 1.
+        let w = encode_weaver(&Instr::WeaverReg {
+            vid: Reg(1),
+            loc: Reg(2),
+            deg: Reg(3),
+        })
+        .unwrap();
+        assert_eq!(w & 0x7f, OPC_CUSTOM1);
+        assert_eq!((w >> 25) & 0x3, FUNCT_WEAVER_REG);
+        // WEAVER_SKIP: CUSTOM1, funct 2.
+        let w = encode_weaver(&Instr::WeaverSkip { vid: Reg(4) }).unwrap();
+        assert_eq!(w & 0x7f, OPC_CUSTOM1);
+        assert_eq!((w >> 25) & 0x3, FUNCT_WEAVER_SKIP);
+        // WEAVER_DEC_ID: CUSTOM0, funct 7.
+        let w = encode_weaver(&Instr::WeaverDecId { rd: Reg(9) }).unwrap();
+        assert_eq!(w & 0x7f, OPC_CUSTOM0);
+        assert_eq!((w >> 25) & 0x7f, FUNCT_WEAVER_DEC_ID);
+        // WEAVER_DEC_LOC: CUSTOM0, funct 8.
+        let w = encode_weaver(&Instr::WeaverDecLoc { rd: Reg(10) }).unwrap();
+        assert_eq!(w & 0x7f, OPC_CUSTOM0);
+        assert_eq!((w >> 25) & 0x7f, FUNCT_WEAVER_DEC_LOC);
+    }
+
+    #[test]
+    fn weaver_round_trip() {
+        let instrs = [
+            Instr::WeaverReg {
+                vid: Reg(5),
+                loc: Reg(6),
+                deg: Reg(7),
+            },
+            Instr::WeaverSkip { vid: Reg(12) },
+            Instr::WeaverDecId { rd: Reg(31) },
+            Instr::WeaverDecLoc { rd: Reg(0) },
+        ];
+        for i in instrs {
+            let w = encode_weaver(&i).unwrap();
+            assert_eq!(decode_weaver(w).unwrap(), i, "round trip of {i}");
+        }
+    }
+
+    #[test]
+    fn weaver_rejects_garbage() {
+        assert!(decode_weaver(0x0000_0033).is_err()); // plain ADD opcode
+        assert!(decode_weaver(OPC_CUSTOM0).is_err()); // funct7 == 0
+    }
+
+    #[test]
+    fn non_weaver_encode_is_none() {
+        assert!(encode_weaver(&Instr::Nop).is_none());
+        assert!(encode_weaver(&Instr::Halt).is_none());
+    }
+
+    #[test]
+    fn full_ir_round_trip_samples() {
+        let samples = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Bar,
+            Instr::Phase(4),
+            Instr::LdImm {
+                rd: Reg(3),
+                imm: -123456789,
+            },
+            Instr::Alu {
+                op: AluOp::MaxS,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3),
+            },
+            Instr::AluI {
+                op: AluOp::Sll,
+                rd: Reg(9),
+                rs1: Reg(8),
+                imm: -4,
+            },
+            Instr::Fpu {
+                op: FpuOp::Div,
+                rd: Reg(4),
+                rs1: Reg(5),
+                rs2: Reg(6),
+            },
+            Instr::FCmp {
+                op: FCmpOp::Le,
+                rd: Reg(4),
+                rs1: Reg(5),
+                rs2: Reg(6),
+            },
+            Instr::CvtIF {
+                rd: Reg(1),
+                rs1: Reg(2),
+            },
+            Instr::CvtFI {
+                rd: Reg(1),
+                rs1: Reg(2),
+            },
+            Instr::Csr {
+                rd: Reg(7),
+                kind: CsrKind::ThreadsPerWarp,
+            },
+            Instr::LdArg { rd: Reg(2), idx: 9 },
+            Instr::Ld {
+                rd: Reg(1),
+                addr: Reg(2),
+                offset: -64,
+                width: Width::B4,
+                space: Space::Shared,
+            },
+            Instr::St {
+                src: Reg(1),
+                addr: Reg(2),
+                offset: 1024,
+                width: Width::B8,
+                space: Space::Global,
+            },
+            Instr::Atom {
+                op: AtomOp::FAdd,
+                rd: Reg(1),
+                addr: Reg(2),
+                src: Reg(3),
+                space: Space::Global,
+            },
+            Instr::Atom {
+                op: AtomOp::Add,
+                rd: Reg(4),
+                addr: Reg(5),
+                src: Reg(6),
+                space: Space::Shared,
+            },
+            Instr::Br {
+                cond: BrCond::GeU,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                target: 777,
+            },
+            Instr::Jmp { target: 3 },
+            Instr::Split {
+                rs1: Reg(5),
+                else_target: 10,
+                end_target: 20,
+            },
+            Instr::Join,
+            Instr::Vote {
+                op: VoteOp::Ballot,
+                rd: Reg(1),
+                rs1: Reg(2),
+            },
+            Instr::Tmc { rs1: Reg(3) },
+            Instr::WeaverReg {
+                vid: Reg(1),
+                loc: Reg(2),
+                deg: Reg(3),
+            },
+            Instr::WeaverDecId { rd: Reg(1) },
+            Instr::WeaverDecLoc { rd: Reg(2) },
+            Instr::WeaverSkip { vid: Reg(3) },
+        ];
+        for i in samples {
+            let (h, p) = encode_instr(&i);
+            assert_eq!(decode_instr(h, p).unwrap(), i, "round trip of {i}");
+        }
+    }
+
+    #[test]
+    fn decode_unknown_opcode_fails() {
+        assert!(decode_instr(200, 0).is_err());
+    }
+}

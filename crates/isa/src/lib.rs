@@ -1,0 +1,45 @@
+//! The kernel IR and Weaver ISA extension.
+//!
+//! The paper prototypes SparseWeaver on the RISC-V Vortex GPU and adds four
+//! custom instructions (Table II):
+//!
+//! | instruction                  | type | opcode  | funct | description                 |
+//! |------------------------------|------|---------|-------|-----------------------------|
+//! | `WEAVER_REG vid, loc, deg`   | C    | CUSTOM1 | 1     | register VID, loc, degree   |
+//! | `WEAVER_DEC_ID vid`          | R    | CUSTOM0 | 7     | return VID of next workload |
+//! | `WEAVER_DEC_LOC eid`         | R    | CUSTOM0 | 8     | return EID of next workload |
+//! | `WEAVER_SKIP vid`            | C    | CUSTOM1 | 2     | send skip signal for VID    |
+//!
+//! This crate defines:
+//!
+//! - [`Instr`] — a RISC-V-flavoured SIMT kernel IR: 64-bit integer/float
+//!   ALU ops, global/shared loads and stores, atomics, uniform branches,
+//!   Vortex-style explicit `split`/`join` divergence control, `tmc` thread
+//!   mask control, votes/ballots, core barriers, and the four Weaver
+//!   instructions;
+//! - [`encode`] — exact 32-bit RISC-V `custom-0`/`custom-1` encodings for
+//!   the Weaver instructions (reproducing Table II) plus a lossless binary
+//!   encoding of the full IR;
+//! - [`Asm`] — an assembler with labels, virtual-register allocation and
+//!   structured-divergence helpers, used by the SparseWeaver compiler to
+//!   stitch schedule templates and algorithm snippets into [`Program`]s.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod instr;
+pub mod program;
+
+pub use asm::{Asm, Label};
+pub use instr::{AluOp, AtomOp, BrCond, CsrKind, FCmpOp, FpuOp, Instr, Reg, Space, VoteOp, Width};
+pub use program::Program;
+
+/// Number of architectural registers per thread.
+///
+/// Vortex cores expose 32 integer + 32 float RISC-V registers; the IR uses a
+/// unified 64-entry file of 64-bit registers.
+pub const NUM_REGS: usize = 64;
+
+/// Register 0 is hardwired to zero, as in RISC-V.
+pub const ZERO: Reg = Reg(0);

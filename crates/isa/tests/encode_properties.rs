@@ -1,0 +1,179 @@
+//! Property tests: every instruction survives an encode/decode round
+//! trip, for both the full-IR encoding and the 32-bit Table II words.
+
+use proptest::prelude::*;
+use sparseweaver_isa::{
+    encode, AluOp, AtomOp, BrCond, CsrKind, FCmpOp, FpuOp, Instr, Reg, Space, VoteOp, Width,
+};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(Reg)
+}
+
+fn reg32() -> impl Strategy<Value = Reg> {
+    // Real RISC-V encodings carry 5-bit register fields.
+    (0u8..32).prop_map(Reg)
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop::sample::select(Width::ALL.to_vec())
+}
+
+fn space() -> impl Strategy<Value = Space> {
+    prop_oneof![Just(Space::Global), Just(Space::Shared)]
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Bar),
+        Just(Instr::Join),
+        any::<u8>().prop_map(Instr::Phase),
+        (reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::LdImm { rd, imm }),
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            any::<i32>()
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluI {
+                op,
+                rd,
+                rs1,
+                imm: imm as i64
+            }),
+        (
+            prop::sample::select(FpuOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Fpu { op, rd, rs1, rs2 }),
+        (
+            prop::sample::select(FCmpOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FCmp { op, rd, rs1, rs2 }),
+        (reg(), reg()).prop_map(|(rd, rs1)| Instr::CvtIF { rd, rs1 }),
+        (reg(), reg()).prop_map(|(rd, rs1)| Instr::CvtFI { rd, rs1 }),
+        (prop::sample::select(CsrKind::ALL.to_vec()), reg())
+            .prop_map(|(kind, rd)| Instr::Csr { rd, kind }),
+        (reg(), any::<u8>()).prop_map(|(rd, idx)| Instr::LdArg { rd, idx }),
+        (reg(), reg(), any::<i32>(), width(), space()).prop_map(
+            |(rd, addr, offset, width, space)| Instr::Ld {
+                rd,
+                addr,
+                offset,
+                width,
+                space
+            }
+        ),
+        (reg(), reg(), any::<i32>(), width(), space()).prop_map(
+            |(src, addr, offset, width, space)| Instr::St {
+                src,
+                addr,
+                offset,
+                width,
+                space
+            }
+        ),
+        (
+            prop::sample::select(AtomOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            reg(),
+            space()
+        )
+            .prop_map(|(op, rd, addr, src, space)| Instr::Atom {
+                op,
+                rd,
+                addr,
+                src,
+                space
+            }),
+        (
+            prop::sample::select(BrCond::ALL.to_vec()),
+            reg(),
+            reg(),
+            any::<u32>()
+        )
+            .prop_map(|(cond, rs1, rs2, target)| Instr::Br {
+                cond,
+                rs1,
+                rs2,
+                target
+            }),
+        any::<u32>().prop_map(|target| Instr::Jmp { target }),
+        (reg(), any::<u32>(), any::<u32>()).prop_map(|(rs1, else_target, end_target)| {
+            Instr::Split {
+                rs1,
+                else_target,
+                end_target,
+            }
+        }),
+        (prop::sample::select(VoteOp::ALL.to_vec()), reg(), reg())
+            .prop_map(|(op, rd, rs1)| Instr::Vote { op, rd, rs1 }),
+        reg().prop_map(|rs1| Instr::Tmc { rs1 }),
+        (reg32(), reg32(), reg32()).prop_map(|(vid, loc, deg)| Instr::WeaverReg { vid, loc, deg }),
+        reg32().prop_map(|rd| Instr::WeaverDecId { rd }),
+        reg32().prop_map(|rd| Instr::WeaverDecLoc { rd }),
+        reg32().prop_map(|vid| Instr::WeaverSkip { vid }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn full_ir_round_trips(i in instr()) {
+        let (h, p) = encode::encode_instr(&i);
+        let back = encode::decode_instr(h, p).expect("decodes");
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn weaver_words_round_trip(
+        vid in reg32(),
+        loc in reg32(),
+        deg in reg32(),
+        rd in reg32(),
+    ) {
+        for i in [
+            Instr::WeaverReg { vid, loc, deg },
+            Instr::WeaverSkip { vid },
+            Instr::WeaverDecId { rd },
+            Instr::WeaverDecLoc { rd },
+        ] {
+            let w = encode::encode_weaver(&i).expect("weaver word");
+            prop_assert_eq!(encode::decode_weaver(w).expect("decodes"), i);
+        }
+    }
+
+    /// Weaver words always land on the custom-0/custom-1 opcodes, so they
+    /// never collide with standard RISC-V instructions.
+    #[test]
+    fn weaver_words_use_custom_opcodes(rd in reg32()) {
+        for i in [Instr::WeaverDecId { rd }, Instr::WeaverDecLoc { rd }] {
+            let w = encode::encode_weaver(&i).expect("weaver word");
+            prop_assert_eq!(w & 0x7f, encode::OPC_CUSTOM0);
+        }
+    }
+
+    /// `sources`/`dest` report registers consistently with round-tripping
+    /// (decode never invents registers).
+    #[test]
+    fn decode_preserves_register_sets(i in instr()) {
+        let (h, p) = encode::encode_instr(&i);
+        let back = encode::decode_instr(h, p).expect("decodes");
+        prop_assert_eq!(back.sources(), i.sources());
+        prop_assert_eq!(back.dest(), i.dest());
+    }
+}

@@ -1,0 +1,281 @@
+//! Set-associative, write-back, write-allocate, LRU cache (timing-only).
+
+use crate::{line_of, LINE_BYTES};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// A cache of `size_bytes` with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry is a power-of-two number of non-empty
+    /// sets.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        let cfg = CacheConfig { size_bytes, ways };
+        assert!(cfg.num_sets() > 0, "cache too small for {ways} ways");
+        assert!(
+            cfg.num_sets().is_power_of_two(),
+            "number of sets must be a power of two (got {})",
+            cfg.num_sets()
+        );
+        cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (LINE_BYTES * self.ways as u64)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no accesses were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    last_use: u64,
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line address of a dirty line evicted to make room, if any.
+    pub evicted_dirty: Option<u64>,
+}
+
+/// A timing-only cache: tags and dirty bits, no data (data lives in
+/// [`crate::MainMemory`]).
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(4096, 4));
+/// assert!(!c.access(0, false).hit);   // cold miss
+/// assert!(c.access(0, false).hit);    // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = vec![vec![Line::default(); cfg.ways as usize]; cfg.num_sets() as usize];
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents), e.g. between kernels.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Accesses the line containing `addr`, allocating on miss (LRU
+    /// victim). `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
+        self.tick += 1;
+        let line_addr = line_of(addr);
+        let set_idx = ((line_addr / LINE_BYTES) & (self.cfg.num_sets() - 1)) as usize;
+        let tag = line_addr / LINE_BYTES / self.cfg.num_sets();
+        self.stats.accesses += 1;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return CacheAccess {
+                hit: true,
+                evicted_dirty: None,
+            };
+        }
+        self.stats.misses += 1;
+        // Victim: an invalid way if present, else LRU.
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
+        let victim = &mut set[victim_idx];
+        let evicted_dirty = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            let victim_line = (victim.tag * self.cfg.num_sets() + set_idx as u64) * LINE_BYTES;
+            Some(victim_line)
+        } else {
+            None
+        };
+        *victim = Line {
+            valid: true,
+            dirty: write,
+            tag,
+            last_use: self.tick,
+        };
+        CacheAccess {
+            hit: false,
+            evicted_dirty,
+        }
+    }
+
+    /// Invalidates everything (e.g. when reconfiguring between runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                *line = Line::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheConfig::new(512, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().num_sets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheConfig::new(192, 1);
+    }
+
+    #[test]
+    fn same_line_hits() {
+        let mut c = small();
+        assert!(!c.access(100, false).hit);
+        assert!(c.access(101, false).hit); // same 64B line
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Three lines mapping to set 0: line addresses stride = sets*64 = 256.
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // touch line 0 so 256 is LRU
+        c.access(512, false); // evicts 256
+        assert!(c.access(0, false).hit);
+        assert!(!c.access(256, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, true); // dirty
+        c.access(256, false);
+        let out = c.access(512, false); // evicts LRU = line 0 (dirty)
+        assert_eq!(out.evicted_dirty, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(256, false);
+        let out = c.access(512, false);
+        assert_eq!(out.evicted_dirty, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, true); // dirty via hit
+        c.access(256, false);
+        let out = c.access(512, false);
+        assert_eq!(out.evicted_dirty, Some(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.access(0, false);
+        c.flush();
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = small();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicted_line_address_reconstruction() {
+        let mut c = small();
+        // Fill set 1 with dirty lines: line addr 64 (set 1), 64+256, 64+512.
+        c.access(64, true);
+        c.access(320, true);
+        let out = c.access(576, true);
+        assert_eq!(out.evicted_dirty, Some(64));
+    }
+}

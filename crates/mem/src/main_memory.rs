@@ -1,0 +1,204 @@
+//! Flat functional device memory.
+
+use std::fmt;
+
+/// Byte-addressed device memory holding the *functional* state of the GPU.
+///
+/// All loads, stores and atomics resolve here immediately; the cache
+/// hierarchy only decides how long they take. Little-endian, like RISC-V.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_mem::MainMemory;
+///
+/// let mut m = MainMemory::new(1024);
+/// m.write(16, 0xdead_beef, 4);
+/// assert_eq!(m.read(16, 4), 0xdead_beef);
+/// assert_eq!(m.read(18, 1), 0xad);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct MainMemory {
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for MainMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MainMemory({} bytes)", self.data.len())
+    }
+}
+
+impl MainMemory {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        MainMemory {
+            data: vec![0; size],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Grows the memory to at least `size` bytes (zero-filled).
+    pub fn grow_to(&mut self, size: usize) {
+        if size > self.data.len() {
+            self.data.resize(size, 0);
+        }
+    }
+
+    /// Reads `width` bytes (1, 2, 4 or 8) at `addr`, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or unsupported width — a kernel bug,
+    /// surfaced loudly rather than silently corrupting an experiment.
+    pub fn read(&self, addr: u64, width: u64) -> u64 {
+        let a = addr as usize;
+        let w = width as usize;
+        assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported access width {w}");
+        let slice = self
+            .data
+            .get(a..a + w)
+            .unwrap_or_else(|| panic!("device read of {w} bytes at {addr:#x} out of bounds"));
+        let mut buf = [0u8; 8];
+        buf[..w].copy_from_slice(slice);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or unsupported width.
+    pub fn write(&mut self, addr: u64, value: u64, width: u64) {
+        let a = addr as usize;
+        let w = width as usize;
+        assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported access width {w}");
+        let bytes = value.to_le_bytes();
+        let slice = self
+            .data
+            .get_mut(a..a + w)
+            .unwrap_or_else(|| panic!("device write of {w} bytes at {addr:#x} out of bounds"));
+        slice.copy_from_slice(&bytes[..w]);
+    }
+
+    /// Reads an `f64` stored at `addr`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr, 8))
+    }
+
+    /// Writes an `f64` at `addr`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, value.to_bits(), 8);
+    }
+
+    /// Copies a `u32` slice into memory starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(addr + 4 * i as u64, v as u64, 4);
+        }
+    }
+
+    /// Reads `count` `u32` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of bounds.
+    pub fn read_u32_slice(&self, addr: u64, count: usize) -> Vec<u32> {
+        (0..count)
+            .map(|i| self.read(addr + 4 * i as u64, 4) as u32)
+            .collect()
+    }
+
+    /// Reads `count` `f64` values starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of bounds.
+    pub fn read_f64_slice(&self, addr: u64, count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|i| self.read_f64(addr + 8 * i as u64))
+            .collect()
+    }
+
+    /// Writes an `f64` slice starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit.
+    pub fn write_f64_slice(&mut self, addr: u64, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MainMemory::new(64);
+        m.write(0, 0x0102_0304, 4);
+        assert_eq!(m.read(0, 1), 0x04);
+        assert_eq!(m.read(3, 1), 0x01);
+    }
+
+    #[test]
+    fn widths() {
+        let mut m = MainMemory::new(64);
+        m.write(8, u64::MAX, 8);
+        assert_eq!(m.read(8, 8), u64::MAX);
+        m.write(8, 0, 1);
+        assert_eq!(m.read(8, 8), u64::MAX << 8);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = MainMemory::new(64);
+        m.write_f64(16, -0.5);
+        assert_eq!(m.read_f64(16), -0.5);
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut m = MainMemory::new(256);
+        m.write_u32_slice(0, &[1, 2, 3]);
+        assert_eq!(m.read_u32_slice(0, 3), vec![1, 2, 3]);
+        m.write_f64_slice(64, &[1.5, 2.5]);
+        assert_eq!(m.read_f64_slice(64, 2), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut m = MainMemory::new(8);
+        m.write(0, 42, 8);
+        m.grow_to(128);
+        assert_eq!(m.read(0, 8), 42);
+        assert_eq!(m.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        MainMemory::new(4).read(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn bad_width_panics() {
+        MainMemory::new(16).read(0, 3);
+    }
+}

@@ -1,0 +1,829 @@
+//! One SIMT core: warp scheduler, instruction execution, barriers,
+//! shared memory, and the Weaver/EGHW functional-unit port.
+
+use sparseweaver_isa::{Instr, Program, Space, VoteOp, Width};
+use sparseweaver_mem::{Hierarchy, MainMemory};
+use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
+use sparseweaver_weaver::{WeaverUnit, EMPTY_WORK_ID};
+
+use crate::config::{GpuConfig, WeaverMode};
+use crate::stats::{PendKind, Phase, StallBreakdown};
+use crate::warp::{full_mask, SimtEntry, Warp, WarpState};
+use crate::SimError;
+
+/// Why a core could not issue this cycle, and when it can retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocked {
+    /// Earliest cycle at which some warp becomes ready (`u64::MAX` when
+    /// progress depends on an event such as a barrier release).
+    pub next_ready: u64,
+    /// The producer the soonest-ready warp is waiting on.
+    pub reason: PendKind,
+    /// Whether the block is a barrier wait.
+    pub barrier: bool,
+    /// Phase of the blocking warp (for Fig. 17/18 attribution).
+    pub phase: Phase,
+}
+
+/// Outcome of one issue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOutcome {
+    /// An instruction was issued.
+    Issued,
+    /// No warp was ready.
+    Blocked(Blocked),
+    /// All warps have halted.
+    Finished,
+}
+
+/// One issued instruction, as recorded by the tracer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Core index.
+    pub core: usize,
+    /// Warp index within the core.
+    pub warp: usize,
+    /// Program counter of the issued instruction.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// Active lane mask at issue.
+    pub active: u64,
+}
+
+/// Per-core counters.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Warp-instructions issued.
+    pub instructions: u64,
+    /// Thread-instructions (issued x active lanes).
+    pub thread_instructions: u64,
+    /// Stall attribution.
+    pub stalls: StallBreakdown,
+    /// Core-cycles per phase (issue + stall cycles).
+    pub phase_cycles: [u64; Phase::COUNT],
+    /// Finish cycle of this core for the current launch.
+    pub finish_cycle: u64,
+}
+
+/// One SIMT core.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    warps: Vec<Warp>,
+    /// Scratchpad ("shared") memory, byte-addressed from 0.
+    pub shared: MainMemory,
+    /// The Weaver functional unit.
+    pub weaver: WeaverUnit,
+    /// The EGHW baseline unit.
+    pub eghw: EghwUnit,
+    eghw_dt: Vec<Vec<i64>>,
+    next_warp: usize,
+    resident: usize,
+    /// Counters for the current launch.
+    pub stats: CoreStats,
+    trace: Option<(Vec<TraceRecord>, usize)>,
+    lanes: usize,
+    shared_latency: u64,
+    alu_latency: u64,
+    fpu_latency: u64,
+    weaver_mode: WeaverMode,
+    auto_mask: bool,
+}
+
+impl Core {
+    /// Builds core `id` from the machine configuration.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        Core {
+            id,
+            warps: (0..cfg.warps_per_core)
+                .map(|_| Warp::new(cfg.threads_per_warp))
+                .collect(),
+            shared: MainMemory::new(cfg.shared_mem_bytes),
+            weaver: WeaverUnit::new(cfg.weaver, cfg.warps_per_core, cfg.threads_per_warp),
+            eghw: EghwUnit::new(cfg.warps_per_core, cfg.threads_per_warp),
+            eghw_dt: vec![vec![EMPTY_WORK_ID; cfg.threads_per_warp]; cfg.warps_per_core],
+            next_warp: 0,
+            resident: cfg.warps_per_core,
+            stats: CoreStats::default(),
+            trace: None,
+            lanes: cfg.threads_per_warp,
+            shared_latency: cfg.shared_latency,
+            alu_latency: cfg.alu_latency,
+            fpu_latency: cfg.fpu_latency,
+            weaver_mode: cfg.weaver_mode,
+            auto_mask: cfg.weaver.auto_mask,
+        }
+    }
+
+    /// Core index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of non-halted warps.
+    pub fn resident_warps(&self) -> usize {
+        self.resident
+    }
+
+    /// Whether every warp has halted.
+    pub fn finished(&self) -> bool {
+        self.resident == 0
+    }
+
+    /// One line per warp describing its scheduling state (debugging aid).
+    pub fn debug_warp_states(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, w) in self.warps.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  warp {i}: pc={} state={:?} active={:#06x} stack_depth={}",
+                w.pc,
+                w.state,
+                w.active,
+                w.simt.len()
+            );
+        }
+        s
+    }
+
+    /// Number of warps currently parked at the barrier.
+    pub fn warps_at_barrier(&self) -> usize {
+        self.warps
+            .iter()
+            .filter(|w| w.state == WarpState::AtBarrier)
+            .count()
+    }
+
+    /// Installs the EGHW graph layout for the next launch.
+    pub fn set_eghw_layout(&mut self, layout: EghwLayout) {
+        self.eghw.set_layout(layout);
+    }
+
+    /// Enables instruction tracing: up to `cap` issued instructions are
+    /// recorded per launch (tracing survives launches until disabled).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some((Vec::new(), cap));
+    }
+
+    /// Disables tracing and returns whatever was recorded.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.trace.take().map(|(v, _)| v).unwrap_or_default()
+    }
+
+    /// Resets warps and counters for a new launch (units keep their
+    /// configuration; tables are cleared).
+    pub fn reset_for_launch(&mut self) {
+        for w in &mut self.warps {
+            w.reset();
+        }
+        self.next_warp = 0;
+        self.resident = self.warps.len();
+        self.stats = CoreStats::default();
+        self.weaver.reset();
+        self.eghw.reset();
+        if let Some((records, _)) = &mut self.trace {
+            records.clear();
+        }
+        for row in &mut self.eghw_dt {
+            row.iter_mut().for_each(|e| *e = EMPTY_WORK_ID);
+        }
+    }
+
+    fn maybe_release_barrier(&mut self) {
+        let any_waiting = self.warps.iter().any(|w| w.state == WarpState::AtBarrier);
+        if !any_waiting {
+            return;
+        }
+        let all_parked = self
+            .warps
+            .iter()
+            .all(|w| matches!(w.state, WarpState::AtBarrier | WarpState::Halted));
+        if all_parked {
+            for w in &mut self.warps {
+                if w.state == WarpState::AtBarrier {
+                    w.state = WarpState::Running;
+                }
+            }
+        }
+    }
+
+    fn halt_warp(&mut self, warp: usize) {
+        if self.warps[warp].state != WarpState::Halted {
+            self.warps[warp].state = WarpState::Halted;
+            self.resident -= 1;
+            self.maybe_release_barrier();
+        }
+    }
+
+    /// Consumes zero-cost `Phase` markers and returns the warp's next real
+    /// instruction, halting the warp if it runs off the end.
+    fn resolve_front(&mut self, warp: usize, program: &Program) -> Option<Instr> {
+        loop {
+            if self.warps[warp].state != WarpState::Running {
+                return None;
+            }
+            match program.get(self.warps[warp].pc) {
+                None => {
+                    self.halt_warp(warp);
+                    return None;
+                }
+                Some(&Instr::Phase(p)) => {
+                    self.warps[warp].phase = match p {
+                        0 => Phase::Init,
+                        1 => Phase::Registration,
+                        2 => Phase::EdgeSchedule,
+                        3 => Phase::EdgeInfoAccess,
+                        4 => Phase::GatherSum,
+                        _ => Phase::Other,
+                    };
+                    self.warps[warp].pc += 1;
+                }
+                Some(&i) => return Some(i),
+            }
+        }
+    }
+
+    /// Attempts to issue one instruction at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel bugs surfaced by the machine model (divergent
+    /// uniform branches, unbalanced joins).
+    pub fn try_issue(
+        &mut self,
+        cycle: u64,
+        program: &Program,
+        args: &[u64],
+        hier: &mut Hierarchy,
+        mem: &mut MainMemory,
+        num_cores: usize,
+    ) -> Result<IssueOutcome, SimError> {
+        if self.finished() {
+            return Ok(IssueOutcome::Finished);
+        }
+        let n = self.warps.len();
+        // Round-robin scan for a ready warp.
+        for i in 0..n {
+            let w = (self.next_warp + i) % n;
+            let Some(instr) = self.resolve_front(w, program) else {
+                continue;
+            };
+            // Scoreboard: all sources and the destination must be ready.
+            let ready = instr
+                .sources()
+                .into_iter()
+                .chain(instr.dest())
+                .all(|r| self.warps[w].reg_ready(r, cycle));
+            if !ready {
+                continue;
+            }
+            if let Some((records, cap)) = &mut self.trace {
+                if records.len() < *cap {
+                    records.push(TraceRecord {
+                        cycle,
+                        core: self.id,
+                        warp: w,
+                        pc: self.warps[w].pc,
+                        instr,
+                        active: self.warps[w].active,
+                    });
+                }
+            }
+            self.exec(w, instr, cycle, args, hier, mem, num_cores, program)?;
+            self.next_warp = (w + 1) % n;
+            self.stats.instructions += 1;
+            self.stats.phase_cycles[self.warps[w].phase as usize] += 1;
+            return Ok(IssueOutcome::Issued);
+        }
+        if self.finished() {
+            return Ok(IssueOutcome::Finished);
+        }
+        // Blocked: find the soonest-ready running warp.
+        let mut best: Option<(u64, PendKind, Phase)> = None;
+        for w in &self.warps {
+            if w.state != WarpState::Running {
+                continue;
+            }
+            let Some(instr) = program.get(w.pc) else {
+                continue;
+            };
+            let mut when = 0u64;
+            let mut kind = PendKind::Exec;
+            for r in instr.sources().into_iter().chain(instr.dest()) {
+                let (t, k) = w.reg_pending(r);
+                if t > when {
+                    when = t;
+                    kind = k;
+                }
+            }
+            if best.is_none_or(|(t, _, _)| when < t) {
+                best = Some((when, kind, w.phase));
+            }
+        }
+        let blocked = match best {
+            Some((when, kind, phase)) => Blocked {
+                next_ready: when.max(cycle + 1),
+                reason: kind,
+                barrier: false,
+                phase,
+            },
+            None => {
+                // Only barrier-parked warps remain runnable-later.
+                let phase = self
+                    .warps
+                    .iter()
+                    .find(|w| w.state == WarpState::AtBarrier)
+                    .map(|w| w.phase)
+                    .unwrap_or(Phase::Other);
+                Blocked {
+                    next_ready: u64::MAX,
+                    reason: PendKind::None,
+                    barrier: true,
+                    phase,
+                }
+            }
+        };
+        Ok(IssueOutcome::Blocked(blocked))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &mut self,
+        w: usize,
+        instr: Instr,
+        cycle: u64,
+        args: &[u64],
+        hier: &mut Hierarchy,
+        mem: &mut MainMemory,
+        num_cores: usize,
+        program: &Program,
+    ) -> Result<(), SimError> {
+        use sparseweaver_isa::CsrKind;
+
+        let lanes = self.lanes;
+        let core_id = self.id;
+        self.stats.thread_instructions += self.warps[w].active_count() as u64;
+        let warp = &mut self.warps[w];
+        warp.pc += 1;
+
+        match instr {
+            Instr::Nop | Instr::Phase(_) => {}
+            Instr::Halt => {
+                self.halt_warp(w);
+            }
+            Instr::Bar => {
+                self.warps[w].state = WarpState::AtBarrier;
+                self.maybe_release_barrier();
+            }
+            Instr::LdImm { rd, imm } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    warp.write(l, rd, imm as u64);
+                }
+                warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let v = op.apply(warp.read(l, rs1), warp.read(l, rs2));
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
+            }
+            Instr::AluI { op, rd, rs1, imm } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let v = op.apply(warp.read(l, rs1), imm as u64);
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
+            }
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let v = op.apply(warp.read(l, rs1), warp.read(l, rs2));
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
+            }
+            Instr::FCmp { op, rd, rs1, rs2 } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let v = op.apply(warp.read(l, rs1), warp.read(l, rs2));
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
+            }
+            Instr::CvtIF { rd, rs1 } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let v = (warp.read(l, rs1) as i64) as f64;
+                    warp.write(l, rd, v.to_bits());
+                }
+                warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
+            }
+            Instr::CvtFI { rd, rs1 } => {
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let v = f64::from_bits(warp.read(l, rs1)) as i64;
+                    warp.write(l, rd, v as u64);
+                }
+                warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
+            }
+            Instr::Csr { rd, kind } => {
+                let wpc = self.warps.len();
+                let warp = &mut self.warps[w];
+                for l in 0..lanes {
+                    let v = match kind {
+                        CsrKind::LaneId => l as u64,
+                        CsrKind::WarpId => w as u64,
+                        CsrKind::CoreId => core_id as u64,
+                        CsrKind::GlobalTid => (core_id * wpc * lanes + w * lanes + l) as u64,
+                        CsrKind::CoreTid => (w * lanes + l) as u64,
+                        CsrKind::NumCores => num_cores as u64,
+                        CsrKind::WarpsPerCore => wpc as u64,
+                        CsrKind::ThreadsPerWarp => lanes as u64,
+                        CsrKind::ThreadsPerCore => (wpc * lanes) as u64,
+                        CsrKind::NumThreads => (num_cores * wpc * lanes) as u64,
+                    };
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
+            }
+            Instr::LdArg { rd, idx } => {
+                let v = args.get(idx as usize).copied().unwrap_or(0);
+                for l in 0..lanes {
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
+            }
+            Instr::Ld {
+                rd,
+                addr,
+                offset,
+                width,
+                space,
+            } => {
+                self.exec_load(w, rd, addr, offset, width, space, cycle, hier, mem);
+            }
+            Instr::St {
+                src,
+                addr,
+                offset,
+                width,
+                space,
+            } => {
+                self.exec_store(w, src, addr, offset, width, space, cycle, hier, mem);
+            }
+            Instr::Atom {
+                op,
+                rd,
+                addr,
+                src,
+                space,
+            } => {
+                let active: Vec<usize> = warp.active_lanes().collect();
+                let mut max_done = cycle;
+                match space {
+                    Space::Global => {
+                        for l in active {
+                            let a = self.warps[w].read(l, addr);
+                            let operand = self.warps[w].read(l, src);
+                            let r = hier.atomic(core_id, a, cycle);
+                            max_done = max_done.max(cycle + r.latency);
+                            let old = mem.read(a, 8);
+                            mem.write(a, op.combine(old, operand), 8);
+                            self.warps[w].write(l, rd, old);
+                        }
+                        self.warps[w].set_pending(rd, max_done, PendKind::Memory);
+                    }
+                    Space::Shared => {
+                        // Scratchpad atomics: serialized lane by lane at
+                        // shared-memory latency (bank conflicts on the
+                        // same counter are the realistic cost).
+                        for (i, l) in active.into_iter().enumerate() {
+                            let a = self.warps[w].read(l, addr);
+                            let operand = self.warps[w].read(l, src);
+                            let old = self.shared.read(a, 8);
+                            self.shared.write(a, op.combine(old, operand), 8);
+                            self.warps[w].write(l, rd, old);
+                            max_done =
+                                max_done.max(cycle + self.shared_latency + i as u64);
+                        }
+                        self.warps[w].set_pending(rd, max_done, PendKind::Shared);
+                    }
+                }
+            }
+            Instr::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let mut taken: Option<bool> = None;
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    let t = cond.eval(warp.read(l, rs1), warp.read(l, rs2));
+                    match taken {
+                        None => taken = Some(t),
+                        Some(prev) if prev != t => {
+                            return Err(SimError::DivergentBranch {
+                                kernel: program.name().to_string(),
+                                pc: warp.pc - 1,
+                            })
+                        }
+                        _ => {}
+                    }
+                }
+                if taken.unwrap_or(false) {
+                    warp.pc = target;
+                }
+            }
+            Instr::Jmp { target } => {
+                warp.pc = target;
+            }
+            Instr::Split {
+                rs1,
+                else_target,
+                end_target,
+            } => {
+                let m = warp.active;
+                let mut t = 0u64;
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    if warp.read(l, rs1) != 0 {
+                        t |= 1 << l;
+                    }
+                }
+                let f = m & !t;
+                let mut entry = SimtEntry {
+                    saved_mask: m,
+                    else_mask: f,
+                    else_pc: else_target,
+                    end_pc: end_target,
+                    in_else: false,
+                };
+                if t != 0 {
+                    warp.active = t;
+                } else {
+                    entry.in_else = true;
+                    warp.active = f;
+                    warp.pc = else_target;
+                }
+                warp.simt.push(entry);
+            }
+            Instr::Join => {
+                let Some(top) = warp.simt.last_mut() else {
+                    return Err(SimError::UnbalancedJoin {
+                        kernel: program.name().to_string(),
+                        pc: warp.pc - 1,
+                    });
+                };
+                if !top.in_else && top.else_mask != 0 {
+                    top.in_else = true;
+                    warp.active = top.else_mask;
+                    warp.pc = top.else_pc;
+                } else {
+                    warp.active = top.saved_mask;
+                    warp.pc = top.end_pc;
+                    warp.simt.pop();
+                }
+            }
+            Instr::Vote { op, rd, rs1 } => {
+                let mut ballot = 0u64;
+                let mut count = 0u32;
+                let mut active = 0u32;
+                for l in warp.active_lanes().collect::<Vec<_>>() {
+                    active += 1;
+                    if warp.read(l, rs1) != 0 {
+                        ballot |= 1 << l;
+                        count += 1;
+                    }
+                }
+                let v = match op {
+                    VoteOp::All => (count == active) as u64,
+                    VoteOp::Any => (count > 0) as u64,
+                    VoteOp::Ballot => ballot,
+                };
+                for l in 0..lanes {
+                    warp.write(l, rd, v);
+                }
+                warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
+            }
+            Instr::Tmc { rs1 } => {
+                let m = warp.read_uniform(rs1) & full_mask(lanes);
+                assert!(m != 0, "tmc would deactivate every lane");
+                warp.active = m;
+            }
+            Instr::WeaverReg { vid, loc, deg } => {
+                let active: Vec<usize> = warp.active_lanes().collect();
+                match self.weaver_mode {
+                    WeaverMode::Weaver => {
+                        let records: Vec<(usize, u32, u32, u32)> = active
+                            .iter()
+                            .map(|&l| {
+                                (
+                                    l,
+                                    self.warps[w].read(l, vid) as u32,
+                                    self.warps[w].read(l, loc) as u32,
+                                    self.warps[w].read(l, deg) as u32,
+                                )
+                            })
+                            .collect();
+                        self.weaver.reg(w, &records, cycle);
+                    }
+                    WeaverMode::Eghw => {
+                        let records: Vec<(usize, u32)> = active
+                            .iter()
+                            .map(|&l| (l, self.warps[w].read(l, vid) as u32))
+                            .collect();
+                        self.eghw.reg(w, &records, cycle);
+                    }
+                }
+            }
+            Instr::WeaverDecId { rd } => match self.weaver_mode {
+                WeaverMode::Weaver => {
+                    let resp = self.weaver.dec_id(w, cycle);
+                    let warp = &mut self.warps[w];
+                    for l in 0..lanes {
+                        warp.write(l, rd, resp.batch.vids[l] as u64);
+                    }
+                    warp.set_pending(rd, resp.ready_at, PendKind::Weaver);
+                    if self.auto_mask && !resp.batch.exhausted {
+                        warp.active = resp.batch.mask() & full_mask(lanes);
+                    }
+                }
+                WeaverMode::Eghw => {
+                    let batch = self.eghw.dec(cycle, |a, wd, _unit_now| {
+                        // The unit has its own memory port (SCU/GraphPEG
+                        // style): full lookup latency, no GPU port queue.
+                        let lat = hier.access_unqueued(core_id, a, false).latency;
+                        (mem.read(a, wd), lat)
+                    });
+                    let staging = eghw_staging_base(self.shared.len(), self.warps.len(), lanes);
+                    for l in 0..lanes {
+                        let slot = staging + ((w * lanes + l) as u64) * 8;
+                        self.shared.write(slot, batch.others[l].max(0) as u64, 4);
+                        self.shared
+                            .write(slot + 4, batch.weights[l].max(0) as u64, 4);
+                    }
+                    self.eghw_dt[w].copy_from_slice(&batch.eids);
+                    let warp = &mut self.warps[w];
+                    for l in 0..lanes {
+                        warp.write(l, rd, batch.vids[l] as u64);
+                    }
+                    warp.set_pending(rd, batch.ready_at, PendKind::Weaver);
+                    if self.auto_mask && !batch.exhausted {
+                        let mut m = 0u64;
+                        for (l, &v) in batch.vids.iter().enumerate() {
+                            if v != EMPTY_WORK_ID {
+                                m |= 1 << l;
+                            }
+                        }
+                        warp.active = m & full_mask(lanes);
+                    }
+                }
+            },
+            Instr::WeaverDecLoc { rd } => match self.weaver_mode {
+                WeaverMode::Weaver => {
+                    let (eids, ready) = self.weaver.dec_loc(w, cycle);
+                    let warp = &mut self.warps[w];
+                    for (l, &eid) in eids.iter().enumerate().take(lanes) {
+                        warp.write(l, rd, eid as u64);
+                    }
+                    warp.set_pending(rd, ready, PendKind::Weaver);
+                }
+                WeaverMode::Eghw => {
+                    let eids = self.eghw_dt[w].clone();
+                    let warp = &mut self.warps[w];
+                    for (l, &eid) in eids.iter().enumerate().take(lanes) {
+                        warp.write(l, rd, eid as u64);
+                    }
+                    warp.set_pending(rd, cycle + self.shared_latency + 1, PendKind::Shared);
+                }
+            },
+            Instr::WeaverSkip { vid } => {
+                if self.weaver_mode == WeaverMode::Weaver {
+                    let vids: Vec<u32> = self.warps[w]
+                        .active_lanes()
+                        .map(|l| self.warps[w].read(l, vid) as u32)
+                        .collect();
+                    self.weaver.skip(&vids, cycle);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load(
+        &mut self,
+        w: usize,
+        rd: sparseweaver_isa::Reg,
+        addr: sparseweaver_isa::Reg,
+        offset: i32,
+        width: Width,
+        space: Space,
+        cycle: u64,
+        hier: &mut Hierarchy,
+        mem: &mut MainMemory,
+    ) {
+        let active: Vec<usize> = self.warps[w].active_lanes().collect();
+        match space {
+            Space::Shared => {
+                for &l in &active {
+                    let a = self.warps[w]
+                        .read(l, addr)
+                        .wrapping_add(offset as i64 as u64);
+                    let v = self.shared.read(a, width.bytes());
+                    self.warps[w].write(l, rd, v);
+                }
+                self.warps[w].set_pending(rd, cycle + self.shared_latency, PendKind::Shared);
+            }
+            Space::Global => {
+                // Coalesce into unique lines (in address order for
+                // determinism), one hierarchy access each.
+                let mut lines: Vec<u64> = active
+                    .iter()
+                    .map(|&l| {
+                        sparseweaver_mem::line_of(
+                            self.warps[w]
+                                .read(l, addr)
+                                .wrapping_add(offset as i64 as u64),
+                        )
+                    })
+                    .collect();
+                lines.sort_unstable();
+                lines.dedup();
+                let mut max_lat = 0u64;
+                for line in lines {
+                    let r = hier.access(self.id, line, false, cycle);
+                    max_lat = max_lat.max(r.latency);
+                    self.stats.stalls.l1_queue += r.queue_delay;
+                }
+                for &l in &active {
+                    let a = self.warps[w]
+                        .read(l, addr)
+                        .wrapping_add(offset as i64 as u64);
+                    let v = mem.read(a, width.bytes());
+                    self.warps[w].write(l, rd, v);
+                }
+                self.warps[w].set_pending(rd, cycle + max_lat, PendKind::Memory);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store(
+        &mut self,
+        w: usize,
+        src: sparseweaver_isa::Reg,
+        addr: sparseweaver_isa::Reg,
+        offset: i32,
+        width: Width,
+        space: Space,
+        cycle: u64,
+        hier: &mut Hierarchy,
+        mem: &mut MainMemory,
+    ) {
+        let active: Vec<usize> = self.warps[w].active_lanes().collect();
+        match space {
+            Space::Shared => {
+                for &l in &active {
+                    let a = self.warps[w]
+                        .read(l, addr)
+                        .wrapping_add(offset as i64 as u64);
+                    let v = self.warps[w].read(l, src);
+                    self.shared.write(a, v, width.bytes());
+                }
+            }
+            Space::Global => {
+                let mut lines: Vec<u64> = active
+                    .iter()
+                    .map(|&l| {
+                        sparseweaver_mem::line_of(
+                            self.warps[w]
+                                .read(l, addr)
+                                .wrapping_add(offset as i64 as u64),
+                        )
+                    })
+                    .collect();
+                lines.sort_unstable();
+                lines.dedup();
+                for line in lines {
+                    let r = hier.access(self.id, line, true, cycle);
+                    self.stats.stalls.l1_queue += r.queue_delay;
+                }
+                for &l in &active {
+                    let a = self.warps[w]
+                        .read(l, addr)
+                        .wrapping_add(offset as i64 as u64);
+                    let v = self.warps[w].read(l, src);
+                    mem.write(a, v, width.bytes());
+                }
+            }
+        }
+        // Stores are fire-and-forget: the warp continues immediately.
+    }
+}
+
+/// Where the EGHW staging buffer lives in shared memory: the top
+/// `warps x lanes x 8` bytes.
+pub fn eghw_staging_base(shared_bytes: usize, warps: usize, lanes: usize) -> u64 {
+    (shared_bytes - warps * lanes * 8) as u64
+}

@@ -1,0 +1,646 @@
+//! The whole GPU: cores + memory hierarchy + the global cycle loop.
+
+use sparseweaver_isa::Program;
+use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory};
+use sparseweaver_weaver::eghw::EghwLayout;
+
+use crate::config::GpuConfig;
+use crate::core::{Core, IssueOutcome};
+use crate::stats::{KernelStats, PendKind};
+use crate::SimError;
+
+/// The simulated GPU.
+///
+/// Functional state lives in [`MainMemory`]; the hierarchy and cores only
+/// decide timing. Caches stay warm across launches (iterative graph
+/// algorithms relaunch kernels every superstep, as on real hardware).
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_isa::{Asm, CsrKind, Width};
+/// use sparseweaver_sim::{Gpu, GpuConfig};
+///
+/// // Each thread stores its global thread ID to memory.
+/// let mut a = Asm::new("tid_store");
+/// let tid = a.reg();
+/// let addr = a.reg();
+/// a.csr(tid, CsrKind::GlobalTid);
+/// a.muli(addr, tid, 8);
+/// a.stg(tid, addr, 0, Width::B8);
+/// a.halt();
+/// let prog = a.finish();
+///
+/// let mut gpu = Gpu::new(GpuConfig::small_test());
+/// let bytes = 8 * gpu.config().total_threads();
+/// gpu.mem_mut().grow_to(bytes);
+/// let stats = gpu.launch(&prog, &[])?;
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.mem().read(8 * 5, 8), 5);
+/// # Ok::<(), sparseweaver_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: MainMemory,
+    hierarchy: Hierarchy,
+    cores: Vec<Core>,
+}
+
+impl Gpu {
+    /// Builds a GPU from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`GpuConfig::validate`]).
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate();
+        Gpu {
+            mem: MainMemory::new(1 << 20),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            cores: (0..cfg.num_cores).map(|i| Core::new(i, &cfg)).collect(),
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Read access to device memory.
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable access to device memory (host-side data movement).
+    pub fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Cumulative memory-hierarchy statistics.
+    pub fn mem_stats(&self) -> LevelStats {
+        self.hierarchy.stats()
+    }
+
+    /// Flushes caches and resets memory statistics (between independent
+    /// experiments).
+    pub fn reset_memory_system(&mut self) {
+        self.hierarchy.reset();
+    }
+
+    /// Installs the EGHW graph layout on every core.
+    pub fn set_eghw_layout(&mut self, layout: EghwLayout) {
+        for c in &mut self.cores {
+            c.set_eghw_layout(layout);
+        }
+    }
+
+    /// Enables instruction tracing on every core (up to `cap_per_core`
+    /// records each per launch).
+    pub fn enable_trace(&mut self, cap_per_core: usize) {
+        for c in &mut self.cores {
+            c.enable_trace(cap_per_core);
+        }
+    }
+
+    /// Collects and clears the trace from every core, merged and sorted
+    /// by `(cycle, core)`.
+    pub fn take_trace(&mut self) -> Vec<crate::core::TraceRecord> {
+        let mut all: Vec<_> = self.cores.iter_mut().flat_map(|c| c.take_trace()).collect();
+        all.sort_by_key(|r| (r.cycle, r.core, r.warp));
+        all
+    }
+
+    /// Runs `program` to completion on all cores and returns its stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on kernel bugs (divergent uniform branches,
+    /// unbalanced joins), deadlock, or exceeding the cycle budget.
+    pub fn launch(&mut self, program: &Program, args: &[u64]) -> Result<KernelStats, SimError> {
+        for c in &mut self.cores {
+            c.reset_for_launch();
+        }
+        self.hierarchy.reset_ports();
+        let mem_before = self.hierarchy.stats();
+        let num_cores = self.cores.len();
+        let mut cycle: u64 = 0;
+        let mut warp_cycles: u64 = 0;
+        let mut barrier_warp_cycles: u64 = 0;
+        let mut blocked: Vec<(usize, crate::core::Blocked)> = Vec::new();
+
+        loop {
+            if cycle > self.cfg.max_cycles {
+                if std::env::var_os("SPARSEWEAVER_DEBUG_HANG").is_some() {
+                    for (i, c) in self.cores.iter().enumerate() {
+                        eprintln!("core {i}:\n{}", c.debug_warp_states());
+                    }
+                }
+                return Err(SimError::CycleLimit {
+                    kernel: program.name().to_string(),
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            blocked.clear();
+            let mut any_issued = false;
+            let mut all_finished = true;
+            for i in 0..num_cores {
+                let outcome = {
+                    let core = &mut self.cores[i];
+                    core.try_issue(
+                        cycle,
+                        program,
+                        args,
+                        &mut self.hierarchy,
+                        &mut self.mem,
+                        num_cores,
+                    )?
+                };
+                match outcome {
+                    IssueOutcome::Issued => {
+                        any_issued = true;
+                        all_finished = false;
+                    }
+                    IssueOutcome::Blocked(b) => {
+                        all_finished = false;
+                        blocked.push((i, b));
+                    }
+                    IssueOutcome::Finished => {
+                        if self.cores[i].stats.finish_cycle == 0 {
+                            self.cores[i].stats.finish_cycle = cycle;
+                        }
+                    }
+                }
+            }
+            if all_finished {
+                break;
+            }
+            // How far to advance: 1 cycle if anything issued, else jump to
+            // the earliest wake-up.
+            let delta = if any_issued {
+                1
+            } else {
+                let jump = blocked
+                    .iter()
+                    .map(|(_, b)| b.next_ready)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if jump == u64::MAX {
+                    return Err(SimError::Deadlock {
+                        kernel: program.name().to_string(),
+                        cycle,
+                    });
+                }
+                jump - cycle
+            };
+            // Attribute stall cycles to blocked cores.
+            for &(i, b) in &blocked {
+                let s = &mut self.cores[i].stats;
+                let n = delta;
+                if b.barrier {
+                    s.stalls.barrier += n;
+                } else {
+                    match b.reason {
+                        PendKind::Memory => s.stalls.memory += n,
+                        PendKind::Shared => s.stalls.shared += n,
+                        PendKind::Weaver => s.stalls.weaver += n,
+                        PendKind::Exec | PendKind::None => s.stalls.exec_dep += n,
+                    }
+                }
+                s.phase_cycles[b.phase as usize] += n;
+            }
+            // Warp residency accounting.
+            for c in &self.cores {
+                if !c.finished() {
+                    warp_cycles += c.resident_warps() as u64 * delta;
+                    barrier_warp_cycles += c.warps_at_barrier() as u64 * delta;
+                }
+            }
+            cycle += delta;
+        }
+
+        // Fold per-core stats.
+        let mem_after = self.hierarchy.stats();
+        let mut stats = KernelStats {
+            cycles: cycle,
+            launches: 1,
+            warp_cycles,
+            ..KernelStats::default()
+        };
+        stats.stalls.barrier += barrier_warp_cycles;
+        for c in &self.cores {
+            stats.instructions += c.stats.instructions;
+            stats.thread_instructions += c.stats.thread_instructions;
+            stats.stalls.add(&c.stats.stalls);
+            for p in 0..crate::stats::Phase::COUNT {
+                stats.phase_cycles[p] += c.stats.phase_cycles[p];
+            }
+            let (f, d, r) = c.weaver.counters();
+            stats.weaver_counters.0 += f;
+            stats.weaver_counters.1 += d;
+            stats.weaver_counters.2 += r;
+        }
+        stats.mem = LevelStats {
+            l1: diff_cache(mem_after.l1, mem_before.l1),
+            l2: diff_cache(mem_after.l2, mem_before.l2),
+            l3: match (mem_after.l3, mem_before.l3) {
+                (Some(a), Some(b)) => Some(diff_cache(a, b)),
+                (a, _) => a,
+            },
+            dram_accesses: mem_after.dram_accesses - mem_before.dram_accesses,
+        };
+        Ok(stats)
+    }
+}
+
+fn diff_cache(
+    a: sparseweaver_mem::CacheStats,
+    b: sparseweaver_mem::CacheStats,
+) -> sparseweaver_mem::CacheStats {
+    sparseweaver_mem::CacheStats {
+        accesses: a.accesses - b.accesses,
+        hits: a.hits - b.hits,
+        misses: a.misses - b.misses,
+        writebacks: a.writebacks - b.writebacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseweaver_isa::{Asm, AtomOp, CsrKind, VoteOp, Width};
+
+    fn gpu() -> Gpu {
+        let mut g = Gpu::new(GpuConfig::small_test());
+        g.mem_mut().grow_to(1 << 20);
+        g
+    }
+
+    #[test]
+    fn empty_program_finishes() {
+        let mut g = gpu();
+        let p = Asm::new("empty").finish();
+        let s = g.launch(&p, &[]).unwrap();
+        assert_eq!(s.instructions, 0);
+    }
+
+    #[test]
+    fn every_thread_writes_its_tid() {
+        let mut g = gpu();
+        let total = g.config().total_threads();
+        let mut a = Asm::new("tids");
+        let tid = a.reg();
+        let addr = a.reg();
+        a.csr(tid, CsrKind::GlobalTid);
+        a.muli(addr, tid, 8);
+        a.stg(tid, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        for t in 0..total as u64 {
+            assert_eq!(g.mem().read(t * 8, 8), t, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn kernel_args_reach_threads() {
+        let mut g = gpu();
+        let mut a = Asm::new("args");
+        let v = a.reg();
+        let addr = a.reg();
+        a.ldarg(v, 3);
+        a.li(addr, 64);
+        a.stg(v, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[0, 0, 0, 777]).unwrap();
+        assert_eq!(g.mem().read(64, 8), 777);
+    }
+
+    #[test]
+    fn divergent_if_else_runs_both_sides() {
+        let mut g = gpu();
+        let mut a = Asm::new("diverge");
+        let lane = a.reg();
+        let is_even = a.reg();
+        let addr = a.reg();
+        let val = a.reg();
+        let tid = a.reg();
+        a.csr(lane, CsrKind::LaneId);
+        a.csr(tid, CsrKind::GlobalTid);
+        a.alui(sparseweaver_isa::AluOp::And, is_even, lane, 1);
+        a.seqi(is_even, is_even, 0);
+        a.muli(addr, tid, 8);
+        a.if_else(is_even, |a| a.li(val, 100), |a| a.li(val, 200));
+        a.stg(val, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        for t in 0..g.config().total_threads() as u64 {
+            let expect = if t % g.config().threads_per_warp as u64 % 2 == 0 {
+                100
+            } else {
+                200
+            };
+            assert_eq!(g.mem().read(t * 8, 8), expect, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn divergent_uniform_branch_is_an_error() {
+        let mut g = gpu();
+        let mut a = Asm::new("bad_branch");
+        let lane = a.reg();
+        let zero = a.zero();
+        a.csr(lane, CsrKind::LaneId);
+        let l = a.new_label();
+        a.beq(lane, zero, l); // lane-dependent: illegal uniform branch
+        a.bind(l);
+        a.halt();
+        let p = a.finish();
+        match g.launch(&p, &[]) {
+            Err(SimError::DivergentBranch { .. }) => {}
+            other => panic!("expected divergence error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_joins_all_warps() {
+        let mut g = gpu();
+        // Warp 0 writes, everyone barriers, then all read and verify via
+        // a store the host checks.
+        let mut a = Asm::new("barrier");
+        let wid = a.reg();
+        let addr = a.reg();
+        let v = a.reg();
+        let tid = a.reg();
+        a.csr(wid, CsrKind::WarpId);
+        a.csr(tid, CsrKind::GlobalTid);
+        a.li(addr, 0);
+        let skip = a.reg();
+        a.seqi(skip, wid, 0);
+        a.if_nonzero(skip, |a| {
+            let c = a.reg();
+            a.li(c, 42);
+            a.sts(c, addr, 0, Width::B8);
+            a.free(c);
+        });
+        a.bar();
+        a.lds(v, addr, 0, Width::B8);
+        let out = a.reg();
+        a.muli(out, tid, 8);
+        a.stg(v, out, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        // Every thread in every core observed 42 after the barrier.
+        for t in 0..g.config().total_threads() as u64 {
+            assert_eq!(g.mem().read(t * 8, 8), 42, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn atomics_count_threads_exactly() {
+        let mut g = gpu();
+        let total = g.config().total_threads() as u64;
+        let mut a = Asm::new("atomic_count");
+        let addr = a.reg();
+        let one = a.reg();
+        let old = a.reg();
+        a.li(addr, 128);
+        a.li(one, 1);
+        a.atom(AtomOp::Add, old, addr, one);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        assert_eq!(g.mem().read(128, 8), total);
+    }
+
+    #[test]
+    fn vote_ballot_semantics() {
+        let mut g = gpu();
+        let mut a = Asm::new("ballot");
+        let lane = a.reg();
+        let pred = a.reg();
+        let b = a.reg();
+        let addr = a.reg();
+        a.csr(lane, CsrKind::LaneId);
+        a.alui(sparseweaver_isa::AluOp::And, pred, lane, 1);
+        a.vote(VoteOp::Ballot, b, pred);
+        a.li(addr, 256);
+        a.stg(b, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        // Lanes 1 and 3 of a 4-lane warp have odd lane IDs.
+        assert_eq!(g.mem().read(256, 8), 0b1010);
+    }
+
+    #[test]
+    fn weaver_distribution_loop_end_to_end() {
+        // Registration of two vertices, then the Fig. 9 distribution loop
+        // writes one record per generated (vid, eid) work item.
+        let mut g = gpu();
+        let mut a = Asm::new("weaver_loop");
+        let ctid = a.reg();
+        let vid = a.reg();
+        let loc = a.reg();
+        let deg = a.reg();
+        let cid = a.reg();
+        a.csr(ctid, CsrKind::CoreTid);
+        a.csr(cid, CsrKind::CoreId);
+        // Threads 0 and 1 of core 0 register vertices 5 (deg 3, loc 10)
+        // and 6 (deg 2, loc 13).
+        let is_reg = a.reg();
+        let t = a.reg();
+        a.seqi(t, cid, 0);
+        a.sltui(is_reg, ctid, 2);
+        a.and(is_reg, is_reg, t);
+        a.if_nonzero(is_reg, |a| {
+            a.addi(vid, ctid, 5);
+            a.muli(loc, ctid, 3);
+            a.addi(loc, loc, 10);
+            let three = a.reg();
+            a.li(three, 3);
+            a.sub(deg, three, ctid);
+            a.free(three);
+            a.weaver_reg(vid, loc, deg);
+        });
+        a.bar();
+        // Distribution loop.
+        let top = a.new_label();
+        let done = a.new_label();
+        let wv = a.reg();
+        let we = a.reg();
+        let has = a.reg();
+        let any = a.reg();
+        a.bind(top);
+        a.weaver_dec_id(wv);
+        a.snei(has, wv, -1);
+        a.vote(VoteOp::Any, any, has);
+        a.beq(any, a.zero(), done);
+        a.weaver_dec_loc(we);
+        // Record: mem[16 * eid] = vid + 1 (nonzero marker).
+        a.if_nonzero(has, |a| {
+            let addr = a.reg();
+            let val = a.reg();
+            a.muli(addr, we, 16);
+            a.addi(val, wv, 1);
+            a.stg(val, addr, 0, Width::B8);
+            a.free(addr);
+            a.free(val);
+        });
+        a.jmp(top);
+        a.bind(done);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        // vertex 5: eids 10, 11, 12 -> marker 6; vertex 6: eids 13, 14 -> 7.
+        for e in 10..13u64 {
+            assert_eq!(g.mem().read(e * 16, 8), 6, "eid {e}");
+        }
+        for e in 13..15u64 {
+            assert_eq!(g.mem().read(e * 16, 8), 7, "eid {e}");
+        }
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut g = gpu();
+        let mut a = Asm::new("stats");
+        let r = a.reg();
+        let addr = a.reg();
+        a.li(addr, 4096);
+        a.ldg(r, addr, 0, Width::B8);
+        a.addi(r, r, 1);
+        a.stg(r, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        let s = g.launch(&p, &[]).unwrap();
+        assert!(s.cycles > 0);
+        assert!(s.instructions > 0);
+        assert!(s.mem.l1.accesses > 0);
+        assert!(s.warps_per_instruction() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut g = gpu();
+            let mut a = Asm::new("det");
+            let tid = a.reg();
+            let addr = a.reg();
+            let v = a.reg();
+            a.csr(tid, CsrKind::GlobalTid);
+            a.muli(addr, tid, 8);
+            a.ldg(v, addr, 0, Width::B8);
+            a.add(v, v, tid);
+            a.stg(v, addr, 0, Width::B8);
+            a.halt();
+            let p = a.finish();
+            g.launch(&p, &[]).unwrap().cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_atomics_count_within_core() {
+        // Every thread of a core adds 1 to the same scratchpad counter.
+        let mut g = gpu();
+        let mut a = Asm::new("shared_atomic");
+        let addr = a.reg();
+        let one = a.reg();
+        let old = a.reg();
+        a.li(addr, 128);
+        a.li(one, 1);
+        a.atom_shared(AtomOp::Add, old, addr, one);
+        a.bar();
+        // Thread 0 of each core writes the counter to global memory at
+        // core_id * 8.
+        let ctid = a.reg();
+        let is0 = a.reg();
+        a.csr(ctid, CsrKind::CoreTid);
+        a.seqi(is0, ctid, 0);
+        a.if_nonzero(is0, |a| {
+            let v = a.reg();
+            let out = a.reg();
+            a.lds(v, addr, 0, Width::B8);
+            a.csr(out, CsrKind::CoreId);
+            a.muli(out, out, 8);
+            a.stg(v, out, 0, Width::B8);
+            a.free(out);
+            a.free(v);
+        });
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        let tpc = g.config().threads_per_core() as u64;
+        for c in 0..g.config().num_cores as u64 {
+            assert_eq!(g.mem().read(c * 8, 8), tpc, "core {c}");
+        }
+    }
+
+    #[test]
+    fn mem_stats_accumulate_and_reset() {
+        let mut g = gpu();
+        let mut a = Asm::new("touch");
+        let addr = a.reg();
+        let v = a.reg();
+        a.li(addr, 4096);
+        a.ldg(v, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        let after_one = g.mem_stats().l1.accesses;
+        assert!(after_one > 0);
+        g.launch(&p, &[]).unwrap();
+        assert!(g.mem_stats().l1.accesses > after_one, "cumulative");
+        g.reset_memory_system();
+        assert_eq!(g.mem_stats().l1.accesses, 0);
+    }
+
+    #[test]
+    fn tracing_records_issued_instructions() {
+        let mut g = gpu();
+        g.enable_trace(1000);
+        let mut a = Asm::new("traced");
+        let r = a.reg();
+        a.li(r, 7);
+        a.halt();
+        let p = a.finish();
+        let s = g.launch(&p, &[]).unwrap();
+        let trace = g.take_trace();
+        assert_eq!(trace.len() as u64, s.instructions);
+        // Cycles are non-decreasing and every warp issued both instrs.
+        for w in trace.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        let lis = trace
+            .iter()
+            .filter(|r| matches!(r.instr, sparseweaver_isa::Instr::LdImm { .. }))
+            .count();
+        assert_eq!(lis, g.config().num_cores * g.config().warps_per_core);
+        // Tracing disabled after take_trace.
+        g.launch(&p, &[]).unwrap();
+        assert!(g.take_trace().is_empty());
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.max_cycles = 50;
+        let mut g = Gpu::new(cfg);
+        let mut a = Asm::new("spin");
+        let top = a.new_label();
+        a.bind(top);
+        a.nop();
+        a.jmp(top);
+        let p = a.finish();
+        match g.launch(&p, &[]) {
+            Err(SimError::CycleLimit { .. }) => {}
+            other => panic!("expected cycle limit, got {other:?}"),
+        }
+    }
+}

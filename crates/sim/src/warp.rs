@@ -1,0 +1,224 @@
+//! Per-warp state: registers, scoreboard, IPDOM divergence stack.
+
+use sparseweaver_isa::{Reg, NUM_REGS};
+
+use crate::stats::{PendKind, Phase};
+
+/// One IPDOM (immediate post-dominator) stack entry pushed by `split`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimtEntry {
+    /// Mask to restore at reconvergence.
+    pub saved_mask: u64,
+    /// Lanes that take the else side.
+    pub else_mask: u64,
+    /// Program counter of the else side.
+    pub else_pc: u32,
+    /// Program counter just past the region's final `join`.
+    pub end_pc: u32,
+    /// Whether the else side is currently executing.
+    pub in_else: bool,
+}
+
+/// Warp scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Eligible for issue.
+    Running,
+    /// Parked at a core barrier.
+    AtBarrier,
+    /// Kernel finished.
+    Halted,
+}
+
+/// One warp: lockstep lanes with private registers and a shared program
+/// counter, scoreboard and divergence stack.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Active lane mask.
+    pub active: u64,
+    /// Scheduling state.
+    pub state: WarpState,
+    /// Divergence stack.
+    pub simt: Vec<SimtEntry>,
+    /// Current phase for cycle attribution.
+    pub phase: Phase,
+    /// Lane-major register file: `regs[lane * NUM_REGS + reg]`.
+    regs: Vec<u64>,
+    /// Cycle at which each register's pending write completes.
+    ready: [u64; NUM_REGS],
+    /// What kind of producer each pending register waits on.
+    pend: [PendKind; NUM_REGS],
+    lanes: usize,
+}
+
+impl Warp {
+    /// Creates a warp with `lanes` lanes, all active, at pc 0.
+    pub fn new(lanes: usize) -> Self {
+        Warp {
+            pc: 0,
+            active: full_mask(lanes),
+            state: WarpState::Running,
+            simt: Vec::new(),
+            phase: Phase::Init,
+            regs: vec![0; lanes * NUM_REGS],
+            ready: [0; NUM_REGS],
+            pend: [PendKind::None; NUM_REGS],
+            lanes,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Resets for a new kernel launch.
+    pub fn reset(&mut self) {
+        self.pc = 0;
+        self.active = full_mask(self.lanes);
+        self.state = WarpState::Running;
+        self.simt.clear();
+        self.phase = Phase::Init;
+        self.regs.iter_mut().for_each(|r| *r = 0);
+        self.ready = [0; NUM_REGS];
+        self.pend = [PendKind::None; NUM_REGS];
+    }
+
+    /// Reads `reg` in `lane` (x0 is always zero).
+    pub fn read(&self, lane: usize, reg: Reg) -> u64 {
+        if reg.0 == 0 {
+            0
+        } else {
+            self.regs[lane * NUM_REGS + reg.0 as usize]
+        }
+    }
+
+    /// Writes `reg` in `lane` (writes to x0 are ignored).
+    pub fn write(&mut self, lane: usize, reg: Reg, value: u64) {
+        if reg.0 != 0 {
+            self.regs[lane * NUM_REGS + reg.0 as usize] = value;
+        }
+    }
+
+    /// Marks `reg` as pending until `ready_at` with producer `kind`.
+    pub fn set_pending(&mut self, reg: Reg, ready_at: u64, kind: PendKind) {
+        if reg.0 != 0 {
+            self.ready[reg.0 as usize] = ready_at;
+            self.pend[reg.0 as usize] = kind;
+        }
+    }
+
+    /// Whether `reg` is available at `cycle`.
+    pub fn reg_ready(&self, reg: Reg, cycle: u64) -> bool {
+        self.ready[reg.0 as usize] <= cycle
+    }
+
+    /// When `reg` becomes available, and on what.
+    pub fn reg_pending(&self, reg: Reg) -> (u64, PendKind) {
+        (self.ready[reg.0 as usize], self.pend[reg.0 as usize])
+    }
+
+    /// Lanes currently active, as indices.
+    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.lanes).filter(move |&l| self.active >> l & 1 == 1)
+    }
+
+    /// Value of `reg` in the lowest active lane (uniform reads).
+    pub fn read_uniform(&self, reg: Reg) -> u64 {
+        let lane = self.active.trailing_zeros() as usize;
+        self.read(lane.min(self.lanes - 1), reg)
+    }
+
+    /// Number of active lanes.
+    pub fn active_count(&self) -> u32 {
+        self.active.count_ones()
+    }
+}
+
+/// A mask with the low `lanes` bits set.
+pub fn full_mask(lanes: usize) -> u64 {
+    if lanes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_reads_zero_and_ignores_writes() {
+        let mut w = Warp::new(4);
+        w.write(2, Reg(0), 99);
+        assert_eq!(w.read(2, Reg(0)), 0);
+    }
+
+    #[test]
+    fn registers_are_per_lane() {
+        let mut w = Warp::new(4);
+        w.write(0, Reg(5), 10);
+        w.write(1, Reg(5), 20);
+        assert_eq!(w.read(0, Reg(5)), 10);
+        assert_eq!(w.read(1, Reg(5)), 20);
+    }
+
+    #[test]
+    fn scoreboard_tracks_readiness() {
+        let mut w = Warp::new(4);
+        assert!(w.reg_ready(Reg(3), 0));
+        w.set_pending(Reg(3), 100, PendKind::Memory);
+        assert!(!w.reg_ready(Reg(3), 99));
+        assert!(w.reg_ready(Reg(3), 100));
+        assert_eq!(w.reg_pending(Reg(3)), (100, PendKind::Memory));
+    }
+
+    #[test]
+    fn x0_never_pends() {
+        let mut w = Warp::new(4);
+        w.set_pending(Reg(0), 100, PendKind::Memory);
+        assert!(w.reg_ready(Reg(0), 0));
+    }
+
+    #[test]
+    fn active_lanes_iteration() {
+        let mut w = Warp::new(4);
+        w.active = 0b1010;
+        let lanes: Vec<_> = w.active_lanes().collect();
+        assert_eq!(lanes, vec![1, 3]);
+        assert_eq!(w.active_count(), 2);
+    }
+
+    #[test]
+    fn uniform_read_uses_lowest_active_lane() {
+        let mut w = Warp::new(4);
+        w.write(1, Reg(7), 42);
+        w.active = 0b1110;
+        assert_eq!(w.read_uniform(Reg(7)), 42);
+    }
+
+    #[test]
+    fn full_mask_widths() {
+        assert_eq!(full_mask(4), 0b1111);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let mut w = Warp::new(4);
+        w.pc = 10;
+        w.active = 1;
+        w.state = WarpState::Halted;
+        w.write(0, Reg(1), 5);
+        w.set_pending(Reg(1), 50, PendKind::Exec);
+        w.reset();
+        assert_eq!(w.pc, 0);
+        assert_eq!(w.active, 0b1111);
+        assert_eq!(w.state, WarpState::Running);
+        assert_eq!(w.read(0, Reg(1)), 0);
+        assert!(w.reg_ready(Reg(1), 0));
+    }
+}

@@ -1,0 +1,318 @@
+//! The per-core Weaver unit: FSM + tables + timing.
+//!
+//! Weaver extends the Vortex Special Function Unit (Section IV-C). The
+//! timing model captures the properties the paper evaluates:
+//!
+//! - ST/DT accesses go to shared memory, so each table read/write costs the
+//!   configurable `table_latency` (the Fig. 13 sweep knob);
+//! - the unit is pipelined: back-to-back decode requests from different
+//!   warps overlap their table-read latency, which is why Fig. 13 is flat —
+//!   *occupancy* is one slot per table access, but *latency* is hidden by
+//!   warp-level parallelism;
+//! - registration writes one ST entry per active lane, pipelined one per
+//!   cycle.
+
+use crate::fsm::{DecodeBatch, WeaverFsm};
+use crate::tables::{DenseTable, SparseTable, StEntry};
+
+/// Configuration of the Weaver unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WeaverConfig {
+    /// ST capacity per core (512 in the paper's evaluation).
+    pub st_capacity: usize,
+    /// Shared-memory read/write latency for table accesses (Fig. 13 sweeps
+    /// 10–160; Vortex shared memory is a few cycles by default).
+    pub table_latency: u64,
+    /// Fixed pipeline overhead per unit operation.
+    pub base_latency: u64,
+    /// Whether `WEAVER_DEC_ID` also installs the hardware thread mask
+    /// (the backend compiler's thread-activation optimization).
+    pub auto_mask: bool,
+}
+
+impl Default for WeaverConfig {
+    fn default() -> Self {
+        WeaverConfig {
+            st_capacity: 512,
+            table_latency: 4,
+            base_latency: 2,
+            auto_mask: true,
+        }
+    }
+}
+
+/// A decode response delivered to the requesting warp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecResponse {
+    /// The OD contents: per-lane `(vid)`; `-1` means no work.
+    pub batch: DecodeBatch,
+    /// GPU cycle at which the response is available.
+    pub ready_at: u64,
+}
+
+/// The per-core Weaver functional unit.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_weaver::{WeaverConfig, WeaverUnit};
+///
+/// let mut w = WeaverUnit::new(WeaverConfig::default(), 8, 4);
+/// w.reg(0, &[(0, 3, 0, 2), (1, 5, 2, 1)], 0);
+/// let resp = w.dec_id(1, 10);
+/// assert_eq!(resp.batch.vids, vec![3, 3, 5, -1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeaverUnit {
+    cfg: WeaverConfig,
+    lanes: usize,
+    fsm: WeaverFsm,
+    dt: DenseTable,
+    /// Pending registration slots for the current round.
+    staging: SparseTable,
+    in_registration: bool,
+    busy_until: u64,
+    /// Total ST fetches (for reports).
+    st_fetches: u64,
+    /// Total decode requests served.
+    dec_requests: u64,
+    /// Total registered entries.
+    registrations: u64,
+}
+
+impl WeaverUnit {
+    /// Creates a unit for a core with `warps` warps of `lanes` lanes.
+    pub fn new(cfg: WeaverConfig, warps: usize, lanes: usize) -> Self {
+        WeaverUnit {
+            lanes,
+            fsm: WeaverFsm::new(lanes),
+            dt: DenseTable::new(warps, lanes),
+            staging: SparseTable::new(cfg.st_capacity),
+            in_registration: false,
+            busy_until: 0,
+            st_fetches: 0,
+            dec_requests: 0,
+            registrations: 0,
+            cfg,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> WeaverConfig {
+        self.cfg
+    }
+
+    /// `(st_fetches, dec_requests, registrations)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.st_fetches, self.dec_requests, self.registrations)
+    }
+
+    /// Services a `WEAVER_REG` from `warp`: one `(lane, vid, loc, deg)`
+    /// record per active lane. Returns the completion cycle.
+    ///
+    /// The first registration after a distribution round re-initializes
+    /// the FSM and clears the ST ("initialized to init status when a new
+    /// registration request is received").
+    ///
+    /// # Panics
+    ///
+    /// Panics if a computed slot exceeds the ST capacity — the compiler's
+    /// chunked registration loop must prevent this.
+    pub fn reg(&mut self, warp: usize, records: &[(usize, u32, u32, u32)], now: u64) -> u64 {
+        if !self.in_registration {
+            self.staging.clear();
+            self.in_registration = true;
+        }
+        for &(lane, vid, loc, deg) in records {
+            let index = warp * self.lanes + lane;
+            self.staging.register(index, StEntry { vid, loc, deg });
+            self.registrations += 1;
+        }
+        // Pipelined table writes: one per cycle of occupancy.
+        let start = now.max(self.busy_until);
+        let occupancy = self.cfg.base_latency + records.len() as u64;
+        self.busy_until = start + occupancy;
+        start + occupancy + self.cfg.table_latency
+    }
+
+    /// Services a `WEAVER_DEC_ID` from `warp`: runs the FSM to fill one OD
+    /// buffer, stores the edge IDs in the warp's DT row, and returns the
+    /// per-lane vertex IDs plus the thread mask.
+    pub fn dec_id(&mut self, warp: usize, now: u64) -> DecResponse {
+        if self.in_registration {
+            // Synchronization point passed: install the registered ST.
+            let st = std::mem::replace(&mut self.staging, SparseTable::new(self.cfg.st_capacity));
+            self.fsm.load(st);
+            self.in_registration = false;
+        }
+        self.dec_requests += 1;
+        let batch = self.fsm.decode();
+        self.dt.store_row(warp, &batch.eids);
+        self.st_fetches += batch.st_fetches as u64;
+        // Occupancy: the S2 decode state "fills every entry of OD
+        // simultaneously" (Fig. 6), so a request occupies the unit for one
+        // cycle plus one pipelined table read per ST slot fetched. The
+        // response latency additionally pays the unit's fixed depth and
+        // one table read, both overlapped across requests.
+        let start = now.max(self.busy_until);
+        let occupancy = 1 + batch.st_fetches as u64;
+        self.busy_until = start + occupancy;
+        let ready_at = start + occupancy + self.cfg.base_latency + self.cfg.table_latency;
+        DecResponse { batch, ready_at }
+    }
+
+    /// Services a `WEAVER_DEC_LOC` from `warp`: reads the warp's DT row.
+    /// Returns `(eids, ready_at)`.
+    pub fn dec_loc(&mut self, warp: usize, now: u64) -> (Vec<i64>, u64) {
+        // A DT row read is one (wide) shared-memory access; it does not
+        // occupy the FSM.
+        let eids = self.dt.load_row(warp).to_vec();
+        (eids, now + self.cfg.base_latency + self.cfg.table_latency)
+    }
+
+    /// Services `WEAVER_SKIP` signals. Returns the completion cycle.
+    pub fn skip(&mut self, vids: &[u32], now: u64) -> u64 {
+        for &v in vids {
+            self.fsm.skip(v);
+        }
+        now + self.cfg.base_latency
+    }
+
+    /// Whether the distribution scan has ended.
+    pub fn is_end(&self) -> bool {
+        self.fsm.is_end()
+    }
+
+    /// Resets the unit between kernels.
+    pub fn reset(&mut self) {
+        self.fsm = WeaverFsm::new(self.lanes);
+        self.staging.clear();
+        self.in_registration = false;
+        self.busy_until = 0;
+        self.st_fetches = 0;
+        self.dec_requests = 0;
+        self.registrations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> WeaverUnit {
+        WeaverUnit::new(
+            WeaverConfig {
+                st_capacity: 16,
+                table_latency: 4,
+                base_latency: 2,
+                auto_mask: true,
+            },
+            4,
+            4,
+        )
+    }
+
+    #[test]
+    fn register_then_decode() {
+        let mut w = unit();
+        // Warp 0 lanes 0..2 register vertices 0 and 2.
+        w.reg(0, &[(0, 0, 2, 1), (1, 2, 10, 2)], 0);
+        // Warp 1 lane 0 registers vertex 4 (out-of-order warps).
+        w.reg(1, &[(0, 4, 30, 5)], 3);
+        let r = w.dec_id(2, 20);
+        assert_eq!(r.batch.vids, vec![0, 2, 2, 4]);
+        assert_eq!(r.batch.eids, vec![2, 10, 11, 30]);
+        // DEC_LOC reads the same row back.
+        let (eids, _) = w.dec_loc(2, 25);
+        assert_eq!(eids, vec![2, 10, 11, 30]);
+    }
+
+    #[test]
+    fn st_indexed_by_warp_and_thread() {
+        let mut w = unit();
+        // Registrations arrive warp 1 first, then warp 0; the scan must
+        // still be in (warp, thread) index order.
+        w.reg(1, &[(0, 9, 0, 1)], 0);
+        w.reg(0, &[(0, 3, 1, 1)], 1);
+        let r = w.dec_id(0, 10);
+        assert_eq!(r.batch.vids[0], 3);
+        assert_eq!(r.batch.vids[1], 9);
+    }
+
+    #[test]
+    fn new_registration_restarts_round() {
+        let mut w = unit();
+        w.reg(0, &[(0, 1, 0, 1)], 0);
+        let r = w.dec_id(0, 5);
+        assert_eq!(r.batch.vids[0], 1);
+        assert!(w.dec_id(0, 6).batch.exhausted);
+        // Next round.
+        w.reg(0, &[(0, 7, 3, 1)], 10);
+        let r = w.dec_id(0, 15);
+        assert_eq!(r.batch.vids[0], 7);
+        assert_eq!(r.batch.eids[0], 3);
+    }
+
+    #[test]
+    fn occupancy_serializes_but_latency_pipelines() {
+        let mut w = unit();
+        w.reg(0, &[(0, 0, 0, 8), (1, 1, 8, 8)], 0);
+        let t0 = 100;
+        let a = w.dec_id(0, t0);
+        let b = w.dec_id(1, t0);
+        // Second request starts after the first's occupancy, not after its
+        // full latency (pipelined unit).
+        assert!(b.ready_at > a.ready_at);
+        assert!(b.ready_at - a.ready_at < a.ready_at - t0 + 1);
+    }
+
+    #[test]
+    fn table_latency_affects_latency_not_order() {
+        let mk = |lat| {
+            let mut w = WeaverUnit::new(
+                WeaverConfig {
+                    table_latency: lat,
+                    ..WeaverConfig::default()
+                },
+                2,
+                4,
+            );
+            w.reg(0, &[(0, 0, 0, 4)], 0);
+            w.dec_id(0, 10).ready_at
+        };
+        let fast = mk(4);
+        let slow = mk(160);
+        assert_eq!(slow - fast, 156);
+    }
+
+    #[test]
+    fn skip_reaches_fsm() {
+        let mut w = unit();
+        w.reg(0, &[(0, 5, 0, 100)], 0);
+        let r = w.dec_id(0, 5);
+        assert_eq!(r.batch.vids, vec![5, 5, 5, 5]);
+        w.skip(&[5], 6);
+        assert!(w.dec_id(0, 7).batch.exhausted);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut w = unit();
+        w.reg(0, &[(0, 0, 0, 1), (1, 1, 1, 1)], 0);
+        let _ = w.dec_id(0, 5);
+        let (fetches, decs, regs) = w.counters();
+        assert_eq!(regs, 2);
+        assert_eq!(decs, 1);
+        assert!(fetches >= 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut w = unit();
+        w.reg(0, &[(0, 0, 0, 1)], 0);
+        let _ = w.dec_id(0, 5);
+        w.reset();
+        assert_eq!(w.counters(), (0, 0, 0));
+        assert!(w.dec_id(0, 0).batch.exhausted);
+    }
+}

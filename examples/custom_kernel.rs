@@ -1,0 +1,131 @@
+//! Writing a raw kernel against the simulator: the assembler, SIMT
+//! divergence, warp votes, and the Weaver instructions with no framework
+//! in between.
+//!
+//! The kernel histograms vertex degrees in parallel: registration feeds
+//! the Weaver unit one `(vid, loc, deg)` record per vertex, and the
+//! distribution loop counts one atomic increment per generated work item —
+//! so the final histogram doubles as a proof that Weaver emitted every
+//! edge exactly once.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use sparseweaver::graph::generators;
+use sparseweaver::isa::{Asm, AtomOp, CsrKind, VoteOp, Width};
+use sparseweaver::sim::{Gpu, GpuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = generators::powerlaw(300, 2_400, 1.8, 5);
+    let nv = graph.num_vertices() as u64;
+
+    // One registration round per core suffices: vertices-per-core (50) fits
+    // both the thread count and the 512-entry ST.
+    let mut gpu = Gpu::new(GpuConfig::vortex_default());
+    // Device layout: offsets, then a per-vertex counter array.
+    let off_base = 0x1000u64;
+    let count_base = 0x8000u64;
+    gpu.mem_mut().grow_to(0x20000);
+    gpu.mem_mut().write_u32_slice(off_base, graph.offsets());
+
+    // --- the kernel ---------------------------------------------------
+    let mut a = Asm::new("degree_histogram");
+    let nv_reg = a.reg();
+    let off = a.reg();
+    let counts = a.reg();
+    a.ldarg(nv_reg, 0);
+    a.ldarg(off, 1);
+    a.ldarg(counts, 2);
+
+    // Registration: core-local strided loop over vertices.
+    let ctid = a.reg();
+    let cid = a.reg();
+    let ncores = a.reg();
+    let tpc = a.reg();
+    a.csr(ctid, CsrKind::CoreTid);
+    a.csr(cid, CsrKind::CoreId);
+    a.csr(ncores, CsrKind::NumCores);
+    a.csr(tpc, CsrKind::ThreadsPerCore);
+    let per = a.reg();
+    a.add(per, nv_reg, ncores);
+    a.addi(per, per, -1);
+    a.divu(per, per, ncores);
+    let v = a.reg();
+    a.mul(v, cid, per);
+    a.add(v, v, ctid);
+    let hi = a.reg();
+    a.mul(hi, cid, per);
+    a.add(hi, hi, per);
+    a.minu(hi, hi, nv_reg);
+    let valid = a.reg();
+    a.sltu(valid, v, hi);
+    a.if_nonzero(valid, |a| {
+        let addr = a.reg();
+        let start = a.reg();
+        let end = a.reg();
+        a.slli(addr, v, 2);
+        a.add(addr, addr, off);
+        a.ldg(start, addr, 0, Width::B4);
+        a.ldg(end, addr, 4, Width::B4);
+        a.sub(end, end, start);
+        a.weaver_reg(v, start, end);
+        a.free(addr);
+        a.free(start);
+        a.free(end);
+    });
+    a.bar();
+
+    // Distribution: count every work item against its base vertex.
+    let top = a.new_label();
+    let done = a.new_label();
+    let wv = a.reg();
+    let has = a.reg();
+    let any = a.reg();
+    a.bind(top);
+    a.weaver_dec_id(wv);
+    a.snei(has, wv, -1);
+    a.vote(VoteOp::Any, any, has);
+    a.beq(any, a.zero(), done);
+    a.if_nonzero(has, |a| {
+        let addr = a.reg();
+        let one = a.reg();
+        let old = a.reg();
+        a.slli(addr, wv, 3);
+        a.add(addr, addr, counts);
+        a.li(one, 1);
+        a.atom(AtomOp::Add, old, addr, one);
+        a.free(old);
+        a.free(one);
+        a.free(addr);
+    });
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    let program = a.finish();
+    // -------------------------------------------------------------------
+
+    println!(
+        "kernel `{}`: {} instructions, {} Weaver instructions\n",
+        program.name(),
+        program.len(),
+        program.weaver_instr_count()
+    );
+    let stats = gpu.launch(&program, &[nv, off_base, count_base])?;
+    println!(
+        "ran in {} cycles ({} warp-instructions, IPC {:.2})",
+        stats.cycles,
+        stats.instructions,
+        stats.ipc()
+    );
+
+    // Every vertex's counter must equal its degree: Weaver emitted each
+    // edge exactly once.
+    for vtx in 0..nv {
+        let got = gpu.mem().read(count_base + 8 * vtx, 8);
+        let want = graph.degree(vtx as u32) as u64;
+        assert_eq!(got, want, "vertex {vtx}");
+    }
+    println!("verified: every edge distributed exactly once across {nv} vertices");
+    Ok(())
+}

@@ -1,0 +1,343 @@
+//! `swsim` — run graph algorithms on the simulated SparseWeaver GPU from
+//! the command line.
+//!
+//! ```text
+//! swsim run   --dataset D_hw --algo pr --schedule sw [--iters 5] [--json]
+//! swsim run   --graph edges.txt --algo bfs --schedule svm --source 0
+//! swsim run   --gen powerlaw:2000:30000:1.9:42 --algo sssp --schedule sw
+//! swsim gen   --dataset D_g500 -o g500.el
+//! swsim disasm --algo pr --schedule sw
+//! swsim datasets
+//! ```
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
+use sparseweaver::core::{Schedule, Session};
+use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
+use sparseweaver::sim::GpuConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "swsim — SparseWeaver GPU simulator CLI
+
+USAGE:
+  swsim run    (--graph FILE | --dataset ID | --gen SPEC) --algo ALGO --schedule S
+               [--iters N] [--source V] [--config vortex|eval|small] [--json] [--all-schedules]
+  swsim gen    (--dataset ID | --gen SPEC) -o FILE
+  swsim disasm --algo ALGO --schedule S [--config ...]
+  swsim datasets
+
+  ALGO:  pr | bfs | sssp | cc | spmv   (sssp accepts --worklist)
+  S:     svm | em | wm | cm | sw | eghw
+  SPEC:  powerlaw:V:E:ALPHA:SEED | uniform:V:E:SEED | rmat:SCALE:E:SEED | grid:W:H:KEEP:SEED
+  ID:    one of `swsim datasets` (e.g. D_hw)"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let next_is_value = args
+                .get(i + 1)
+                .map(|n| !n.starts_with("--"))
+                .unwrap_or(false);
+            if next_is_value {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else if a == "-o" {
+            flags.insert("out".into(), args.get(i + 1).cloned().unwrap_or_default());
+            i += 2;
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+fn parse_schedule(s: &str) -> Schedule {
+    match s {
+        "svm" | "S_vm" => Schedule::Svm,
+        "em" | "sem" | "S_em" => Schedule::Sem,
+        "wm" | "swm" | "S_wm" => Schedule::Swm,
+        "cm" | "scm" | "S_cm" => Schedule::Scm,
+        "sw" | "weaver" | "sparseweaver" => Schedule::SparseWeaver,
+        "eghw" => Schedule::Eghw,
+        other => {
+            eprintln!("unknown schedule `{other}`");
+            usage()
+        }
+    }
+}
+
+fn parse_dataset(s: &str) -> DatasetId {
+    DatasetId::ALL
+        .into_iter()
+        .find(|d| d.short_name().eq_ignore_ascii_case(s) || d.full_name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            eprintln!("unknown dataset `{s}` — see `swsim datasets`");
+            exit(2)
+        })
+}
+
+fn parse_gen(spec: &str) -> Csr {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize| -> u64 {
+        parts
+            .get(i)
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad generator spec `{spec}`");
+                exit(2)
+            })
+    };
+    let fnum = |i: usize| -> f64 {
+        parts
+            .get(i)
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad generator spec `{spec}`");
+                exit(2)
+            })
+    };
+    let base = match parts.first().copied() {
+        Some("powerlaw") => generators::powerlaw(num(1) as usize, num(2) as usize, fnum(3), num(4)),
+        Some("uniform") => generators::uniform(num(1) as usize, num(2) as usize, num(3)),
+        Some("rmat") => generators::rmat(num(1) as u32, num(2) as usize, 0.57, 0.19, 0.19, num(3)),
+        Some("grid") => {
+            generators::road_grid(num(1) as usize, num(2) as usize, fnum(3), 0.01, num(4))
+        }
+        _ => {
+            eprintln!("bad generator spec `{spec}`");
+            usage()
+        }
+    };
+    generators::with_random_weights(&base, 64, 0xC11)
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Csr {
+    if let Some(path) = flags.get("graph") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        match io::parse_edge_list(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                exit(1)
+            }
+        }
+    } else if let Some(id) = flags.get("dataset") {
+        dataset(parse_dataset(id)).graph
+    } else if let Some(spec) = flags.get("gen") {
+        parse_gen(spec)
+    } else {
+        eprintln!("one of --graph / --dataset / --gen is required");
+        usage()
+    }
+}
+
+fn config_for(flags: &HashMap<String, String>) -> GpuConfig {
+    match flags.get("config").map(String::as_str) {
+        None | Some("eval") | Some("evaluation") => GpuConfig::evaluation_default(),
+        Some("vortex") => GpuConfig::vortex_default(),
+        Some("small") => GpuConfig::small_test(),
+        Some("8core") => GpuConfig::eight_core(),
+        Some(other) => {
+            eprintln!("unknown config `{other}`");
+            usage()
+        }
+    }
+}
+
+fn make_algo(flags: &HashMap<String, String>, graph: &Csr) -> Box<dyn Algorithm> {
+    let iters: u32 = flags.get("iters").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let source: u32 = flags
+        .get("source")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            (0..graph.num_vertices() as u32)
+                .max_by_key(|&v| graph.degree(v))
+                .unwrap_or(0)
+        });
+    match flags.get("algo").map(String::as_str) {
+        Some("pr") | Some("pagerank") => Box::new(PageRank::new(iters)),
+        Some("bfs") => Box::new(Bfs::new(source)),
+        Some("sssp") => Box::new(Sssp::new(source).with_worklist(flags.contains_key("worklist"))),
+        Some("cc") => Box::new(ConnectedComponents::new()),
+        Some("spmv") => Box::new(Spmv::new()),
+        _ => {
+            eprintln!("--algo is required (pr | bfs | sssp | cc | spmv)");
+            usage()
+        }
+    }
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let graph = load_graph(&flags);
+    let algo = make_algo(&flags, &graph);
+    let mut session = Session::new(config_for(&flags));
+    let json = flags.contains_key("json");
+    let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
+        Schedule::ALL.to_vec()
+    } else {
+        vec![parse_schedule(
+            flags
+                .get("schedule")
+                .map(String::as_str)
+                .unwrap_or_else(|| usage()),
+        )]
+    };
+    if !json {
+        println!(
+            "graph: {} vertices, {} edges | algorithm: {}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            algo.name()
+        );
+    }
+    let mut baseline = None;
+    for schedule in schedules {
+        let report = session
+            .run(&graph, algo.as_ref(), schedule)
+            .unwrap_or_else(|e| {
+                eprintln!("run failed: {e}");
+                exit(1)
+            });
+        if json {
+            println!(
+                "{}",
+                serde_json_line(&[
+                    ("schedule", format!("{:?}", schedule.paper_name())),
+                    ("algorithm", format!("{:?}", report.algorithm)),
+                    ("cycles", report.cycles.to_string()),
+                    ("instructions", report.stats.instructions.to_string()),
+                    ("launches", report.stats.launches.to_string()),
+                    ("ipc", format!("{:.4}", report.stats.ipc())),
+                    ("dram_accesses", report.stats.mem.dram_accesses.to_string()),
+                ])
+            );
+        } else {
+            let speed = baseline
+                .map(|b: u64| format!("  {:.2}x vs first", b as f64 / report.cycles.max(1) as f64))
+                .unwrap_or_default();
+            println!(
+                "{:<13} {:>12} cycles  {:>10} instrs  ipc {:>5.2}  {} launches{speed}",
+                schedule.to_string(),
+                report.cycles,
+                report.stats.instructions,
+                report.stats.ipc(),
+                report.stats.launches,
+            );
+        }
+        if baseline.is_none() {
+            baseline = Some(report.cycles);
+        }
+    }
+}
+
+fn serde_json_line(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| {
+            if v.starts_with('"') || v.parse::<f64>().is_ok() {
+                format!("\"{k}\":{v}")
+            } else {
+                format!("\"{k}\":\"{v}\"")
+            }
+        })
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn cmd_gen(flags: HashMap<String, String>) {
+    let graph = load_graph(&flags);
+    let out = flags.get("out").cloned().unwrap_or_else(|| usage());
+    let file = std::fs::File::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1)
+    });
+    io::write_edge_list(&graph, std::io::BufWriter::new(file)).expect("write edge list");
+    println!(
+        "wrote {} vertices, {} edges to {out}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+}
+
+fn cmd_disasm(flags: HashMap<String, String>) {
+    use sparseweaver::core::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
+    // A representative gather (PR-shaped accumulate) for inspection.
+    struct Demo;
+    impl GatherOps for Demo {
+        fn emit_pro(&self, a: &mut sparseweaver::isa::Asm) -> Vec<sparseweaver::isa::Reg> {
+            let p = a.reg();
+            a.ldarg(p, 8);
+            vec![p]
+        }
+        fn emit_compute(
+            &self,
+            a: &mut sparseweaver::isa::Asm,
+            pro: &[sparseweaver::isa::Reg],
+            e: &EdgeRegs,
+            _x: bool,
+        ) {
+            let addr = a.reg();
+            let old = a.reg();
+            let one = a.reg();
+            a.slli(addr, e.base, 3);
+            a.add(addr, addr, pro[0]);
+            a.li(one, 1);
+            a.atom(sparseweaver::isa::AtomOp::Add, old, addr, one);
+            a.free(one);
+            a.free(old);
+            a.free(addr);
+        }
+    }
+    let schedule = parse_schedule(flags.get("schedule").map(String::as_str).unwrap_or("sw"));
+    let cfg = config_for(&flags);
+    let kernel = build_gather_kernel("demo", &Demo, schedule, &cfg);
+    print!("{kernel}");
+}
+
+fn cmd_datasets() {
+    println!(
+        "{:<8} {:<20} {:>12} {:>12}",
+        "id", "name", "paper |V|", "paper |E|"
+    );
+    for id in DatasetId::ALL {
+        let (v, e) = id.paper_size();
+        println!(
+            "{:<8} {:<20} {:>12} {:>12}",
+            id.short_name(),
+            id.full_name(),
+            v,
+            e
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (_pos, flags) = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "gen" => cmd_gen(flags),
+        "disasm" => cmd_disasm(flags),
+        "datasets" => cmd_datasets(),
+        _ => usage(),
+    }
+}

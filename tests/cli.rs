@@ -1,0 +1,110 @@
+//! End-to-end tests of the `swsim` CLI binary.
+
+use std::process::Command;
+
+fn swsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swsim"))
+}
+
+#[test]
+fn datasets_lists_all_nine() {
+    let out = swsim().arg("datasets").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in ["D_bh", "D_bm", "D_rn", "D_rc", "D_g500", "D_co", "D_hw", "D_uk", "D_wk"] {
+        assert!(text.contains(id), "missing {id}");
+    }
+}
+
+#[test]
+fn run_json_emits_parseable_record() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:60:240:3",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--iters",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.lines().next().expect("one json line");
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"schedule\":\"SparseWeaver\""));
+    assert!(line.contains("\"cycles\":"));
+}
+
+#[test]
+fn gen_then_run_round_trips_through_a_file() {
+    let dir = std::env::temp_dir().join("swsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.el");
+    let out = swsim()
+        .args(["gen", "--gen", "powerlaw:50:300:1.8:4", "-o"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = swsim()
+        .args(["run", "--graph"])
+        .arg(&path)
+        .args(["--algo", "bfs", "--schedule", "svm", "--config", "small"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("S_vm"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn disasm_prints_fig9_structure() {
+    let out = swsim()
+        .args(["disasm", "--schedule", "sw", "--config", "small"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("weaver.reg"));
+    assert!(text.contains("weaver.dec.id"));
+    assert!(text.contains("weaver.dec.loc"));
+    assert!(text.contains("bar"));
+    assert!(text.contains("tmc"));
+}
+
+#[test]
+fn all_schedules_flag_runs_the_whole_set() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "cc",
+            "--all-schedules",
+            "--config",
+            "small",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for s in ["S_vm", "S_em", "S_wm", "S_cm", "S_twc", "SparseWeaver", "EGHW"] {
+        assert!(text.contains(s), "missing {s}");
+    }
+}
+
+#[test]
+fn unknown_arguments_fail_with_usage() {
+    let out = swsim().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

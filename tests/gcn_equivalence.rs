@@ -1,0 +1,89 @@
+//! The GCN operators (Case Study 2) must produce the host-reference
+//! layer output under every scheduling scheme and both parallelization
+//! strategies.
+
+use sparseweaver::core::algorithms::Gcn;
+use sparseweaver::core::{Schedule, Session};
+use sparseweaver::graph::{generators, Direction};
+use sparseweaver::sim::GpuConfig;
+
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+#[test]
+fn gcn_gather_template_matches_reference_under_every_schedule() {
+    let g = generators::powerlaw(60, 360, 1.8, 4);
+    for k in [1usize, 3, 8] {
+        let gcn = Gcn::new(k);
+        let want = gcn.reference(&g, Direction::Pull);
+        for schedule in Schedule::ALL {
+            let session = Session::new(GpuConfig::small_test());
+            let mut rt = session
+                .runtime(&g, Direction::Pull, schedule)
+                .expect("runtime");
+            let got = gcn.run(&mut rt, false).expect("run");
+            let d = max_diff(&got.output, &want);
+            assert!(d < 1e-9, "K={k} {schedule}: max diff {d}");
+        }
+    }
+}
+
+#[test]
+fn weight_parallel_baseline_matches_reference() {
+    let g = generators::powerlaw(80, 500, 2.0, 9);
+    for k in [1usize, 2, 16] {
+        let gcn = Gcn::new(k);
+        let want = gcn.reference(&g, Direction::Pull);
+        let session = Session::new(GpuConfig::small_test());
+        let mut rt = session
+            .runtime(&g, Direction::Pull, Schedule::Svm)
+            .expect("runtime");
+        let got = gcn.run(&mut rt, true).expect("run");
+        let d = max_diff(&got.output, &want);
+        assert!(d < 1e-9, "K={k}: max diff {d}");
+    }
+}
+
+#[test]
+fn strategies_agree_with_each_other() {
+    let g = generators::rmat(6, 250, 0.57, 0.19, 0.19, 2);
+    let gcn = Gcn::new(4);
+    let session = Session::new(GpuConfig::small_test());
+    let mut rt_a = session
+        .runtime(&g, Direction::Pull, Schedule::Svm)
+        .expect("runtime");
+    let a = gcn.run(&mut rt_a, true).expect("baseline");
+    let mut rt_b = session
+        .runtime(&g, Direction::Pull, Schedule::SparseWeaver)
+        .expect("runtime");
+    let b = gcn.run(&mut rt_b, false).expect("sparseweaver");
+    assert!(max_diff(&a.output, &b.output) < 1e-9);
+    // The report's kernel accounting is populated.
+    assert!(a.graphsum_cycles > 0 && a.spmm_cycles > 0);
+    assert!(b.graphsum_cycles > 0 && b.spmm_cycles > 0);
+    assert!(b.total_cycles >= b.graphsum_cycles + b.spmm_cycles);
+}
+
+#[test]
+fn isolated_vertices_contribute_nothing() {
+    use sparseweaver::graph::Csr;
+    let g = Csr::from_edges(6, &[(0, 1), (1, 0)]);
+    let gcn = Gcn::new(2);
+    let want = gcn.reference(&g, Direction::Pull);
+    let session = Session::new(GpuConfig::small_test());
+    let mut rt = session
+        .runtime(&g, Direction::Pull, Schedule::SparseWeaver)
+        .expect("runtime");
+    let got = gcn.run(&mut rt, false).expect("run");
+    assert!(max_diff(&got.output, &want) < 1e-12);
+    // Vertices 2..6 have no in-edges: zero aggregation, zero output.
+    for v in 2..6 {
+        for j in 0..2 {
+            assert_eq!(got.output[v * 2 + j], 0.0);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based cross-schedule oracle: for *arbitrary* random graphs,
+//! every scheduling scheme must distribute every edge exactly once.
+//!
+//! This complements `schedule_equivalence.rs` (fixed graph classes, real
+//! algorithms) with randomized topology over a minimal counting gather,
+//! so shrinking produces small counterexamples when a template breaks.
+
+use proptest::prelude::*;
+use sparseweaver::core::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
+use sparseweaver::core::runtime::{args, Runtime};
+use sparseweaver::core::{Schedule, Session};
+use sparseweaver::graph::{Csr, Direction};
+use sparseweaver::isa::{Asm, AtomOp, Reg};
+use sparseweaver::sim::Gpu;
+
+struct CountOps;
+
+impl GatherOps for CountOps {
+    fn emit_pro(&self, a: &mut Asm) -> Vec<Reg> {
+        let count = a.reg();
+        a.ldarg(count, args::ALGO0);
+        vec![count]
+    }
+
+    fn emit_compute(&self, a: &mut Asm, pro: &[Reg], e: &EdgeRegs, _x: bool) {
+        let addr = a.reg();
+        let one = a.reg();
+        let old = a.reg();
+        a.slli(addr, e.base, 3);
+        a.add(addr, addr, pro[0]);
+        a.li(one, 1);
+        a.atom(AtomOp::Add, old, addr, one);
+        a.free(old);
+        a.free(one);
+        a.free(addr);
+    }
+}
+
+fn random_graph() -> impl Strategy<Value = Csr> {
+    (2usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0u32..n as u32, 0u32..n as u32), 0..150)
+            .prop_map(move |edges| Csr::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every schedule counts each vertex's out-degree exactly once on
+    /// arbitrary topologies (multi-edges included).
+    #[test]
+    fn every_schedule_distributes_each_edge_once(g in random_graph()) {
+        for schedule in Schedule::ALL {
+            let session = Session::new(sparseweaver::sim::GpuConfig::small_test());
+            let gpu = Gpu::new(session.config_for(schedule));
+            let mut rt = Runtime::new(gpu, &g, Direction::Push, schedule)
+                .expect("runtime");
+            let count = rt.alloc_u64(g.num_vertices(), 0);
+            let cfg = *rt.gpu().config();
+            let k = build_gather_kernel("pcount", &CountOps, schedule, &cfg);
+            rt.launch(&k, &[count]).expect("launch");
+            let got = rt.read_u64_vec(count, g.num_vertices());
+            for v in 0..g.num_vertices() {
+                prop_assert_eq!(
+                    got[v],
+                    g.degree(v as u32) as u64,
+                    "{} vertex {}",
+                    schedule,
+                    v
+                );
+            }
+        }
+    }
+
+    /// The pull view distributes in-degrees symmetrically.
+    #[test]
+    fn pull_view_counts_in_degrees(g in random_graph()) {
+        let rev = g.reverse();
+        for schedule in [Schedule::Svm, Schedule::SparseWeaver] {
+            let session = Session::new(sparseweaver::sim::GpuConfig::small_test());
+            let gpu = Gpu::new(session.config_for(schedule));
+            let mut rt = Runtime::new(gpu, &g, Direction::Pull, schedule)
+                .expect("runtime");
+            let count = rt.alloc_u64(g.num_vertices(), 0);
+            let cfg = *rt.gpu().config();
+            let k = build_gather_kernel("pcount", &CountOps, schedule, &cfg);
+            rt.launch(&k, &[count]).expect("launch");
+            let got = rt.read_u64_vec(count, g.num_vertices());
+            for v in 0..g.num_vertices() {
+                prop_assert_eq!(got[v], rev.degree(v as u32) as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration tests of the SparseWeaver-specific semantics: skip
+//! signals, chunked registration, the thread-mask backend optimization,
+//! table-latency concealment, and the filtered-registration path.
+
+use sparseweaver::core::algorithms::{Algorithm, Bfs, PageRank};
+use sparseweaver::core::{Schedule, Session};
+use sparseweaver::graph::{generators, Csr};
+use sparseweaver::sim::GpuConfig;
+
+fn skewed() -> Csr {
+    generators::with_random_weights(&generators::powerlaw(150, 900, 1.9, 23), 32, 5)
+}
+
+#[test]
+fn auto_mask_ablation_is_functionally_identical() {
+    // The backend's hardware thread-mask optimization must not change
+    // results — only (slightly) the cycle count.
+    let g = skewed();
+    let algo = PageRank::new(3);
+    let reference = algo.reference(&g);
+    let mut on = Session::new(GpuConfig::small_test());
+    let mut off_cfg = GpuConfig::small_test();
+    off_cfg.weaver.auto_mask = false;
+    let mut off = Session::new(off_cfg);
+    let r_on = on.run(&g, &algo, Schedule::SparseWeaver).unwrap();
+    let r_off = off.run(&g, &algo, Schedule::SparseWeaver).unwrap();
+    assert!(r_on.output.approx_eq(&reference, 1e-9));
+    assert!(r_off.output.approx_eq(&reference, 1e-9));
+    // The software fallback pays split/join divergence control.
+    assert!(
+        r_off.stats.instructions > r_on.stats.instructions,
+        "mask off {} should issue more than mask on {}",
+        r_off.stats.instructions,
+        r_on.stats.instructions
+    );
+}
+
+#[test]
+fn st_capacity_sweep_preserves_results() {
+    // Tiny tables force many chunked registration rounds; results must
+    // not depend on the chunking.
+    let g = skewed();
+    let algo = PageRank::new(2);
+    let reference = algo.reference(&g);
+    let mut cycles = Vec::new();
+    for cap in [4usize, 8, 16, 64] {
+        let mut cfg = GpuConfig::small_test();
+        cfg.weaver.st_capacity = cap;
+        let mut s = Session::new(cfg);
+        let r = s.run(&g, &algo, Schedule::SparseWeaver).unwrap();
+        assert!(
+            r.output.approx_eq(&reference, 1e-9),
+            "st_capacity {cap} diverged"
+        );
+        cycles.push((cap, r.cycles));
+    }
+    // Smaller tables mean more rounds and more barriers: monotonically
+    // (weakly) more cycles as capacity shrinks.
+    assert!(
+        cycles[0].1 > cycles[3].1,
+        "4-entry ST {:?} should be slower than 64-entry {:?}",
+        cycles[0],
+        cycles[3]
+    );
+}
+
+#[test]
+fn bfs_skip_reduces_edge_work_on_supernode() {
+    // A star graph where the supernode is reached at level 1: WEAVER_SKIP
+    // must stop decoding the hub once its parent is found.
+    let mut edges = Vec::new();
+    for v in 1..200u32 {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    let g = Csr::from_edges(200, &edges);
+    let bfs = Bfs::new(1);
+    let reference = bfs.reference(&g);
+    let mut s = Session::new(GpuConfig::small_test());
+    let r = s.run(&g, &bfs, Schedule::SparseWeaver).unwrap();
+    assert!(r.output.approx_eq(&reference, 0.0));
+    // The hub has 199 in-edges but needs only a handful of work items
+    // before the skip lands; the weaver counters must show far fewer
+    // decode requests than a full drain would need.
+    let (_, decs, _) = r.stats.weaver_counters;
+    assert!(
+        decs < 500,
+        "skip should keep decode requests low, got {decs}"
+    );
+}
+
+#[test]
+fn table_latency_is_concealed_by_the_pipeline() {
+    // Fig. 13's property as a test: 16x the table latency must cost far
+    // less than 16x the cycles.
+    // Latency hiding needs warp-level parallelism: use the paper's
+    // 32-warps-per-core shape (this is exactly why Fig. 13 is flat on the
+    // real configuration but would not be on a 4-warp toy).
+    let g = skewed();
+    let run = |lat: u64| {
+        let mut cfg = GpuConfig::small_test();
+        cfg.warps_per_core = 32;
+        cfg.weaver.table_latency = lat;
+        let mut s = Session::new(cfg);
+        s.run(&g, &PageRank::new(3), Schedule::SparseWeaver)
+            .unwrap()
+            .cycles
+    };
+    let fast = run(10);
+    let slow = run(160);
+    assert!(
+        (slow as f64) < (fast as f64) * 1.6,
+        "16x table latency cost {:.2}x cycles — not concealed",
+        slow as f64 / fast as f64
+    );
+}
+
+#[test]
+fn weaver_counters_match_graph_size() {
+    // PR has no filters: every vertex registers once per gather launch
+    // and every edge is decoded exactly once.
+    let g = skewed();
+    let mut s = Session::new(GpuConfig::small_test());
+    let iters = 3u64;
+    let r = s
+        .run(&g, &PageRank::new(iters as u32), Schedule::SparseWeaver)
+        .unwrap();
+    let (_, _, regs) = r.stats.weaver_counters;
+    assert_eq!(regs, iters * g.num_vertices() as u64);
+}
+
+#[test]
+fn eghw_slower_than_weaver_on_memory_bound_gather() {
+    // Case Study 1's direction as an invariant: the unit that does its
+    // own memory accesses cannot beat the pipelined one.
+    let g = skewed();
+    let mut s = Session::new(GpuConfig::small_test());
+    let sw = s
+        .run(&g, &PageRank::new(3), Schedule::SparseWeaver)
+        .unwrap();
+    let eghw = s.run(&g, &PageRank::new(3), Schedule::Eghw).unwrap();
+    assert!(
+        eghw.cycles > sw.cycles,
+        "EGHW {} should be slower than SparseWeaver {}",
+        eghw.cycles,
+        sw.cycles
+    );
+}
+
+#[test]
+fn l1_penalty_costs_cycles_but_not_correctness() {
+    let g = skewed();
+    let algo = PageRank::new(3);
+    let reference = algo.reference(&g);
+    let mut with = Session::new(GpuConfig::small_test());
+    with.l1_penalty = true;
+    let mut without = Session::new(GpuConfig::small_test());
+    without.l1_penalty = false;
+    let a = with.run(&g, &algo, Schedule::SparseWeaver).unwrap();
+    let b = without.run(&g, &algo, Schedule::SparseWeaver).unwrap();
+    assert!(a.output.approx_eq(&reference, 1e-9));
+    assert!(b.output.approx_eq(&reference, 1e-9));
+    assert!(
+        a.cycles >= b.cycles,
+        "halving the L1 cannot speed things up"
+    );
+}
+
+#[test]
+fn push_and_pull_pagerank_agree() {
+    use sparseweaver::graph::Direction;
+    let g = skewed(); // symmetric, so push and pull see the same edges
+    let pull = PageRank::new(3);
+    let push = PageRank::new(3).with_direction(Direction::Push);
+    let mut s = Session::new(GpuConfig::small_test());
+    for schedule in [Schedule::Svm, Schedule::SparseWeaver] {
+        let a = s.run(&g, &pull, schedule).unwrap();
+        let b = s.run(&g, &push, schedule).unwrap();
+        assert!(
+            a.output.approx_eq(&b.output, 1e-9),
+            "push/pull disagree under {schedule}"
+        );
+    }
+}

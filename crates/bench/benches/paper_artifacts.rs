@@ -301,6 +301,39 @@ fn extensions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead: the disabled-by-default tracer hooks must not
+/// cost measurable simulation time, and enabled tracing should stay cheap.
+fn trace_overhead(c: &mut Criterion) {
+    use sparseweaver_trace::TraceConfig;
+
+    let g = small_graph();
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.bench_function("tracing_off", |b| {
+        b.iter(|| {
+            let mut s = bench_session();
+            black_box(
+                s.run(&g, &PageRank::new(1), Schedule::SparseWeaver)
+                    .expect("run"),
+            )
+        })
+    });
+    group.bench_function("tracing_on", |b| {
+        b.iter(|| {
+            let mut s = bench_session();
+            s.trace = Some(TraceConfig {
+                sample_every: 1000,
+                ..TraceConfig::default()
+            });
+            black_box(
+                s.run(&g, &PageRank::new(1), Schedule::SparseWeaver)
+                    .expect("run"),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// Table V: the auto-tuner search.
 fn table5_autotune(c: &mut Criterion) {
     let g = small_graph();
@@ -330,5 +363,6 @@ criterion_group!(
     fig19_gcn,
     table5_autotune,
     extensions,
+    trace_overhead,
 );
 criterion_main!(artifacts);

@@ -875,7 +875,13 @@ pub fn discussion_spmv(quick: bool) -> String {
 /// as the data outgrows the caches (the paper's regime — its graphs are
 /// ~1000x the L2), SparseWeaver pulls ahead, toward the paper's 2.63x.
 pub fn scaling(quick: bool) -> String {
-    let mut t = Table::new(&["scale", "|E|", "S_em cycles", "SW cycles", "SW speedup over S_em"]);
+    let mut t = Table::new(&[
+        "scale",
+        "|E|",
+        "S_em cycles",
+        "SW cycles",
+        "SW speedup over S_em",
+    ]);
     let scales: &[(&str, usize, usize)] = if quick {
         &[("1x", 4_300, 60_000), ("4x", 17_200, 240_000)]
     } else {
@@ -931,6 +937,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str, fn(bool) -> String)> {
         ("table5", "auto-tuner comparison", |_q| table5()),
         ("ablations", "design-decision ablations", |_q| ablations()),
         ("spmv", "Discussion VII-A: SpMV generality", discussion_spmv),
-        ("scaling", "S_em vs SparseWeaver across data scales", scaling),
+        (
+            "scaling",
+            "S_em vs SparseWeaver across data scales",
+            scaling,
+        ),
     ]
 }

@@ -480,8 +480,8 @@ mod tests {
         let y = Gcn::new(1).reference(&g, Direction::Pull);
         assert!(y[0].abs() > 0.0);
         // Leaves have no in-neighbors in the pull view.
-        for v in 1..5 {
-            assert_eq!(y[v], 0.0);
+        for &leaf in &y[1..5] {
+            assert_eq!(leaf, 0.0);
         }
     }
 

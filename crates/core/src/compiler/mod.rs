@@ -405,8 +405,8 @@ mod tests {
             let k = build_gather_kernel("count", &CountOps { weighted: false }, s, &cfg);
             rt.launch(&k, &[count]).unwrap();
             let got = rt.read_u64_vec(count, g.num_vertices());
-            for v in 0..g.num_vertices() {
-                assert_eq!(got[v], g.degree(v as u32) as u64, "{s}: count[{v}]");
+            for (v, &c) in got.iter().enumerate() {
+                assert_eq!(c, g.degree(v as u32) as u64, "{s}: count[{v}]");
             }
         }
     }

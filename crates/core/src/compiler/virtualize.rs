@@ -144,12 +144,8 @@ mod tests {
             let k = build_gather_kernel("vcount", &ops, schedule, &cfg);
             rt.launch(&k, &[map, count]).unwrap();
             let got = rt.read_u64_vec(count, g.num_vertices());
-            for v in 0..g.num_vertices() {
-                assert_eq!(
-                    got[v],
-                    g.degree(v as u32) as u64,
-                    "{schedule}: real vertex {v}"
-                );
+            for (v, &c) in got.iter().enumerate() {
+                assert_eq!(c, g.degree(v as u32) as u64, "{schedule}: real vertex {v}");
             }
         }
     }

@@ -3,6 +3,7 @@
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_isa::Program;
 use sparseweaver_sim::{Gpu, KernelStats};
+use sparseweaver_trace::TraceHandle;
 use sparseweaver_weaver::eghw::EghwLayout;
 
 use crate::schedule::Schedule;
@@ -138,6 +139,12 @@ impl<'a> Runtime<'a> {
     /// The simulated GPU.
     pub fn gpu(&self) -> &Gpu {
         &self.gpu
+    }
+
+    /// Attaches (or detaches) a structured-event tracer on the GPU; all
+    /// subsequent launches through this runtime are traced.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.gpu.set_tracer(tracer);
     }
 
     /// Allocates `bytes` of device memory (64-byte aligned).

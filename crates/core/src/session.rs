@@ -2,6 +2,7 @@
 
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, WeaverMode};
+use sparseweaver_trace::{TraceConfig, TraceHandle, TraceReport};
 
 use crate::algorithms::Algorithm;
 use crate::output::AlgoOutput;
@@ -24,6 +25,8 @@ pub struct RunReport {
     pub per_kernel: Vec<(String, KernelStats)>,
     /// The final vertex properties.
     pub output: AlgoOutput,
+    /// Structured trace + metrics, when [`Session::trace`] was set.
+    pub trace: Option<TraceReport>,
 }
 
 impl RunReport {
@@ -57,6 +60,9 @@ pub struct Session {
     cfg: GpuConfig,
     /// Apply the halved-L1 penalty to unit-backed schedules (default on).
     pub l1_penalty: bool,
+    /// When set, every [`Session::run`] attaches a tracer with this
+    /// configuration and the resulting [`RunReport::trace`] is populated.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Session {
@@ -66,6 +72,7 @@ impl Session {
         Session {
             cfg,
             l1_penalty: true,
+            trace: None,
         }
     }
 
@@ -122,6 +129,8 @@ impl Session {
         schedule: Schedule,
     ) -> Result<RunReport, FrameworkError> {
         let mut rt = self.runtime(graph, algorithm.direction(), schedule)?;
+        let tracer = self.trace.map(TraceHandle::new);
+        rt.set_tracer(tracer.clone());
         let output = algorithm.run(&mut rt)?;
         let (stats, per_kernel) = rt.into_stats();
         Ok(RunReport {
@@ -131,6 +140,7 @@ impl Session {
             stats,
             per_kernel,
             output,
+            trace: tracer.map(|t| t.report()),
         })
     }
 }
@@ -172,5 +182,34 @@ mod tests {
         assert!(r.cycles > 0);
         assert_eq!(r.algorithm, "pagerank");
         assert_eq!(r.output.len(), 40);
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn traced_run_collects_report_without_changing_stats() {
+        let g = sparseweaver_graph::generators::uniform(40, 160, 5);
+        let mut s = Session::new(GpuConfig::small_test());
+        let plain = s
+            .run(&g, &PageRank::new(2), Schedule::SparseWeaver)
+            .unwrap();
+        s.trace = Some(TraceConfig {
+            sample_every: 500,
+            ..TraceConfig::default()
+        });
+        let traced = s
+            .run(&g, &PageRank::new(2), Schedule::SparseWeaver)
+            .unwrap();
+        // Observability must not perturb the cycle model.
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.per_kernel, traced.per_kernel);
+        let report = traced.trace.expect("trace collected");
+        // One kernel span per launch, spanning the whole run.
+        assert_eq!(
+            report.kernels.iter().map(|k| k.cycles).sum::<u64>(),
+            traced.cycles
+        );
+        assert_eq!(report.total_cycles, traced.cycles);
+        assert!(!report.samples.is_empty());
+        assert_eq!(report.totals.instructions, traced.stats.instructions);
     }
 }

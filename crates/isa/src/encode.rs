@@ -250,8 +250,7 @@ pub fn encode_instr(instr: &Instr) -> (u32, u64) {
             space,
         } => (
             header(OP_ATOM, rd.0, addr.0, src.0),
-            subop_index(&AtomOp::ALL, op)
-                | if space == Space::Shared { 1 << 8 } else { 0 },
+            subop_index(&AtomOp::ALL, op) | if space == Space::Shared { 1 << 8 } else { 0 },
         ),
         Instr::Br {
             cond,

@@ -49,6 +49,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Adds another set of counters field-wise.
+    pub fn add(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+
     /// Hit rate in `[0, 1]` (0 when no accesses were made).
     pub fn hit_rate(&self) -> f64 {
         if self.accesses == 0 {

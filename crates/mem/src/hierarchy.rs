@@ -1,5 +1,7 @@
 //! The full memory hierarchy: per-core L1s, shared L2, optional L3, DRAM.
 
+use sparseweaver_trace::{EventData, MemLevel, TraceHandle};
+
 use crate::cache::{Cache, CacheConfig, CacheStats};
 
 /// Configuration of the whole hierarchy.
@@ -82,6 +84,18 @@ pub enum HitLevel {
     Dram,
 }
 
+impl HitLevel {
+    /// The trace-event level corresponding to this hit level.
+    pub fn trace_level(self) -> MemLevel {
+        match self {
+            HitLevel::L1 => MemLevel::L1,
+            HitLevel::L2 => MemLevel::L2,
+            HitLevel::L3 => MemLevel::L3,
+            HitLevel::Dram => MemLevel::Dram,
+        }
+    }
+}
+
 /// Timing outcome of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
@@ -105,6 +119,24 @@ pub struct LevelStats {
     pub l3: Option<CacheStats>,
     /// DRAM requests.
     pub dram_accesses: u64,
+}
+
+impl LevelStats {
+    /// Adds another set of level statistics field-wise.
+    ///
+    /// The L3 slot folds like an optional counter set: if either side has
+    /// L3 stats the sum does too, so aggregating runs with and without a
+    /// configured L3 never silently drops L3 activity.
+    pub fn add(&mut self, other: &LevelStats) {
+        self.l1.add(&other.l1);
+        self.l2.add(&other.l2);
+        match (&mut self.l3, &other.l3) {
+            (Some(a), Some(b)) => a.add(b),
+            (None, Some(b)) => self.l3 = Some(*b),
+            _ => {}
+        }
+        self.dram_accesses += other.dram_accesses;
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -170,6 +202,7 @@ pub struct Hierarchy {
     dram_port: Port,
     atomic_port: Port,
     dram_accesses: u64,
+    tracer: Option<TraceHandle>,
 }
 
 impl Hierarchy {
@@ -186,7 +219,26 @@ impl Hierarchy {
             dram_port: Port::with_stride(cfg.dram_ports, cfg.dram_freq_ratio),
             atomic_port: Port::new(cfg.atomic_ports),
             dram_accesses: 0,
+            tracer: None,
             cfg,
+        }
+    }
+
+    /// Attaches (or detaches) a tracer. With a handle attached, [`access`]
+    /// emits one [`EventData::CacheAccess`] per request and every DRAM
+    /// transaction in the timing path emits [`EventData::DramTransaction`].
+    /// [`access_unqueued`] (the EGHW unit port) carries no timestamp and
+    /// emits no events; its activity still lands in [`Hierarchy::stats`].
+    ///
+    /// [`access`]: Hierarchy::access
+    /// [`access_unqueued`]: Hierarchy::access_unqueued
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.tracer = tracer;
+    }
+
+    fn emit_dram(&self, t: u64, write: bool) {
+        if let Some(tr) = &self.tracer {
+            tr.emit(t, 0, EventData::DramTransaction { write });
         }
     }
 
@@ -217,21 +269,33 @@ impl Hierarchy {
             self.l2_port.acquire(t);
             self.l2.access(victim, true);
         }
-        if a1.hit {
-            return AccessResult {
+        let result = if a1.hit {
+            AccessResult {
                 latency,
                 queue_delay,
                 level: HitLevel::L1,
-            };
+            }
+        } else {
+            latency += self.l2_port.acquire(t) + self.cfg.l2_latency;
+            let (level, below) = self.descend_from_l2(addr, t);
+            AccessResult {
+                latency: latency + below,
+                queue_delay,
+                level,
+            }
+        };
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                core as u32,
+                EventData::CacheAccess {
+                    level: result.level.trace_level(),
+                    write,
+                    queue_delay,
+                },
+            );
         }
-        latency += self.l2_port.acquire(t) + self.cfg.l2_latency;
-        let (level, below) = self.descend_from_l2(addr, t);
-        latency += below;
-        AccessResult {
-            latency,
-            queue_delay,
-            level,
-        }
+        result
     }
 
     /// A load issued by a dedicated hardware unit with its own memory port
@@ -296,12 +360,22 @@ impl Hierarchy {
     ///
     /// Panics if `core` is out of range.
     pub fn atomic(&mut self, core: usize, addr: u64, now: u64) -> AccessResult {
-        let _ = core;
         let queue_delay = self.atomic_port.acquire(now);
         let t = now + queue_delay;
         let mut latency = queue_delay + self.cfg.l1_latency + self.cfg.l2_latency;
         let (level, below) = self.descend_from_l2_write(addr, t);
         latency += below;
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                core as u32,
+                EventData::CacheAccess {
+                    level: level.trace_level(),
+                    write: true,
+                    queue_delay,
+                },
+            );
+        }
         AccessResult {
             latency,
             queue_delay: 0,
@@ -324,6 +398,7 @@ impl Hierarchy {
                 l3.access(victim, true);
             } else {
                 self.dram_accesses += 1;
+                self.emit_dram(t, true);
             }
         }
         if a2.hit {
@@ -333,12 +408,14 @@ impl Hierarchy {
             let a3 = l3.access(addr, write);
             if a3.evicted_dirty.is_some() {
                 self.dram_accesses += 1;
+                self.emit_dram(t, true);
             }
             if a3.hit {
                 return (HitLevel::L3, self.cfg.l3_latency);
             }
             let dq = self.dram_port.acquire(t);
             self.dram_accesses += 1;
+            self.emit_dram(t, false);
             (
                 HitLevel::Dram,
                 self.cfg.l3_latency + dq + self.dram_cycles(),
@@ -346,6 +423,7 @@ impl Hierarchy {
         } else {
             let dq = self.dram_port.acquire(t);
             self.dram_accesses += 1;
+            self.emit_dram(t, false);
             (HitLevel::Dram, dq + self.dram_cycles())
         }
     }
@@ -505,6 +583,77 @@ mod tests {
         // Line is gone after flush.
         let r = h.access(0, 0, false, 0);
         assert_eq!(r.level, HitLevel::Dram);
+    }
+
+    #[test]
+    fn level_stats_add_folds_optional_l3() {
+        let mut a = LevelStats {
+            l1: CacheStats {
+                accesses: 10,
+                hits: 8,
+                misses: 2,
+                writebacks: 1,
+            },
+            dram_accesses: 3,
+            ..LevelStats::default()
+        };
+        let b = LevelStats {
+            l1: CacheStats {
+                accesses: 4,
+                hits: 1,
+                misses: 3,
+                writebacks: 0,
+            },
+            l3: Some(CacheStats {
+                accesses: 5,
+                hits: 2,
+                misses: 3,
+                writebacks: 1,
+            }),
+            dram_accesses: 4,
+            ..LevelStats::default()
+        };
+        a.add(&b);
+        assert_eq!(a.l1.accesses, 14);
+        assert_eq!(a.l1.hits, 9);
+        assert_eq!(a.dram_accesses, 7);
+        // None + Some adopts the L3 stats instead of dropping them.
+        assert_eq!(a.l3.unwrap().accesses, 5);
+        // Some + Some folds field-wise.
+        a.add(&b);
+        assert_eq!(a.l3.unwrap().accesses, 10);
+        assert_eq!(a.l3.unwrap().writebacks, 2);
+    }
+
+    #[test]
+    fn tracer_records_cache_and_dram_events() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let mut h = tiny();
+        let t = TraceHandle::new(TraceConfig::default());
+        t.kernel_begin("k");
+        h.set_tracer(Some(t.clone()));
+        h.access(0, 64, false, 0); // cold miss: CacheAccess(DRAM) + DramTransaction
+        h.access(0, 64, false, 10); // warm: CacheAccess(L1)
+        t.kernel_end(20, &Default::default());
+        let r = t.report();
+        assert_eq!(r.events.len(), 5); // launch, 2 cache, 1 dram, end
+    }
+
+    #[test]
+    fn tracer_does_not_change_timing() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let mut plain = tiny();
+        let mut traced = tiny();
+        traced.set_tracer(Some(TraceHandle::new(TraceConfig::default())));
+        for i in 0..50u64 {
+            let addr = (i * 192) % 4096;
+            let a = plain.access(0, addr, i % 3 == 0, i * 2);
+            let b = traced.access(0, addr, i % 3 == 0, i * 2);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), traced.stats());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Flat functional device memory.
 
+use std::cell::Cell;
 use std::fmt;
 
 /// Byte-addressed device memory holding the *functional* state of the GPU.
@@ -17,10 +18,23 @@ use std::fmt;
 /// assert_eq!(m.read(16, 4), 0xdead_beef);
 /// assert_eq!(m.read(18, 1), 0xad);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct MainMemory {
     data: Vec<u8>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
 }
+
+/// Equality is over the *contents* only: the traffic counters are
+/// observability state, not functional state, so snapshot comparisons
+/// (e.g. schedule-equivalence tests) ignore them.
+impl PartialEq for MainMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for MainMemory {}
 
 impl fmt::Debug for MainMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -33,7 +47,22 @@ impl MainMemory {
     pub fn new(size: usize) -> Self {
         MainMemory {
             data: vec![0; size],
+            reads: Cell::new(0),
+            writes: Cell::new(0),
         }
+    }
+
+    /// Cumulative `(reads, writes)` access counts since construction or
+    /// the last [`reset_traffic`](MainMemory::reset_traffic). Slice helpers
+    /// count one access per element.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.reads.get(), self.writes.get())
+    }
+
+    /// Zeroes the traffic counters.
+    pub fn reset_traffic(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
     }
 
     /// Size in bytes.
@@ -60,6 +89,7 @@ impl MainMemory {
     /// Panics on out-of-bounds access or unsupported width — a kernel bug,
     /// surfaced loudly rather than silently corrupting an experiment.
     pub fn read(&self, addr: u64, width: u64) -> u64 {
+        self.reads.set(self.reads.get() + 1);
         let a = addr as usize;
         let w = width as usize;
         assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported access width {w}");
@@ -78,6 +108,7 @@ impl MainMemory {
     ///
     /// Panics on out-of-bounds access or unsupported width.
     pub fn write(&mut self, addr: u64, value: u64, width: u64) {
+        self.writes.set(self.writes.get() + 1);
         let a = addr as usize;
         let w = width as usize;
         assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported access width {w}");
@@ -188,6 +219,21 @@ mod tests {
         m.grow_to(128);
         assert_eq!(m.read(0, 8), 42);
         assert_eq!(m.len(), 128);
+    }
+
+    #[test]
+    fn traffic_counts_accesses_but_not_equality() {
+        let mut m = MainMemory::new(64);
+        m.write(0, 7, 4);
+        let _ = m.read(0, 4);
+        let _ = m.read(8, 8);
+        assert_eq!(m.traffic(), (2, 1));
+        // Counters are invisible to equality.
+        let mut other = MainMemory::new(64);
+        other.write(0, 7, 4);
+        assert_eq!(m, other);
+        m.reset_traffic();
+        assert_eq!(m.traffic(), (0, 0));
     }
 
     #[test]

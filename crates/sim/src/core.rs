@@ -3,6 +3,7 @@
 
 use sparseweaver_isa::{Instr, Program, Space, VoteOp, Width};
 use sparseweaver_mem::{Hierarchy, MainMemory};
+use sparseweaver_trace::{Category, EventData, TraceHandle};
 use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
 use sparseweaver_weaver::{WeaverUnit, EMPTY_WORK_ID};
 
@@ -85,6 +86,7 @@ pub struct Core {
     /// Counters for the current launch.
     pub stats: CoreStats,
     trace: Option<(Vec<TraceRecord>, usize)>,
+    tracer: Option<TraceHandle>,
     lanes: usize,
     shared_latency: u64,
     alu_latency: u64,
@@ -109,6 +111,7 @@ impl Core {
             resident: cfg.warps_per_core,
             stats: CoreStats::default(),
             trace: None,
+            tracer: None,
             lanes: cfg.threads_per_warp,
             shared_latency: cfg.shared_latency,
             alu_latency: cfg.alu_latency,
@@ -163,6 +166,14 @@ impl Core {
         self.eghw.set_layout(layout);
     }
 
+    /// Attaches (or detaches) a structured-event tracer; the handle is
+    /// forwarded to the core's Weaver unit. With a handle attached, the
+    /// core emits warp issues, phase boundaries, and divergence events.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.weaver.set_tracer(tracer.clone(), self.id as u32);
+        self.tracer = tracer;
+    }
+
     /// Enables instruction tracing: up to `cap` issued instructions are
     /// recorded per launch (tracing survives launches until disabled).
     pub fn enable_trace(&mut self, cap: usize) {
@@ -180,6 +191,7 @@ impl Core {
         for w in &mut self.warps {
             w.reset();
         }
+        self.shared.reset_traffic();
         self.next_warp = 0;
         self.resident = self.warps.len();
         self.stats = CoreStats::default();
@@ -221,7 +233,7 @@ impl Core {
 
     /// Consumes zero-cost `Phase` markers and returns the warp's next real
     /// instruction, halting the warp if it runs off the end.
-    fn resolve_front(&mut self, warp: usize, program: &Program) -> Option<Instr> {
+    fn resolve_front(&mut self, warp: usize, program: &Program, cycle: u64) -> Option<Instr> {
         loop {
             if self.warps[warp].state != WarpState::Running {
                 return None;
@@ -232,7 +244,7 @@ impl Core {
                     return None;
                 }
                 Some(&Instr::Phase(p)) => {
-                    self.warps[warp].phase = match p {
+                    let phase = match p {
                         0 => Phase::Init,
                         1 => Phase::Registration,
                         2 => Phase::EdgeSchedule,
@@ -240,6 +252,19 @@ impl Core {
                         4 => Phase::GatherSum,
                         _ => Phase::Other,
                     };
+                    if self.warps[warp].phase != phase {
+                        if let Some(tr) = &self.tracer {
+                            tr.emit(
+                                cycle,
+                                self.id as u32,
+                                EventData::PhaseBegin {
+                                    warp: warp as u32,
+                                    phase,
+                                },
+                            );
+                        }
+                    }
+                    self.warps[warp].phase = phase;
                     self.warps[warp].pc += 1;
                 }
                 Some(&i) => return Some(i),
@@ -269,7 +294,7 @@ impl Core {
         // Round-robin scan for a ready warp.
         for i in 0..n {
             let w = (self.next_warp + i) % n;
-            let Some(instr) = self.resolve_front(w, program) else {
+            let Some(instr) = self.resolve_front(w, program, cycle) else {
                 continue;
             };
             // Scoreboard: all sources and the destination must be ready.
@@ -291,6 +316,19 @@ impl Core {
                         instr,
                         active: self.warps[w].active,
                     });
+                }
+            }
+            if let Some(tr) = &self.tracer {
+                if tr.enabled(Category::Warp) {
+                    tr.emit(
+                        cycle,
+                        self.id as u32,
+                        EventData::WarpIssue {
+                            warp: w as u32,
+                            pc: self.warps[w].pc,
+                            active: self.warps[w].active_count(),
+                        },
+                    );
                 }
             }
             self.exec(w, instr, cycle, args, hier, mem, num_cores, program)?;
@@ -504,8 +542,7 @@ impl Core {
                             let old = self.shared.read(a, 8);
                             self.shared.write(a, op.combine(old, operand), 8);
                             self.warps[w].write(l, rd, old);
-                            max_done =
-                                max_done.max(cycle + self.shared_latency + i as u64);
+                            max_done = max_done.max(cycle + self.shared_latency + i as u64);
                         }
                         self.warps[w].set_pending(rd, max_done, PendKind::Shared);
                     }
@@ -543,6 +580,7 @@ impl Core {
                 else_target,
                 end_target,
             } => {
+                let split_pc = warp.pc - 1;
                 let m = warp.active;
                 let mut t = 0u64;
                 for l in warp.active_lanes().collect::<Vec<_>>() {
@@ -566,6 +604,21 @@ impl Core {
                     warp.pc = else_target;
                 }
                 warp.simt.push(entry);
+                // A split only diverges when both sides have lanes.
+                if t != 0 && f != 0 {
+                    if let Some(tr) = &self.tracer {
+                        tr.emit(
+                            cycle,
+                            core_id as u32,
+                            EventData::Divergence {
+                                warp: w as u32,
+                                pc: split_pc,
+                                taken: t.count_ones(),
+                                not_taken: f.count_ones(),
+                            },
+                        );
+                    }
+                }
             }
             Instr::Join => {
                 let Some(top) = warp.simt.last_mut() else {

@@ -2,10 +2,11 @@
 
 use sparseweaver_isa::Program;
 use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory};
+use sparseweaver_trace::{CounterSnapshot, EventData, StallCause, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
 
 use crate::config::GpuConfig;
-use crate::core::{Core, IssueOutcome};
+use crate::core::{Blocked, Core, IssueOutcome};
 use crate::stats::{KernelStats, PendKind};
 use crate::SimError;
 
@@ -45,6 +46,7 @@ pub struct Gpu {
     mem: MainMemory,
     hierarchy: Hierarchy,
     cores: Vec<Core>,
+    tracer: Option<TraceHandle>,
 }
 
 impl Gpu {
@@ -61,7 +63,22 @@ impl Gpu {
             hierarchy: Hierarchy::new(cfg.hierarchy),
             cores: (0..cfg.num_cores).map(|i| Core::new(i, &cfg)).collect(),
             cfg,
+            tracer: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a structured-event tracer.
+    ///
+    /// The handle is distributed to the memory hierarchy and every core,
+    /// so all subsequent launches emit events and counter samples into it.
+    /// With no tracer attached — the default — the hooks are `None` checks
+    /// on hot paths and the cycle model is untouched.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.hierarchy.set_tracer(tracer.clone());
+        for c in &mut self.cores {
+            c.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// The machine configuration.
@@ -125,6 +142,10 @@ impl Gpu {
         }
         self.hierarchy.reset_ports();
         let mem_before = self.hierarchy.stats();
+        let traffic_before = self.mem.traffic();
+        if let Some(tr) = &self.tracer {
+            tr.kernel_begin(program.name());
+        }
         let num_cores = self.cores.len();
         let mut cycle: u64 = 0;
         let mut warp_cycles: u64 = 0;
@@ -210,6 +231,17 @@ impl Gpu {
                     }
                 }
                 s.phase_cycles[b.phase as usize] += n;
+                if let Some(tr) = &self.tracer {
+                    tr.emit(
+                        cycle,
+                        i as u32,
+                        EventData::WarpStall {
+                            cause: stall_cause(&b),
+                            phase: b.phase,
+                            cycles: n,
+                        },
+                    );
+                }
             }
             // Warp residency accounting.
             for c in &self.cores {
@@ -219,6 +251,13 @@ impl Gpu {
                 }
             }
             cycle += delta;
+            if let Some(tr) = &self.tracer {
+                if tr.sample_due(cycle) {
+                    let snap =
+                        self.launch_snapshot(barrier_warp_cycles, &mem_before, traffic_before);
+                    tr.record_sample(cycle, &snap);
+                }
+            }
         }
 
         // Fold per-core stats.
@@ -251,7 +290,72 @@ impl Gpu {
             },
             dram_accesses: mem_after.dram_accesses - mem_before.dram_accesses,
         };
+        if let Some(tr) = &self.tracer {
+            let snap = self.launch_snapshot(barrier_warp_cycles, &mem_before, traffic_before);
+            tr.kernel_end(cycle, &snap);
+        }
         Ok(stats)
+    }
+
+    /// Launch-relative counter snapshot for the tracer: everything measured
+    /// since the current launch began (the tracer folds it onto committed
+    /// totals from earlier launches).
+    fn launch_snapshot(
+        &self,
+        barrier_warp_cycles: u64,
+        mem_before: &LevelStats,
+        traffic_before: (u64, u64),
+    ) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::default();
+        for c in &self.cores {
+            snap.instructions += c.stats.instructions;
+            snap.thread_instructions += c.stats.thread_instructions;
+            snap.stall_memory += c.stats.stalls.memory;
+            snap.stall_shared += c.stats.stalls.shared;
+            snap.stall_exec_dep += c.stats.stalls.exec_dep;
+            snap.stall_l1_queue += c.stats.stalls.l1_queue;
+            snap.stall_barrier += c.stats.stalls.barrier;
+            snap.stall_weaver += c.stats.stalls.weaver;
+            for (acc, p) in snap.phase_cycles.iter_mut().zip(c.stats.phase_cycles) {
+                *acc += p;
+            }
+            let (f, d, r) = c.weaver.counters();
+            snap.weaver_st_fetches += f;
+            snap.weaver_dec_requests += d;
+            snap.weaver_registrations += r;
+            let (sr, sw) = c.shared.traffic();
+            snap.shared_reads += sr;
+            snap.shared_writes += sw;
+        }
+        snap.stall_barrier += barrier_warp_cycles;
+        let now = self.hierarchy.stats();
+        snap.l1_accesses = now.l1.accesses - mem_before.l1.accesses;
+        snap.l1_hits = now.l1.hits - mem_before.l1.hits;
+        snap.l2_accesses = now.l2.accesses - mem_before.l2.accesses;
+        snap.l2_hits = now.l2.hits - mem_before.l2.hits;
+        if let (Some(a), Some(b)) = (now.l3, mem_before.l3) {
+            snap.l3_accesses = a.accesses - b.accesses;
+            snap.l3_hits = a.hits - b.hits;
+        }
+        snap.dram_accesses = now.dram_accesses - mem_before.dram_accesses;
+        let (mr, mw) = self.mem.traffic();
+        snap.mem_reads = mr - traffic_before.0;
+        snap.mem_writes = mw - traffic_before.1;
+        snap
+    }
+}
+
+/// Maps a blocked core's reason to the trace-event stall taxonomy.
+fn stall_cause(b: &Blocked) -> StallCause {
+    if b.barrier {
+        StallCause::Barrier
+    } else {
+        match b.reason {
+            PendKind::Memory => StallCause::Memory,
+            PendKind::Shared => StallCause::Shared,
+            PendKind::Weaver => StallCause::Weaver,
+            PendKind::Exec | PendKind::None => StallCause::ExecDep,
+        }
     }
 }
 
@@ -339,7 +443,7 @@ mod tests {
         let p = a.finish();
         g.launch(&p, &[]).unwrap();
         for t in 0..g.config().total_threads() as u64 {
-            let expect = if t % g.config().threads_per_warp as u64 % 2 == 0 {
+            let expect = if (t % g.config().threads_per_warp as u64).is_multiple_of(2) {
                 100
             } else {
                 200
@@ -625,6 +729,85 @@ mod tests {
         // Tracing disabled after take_trace.
         g.launch(&p, &[]).unwrap();
         assert!(g.take_trace().is_empty());
+    }
+
+    #[test]
+    fn tracer_collects_events_and_samples() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let mut g = gpu();
+        let tr = TraceHandle::new(TraceConfig {
+            sample_every: 4,
+            ..TraceConfig::default()
+        });
+        g.set_tracer(Some(tr.clone()));
+        let mut a = Asm::new("traced_kernel");
+        let r = a.reg();
+        let addr = a.reg();
+        a.li(addr, 4096);
+        a.ldg(r, addr, 0, Width::B8);
+        a.addi(r, r, 1);
+        a.stg(r, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        let s = g.launch(&p, &[]).unwrap();
+        let report = tr.report();
+        assert_eq!(report.kernels.len(), 1);
+        assert_eq!(report.kernels[0].name, "traced_kernel");
+        assert_eq!(report.kernels[0].cycles, s.cycles);
+        // Kernel launch/end markers plus issue, stall and cache events.
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.data, sparseweaver_trace::EventData::WarpIssue { .. })));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.data, sparseweaver_trace::EventData::CacheAccess { .. })));
+        // The closing sample agrees with KernelStats.
+        let last = report.samples.last().expect("kernel-end sample");
+        assert_eq!(last.counters.instructions, s.instructions);
+        assert_eq!(last.counters.l1_accesses, s.mem.l1.accesses);
+        assert_eq!(last.counters.dram_accesses, s.mem.dram_accesses);
+        assert_eq!(
+            last.counters.stall_memory
+                + last.counters.stall_shared
+                + last.counters.stall_exec_dep
+                + last.counters.stall_weaver,
+            s.stalls.total()
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_kernel_stats() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let program = {
+            let mut a = Asm::new("identical");
+            let tid = a.reg();
+            let addr = a.reg();
+            let v = a.reg();
+            a.csr(tid, CsrKind::GlobalTid);
+            a.muli(addr, tid, 8);
+            a.ldg(v, addr, 0, Width::B8);
+            a.add(v, v, tid);
+            a.stg(v, addr, 0, Width::B8);
+            a.bar();
+            a.atom(AtomOp::Add, v, addr, tid);
+            a.halt();
+            a.finish()
+        };
+        let run = |traced: bool| {
+            let mut g = gpu();
+            if traced {
+                g.set_tracer(Some(TraceHandle::new(TraceConfig {
+                    sample_every: 2,
+                    ..TraceConfig::default()
+                })));
+            }
+            g.launch(&program, &[]).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

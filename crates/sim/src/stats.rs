@@ -2,52 +2,9 @@
 
 use sparseweaver_mem::LevelStats;
 
-/// The execution phases of the gather process, used for the breakdowns of
-/// Figs. 17 and 18. Kernels mark phase boundaries with the zero-cost
-/// `Phase` pseudo-instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-#[repr(u8)]
-pub enum Phase {
-    /// Kernel prologue and property initialization.
-    Init = 0,
-    /// Registration stage (topology investigation + `WEAVER_REG`).
-    Registration = 1,
-    /// Work-ID calculation (edge scheduling / decode).
-    EdgeSchedule = 2,
-    /// Edge information access (`getEdge` loads).
-    EdgeInfoAccess = 3,
-    /// Gather & sum computation.
-    GatherSum = 4,
-    /// Apply kernels and anything else.
-    Other = 5,
-}
-
-impl Phase {
-    /// Number of phase slots.
-    pub const COUNT: usize = 6;
-
-    /// All phases in breakdown order.
-    pub const ALL: [Phase; 6] = [
-        Phase::Init,
-        Phase::Registration,
-        Phase::EdgeSchedule,
-        Phase::EdgeInfoAccess,
-        Phase::GatherSum,
-        Phase::Other,
-    ];
-
-    /// Display label matching the paper's Fig. 17 legend.
-    pub fn label(self) -> &'static str {
-        match self {
-            Phase::Init => "Init",
-            Phase::Registration => "Registration",
-            Phase::EdgeSchedule => "Work ID calc",
-            Phase::EdgeInfoAccess => "Edge info access",
-            Phase::GatherSum => "Gather & Sum",
-            Phase::Other => "Other",
-        }
-    }
-}
+// One definition shared with the trace-event taxonomy: the statistics
+// below and the tracer's phase-cycle series index the same enum.
+pub use sparseweaver_trace::Phase;
 
 /// Core-cycle stall attribution, mirroring the Nsight categories the paper
 /// lists under Fig. 4.
@@ -160,15 +117,7 @@ impl KernelStats {
         for i in 0..Phase::COUNT {
             self.phase_cycles[i] += other.phase_cycles[i];
         }
-        self.mem.l1.accesses += other.mem.l1.accesses;
-        self.mem.l1.hits += other.mem.l1.hits;
-        self.mem.l1.misses += other.mem.l1.misses;
-        self.mem.l1.writebacks += other.mem.l1.writebacks;
-        self.mem.l2.accesses += other.mem.l2.accesses;
-        self.mem.l2.hits += other.mem.l2.hits;
-        self.mem.l2.misses += other.mem.l2.misses;
-        self.mem.l2.writebacks += other.mem.l2.writebacks;
-        self.mem.dram_accesses += other.mem.dram_accesses;
+        self.mem.add(&other.mem);
         self.weaver_counters.0 += other.weaver_counters.0;
         self.weaver_counters.1 += other.weaver_counters.1;
         self.weaver_counters.2 += other.weaver_counters.2;
@@ -226,5 +175,32 @@ mod tests {
     fn phase_labels() {
         assert_eq!(Phase::EdgeSchedule.label(), "Work ID calc");
         assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn accumulate_keeps_l3_stats() {
+        use sparseweaver_mem::CacheStats;
+
+        // Launches on an L3-configured GPU must not lose their L3 activity
+        // when folded into a run-level accumulation that started without.
+        let mut total = KernelStats::default();
+        let launch = KernelStats {
+            mem: sparseweaver_mem::LevelStats {
+                l3: Some(CacheStats {
+                    accesses: 12,
+                    hits: 9,
+                    misses: 3,
+                    writebacks: 1,
+                }),
+                ..Default::default()
+            },
+            ..KernelStats::default()
+        };
+        total.accumulate(&launch);
+        total.accumulate(&launch);
+        let l3 = total.mem.l3.expect("L3 stats preserved");
+        assert_eq!(l3.accesses, 24);
+        assert_eq!(l3.hits, 18);
+        assert_eq!(l3.writebacks, 2);
     }
 }

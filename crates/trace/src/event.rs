@@ -1,0 +1,352 @@
+//! The typed event taxonomy the simulator emits.
+
+use crate::tracer::Category;
+
+/// The execution phases of the gather process, used for the breakdowns of
+/// Figs. 17 and 18. Kernels mark phase boundaries with the zero-cost
+/// `Phase` pseudo-instruction.
+///
+/// This lives in the trace crate so that both the simulator's statistics
+/// and the trace events share one definition; `sparseweaver-sim`
+/// re-exports it as `sparseweaver_sim::stats::Phase`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+pub enum Phase {
+    /// Kernel prologue and property initialization.
+    Init = 0,
+    /// Registration stage (topology investigation + `WEAVER_REG`).
+    Registration = 1,
+    /// Work-ID calculation (edge scheduling / decode).
+    EdgeSchedule = 2,
+    /// Edge information access (`getEdge` loads).
+    EdgeInfoAccess = 3,
+    /// Gather & sum computation.
+    GatherSum = 4,
+    /// Apply kernels and anything else.
+    Other = 5,
+}
+
+impl Phase {
+    /// Number of phase slots.
+    pub const COUNT: usize = 6;
+
+    /// All phases in breakdown order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Init,
+        Phase::Registration,
+        Phase::EdgeSchedule,
+        Phase::EdgeInfoAccess,
+        Phase::GatherSum,
+        Phase::Other,
+    ];
+
+    /// Display label matching the paper's Fig. 17 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Init => "Init",
+            Phase::Registration => "Registration",
+            Phase::EdgeSchedule => "Work ID calc",
+            Phase::EdgeInfoAccess => "Edge info access",
+            Phase::GatherSum => "Gather & Sum",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+/// Where in the hierarchy a memory access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Per-core L1.
+    L1,
+    /// Shared L2.
+    L2,
+    /// Optional L3.
+    L3,
+    /// Main memory.
+    Dram,
+}
+
+impl MemLevel {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::L3 => "L3",
+            MemLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// Why a core could not issue (mirrors the simulator's stall breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting on a global-memory load result.
+    Memory,
+    /// Waiting on a shared-memory result.
+    Shared,
+    /// Waiting on an ALU/FPU result.
+    ExecDep,
+    /// Waiting on a Weaver/EGHW unit response.
+    Weaver,
+    /// Every resident warp is parked at a barrier.
+    Barrier,
+}
+
+impl StallCause {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::Memory => "memory",
+            StallCause::Shared => "shared",
+            StallCause::ExecDep => "exec_dep",
+            StallCause::Weaver => "weaver",
+            StallCause::Barrier => "barrier",
+        }
+    }
+}
+
+/// The Weaver FSM states of Fig. 6 (S0–S8), decoupled from the weaver
+/// crate's internal state machine so the event stream is self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WeaverState {
+    /// S0: initialized, no entry loaded yet.
+    S0Init = 0,
+    /// S1: first ST entry loaded into CED.
+    S1LoadCed = 1,
+    /// S2: decoding CED into OD entries.
+    S2Decode = 2,
+    /// S3: fetching the next ST entry.
+    S3FetchSt = 3,
+    /// S4: CED updated with the fetched entry.
+    S4UpdateCed = 4,
+    /// S5: OD complete, DT updated.
+    S5UpdateDt = 5,
+    /// S6: waiting for the next decode request.
+    S6Wait = 6,
+    /// S7: last entries drained.
+    S7Drain = 7,
+    /// S8: end — only empty work IDs remain.
+    S8End = 8,
+}
+
+impl WeaverState {
+    /// Maps a state index (0–8) back to the state; panics on anything else.
+    pub fn from_id(id: u8) -> WeaverState {
+        match id {
+            0 => WeaverState::S0Init,
+            1 => WeaverState::S1LoadCed,
+            2 => WeaverState::S2Decode,
+            3 => WeaverState::S3FetchSt,
+            4 => WeaverState::S4UpdateCed,
+            5 => WeaverState::S5UpdateDt,
+            6 => WeaverState::S6Wait,
+            7 => WeaverState::S7Drain,
+            8 => WeaverState::S8End,
+            other => panic!("invalid Weaver FSM state id {other}"),
+        }
+    }
+
+    /// Fig. 6 label, e.g. `"S2:decode"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeaverState::S0Init => "S0:init",
+            WeaverState::S1LoadCed => "S1:load_ced",
+            WeaverState::S2Decode => "S2:decode",
+            WeaverState::S3FetchSt => "S3:fetch_st",
+            WeaverState::S4UpdateCed => "S4:update_ced",
+            WeaverState::S5UpdateDt => "S5:update_dt",
+            WeaverState::S6Wait => "S6:wait",
+            WeaverState::S7Drain => "S7:drain",
+            WeaverState::S8End => "S8:end",
+        }
+    }
+}
+
+/// Weaver table operations (sparse table ST, dense table DT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableOp {
+    /// `WEAVER_REG` wrote ST entries.
+    StWrite,
+    /// The FSM fetched ST slots while filling an OD.
+    StFetch,
+    /// A decoded OD's edge IDs were stored to the warp's DT row.
+    DtWrite,
+    /// `WEAVER_DEC_LOC` read a DT row back.
+    DtRead,
+}
+
+impl TableOp {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableOp::StWrite => "st_write",
+            TableOp::StFetch => "st_fetch",
+            TableOp::DtWrite => "dt_write",
+            TableOp::DtRead => "dt_read",
+        }
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventData {
+    /// A kernel launch began.
+    KernelLaunch {
+        /// Kernel (program) name.
+        name: String,
+    },
+    /// A kernel launch completed.
+    KernelEnd {
+        /// Kernel (program) name.
+        name: String,
+        /// Launch duration in cycles.
+        cycles: u64,
+    },
+    /// A warp crossed a `Phase` pseudo-instruction boundary.
+    PhaseBegin {
+        /// Warp index within the core.
+        warp: u32,
+        /// The phase the warp entered.
+        phase: Phase,
+    },
+    /// A warp issued one instruction.
+    WarpIssue {
+        /// Warp index within the core.
+        warp: u32,
+        /// Program counter (instruction index).
+        pc: u32,
+        /// Number of active lanes.
+        active: u32,
+    },
+    /// A core spent `cycles` unable to issue.
+    WarpStall {
+        /// Dominant cause (the reason of the earliest-ready warp).
+        cause: StallCause,
+        /// Phase the stalled warp was in.
+        phase: Phase,
+        /// Stalled duration in cycles.
+        cycles: u64,
+    },
+    /// A warp diverged at a `split`.
+    Divergence {
+        /// Warp index within the core.
+        warp: u32,
+        /// Program counter of the split.
+        pc: u32,
+        /// Lanes taking the if side.
+        taken: u32,
+        /// Lanes taking the else side.
+        not_taken: u32,
+    },
+    /// One cache-line access through the hierarchy.
+    CacheAccess {
+        /// Level that satisfied the access.
+        level: MemLevel,
+        /// Whether the access was a write.
+        write: bool,
+        /// Port-contention delay paid, in cycles.
+        queue_delay: u64,
+    },
+    /// One DRAM transaction (demand fill or writeback).
+    DramTransaction {
+        /// Whether the transaction was a write(back).
+        write: bool,
+    },
+    /// The Weaver FSM took one transition.
+    WeaverTransition {
+        /// State before.
+        from: WeaverState,
+        /// State after.
+        to: WeaverState,
+    },
+    /// A Weaver ST/DT table operation.
+    WeaverTable {
+        /// Which table and direction.
+        op: TableOp,
+        /// Number of entries/slots touched.
+        count: u32,
+    },
+}
+
+impl EventData {
+    /// The category this event belongs to (drives `--trace-level`).
+    pub fn category(&self) -> Category {
+        match self {
+            EventData::KernelLaunch { .. } | EventData::KernelEnd { .. } => Category::Kernel,
+            EventData::PhaseBegin { .. }
+            | EventData::WarpIssue { .. }
+            | EventData::WarpStall { .. }
+            | EventData::Divergence { .. } => Category::Warp,
+            EventData::CacheAccess { .. } | EventData::DramTransaction { .. } => Category::Mem,
+            EventData::WeaverTransition { .. } | EventData::WeaverTable { .. } => Category::Weaver,
+        }
+    }
+}
+
+/// One timestamped event. `cycle` is on the *global* timeline: the tracer
+/// adds the accumulated cycle count of all previously completed launches,
+/// so a multi-kernel run produces one contiguous timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global cycle at which the event occurred.
+    pub cycle: u64,
+    /// Core that produced the event (0 for GPU-wide events).
+    pub core: u32,
+    /// The typed payload.
+    pub data: EventData,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(Phase::EdgeSchedule.label(), "Work ID calc");
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn weaver_state_round_trips_ids() {
+        for id in 0..=8u8 {
+            assert_eq!(WeaverState::from_id(id) as u8, id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Weaver FSM state id")]
+    fn weaver_state_rejects_bad_id() {
+        let _ = WeaverState::from_id(9);
+    }
+
+    #[test]
+    fn categories_cover_the_taxonomy() {
+        assert_eq!(
+            EventData::KernelLaunch { name: "k".into() }.category(),
+            Category::Kernel
+        );
+        assert_eq!(
+            EventData::WarpIssue {
+                warp: 0,
+                pc: 0,
+                active: 1
+            }
+            .category(),
+            Category::Warp
+        );
+        assert_eq!(
+            EventData::DramTransaction { write: false }.category(),
+            Category::Mem
+        );
+        assert_eq!(
+            EventData::WeaverTable {
+                op: TableOp::StWrite,
+                count: 1
+            }
+            .category(),
+            Category::Weaver
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! Exporters: Chrome trace-event JSON and a flat metrics document.
+//!
+//! [`chrome_trace_json`] emits the subset of the Trace Event Format that
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` load
+//! directly: complete (`"X"`) spans for kernel launches and warp stalls,
+//! instant (`"i"`) events for everything else, and counter (`"C"`) tracks
+//! for the sampled metrics. One simulated cycle maps to one microsecond of
+//! trace time; `pid` 0 is the GPU and `tid` is the core index.
+//!
+//! [`metrics_json`] is the machine-readable companion: run totals plus the
+//! full sampled time series (stall breakdown, phase cycles, cache and DRAM
+//! activity, Weaver counters), for plotting Figs. 4/17/18-style breakdowns
+//! without re-running the simulation.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventData, TraceEvent};
+use crate::json::escape;
+use crate::metrics::CounterSnapshot;
+use crate::tracer::TraceReport;
+use crate::Phase;
+
+/// Renders `report` as a Chrome trace-event JSON document.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_trace::{export, json, TraceConfig, TraceHandle};
+///
+/// let t = TraceHandle::new(TraceConfig::default());
+/// t.kernel_begin("demo");
+/// t.kernel_end(10, &Default::default());
+/// let doc = export::chrome_trace_json(&t.report());
+/// let v = json::parse(&doc).unwrap();
+/// assert!(!v.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+/// ```
+pub fn chrome_trace_json(report: &TraceReport) -> String {
+    let mut out = String::with_capacity(4096 + report.events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    // Metadata: name the process. Every event carries ts/pid/tid so the
+    // document is uniformly shaped for downstream tooling.
+    push(
+        &mut out,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"sparseweaver-gpu\"}}"
+            .to_string(),
+    );
+
+    // Kernel launches as complete spans on the GPU-wide track.
+    for k in &report.kernels {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":0,\"args\":{{\"cycles\":{}}}}}",
+                escape(&k.name),
+                k.start,
+                k.cycles.max(1),
+                k.cycles
+            ),
+        );
+    }
+
+    // Buffered events.
+    for e in &report.events {
+        push(&mut out, event_json(e));
+    }
+
+    // Counter tracks from the sampled metrics.
+    for s in &report.samples {
+        let c = &s.counters;
+        let ts = s.cycle;
+        push(
+            &mut out,
+            counter_json(
+                ts,
+                "stalls",
+                &[
+                    ("memory", c.stall_memory),
+                    ("shared", c.stall_shared),
+                    ("exec_dep", c.stall_exec_dep),
+                    ("weaver", c.stall_weaver),
+                    ("barrier", c.stall_barrier),
+                    ("l1_queue", c.stall_l1_queue),
+                ],
+            ),
+        );
+        let phases: Vec<(&str, u64)> = Phase::ALL
+            .iter()
+            .map(|&p| (p.label(), c.phase_cycles[p as usize]))
+            .collect();
+        push(&mut out, counter_json(ts, "phase_cycles", &phases));
+        push(
+            &mut out,
+            counter_json(
+                ts,
+                "cache",
+                &[
+                    ("l1_hits", c.l1_hits),
+                    ("l1_misses", c.l1_accesses - c.l1_hits),
+                    ("l2_hits", c.l2_hits),
+                    ("l3_hits", c.l3_hits),
+                    ("dram", c.dram_accesses),
+                ],
+            ),
+        );
+        push(
+            &mut out,
+            counter_json(
+                ts,
+                "instructions",
+                &[("warp", c.instructions), ("thread", c.thread_instructions)],
+            ),
+        );
+        push(
+            &mut out,
+            counter_json(
+                ts,
+                "weaver",
+                &[
+                    ("st_fetches", c.weaver_st_fetches),
+                    ("dec_requests", c.weaver_dec_requests),
+                    ("registrations", c.weaver_registrations),
+                ],
+            ),
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+fn counter_json(ts: u64, name: &str, fields: &[(&str, u64)]) -> String {
+    let args: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+        .collect();
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":0,\
+         \"args\":{{{}}}}}",
+        args.join(",")
+    )
+}
+
+/// One ring-buffer event as a trace-event JSON object.
+fn event_json(e: &TraceEvent) -> String {
+    let (name, cat, args) = match &e.data {
+        EventData::KernelLaunch { name } => (
+            "kernel_launch".to_string(),
+            "kernel",
+            format!("\"kernel\":\"{}\"", escape(name)),
+        ),
+        EventData::KernelEnd { name, cycles } => (
+            "kernel_end".to_string(),
+            "kernel",
+            format!("\"kernel\":\"{}\",\"cycles\":{cycles}", escape(name)),
+        ),
+        EventData::PhaseBegin { warp, phase } => (
+            format!("phase:{}", phase.label()),
+            "warp",
+            format!("\"warp\":{warp},\"phase\":\"{}\"", phase.label()),
+        ),
+        EventData::WarpIssue { warp, pc, active } => (
+            "issue".to_string(),
+            "warp",
+            format!("\"warp\":{warp},\"pc\":{pc},\"active\":{active}"),
+        ),
+        EventData::WarpStall {
+            cause,
+            phase,
+            cycles,
+        } => {
+            // Stalls are complete spans: [cycle, cycle + cycles).
+            return format!(
+                "{{\"name\":\"stall:{}\",\"cat\":\"warp\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"cause\":\"{}\",\"phase\":\"{}\"}}}}",
+                cause.label(),
+                e.cycle,
+                (*cycles).max(1),
+                e.core,
+                cause.label(),
+                phase.label()
+            );
+        }
+        EventData::Divergence {
+            warp,
+            pc,
+            taken,
+            not_taken,
+        } => (
+            "divergence".to_string(),
+            "warp",
+            format!("\"warp\":{warp},\"pc\":{pc},\"taken\":{taken},\"not_taken\":{not_taken}"),
+        ),
+        EventData::CacheAccess {
+            level,
+            write,
+            queue_delay,
+        } => (
+            format!(
+                "mem:{}:{}",
+                level.label(),
+                if *write { "write" } else { "read" }
+            ),
+            "mem",
+            format!(
+                "\"level\":\"{}\",\"write\":{write},\"queue_delay\":{queue_delay}",
+                level.label()
+            ),
+        ),
+        EventData::DramTransaction { write } => {
+            ("dram".to_string(), "mem", format!("\"write\":{write}"))
+        }
+        EventData::WeaverTransition { from, to } => (
+            format!("fsm:{}", to.label()),
+            "weaver",
+            format!("\"from\":\"{}\",\"to\":\"{}\"", from.label(), to.label()),
+        ),
+        EventData::WeaverTable { op, count } => (
+            format!("weaver:{}", op.label()),
+            "weaver",
+            format!("\"op\":\"{}\",\"count\":{count}", op.label()),
+        ),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+         \"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
+        escape(&name),
+        e.cycle,
+        e.core
+    )
+}
+
+/// Renders `report` as a flat metrics JSON document: run totals plus the
+/// sampled counter time series.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_trace::{export, json, TraceConfig, TraceHandle};
+///
+/// let t = TraceHandle::new(TraceConfig::default());
+/// t.kernel_begin("demo");
+/// t.kernel_end(10, &Default::default());
+/// let v = json::parse(&export::metrics_json(&t.report())).unwrap();
+/// assert_eq!(v.get("total_cycles").unwrap().as_num(), Some(10.0));
+/// ```
+pub fn metrics_json(report: &TraceReport) -> String {
+    let mut out = String::with_capacity(1024 + report.samples.len() * 256);
+    out.push_str("{\"schema\":\"sparseweaver-metrics-v1\",\n");
+    let _ = writeln!(out, "\"sample_every\":{},", report.sample_every);
+    let _ = writeln!(out, "\"total_cycles\":{},", report.total_cycles);
+    let _ = writeln!(out, "\"dropped_events\":{},", report.dropped);
+    out.push_str("\"kernels\":[");
+    for (i, k) in report.kernels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"start\":{},\"cycles\":{}}}",
+            escape(&k.name),
+            k.start,
+            k.cycles
+        );
+    }
+    out.push_str("],\n\"totals\":");
+    out.push_str(&counters_json(&report.totals));
+    out.push_str(",\n\"samples\":[\n");
+    for (i, s) in report.samples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"cycle\":{},\"counters\":{}}}",
+            s.cycle,
+            counters_json(&s.counters)
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One [`CounterSnapshot`] as a JSON object.
+pub fn counters_json(c: &CounterSnapshot) -> String {
+    let phases: Vec<String> = Phase::ALL
+        .iter()
+        .map(|&p| format!("\"{}\":{}", escape(p.label()), c.phase_cycles[p as usize]))
+        .collect();
+    format!(
+        "{{\"instructions\":{},\"thread_instructions\":{},\
+         \"stalls\":{{\"memory\":{},\"shared\":{},\"exec_dep\":{},\"l1_queue\":{},\
+         \"barrier\":{},\"weaver\":{}}},\
+         \"phase_cycles\":{{{}}},\
+         \"cache\":{{\"l1_accesses\":{},\"l1_hits\":{},\"l2_accesses\":{},\"l2_hits\":{},\
+         \"l3_accesses\":{},\"l3_hits\":{},\"dram_accesses\":{}}},\
+         \"shared\":{{\"reads\":{},\"writes\":{}}},\
+         \"device_mem\":{{\"reads\":{},\"writes\":{}}},\
+         \"weaver\":{{\"st_fetches\":{},\"dec_requests\":{},\"registrations\":{}}}}}",
+        c.instructions,
+        c.thread_instructions,
+        c.stall_memory,
+        c.stall_shared,
+        c.stall_exec_dep,
+        c.stall_l1_queue,
+        c.stall_barrier,
+        c.stall_weaver,
+        phases.join(","),
+        c.l1_accesses,
+        c.l1_hits,
+        c.l2_accesses,
+        c.l2_hits,
+        c.l3_accesses,
+        c.l3_hits,
+        c.dram_accesses,
+        c.shared_reads,
+        c.shared_writes,
+        c.mem_reads,
+        c.mem_writes,
+        c.weaver_st_fetches,
+        c.weaver_dec_requests,
+        c.weaver_registrations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventData, MemLevel, StallCause, TableOp, WeaverState};
+    use crate::json;
+    use crate::tracer::{TraceConfig, TraceHandle};
+
+    fn sample_report() -> TraceReport {
+        let t = TraceHandle::new(TraceConfig {
+            sample_every: 5,
+            ..TraceConfig::default()
+        });
+        t.kernel_begin("bfs_step");
+        t.emit(
+            1,
+            0,
+            EventData::WarpIssue {
+                warp: 2,
+                pc: 7,
+                active: 4,
+            },
+        );
+        t.emit(
+            2,
+            1,
+            EventData::CacheAccess {
+                level: MemLevel::L2,
+                write: false,
+                queue_delay: 1,
+            },
+        );
+        t.emit(
+            3,
+            0,
+            EventData::WarpStall {
+                cause: StallCause::Memory,
+                phase: Phase::GatherSum,
+                cycles: 4,
+            },
+        );
+        t.emit(
+            4,
+            0,
+            EventData::WeaverTransition {
+                from: WeaverState::S0Init,
+                to: WeaverState::S1LoadCed,
+            },
+        );
+        t.emit(
+            4,
+            0,
+            EventData::WeaverTable {
+                op: TableOp::StWrite,
+                count: 3,
+            },
+        );
+        t.emit(5, 1, EventData::DramTransaction { write: true });
+        let mut counters = CounterSnapshot {
+            instructions: 9,
+            ..CounterSnapshot::default()
+        };
+        counters.phase_cycles[Phase::GatherSum as usize] = 4;
+        t.record_sample(5, &counters);
+        t.kernel_end(10, &counters);
+        t.report()
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_is_well_formed() {
+        let doc = chrome_trace_json(&sample_report());
+        let v = json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.len() > 8, "got {} events", events.len());
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "M" | "X" | "i" | "C"), "bad ph {ph}");
+            assert!(e.get("ts").unwrap().as_num().is_some());
+            assert!(e.get("pid").unwrap().as_num().is_some());
+            assert!(e.get("tid").unwrap().as_num().is_some());
+            if ph == "X" {
+                assert!(e.get("dur").unwrap().as_num().unwrap() >= 1.0);
+            }
+        }
+        // Kernel span, a stall span, and counter tracks are all present.
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"bfs_step"));
+        assert!(names.contains(&"stall:memory"));
+        assert!(names.contains(&"stalls"));
+        assert!(names.contains(&"phase_cycles"));
+        assert!(names.contains(&"mem:L2:read"));
+        assert!(names.contains(&"weaver:st_write"));
+    }
+
+    #[test]
+    fn metrics_document_carries_the_series() {
+        let doc = metrics_json(&sample_report());
+        let v = json::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("total_cycles").unwrap().as_num(), Some(10.0));
+        let samples = v.get("samples").unwrap().as_arr().unwrap();
+        assert_eq!(samples.len(), 2); // periodic + kernel-end
+        let c = samples[0].get("counters").unwrap();
+        assert_eq!(
+            c.get("stalls").unwrap().get("memory").unwrap().as_num(),
+            Some(0.0)
+        );
+        assert_eq!(
+            c.get("phase_cycles")
+                .unwrap()
+                .get("Gather & Sum")
+                .unwrap()
+                .as_num(),
+            Some(4.0)
+        );
+        assert_eq!(c.get("instructions").unwrap().as_num(), Some(9.0));
+        let kernels = v.get("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(kernels[0].get("name").unwrap().as_str(), Some("bfs_step"));
+    }
+
+    #[test]
+    fn escaped_kernel_names_survive_round_trip() {
+        let t = TraceHandle::new(TraceConfig::default());
+        t.kernel_begin("odd \"name\"\n");
+        t.kernel_end(1, &CounterSnapshot::default());
+        let doc = chrome_trace_json(&t.report());
+        assert!(json::parse(&doc).is_ok());
+    }
+}

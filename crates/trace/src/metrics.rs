@@ -1,0 +1,137 @@
+//! The counter registry sampled into periodic metrics.
+
+use crate::event::Phase;
+
+/// A snapshot of every counter the metrics layer tracks.
+///
+/// The GPU launch loop builds launch-relative snapshots from its existing
+/// statistics structures (core stats, cache stats, Weaver counters); the
+/// tracer folds them onto the committed totals of previously completed
+/// launches, so sampled values are cumulative over the whole run and
+/// monotonically non-decreasing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CounterSnapshot {
+    /// Warp-instructions issued.
+    pub instructions: u64,
+    /// Thread-instructions executed.
+    pub thread_instructions: u64,
+    /// Stall cycles waiting on global memory.
+    pub stall_memory: u64,
+    /// Stall cycles waiting on shared memory.
+    pub stall_shared: u64,
+    /// Stall cycles waiting on ALU/FPU results.
+    pub stall_exec_dep: u64,
+    /// L1 port-contention delay (per access).
+    pub stall_l1_queue: u64,
+    /// Warp-cycles parked at barriers.
+    pub stall_barrier: u64,
+    /// Stall cycles waiting on the Weaver/EGHW unit.
+    pub stall_weaver: u64,
+    /// Core-cycles attributed to each [`Phase`].
+    pub phase_cycles: [u64; Phase::COUNT],
+    /// L1 accesses / hits (summed over cores).
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L3 accesses (0 when no L3 is configured).
+    pub l3_accesses: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// DRAM transactions.
+    pub dram_accesses: u64,
+    /// Shared-memory reads (per-core scratch, summed over cores).
+    pub shared_reads: u64,
+    /// Shared-memory writes.
+    pub shared_writes: u64,
+    /// Functional device-memory reads (byte-level `MainMemory` traffic).
+    pub mem_reads: u64,
+    /// Functional device-memory writes.
+    pub mem_writes: u64,
+    /// Weaver ST slots fetched.
+    pub weaver_st_fetches: u64,
+    /// Weaver decode requests served.
+    pub weaver_dec_requests: u64,
+    /// Weaver ST registrations.
+    pub weaver_registrations: u64,
+}
+
+impl CounterSnapshot {
+    /// Adds another snapshot field-wise.
+    pub fn add(&mut self, other: &CounterSnapshot) {
+        self.instructions += other.instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.stall_memory += other.stall_memory;
+        self.stall_shared += other.stall_shared;
+        self.stall_exec_dep += other.stall_exec_dep;
+        self.stall_l1_queue += other.stall_l1_queue;
+        self.stall_barrier += other.stall_barrier;
+        self.stall_weaver += other.stall_weaver;
+        for i in 0..Phase::COUNT {
+            self.phase_cycles[i] += other.phase_cycles[i];
+        }
+        self.l1_accesses += other.l1_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.l3_accesses += other.l3_accesses;
+        self.l3_hits += other.l3_hits;
+        self.dram_accesses += other.dram_accesses;
+        self.shared_reads += other.shared_reads;
+        self.shared_writes += other.shared_writes;
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.weaver_st_fetches += other.weaver_st_fetches;
+        self.weaver_dec_requests += other.weaver_dec_requests;
+        self.weaver_registrations += other.weaver_registrations;
+    }
+}
+
+/// One periodic sample: cumulative counters at a global cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSample {
+    /// Global cycle of the sample.
+    pub cycle: u64,
+    /// Cumulative counter values at that cycle.
+    pub counters: CounterSnapshot,
+}
+
+/// One kernel launch on the global timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpan {
+    /// Kernel (program) name.
+    pub name: String,
+    /// Global cycle at which the launch started.
+    pub start: u64,
+    /// Launch duration in cycles.
+    pub cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_addition_is_fieldwise() {
+        let mut a = CounterSnapshot {
+            instructions: 1,
+            dram_accesses: 2,
+            ..CounterSnapshot::default()
+        };
+        a.phase_cycles[Phase::GatherSum as usize] = 5;
+        let mut b = CounterSnapshot {
+            instructions: 10,
+            l1_hits: 3,
+            ..CounterSnapshot::default()
+        };
+        b.phase_cycles[Phase::GatherSum as usize] = 7;
+        a.add(&b);
+        assert_eq!(a.instructions, 11);
+        assert_eq!(a.dram_accesses, 2);
+        assert_eq!(a.l1_hits, 3);
+        assert_eq!(a.phase_cycles[Phase::GatherSum as usize], 12);
+    }
+}

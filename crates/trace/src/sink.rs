@@ -1,0 +1,133 @@
+//! Event sinks: where emitted events go.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Destination for emitted [`TraceEvent`]s.
+///
+/// Implementations must be cheap: `record` sits behind the hot-path hooks
+/// and runs once per enabled event.
+pub trait TraceSink {
+    /// Stores one event (possibly evicting an older one).
+    fn record(&mut self, event: TraceEvent);
+
+    /// Number of events currently held.
+    fn buffered(&self) -> usize;
+
+    /// Number of events evicted to make room (0 for unbounded sinks).
+    fn dropped(&self) -> u64;
+
+    /// Removes and returns all held events in arrival order.
+    fn drain(&mut self) -> Vec<TraceEvent>;
+}
+
+/// A bounded ring buffer keeping the most recent `capacity` events.
+///
+/// When full, the oldest event is evicted and counted in
+/// [`RingSink::dropped`] — a long run keeps its tail (the interesting
+/// part: the final iterations and the kernel end) instead of aborting or
+/// growing without bound.
+///
+/// # Examples
+///
+/// ```
+/// use sparseweaver_trace::{EventData, RingSink, TraceEvent, TraceSink};
+///
+/// let mut s = RingSink::new(2);
+/// for cycle in 0..5 {
+///     s.record(TraceEvent { cycle, core: 0, data: EventData::DramTransaction { write: false } });
+/// }
+/// assert_eq!(s.buffered(), 2);
+/// assert_eq!(s.dropped(), 3);
+/// assert_eq!(s.drain().first().unwrap().cycle, 3);
+/// ```
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Default capacity used when none is configured (~1M events).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(Self::DEFAULT_CAPACITY)),
+            capacity,
+            dropped: 0,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventData;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core: 0,
+            data: EventData::DramTransaction { write: false },
+        }
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_events() {
+        let mut s = RingSink::new(4);
+        for c in 0..10 {
+            s.record(ev(c));
+        }
+        assert_eq!(s.buffered(), 4);
+        assert_eq!(s.dropped(), 6);
+        let cycles: Vec<u64> = s.drain().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut s = RingSink::new(8);
+        for c in 0..5 {
+            s.record(ev(c));
+        }
+        assert_eq!(s.buffered(), 5);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut s = RingSink::new(0);
+        s.record(ev(1));
+        s.record(ev(2));
+        assert_eq!(s.buffered(), 1);
+        assert_eq!(s.drain()[0].cycle, 2);
+    }
+}

@@ -43,6 +43,24 @@ pub enum FsmState {
     End,
 }
 
+impl FsmState {
+    /// The Fig. 6 state index (S0–S8), matching
+    /// `sparseweaver_trace::WeaverState::from_id`.
+    pub fn state_id(self) -> u8 {
+        match self {
+            FsmState::Init => 0,
+            FsmState::LoadCed => 1,
+            FsmState::Decode => 2,
+            FsmState::FetchSt => 3,
+            FsmState::UpdateCed => 4,
+            FsmState::UpdateDt => 5,
+            FsmState::Wait => 6,
+            FsmState::Drain => 7,
+            FsmState::End => 8,
+        }
+    }
+}
+
 /// Current Entry Data: the ST entry being decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Ced {

@@ -12,6 +12,8 @@
 //! - registration writes one ST entry per active lane, pipelined one per
 //!   cycle.
 
+use sparseweaver_trace::{EventData, TableOp, TraceHandle, WeaverState};
+
 use crate::fsm::{DecodeBatch, WeaverFsm};
 use crate::tables::{DenseTable, SparseTable, StEntry};
 
@@ -78,6 +80,9 @@ pub struct WeaverUnit {
     dec_requests: u64,
     /// Total registered entries.
     registrations: u64,
+    tracer: Option<TraceHandle>,
+    /// Core index stamped on emitted events.
+    core: u32,
 }
 
 impl WeaverUnit {
@@ -93,8 +98,19 @@ impl WeaverUnit {
             st_fetches: 0,
             dec_requests: 0,
             registrations: 0,
+            tracer: None,
+            core: 0,
             cfg,
         }
+    }
+
+    /// Attaches (or detaches) a tracer; `core` is stamped on every event
+    /// this unit emits. With a handle attached, registrations and decodes
+    /// emit [`EventData::WeaverTable`] operations and each decode emits the
+    /// FSM transitions it took as [`EventData::WeaverTransition`]s.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>, core: u32) {
+        self.tracer = tracer;
+        self.core = core;
     }
 
     /// The unit's configuration.
@@ -128,6 +144,16 @@ impl WeaverUnit {
             self.staging.register(index, StEntry { vid, loc, deg });
             self.registrations += 1;
         }
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                self.core,
+                EventData::WeaverTable {
+                    op: TableOp::StWrite,
+                    count: records.len() as u32,
+                },
+            );
+        }
         // Pipelined table writes: one per cycle of occupancy.
         let start = now.max(self.busy_until);
         let occupancy = self.cfg.base_latency + records.len() as u64;
@@ -146,9 +172,50 @@ impl WeaverUnit {
             self.in_registration = false;
         }
         self.dec_requests += 1;
+        // Capture the FSM position before decoding so the transitions this
+        // request causes can be replayed into the trace.
+        let pre = self
+            .tracer
+            .as_ref()
+            .map(|_| (self.fsm.state(), self.fsm.trace().len()));
         let batch = self.fsm.decode();
         self.dt.store_row(warp, &batch.eids);
         self.st_fetches += batch.st_fetches as u64;
+        if let Some((mut from, taken)) = pre {
+            let tr = self.tracer.as_ref().expect("tracer present");
+            for &to in &self.fsm.trace()[taken..] {
+                tr.emit(
+                    now,
+                    self.core,
+                    EventData::WeaverTransition {
+                        from: WeaverState::from_id(from.state_id()),
+                        to: WeaverState::from_id(to.state_id()),
+                    },
+                );
+                from = to;
+            }
+            if batch.st_fetches > 0 {
+                tr.emit(
+                    now,
+                    self.core,
+                    EventData::WeaverTable {
+                        op: TableOp::StFetch,
+                        count: batch.st_fetches,
+                    },
+                );
+            }
+            let filled = batch.filled() as u32;
+            if filled > 0 {
+                tr.emit(
+                    now,
+                    self.core,
+                    EventData::WeaverTable {
+                        op: TableOp::DtWrite,
+                        count: filled,
+                    },
+                );
+            }
+        }
         // Occupancy: the S2 decode state "fills every entry of OD
         // simultaneously" (Fig. 6), so a request occupies the unit for one
         // cycle plus one pipelined table read per ST slot fetched. The
@@ -167,6 +234,16 @@ impl WeaverUnit {
         // A DT row read is one (wide) shared-memory access; it does not
         // occupy the FSM.
         let eids = self.dt.load_row(warp).to_vec();
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                self.core,
+                EventData::WeaverTable {
+                    op: TableOp::DtRead,
+                    count: eids.len() as u32,
+                },
+            );
+        }
         (eids, now + self.cfg.base_latency + self.cfg.table_latency)
     }
 
@@ -304,6 +381,94 @@ mod tests {
         assert_eq!(regs, 2);
         assert_eq!(decs, 1);
         assert!(fetches >= 2);
+    }
+
+    #[test]
+    fn tracer_sees_tables_and_fsm_transitions() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let mut w = unit();
+        let t = TraceHandle::new(TraceConfig::default());
+        t.kernel_begin("k");
+        w.set_tracer(Some(t.clone()), 3);
+        w.reg(0, &[(0, 0, 2, 1), (1, 2, 10, 2)], 0);
+        let _ = w.dec_id(0, 10);
+        let _ = w.dec_loc(0, 20);
+        t.kernel_end(30, &Default::default());
+        let r = t.report();
+        let ops: Vec<&EventData> = r.events.iter().map(|e| &e.data).collect();
+        assert!(ops.iter().any(|d| matches!(
+            d,
+            EventData::WeaverTable {
+                op: TableOp::StWrite,
+                count: 2
+            }
+        )));
+        assert!(ops.iter().any(|d| matches!(
+            d,
+            EventData::WeaverTable {
+                op: TableOp::StFetch,
+                ..
+            }
+        )));
+        assert!(ops.iter().any(|d| matches!(
+            d,
+            EventData::WeaverTable {
+                op: TableOp::DtWrite,
+                ..
+            }
+        )));
+        assert!(ops.iter().any(|d| matches!(
+            d,
+            EventData::WeaverTable {
+                op: TableOp::DtRead,
+                count: 4
+            }
+        )));
+        // The first decode starts from S0 and the transition chain is
+        // contiguous (each `from` equals the previous `to`).
+        let chain: Vec<(WeaverState, WeaverState)> = r
+            .events
+            .iter()
+            .filter_map(|e| match e.data {
+                EventData::WeaverTransition { from, to } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert!(!chain.is_empty());
+        assert_eq!(chain[0].0, WeaverState::S0Init);
+        for pair in chain.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+        // Every event carries the core stamp.
+        assert!(r
+            .events
+            .iter()
+            .filter(|e| !matches!(
+                e.data,
+                EventData::KernelLaunch { .. } | EventData::KernelEnd { .. }
+            ))
+            .all(|e| e.core == 3));
+    }
+
+    #[test]
+    fn tracer_does_not_change_unit_behavior() {
+        let mut plain = unit();
+        let mut traced = unit();
+        traced.set_tracer(
+            Some(sparseweaver_trace::TraceHandle::new(
+                sparseweaver_trace::TraceConfig::default(),
+            )),
+            0,
+        );
+        plain.reg(0, &[(0, 0, 0, 5), (1, 7, 5, 3)], 0);
+        traced.reg(0, &[(0, 0, 0, 5), (1, 7, 5, 3)], 0);
+        for i in 0..4u64 {
+            let a = plain.dec_id(0, 10 + i);
+            let b = traced.dec_id(0, 10 + i);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.counters(), traced.counters());
     }
 
     #[test]

@@ -13,10 +13,8 @@ fn registration() -> impl Strategy<Value = Vec<Option<(u32, u32)>>> {
         |mut slots| {
             // Make vids strictly increasing by slot (the compiler's ordered
             // investigation guarantees this), and lay out CSR locations.
-            let mut next_vid = 0u32;
-            for s in slots.iter_mut().flatten() {
-                s.0 = next_vid;
-                next_vid += 1;
+            for (next_vid, s) in slots.iter_mut().flatten().enumerate() {
+                s.0 = next_vid as u32;
             }
             slots
         },
@@ -156,9 +154,9 @@ proptest! {
                 break;
             }
             let (eids, _) = unit.dec_loc(w, t);
-            for l in 0..lanes {
-                if resp.batch.vids[l] >= 0 {
-                    got.push((resp.batch.vids[l] as u32, eids[l] as u32));
+            for (&vid, &eid) in resp.batch.vids.iter().zip(&eids).take(lanes) {
+                if vid >= 0 {
+                    got.push((vid as u32, eid as u32));
                 }
             }
             prop_assert!(got.len() <= want.len());

@@ -17,6 +17,7 @@ use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRa
 use sparseweaver::core::{Schedule, Session};
 use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
 use sparseweaver::sim::GpuConfig;
+use sparseweaver::trace::{export, CategoryMask, TraceConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -25,16 +26,58 @@ fn usage() -> ! {
 USAGE:
   swsim run    (--graph FILE | --dataset ID | --gen SPEC) --algo ALGO --schedule S
                [--iters N] [--source V] [--config vortex|eval|small] [--json] [--all-schedules]
+               [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
+               [--sample-every N]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
   swsim datasets
+  swsim --version
 
   ALGO:  pr | bfs | sssp | cc | spmv   (sssp accepts --worklist)
   S:     svm | em | wm | cm | sw | eghw
   SPEC:  powerlaw:V:E:ALPHA:SEED | uniform:V:E:SEED | rmat:SCALE:E:SEED | grid:W:H:KEEP:SEED
-  ID:    one of `swsim datasets` (e.g. D_hw)"
+  ID:    one of `swsim datasets` (e.g. D_hw)
+
+TRACING:
+  --trace FILE        write a Chrome-trace JSON (load in Perfetto / chrome://tracing)
+  --trace-level L     event categories: warp | mem | weaver | all (default all)
+  --sample-every N    counter-sample interval in cycles (default 1000)
+  --metrics-out FILE  write a metrics-JSON document (counter time series)"
     );
     exit(2)
+}
+
+/// Flags each subcommand accepts; anything else is a usage error.
+fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
+    let allowed: &[&str] = match cmd {
+        "run" => &[
+            "graph",
+            "dataset",
+            "gen",
+            "algo",
+            "schedule",
+            "iters",
+            "source",
+            "config",
+            "json",
+            "all-schedules",
+            "worklist",
+            "trace",
+            "trace-level",
+            "sample-every",
+            "metrics-out",
+        ],
+        "gen" => &["graph", "dataset", "gen", "out"],
+        "disasm" => &["algo", "schedule", "config"],
+        "datasets" => &[],
+        _ => return,
+    };
+    for k in flags.keys() {
+        if !allowed.contains(&k.as_str()) {
+            eprintln!("unknown flag `--{k}` for `swsim {cmd}`");
+            exit(2)
+        }
+    }
 }
 
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -162,16 +205,29 @@ fn config_for(flags: &HashMap<String, String>) -> GpuConfig {
     }
 }
 
+/// Parses a numeric flag strictly: present-but-malformed is a usage error,
+/// absent falls back to `default`.
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> T {
+    match flags.get(name) {
+        None => default(),
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{name} expects a number, got `{v}`");
+            exit(2)
+        }),
+    }
+}
+
 fn make_algo(flags: &HashMap<String, String>, graph: &Csr) -> Box<dyn Algorithm> {
-    let iters: u32 = flags.get("iters").and_then(|v| v.parse().ok()).unwrap_or(5);
-    let source: u32 = flags
-        .get("source")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            (0..graph.num_vertices() as u32)
-                .max_by_key(|&v| graph.degree(v))
-                .unwrap_or(0)
-        });
+    let iters: u32 = numeric_flag(flags, "iters", || 5);
+    let source: u32 = numeric_flag(flags, "source", || {
+        (0..graph.num_vertices() as u32)
+            .max_by_key(|&v| graph.degree(v))
+            .unwrap_or(0)
+    });
     match flags.get("algo").map(String::as_str) {
         Some("pr") | Some("pagerank") => Box::new(PageRank::new(iters)),
         Some("bfs") => Box::new(Bfs::new(source)),
@@ -185,10 +241,70 @@ fn make_algo(flags: &HashMap<String, String>, graph: &Csr) -> Box<dyn Algorithm>
     }
 }
 
+/// Validates `run` flag combinations, returning the tracing configuration
+/// (if any) and the output paths for the two export formats.
+fn trace_setup(
+    flags: &HashMap<String, String>,
+) -> (Option<TraceConfig>, Option<String>, Option<String>) {
+    let path_flag = |name: &str| -> Option<String> {
+        flags.get(name).map(|v| {
+            if v.is_empty() {
+                eprintln!("--{name} expects a file path");
+                exit(2)
+            }
+            v.clone()
+        })
+    };
+    let trace_path = path_flag("trace");
+    let metrics_path = path_flag("metrics-out");
+    let tracing = trace_path.is_some() || metrics_path.is_some();
+    if !tracing {
+        for dependent in ["trace-level", "sample-every"] {
+            if flags.contains_key(dependent) {
+                eprintln!("--{dependent} requires --trace or --metrics-out");
+                exit(2)
+            }
+        }
+        return (None, None, None);
+    }
+    if flags.contains_key("all-schedules") {
+        eprintln!("--trace / --metrics-out trace a single schedule; drop --all-schedules");
+        exit(2)
+    }
+    let categories = match flags.get("trace-level") {
+        None => CategoryMask::ALL,
+        Some(level) => CategoryMask::parse(level).unwrap_or_else(|| {
+            eprintln!("unknown trace level `{level}` (warp | mem | weaver | all)");
+            exit(2)
+        }),
+    };
+    let sample_every: u64 = numeric_flag(flags, "sample-every", || 1000);
+    let cfg = TraceConfig {
+        categories,
+        sample_every,
+        ..TraceConfig::default()
+    };
+    (Some(cfg), trace_path, metrics_path)
+}
+
 fn cmd_run(flags: HashMap<String, String>) {
+    let sources = ["graph", "dataset", "gen"]
+        .iter()
+        .filter(|s| flags.contains_key(**s))
+        .count();
+    if sources > 1 {
+        eprintln!("--graph, --dataset and --gen are mutually exclusive");
+        exit(2)
+    }
+    if flags.contains_key("all-schedules") && flags.contains_key("schedule") {
+        eprintln!("--schedule conflicts with --all-schedules");
+        exit(2)
+    }
+    let (trace_cfg, trace_path, metrics_path) = trace_setup(&flags);
     let graph = load_graph(&flags);
     let algo = make_algo(&flags, &graph);
     let mut session = Session::new(config_for(&flags));
+    session.trace = trace_cfg;
     let json = flags.contains_key("json");
     let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
         Schedule::ALL.to_vec()
@@ -244,6 +360,23 @@ fn cmd_run(flags: HashMap<String, String>) {
         }
         if baseline.is_none() {
             baseline = Some(report.cycles);
+        }
+        if let Some(trace) = &report.trace {
+            let write = |path: &str, body: String, what: &str| {
+                std::fs::write(path, body).unwrap_or_else(|e| {
+                    eprintln!("cannot write {what} to {path}: {e}");
+                    exit(1)
+                });
+                if !json {
+                    println!("{what} written to {path}");
+                }
+            };
+            if let Some(path) = &trace_path {
+                write(path, export::chrome_trace_json(trace), "chrome trace");
+            }
+            if let Some(path) = &metrics_path {
+                write(path, export::metrics_json(trace), "metrics");
+            }
         }
     }
 }
@@ -331,8 +464,13 @@ fn cmd_datasets() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("swsim {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
     let Some(cmd) = args.first() else { usage() };
     let (_pos, flags) = parse_flags(&args[1..]);
+    check_flags(cmd, &flags);
     match cmd.as_str() {
         "run" => cmd_run(flags),
         "gen" => cmd_gen(flags),

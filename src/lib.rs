@@ -17,6 +17,8 @@
 //! - [`weaver`] — the Weaver functional unit (ST/DT tables, the S0–S8 FSM),
 //!   the EGHW hardware baseline, and the FPGA area model.
 //! - [`sim`] — the cycle-level SIMT GPU simulator.
+//! - [`trace`] — structured simulation tracing & metrics: typed events,
+//!   counter sampling, Chrome-trace (Perfetto) and metrics-JSON export.
 //! - [`core`] — the graph framework: algorithms, scheduling schemes, the
 //!   kernel compiler, host runtime, analytic models, auto-tuner.
 //!
@@ -39,4 +41,5 @@ pub use sparseweaver_graph as graph;
 pub use sparseweaver_isa as isa;
 pub use sparseweaver_mem as mem;
 pub use sparseweaver_sim as sim;
+pub use sparseweaver_trace as trace;
 pub use sparseweaver_weaver as weaver;

@@ -11,7 +11,9 @@ fn datasets_lists_all_nine() {
     let out = swsim().arg("datasets").output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["D_bh", "D_bm", "D_rn", "D_rc", "D_g500", "D_co", "D_hw", "D_uk", "D_wk"] {
+    for id in [
+        "D_bh", "D_bm", "D_rn", "D_rc", "D_g500", "D_co", "D_hw", "D_uk", "D_wk",
+    ] {
         assert!(text.contains(id), "missing {id}");
     }
 }
@@ -35,7 +37,11 @@ fn run_json_emits_parseable_record() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let line = text.lines().next().expect("one json line");
     assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
@@ -53,14 +59,22 @@ fn gen_then_run_round_trips_through_a_file() {
         .arg(&path)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = swsim()
         .args(["run", "--graph"])
         .arg(&path)
         .args(["--algo", "bfs", "--schedule", "svm", "--config", "small"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("S_vm"));
     let _ = std::fs::remove_file(&path);
 }
@@ -95,9 +109,21 @@ fn all_schedules_flag_runs_the_whole_set() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    for s in ["S_vm", "S_em", "S_wm", "S_cm", "S_twc", "SparseWeaver", "EGHW"] {
+    for s in [
+        "S_vm",
+        "S_em",
+        "S_wm",
+        "S_cm",
+        "S_twc",
+        "SparseWeaver",
+        "EGHW",
+    ] {
         assert!(text.contains(s), "missing {s}");
     }
 }
@@ -107,4 +133,184 @@ fn unknown_arguments_fail_with_usage() {
     let out = swsim().arg("frobnicate").output().expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn version_flag_prints_version_and_succeeds() {
+    for flag in ["--version", "-V"] {
+        let out = swsim().arg(flag).output().expect("spawn");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.starts_with("swsim ") && text.contains(env!("CARGO_PKG_VERSION")),
+            "{text}"
+        );
+    }
+}
+
+/// Every bad flag combination must exit with code 2, not succeed, not panic.
+#[test]
+fn bad_flag_combinations_exit_with_code_2() {
+    let cases: &[&[&str]] = &[
+        // Unknown flag for the subcommand.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--bogus",
+        ],
+        &["datasets", "--algo", "pr"],
+        // Conflicting graph sources.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--dataset",
+            "D_hw",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+        ],
+        // --schedule with --all-schedules.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--all-schedules",
+        ],
+        // Trace modifiers without tracing.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--trace-level",
+            "all",
+        ],
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--sample-every",
+            "100",
+        ],
+        // Tracing across all schedules is not a single timeline.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--all-schedules",
+            "--trace",
+            "/tmp/t.json",
+        ],
+        // Bad numerics and bad level.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--iters",
+            "lots",
+        ],
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--trace",
+            "/tmp/t.json",
+            "--sample-every",
+            "soon",
+        ],
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--trace",
+            "/tmp/t.json",
+            "--trace-level",
+            "everything",
+        ],
+    ];
+    for args in cases {
+        let out = swsim().args(*args).output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {:?} stderr: {}",
+            args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn trace_flags_write_both_output_files() {
+    let dir = std::env::temp_dir().join("swsim_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("out.trace.json");
+    let metrics = dir.join("metrics.json");
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:60:240:3",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--trace",
+        ])
+        .arg(&trace)
+        .args([
+            "--trace-level",
+            "all",
+            "--sample-every",
+            "200",
+            "--metrics-out",
+        ])
+        .arg(&metrics)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace_body = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_body.contains("\"traceEvents\""));
+    let metrics_body = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metrics_body.contains("\"schema\":\"sparseweaver-metrics-v1\""));
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
 }

@@ -92,7 +92,10 @@ fn table_i_synchronization_counts() {
         expected
     );
     // S_twc: reset + post-classification + end-of-chunk barriers.
-    assert_eq!(count(&kernel(Schedule::Stwc), |i| matches!(i, Instr::Bar)), 3);
+    assert_eq!(
+        count(&kernel(Schedule::Stwc), |i| matches!(i, Instr::Bar)),
+        3
+    );
     // SparseWeaver: exactly one sync between registration and
     // distribution (plus one at the chunk boundary).
     assert_eq!(

@@ -60,9 +60,9 @@ proptest! {
             let k = build_gather_kernel("pcount", &CountOps, schedule, &cfg);
             rt.launch(&k, &[count]).expect("launch");
             let got = rt.read_u64_vec(count, g.num_vertices());
-            for v in 0..g.num_vertices() {
+            for (v, &c) in got.iter().enumerate() {
                 prop_assert_eq!(
-                    got[v],
+                    c,
                     g.degree(v as u32) as u64,
                     "{} vertex {}",
                     schedule,
@@ -86,8 +86,8 @@ proptest! {
             let k = build_gather_kernel("pcount", &CountOps, schedule, &cfg);
             rt.launch(&k, &[count]).expect("launch");
             let got = rt.read_u64_vec(count, g.num_vertices());
-            for v in 0..g.num_vertices() {
-                prop_assert_eq!(got[v], rev.degree(v as u32) as u64);
+            for (v, &c) in got.iter().enumerate() {
+                prop_assert_eq!(c, rev.degree(v as u32) as u64, "vertex {}", v);
             }
         }
     }

@@ -1,0 +1,147 @@
+//! Golden tests for the observability layer: a small powerlaw run must
+//! produce well-formed Chrome-trace JSON and a consistent metrics document,
+//! and tracing must be invisible to the cycle model.
+
+use sparseweaver::core::algorithms::{Bfs, PageRank};
+use sparseweaver::core::{Schedule, Session};
+use sparseweaver::sim::GpuConfig;
+use sparseweaver::trace::{export, json, TraceConfig};
+
+fn graph() -> sparseweaver::graph::Csr {
+    sparseweaver::graph::generators::powerlaw(80, 500, 1.9, 42)
+}
+
+fn traced_session() -> Session {
+    let mut s = Session::new(GpuConfig::small_test());
+    s.trace = Some(TraceConfig {
+        sample_every: 200,
+        ..TraceConfig::default()
+    });
+    s
+}
+
+#[test]
+fn powerlaw_run_emits_well_formed_chrome_trace() {
+    let g = graph();
+    let mut s = traced_session();
+    let report = s
+        .run(&g, &PageRank::new(2), Schedule::SparseWeaver)
+        .unwrap();
+    let trace = report.trace.expect("trace collected");
+    let body = export::chrome_trace_json(&trace);
+
+    let doc = json::parse(&body).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph present");
+        assert!(matches!(ph, "M" | "X" | "i" | "C"), "unexpected phase {ph}");
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+        if ph == "M" {
+            continue;
+        }
+        assert!(e.get("ts").and_then(|v| v.as_num()).is_some(), "ts missing");
+        assert!(e.get("pid").and_then(|v| v.as_num()).is_some());
+        assert!(e.get("tid").and_then(|v| v.as_num()).is_some());
+        if ph == "X" {
+            let dur = e.get("dur").and_then(|v| v.as_num()).expect("dur");
+            assert!(dur >= 1.0, "complete events span at least a cycle");
+        }
+    }
+    // The run's kernel spans and counter tracks made it into the timeline.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    assert!(names.contains(&"stalls"));
+    assert!(names.contains(&"phase_cycles"));
+    assert!(names.contains(&"cache"));
+    assert!(names.iter().any(|n| n.starts_with("weaver")));
+}
+
+#[test]
+fn metrics_document_matches_the_run() {
+    let g = graph();
+    let mut s = traced_session();
+    let report = s.run(&g, &Bfs::new(0), Schedule::SparseWeaver).unwrap();
+    let stats = report.stats.clone();
+    let trace = report.trace.expect("trace collected");
+    let body = export::metrics_json(&trace);
+
+    let doc = json::parse(&body).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("sparseweaver-metrics-v1")
+    );
+    assert_eq!(
+        doc.get("total_cycles").and_then(|v| v.as_num()),
+        Some(report.cycles as f64)
+    );
+    let samples = doc
+        .get("samples")
+        .and_then(|v| v.as_arr())
+        .expect("samples array");
+    assert!(!samples.is_empty());
+    // The series is monotone in cycle and in every cumulative counter.
+    let mut prev_cycle = -1.0;
+    let mut prev_instr = -1.0;
+    for sample in samples {
+        let cycle = sample.get("cycle").and_then(|v| v.as_num()).expect("cycle");
+        assert!(cycle >= prev_cycle, "cycles must be non-decreasing");
+        prev_cycle = cycle;
+        let counters = sample.get("counters").expect("counters");
+        let instr = counters
+            .get("instructions")
+            .and_then(|v| v.as_num())
+            .expect("instructions");
+        assert!(instr >= prev_instr, "counters are cumulative");
+        prev_instr = instr;
+        counters
+            .get("stalls")
+            .and_then(|v| v.get("memory"))
+            .and_then(|v| v.as_num())
+            .expect("stall breakdown present");
+        counters
+            .get("phase_cycles")
+            .and_then(|v| v.get("Gather & Sum"))
+            .and_then(|v| v.as_num())
+            .expect("phase-cycle series present");
+    }
+    // The final sample equals the run totals.
+    let last = samples.last().unwrap().get("counters").unwrap();
+    assert_eq!(
+        last.get("instructions").and_then(|v| v.as_num()),
+        Some(stats.instructions as f64)
+    );
+    assert_eq!(
+        last.get("cache")
+            .and_then(|v| v.get("dram_accesses"))
+            .and_then(|v| v.as_num()),
+        Some(stats.mem.dram_accesses as f64)
+    );
+}
+
+#[test]
+fn tracing_leaves_kernel_stats_bit_identical() {
+    let g = graph();
+    // Svm exercises the plain-core path, SparseWeaver additionally the
+    // Weaver-unit tracer hooks.
+    for schedule in [Schedule::Svm, Schedule::SparseWeaver] {
+        let mut plain = Session::new(GpuConfig::small_test());
+        let mut traced = traced_session();
+        let a = plain.run(&g, &PageRank::new(2), schedule).unwrap();
+        let b = traced.run(&g, &PageRank::new(2), schedule).unwrap();
+        assert_eq!(
+            a.stats, b.stats,
+            "{schedule:?} stats diverged under tracing"
+        );
+        assert_eq!(a.per_kernel, b.per_kernel);
+        assert!(
+            a.output.approx_eq(&b.output, 0.0),
+            "outputs must match exactly"
+        );
+    }
+}

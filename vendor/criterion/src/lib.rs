@@ -1,0 +1,194 @@
+//! Minimal offline stand-in for `criterion` 0.5.
+//!
+//! Implements the subset of the API the workspace benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `iter_batched`, `BatchSize`, the `criterion_group!`/`criterion_main!`
+//! macros) with a simple wall-clock sampler printing ns/iter. Under
+//! `cargo test` (which passes `--test` to `harness = false` bench
+//! binaries) the benchmark bodies are skipped so the test suite stays
+//! fast; under `cargo bench` each benchmark is timed over a short
+//! fixed window. There are no statistical reports — this exists to keep
+//! bench targets compiling and comparable without network access.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Invoked by `cargo test`: compile-check only, skip execution.
+    Test,
+    /// Invoked by `cargo bench`: measure and print.
+    Bench,
+    /// `--list`: print benchmark names.
+    List,
+}
+
+/// How batched inputs are grouped (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--bench" => mode = Mode::Bench,
+                "--list" => mode = Mode::List,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.mode, self.filter.as_deref(), &id.into(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(self.parent.mode, self.parent.filter.as_deref(), &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Budget per benchmark: stop after this many iterations or this much
+/// wall time, whichever comes first.
+const MAX_ITERS: u64 = 25;
+const MAX_TIME: Duration = Duration::from_millis(60);
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            std::hint::black_box(f());
+            n += 1;
+            if n >= MAX_ITERS || start.elapsed() > MAX_TIME {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            n += 1;
+            if n >= MAX_ITERS || total > MAX_TIME {
+                break;
+            }
+        }
+        self.elapsed = total;
+        self.iters = n;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(mode: Mode, filter: Option<&str>, id: &str, mut f: F) {
+    if let Some(flt) = filter {
+        if !id.contains(flt) {
+            return;
+        }
+    }
+    match mode {
+        Mode::List => println!("{id}: benchmark"),
+        Mode::Test => println!("bench {id} ... skipped (offline harness, test mode)"),
+        Mode::Bench => {
+            let mut b = Bencher::default();
+            f(&mut b);
+            if b.iters > 0 {
+                let per = b.elapsed.as_nanos() / b.iters as u128;
+                println!("{id:<55} time: {per:>12} ns/iter ({} iters)", b.iters);
+            }
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` users resolve.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

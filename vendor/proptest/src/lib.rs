@@ -1,0 +1,164 @@
+//! Mini offline stand-in for `proptest` 1.x.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This re-implements exactly the strategy DSL this
+//! workspace's property tests use — `proptest!`, `prop_assert*!`,
+//! `prop_assume!`, `prop_oneof!`, `any`, `Just`, ranges, tuples,
+//! `prop::collection::vec`, `prop::option::weighted`,
+//! `prop::sample::select`, `prop_map`/`prop_flat_map` — with a
+//! deterministic per-test RNG. Cases that fail are reported with the
+//! case index; there is no shrinking (a failing case's seed is fully
+//! determined by the test name and case number, so reproduction is
+//! deterministic anyway).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Top-level macro: expands each `fn name(pat in strategy, ...) { .. }`
+/// into a plain test function running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __ran: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config
+                    .cases
+                    .saturating_mul(16)
+                    .saturating_add(256);
+                while __ran < __config.cases && __attempts < __max_attempts {
+                    __attempts += 1;
+                    let __outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut __rng,
+                            );
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __ran += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                __ran,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / with trailing format args.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            concat!(
+                "assertion failed: `left == right`: ",
+                stringify!($a),
+                " vs ",
+                stringify!($b)
+            )
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` / with trailing format args.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            concat!(
+                "assertion failed: `left != right`: ",
+                stringify!($a),
+                " vs ",
+                stringify!($b)
+            )
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(::std::boxed::Box::new($arm)),+])
+    };
+}

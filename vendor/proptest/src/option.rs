@@ -1,0 +1,34 @@
+//! Option strategies (`prop::option::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Weighted<S> {
+    probability: f64,
+    inner: S,
+}
+
+/// `Some` with the given probability, `None` otherwise.
+pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability out of range"
+    );
+    Weighted { probability, inner }
+}
+
+/// `Some` half of the time.
+pub fn of<S: Strategy>(inner: S) -> Weighted<S> {
+    weighted(0.5, inner)
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.probability {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Sampling from explicit value lists (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Uniform choice from a non-empty list of values.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select from empty list");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build environment has no network access and an empty registry
+//! cache, so the real `serde` cannot be fetched. This workspace only
+//! ever uses `#[derive(serde::Serialize, serde::Deserialize)]` as type
+//! metadata — nothing serializes through serde at runtime (JSON output
+//! is hand-rolled) — so marker traits with blanket impls plus no-op
+//! derive macros are a faithful substitute. If real serde serialization
+//! is ever needed, replace this vendored stub with the actual crate.
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every sized type satisfies it.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

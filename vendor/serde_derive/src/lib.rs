@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The stand-in `serde` crate (vendor/serde) provides blanket impls that
+//! already cover every type, so the derives only need to swallow the
+//! `#[derive(...)]` attribute (and any `#[serde(...)]` helpers) and
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

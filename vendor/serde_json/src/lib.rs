@@ -1,0 +1,7 @@
+//! Placeholder stand-in for `serde_json`.
+//!
+//! Declared as a dependency by `sparseweaver-bench` but unused in any
+//! code path — all JSON in this workspace is hand-rolled (the swsim
+//! `--json` line writer and the `sparseweaver-trace` exporters). This
+//! empty crate exists only so dependency resolution succeeds without
+//! network access.

@@ -8,11 +8,13 @@
 //! once the needed information has been collected", Section III-C).
 
 use sparseweaver_graph::{Csr, Direction, VertexId};
-use sparseweaver_isa::{Asm, Reg, Width};
+use sparseweaver_isa::{Asm, Program, Reg, Width};
+use sparseweaver_sim::GpuConfig;
 
 use crate::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
 use crate::output::AlgoOutput;
 use crate::runtime::{args, Runtime};
+use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 use super::{Algorithm, INF};
@@ -147,6 +149,10 @@ impl Algorithm for Bfs {
             }
         }
         Ok(AlgoOutput::U64(rt.read_u64_vec(dist, nv)))
+    }
+
+    fn kernels(&self, schedule: Schedule, cfg: &GpuConfig) -> Vec<Program> {
+        vec![build_gather_kernel("bfs", &BfsGather, schedule, cfg)]
     }
 
     fn reference(&self, graph: &Csr) -> AlgoOutput {

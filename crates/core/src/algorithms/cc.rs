@@ -8,12 +8,13 @@
 //! components" (Section V-A).
 
 use sparseweaver_graph::{Csr, Direction};
-use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
-use sparseweaver_sim::Phase;
+use sparseweaver_isa::{Asm, AtomOp, Program, Reg, Width};
+use sparseweaver_sim::{GpuConfig, Phase};
 
 use crate::compiler::{build_gather_kernel, build_vertex_kernel, EdgeRegs, GatherOps};
 use crate::output::AlgoOutput;
 use crate::runtime::{args, Runtime};
+use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 use super::Algorithm;
@@ -28,6 +29,47 @@ impl ConnectedComponents {
     /// Creates the algorithm.
     pub fn new() -> Self {
         ConnectedComponents
+    }
+
+    // Shortcutting apply: label[v] = min(label[v], label[label[v]]).
+    fn build_apply(&self) -> Program {
+        build_vertex_kernel(
+            "cc_apply",
+            Phase::Other,
+            |a| {
+                let label = a.reg();
+                let changed = a.reg();
+                a.ldarg(label, A_LABEL);
+                a.ldarg(changed, A_CHANGED);
+                vec![label, changed]
+            },
+            |a, _c, v, pro| {
+                let addr = a.reg();
+                let l = a.reg();
+                let ll = a.reg();
+                a.slli(addr, v, 3);
+                a.add(addr, addr, pro[0]);
+                a.ldg(l, addr, 0, Width::B8);
+                let laddr = a.reg();
+                a.slli(laddr, l, 3);
+                a.add(laddr, laddr, pro[0]);
+                a.ldg(ll, laddr, 0, Width::B8);
+                let imp = a.reg();
+                a.sltu(imp, ll, l);
+                a.if_nonzero(imp, |a| {
+                    a.stg(ll, addr, 0, Width::B8);
+                    let one = a.reg();
+                    a.li(one, 1);
+                    a.stg(one, pro[1], 0, Width::B1);
+                    a.free(one);
+                });
+                a.free(imp);
+                a.free(laddr);
+                a.free(ll);
+                a.free(l);
+                a.free(addr);
+            },
+        )
     }
 }
 
@@ -102,44 +144,7 @@ impl Algorithm for ConnectedComponents {
         let changed = rt.alloc_u8(64, 0);
 
         let gather = build_gather_kernel("cc", &CcGather, rt.schedule(), rt.gpu().config());
-        // Shortcutting apply: label[v] = min(label[v], label[label[v]]).
-        let apply = build_vertex_kernel(
-            "cc_apply",
-            Phase::Other,
-            |a| {
-                let label = a.reg();
-                let changed = a.reg();
-                a.ldarg(label, A_LABEL);
-                a.ldarg(changed, A_CHANGED);
-                vec![label, changed]
-            },
-            |a, _c, v, pro| {
-                let addr = a.reg();
-                let l = a.reg();
-                let ll = a.reg();
-                a.slli(addr, v, 3);
-                a.add(addr, addr, pro[0]);
-                a.ldg(l, addr, 0, Width::B8);
-                let laddr = a.reg();
-                a.slli(laddr, l, 3);
-                a.add(laddr, laddr, pro[0]);
-                a.ldg(ll, laddr, 0, Width::B8);
-                let imp = a.reg();
-                a.sltu(imp, ll, l);
-                a.if_nonzero(imp, |a| {
-                    a.stg(ll, addr, 0, Width::B8);
-                    let one = a.reg();
-                    a.li(one, 1);
-                    a.stg(one, pro[1], 0, Width::B1);
-                    a.free(one);
-                });
-                a.free(imp);
-                a.free(laddr);
-                a.free(ll);
-                a.free(l);
-                a.free(addr);
-            },
-        );
+        let apply = self.build_apply();
 
         let mut rounds: u64 = 0;
         loop {
@@ -158,6 +163,13 @@ impl Algorithm for ConnectedComponents {
             }
         }
         Ok(AlgoOutput::U64(rt.read_u64_vec(label, nv)))
+    }
+
+    fn kernels(&self, schedule: Schedule, cfg: &GpuConfig) -> Vec<Program> {
+        vec![
+            build_gather_kernel("cc", &CcGather, schedule, cfg),
+            self.build_apply(),
+        ]
     }
 
     fn reference(&self, graph: &Csr) -> AlgoOutput {

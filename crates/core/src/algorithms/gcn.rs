@@ -369,6 +369,23 @@ impl Gcn {
         a.finish()
     }
 
+    /// Compiles every kernel this layer can launch under `schedule` —
+    /// init, both GraphSum variants (schedule-driven and the
+    /// weight-parallel baseline), and SpMM — without touching a device.
+    /// The enumeration surface behind `swlint`.
+    pub fn kernels(
+        &self,
+        schedule: crate::Schedule,
+        cfg: &sparseweaver_sim::GpuConfig,
+    ) -> Vec<sparseweaver_isa::Program> {
+        vec![
+            self.build_init(),
+            build_gather_kernel("gcn_graphsum", &GcnGather { dim: self.dim }, schedule, cfg),
+            self.build_weight_parallel_graphsum(),
+            self.build_spmm(),
+        ]
+    }
+
     /// Runs the layer. With `weight_parallel` the GraphSum stage uses the
     /// `S_vm`-weight baseline kernel; otherwise it goes through the
     /// runtime's scheduling scheme (the SparseWeaver path in the paper's

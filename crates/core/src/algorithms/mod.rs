@@ -22,9 +22,12 @@ pub use spmv::Spmv;
 pub use sssp::Sssp;
 
 use sparseweaver_graph::{Csr, Direction};
+use sparseweaver_isa::Program;
+use sparseweaver_sim::GpuConfig;
 
 use crate::output::AlgoOutput;
 use crate::runtime::Runtime;
+use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 /// A graph algorithm runnable under any scheduling scheme.
@@ -46,6 +49,16 @@ pub trait Algorithm {
 
     /// The host-side reference implementation (correctness oracle).
     fn reference(&self, graph: &Csr) -> AlgoOutput;
+
+    /// Compiles the kernels [`Algorithm::run`] would launch under
+    /// `schedule` on a machine described by `cfg`, without touching a
+    /// device — the enumeration surface behind `swlint` and the kernel
+    /// lint tests. The default returns an empty list (for algorithms
+    /// driven entirely through custom runtimes).
+    fn kernels(&self, schedule: Schedule, cfg: &GpuConfig) -> Vec<Program> {
+        let _ = (schedule, cfg);
+        Vec::new()
+    }
 }
 
 /// Distance value for unreached vertices (BFS/SSSP).

@@ -9,12 +9,13 @@
 //! primary sweep workload.
 
 use sparseweaver_graph::{Csr, Direction};
-use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
-use sparseweaver_sim::Phase;
+use sparseweaver_isa::{Asm, AtomOp, Program, Reg, Width};
+use sparseweaver_sim::{GpuConfig, Phase};
 
 use crate::compiler::{build_gather_kernel, build_vertex_kernel, EdgeRegs, GatherOps};
 use crate::output::AlgoOutput;
 use crate::runtime::{args, Runtime};
+use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 use super::Algorithm;
@@ -46,6 +47,88 @@ impl PageRank {
     pub fn with_direction(mut self, direction: Direction) -> Self {
         self.direction = direction;
         self
+    }
+
+    // init: rank = 1/N, contrib = rank * invod, accum = 0.
+    fn build_init(&self) -> Program {
+        build_vertex_kernel(
+            "pagerank_init",
+            Phase::Init,
+            |a| {
+                let regs: Vec<Reg> = (0..4).map(|_| a.reg()).collect();
+                a.ldarg(regs[0], A_RANK);
+                a.ldarg(regs[1], A_CONTRIB);
+                a.ldarg(regs[2], A_INVOD);
+                a.ldarg(regs[3], A_INIT_RANK);
+                regs
+            },
+            |a, _c, v, pro| {
+                let addr = a.reg();
+                let val = a.reg();
+                a.slli(addr, v, 3);
+                let r0 = a.reg();
+                a.add(r0, addr, pro[0]);
+                a.stg(pro[3], r0, 0, Width::B8);
+                a.add(r0, addr, pro[2]);
+                a.ldg(val, r0, 0, Width::B8);
+                a.fmul(val, val, pro[3]);
+                a.add(r0, addr, pro[1]);
+                a.stg(val, r0, 0, Width::B8);
+                a.free(r0);
+                a.free(val);
+                a.free(addr);
+            },
+        )
+    }
+
+    // apply: rank = base + d * accum; contrib = rank * invod; accum = 0.
+    fn build_apply(&self) -> Program {
+        build_vertex_kernel(
+            "pagerank_apply",
+            Phase::Other,
+            |a| {
+                let regs: Vec<Reg> = (0..6).map(|_| a.reg()).collect();
+                a.ldarg(regs[0], A_RANK);
+                a.ldarg(regs[1], A_CONTRIB);
+                a.ldarg(regs[2], A_ACCUM);
+                a.ldarg(regs[3], A_INVOD);
+                a.ldarg(regs[4], A_BASE_SCORE);
+                a.ldarg(regs[5], A_DAMPING);
+                regs
+            },
+            |a, _c, v, pro| {
+                let addr = a.reg();
+                let acc = a.reg();
+                let t = a.reg();
+                a.slli(addr, v, 3);
+                let p = a.reg();
+                a.add(p, addr, pro[2]);
+                a.ldg(acc, p, 0, Width::B8);
+                // rank = base + d * acc
+                a.fmul(acc, acc, pro[5]);
+                a.fadd(acc, acc, pro[4]);
+                a.add(p, addr, pro[0]);
+                a.stg(acc, p, 0, Width::B8);
+                // contrib = rank * invod
+                a.add(p, addr, pro[3]);
+                a.ldg(t, p, 0, Width::B8);
+                a.fmul(t, t, acc);
+                a.add(p, addr, pro[1]);
+                a.stg(t, p, 0, Width::B8);
+                // accum = 0
+                a.li(t, 0);
+                a.add(p, addr, pro[2]);
+                a.stg(t, p, 0, Width::B8);
+                a.free(p);
+                a.free(t);
+                a.free(acc);
+                a.free(addr);
+            },
+        )
+    }
+
+    fn build_gather(&self, push: bool, schedule: Schedule, cfg: &GpuConfig) -> Program {
+        build_gather_kernel("pagerank", &PrGather { push }, schedule, cfg)
     }
 }
 
@@ -146,83 +229,10 @@ impl Algorithm for PageRank {
             init_rank,
         ];
 
-        // init: rank = 1/N, contrib = rank * invod, accum = 0.
-        let init = build_vertex_kernel(
-            "pagerank_init",
-            Phase::Init,
-            |a| {
-                let regs: Vec<Reg> = (0..4).map(|_| a.reg()).collect();
-                a.ldarg(regs[0], A_RANK);
-                a.ldarg(regs[1], A_CONTRIB);
-                a.ldarg(regs[2], A_INVOD);
-                a.ldarg(regs[3], A_INIT_RANK);
-                regs
-            },
-            |a, _c, v, pro| {
-                let addr = a.reg();
-                let val = a.reg();
-                a.slli(addr, v, 3);
-                let r0 = a.reg();
-                a.add(r0, addr, pro[0]);
-                a.stg(pro[3], r0, 0, Width::B8);
-                a.add(r0, addr, pro[2]);
-                a.ldg(val, r0, 0, Width::B8);
-                a.fmul(val, val, pro[3]);
-                a.add(r0, addr, pro[1]);
-                a.stg(val, r0, 0, Width::B8);
-                a.free(r0);
-                a.free(val);
-                a.free(addr);
-            },
-        );
-        // apply: rank = base + d * accum; contrib = rank * invod; accum = 0.
-        let apply = build_vertex_kernel(
-            "pagerank_apply",
-            Phase::Other,
-            |a| {
-                let regs: Vec<Reg> = (0..6).map(|_| a.reg()).collect();
-                a.ldarg(regs[0], A_RANK);
-                a.ldarg(regs[1], A_CONTRIB);
-                a.ldarg(regs[2], A_ACCUM);
-                a.ldarg(regs[3], A_INVOD);
-                a.ldarg(regs[4], A_BASE_SCORE);
-                a.ldarg(regs[5], A_DAMPING);
-                regs
-            },
-            |a, _c, v, pro| {
-                let addr = a.reg();
-                let acc = a.reg();
-                let t = a.reg();
-                a.slli(addr, v, 3);
-                let p = a.reg();
-                a.add(p, addr, pro[2]);
-                a.ldg(acc, p, 0, Width::B8);
-                // rank = base + d * acc
-                a.fmul(acc, acc, pro[5]);
-                a.fadd(acc, acc, pro[4]);
-                a.add(p, addr, pro[0]);
-                a.stg(acc, p, 0, Width::B8);
-                // contrib = rank * invod
-                a.add(p, addr, pro[3]);
-                a.ldg(t, p, 0, Width::B8);
-                a.fmul(t, t, acc);
-                a.add(p, addr, pro[1]);
-                a.stg(t, p, 0, Width::B8);
-                // accum = 0
-                a.li(t, 0);
-                a.add(p, addr, pro[2]);
-                a.stg(t, p, 0, Width::B8);
-                a.free(p);
-                a.free(t);
-                a.free(acc);
-                a.free(addr);
-            },
-        );
-        let gather = build_gather_kernel(
-            "pagerank",
-            &PrGather {
-                push: rt.direction() == Direction::Push,
-            },
+        let init = self.build_init();
+        let apply = self.build_apply();
+        let gather = self.build_gather(
+            rt.direction() == Direction::Push,
             rt.schedule(),
             rt.gpu().config(),
         );
@@ -233,6 +243,14 @@ impl Algorithm for PageRank {
             rt.launch(&apply, &extra)?;
         }
         Ok(AlgoOutput::F64(rt.read_f64_vec(rank, nv)))
+    }
+
+    fn kernels(&self, schedule: Schedule, cfg: &GpuConfig) -> Vec<Program> {
+        vec![
+            self.build_init(),
+            self.build_gather(self.direction == Direction::Push, schedule, cfg),
+            self.build_apply(),
+        ]
     }
 
     fn reference(&self, graph: &Csr) -> AlgoOutput {

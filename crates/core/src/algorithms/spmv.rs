@@ -8,11 +8,13 @@
 //! microbenchmark of the pure distribution machinery.
 
 use sparseweaver_graph::{Csr, Direction};
-use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
+use sparseweaver_isa::{Asm, AtomOp, Program, Reg, Width};
+use sparseweaver_sim::GpuConfig;
 
 use crate::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
 use crate::output::AlgoOutput;
 use crate::runtime::{args, Runtime};
+use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 use super::Algorithm;
@@ -101,6 +103,10 @@ impl Algorithm for Spmv {
         let gather = build_gather_kernel("spmv", &SpmvGather, rt.schedule(), rt.gpu().config());
         rt.launch(&gather, &[x_dev, y_dev])?;
         Ok(AlgoOutput::F64(rt.read_f64_vec(y_dev, nv)))
+    }
+
+    fn kernels(&self, schedule: Schedule, cfg: &GpuConfig) -> Vec<Program> {
+        vec![build_gather_kernel("spmv", &SpmvGather, schedule, cfg)]
     }
 
     fn reference(&self, graph: &Csr) -> AlgoOutput {

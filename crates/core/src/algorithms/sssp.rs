@@ -16,11 +16,13 @@
 //!   — registration then touches exactly the active vertices.
 
 use sparseweaver_graph::{Csr, Direction, VertexId};
-use sparseweaver_isa::{Asm, AtomOp, Reg, Width};
+use sparseweaver_isa::{Asm, AtomOp, Program, Reg, Width};
+use sparseweaver_sim::GpuConfig;
 
 use crate::compiler::{build_gather_kernel, EdgeRegs, GatherOps};
 use crate::output::AlgoOutput;
 use crate::runtime::{args, Runtime};
+use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 use super::{Algorithm, INF};
@@ -204,6 +206,10 @@ impl Algorithm for Sssp {
         }
     }
 
+    fn kernels(&self, schedule: Schedule, cfg: &GpuConfig) -> Vec<Program> {
+        vec![self.build_gather(schedule, cfg)]
+    }
+
     fn reference(&self, graph: &Csr) -> AlgoOutput {
         // Dijkstra with a binary heap (weights are positive).
         let nv = graph.num_vertices();
@@ -232,6 +238,18 @@ impl Algorithm for Sssp {
 }
 
 impl Sssp {
+    fn build_gather(&self, schedule: Schedule, cfg: &GpuConfig) -> Program {
+        let name = if self.worklist { "sssp_wl" } else { "sssp" };
+        build_gather_kernel(
+            name,
+            &SsspGather {
+                worklist: self.worklist,
+            },
+            schedule,
+            cfg,
+        )
+    }
+
     fn run_scan(&self, rt: &mut Runtime<'_>, nv: usize) -> Result<AlgoOutput, FrameworkError> {
         let dist = rt.alloc_u64(nv, INF);
         let cur = rt.alloc_u8(nv, 0);
@@ -239,12 +257,7 @@ impl Sssp {
         rt.write_u64(dist + 8 * self.source as u64, 0);
         rt.write_u8(cur + self.source as u64, 1);
 
-        let gather = build_gather_kernel(
-            "sssp",
-            &SsspGather { worklist: false },
-            rt.schedule(),
-            rt.gpu().config(),
-        );
+        let gather = self.build_gather(rt.schedule(), rt.gpu().config());
         let mut rounds: u64 = 0;
         loop {
             rt.launch(&gather, &[dist, cur, next])?;
@@ -274,12 +287,7 @@ impl Sssp {
         rt.write_u64(dist + 8 * self.source as u64, 0);
         rt.write_u32(list_a, self.source);
 
-        let gather = build_gather_kernel(
-            "sssp_wl",
-            &SsspGather { worklist: true },
-            rt.schedule(),
-            rt.gpu().config(),
-        );
+        let gather = self.build_gather(rt.schedule(), rt.gpu().config());
         let (mut cur_list, mut next_list) = (list_a, list_b);
         let mut wlen: u64 = 1;
         let mut rounds: u64 = 0;

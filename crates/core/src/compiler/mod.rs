@@ -16,11 +16,78 @@ mod weaver;
 pub use vertex::build_vertex_kernel;
 pub use virtualize::VirtualizedOps;
 
+use std::collections::HashSet;
+
 use sparseweaver_isa::{Asm, CsrKind, Program, Reg, Width};
+use sparseweaver_lint::LintLevel;
 use sparseweaver_sim::{GpuConfig, Phase};
 
 use crate::runtime::args;
 use crate::schedule::Schedule;
+use crate::FrameworkError;
+
+/// The compilation pipeline's verification stage.
+///
+/// Every kernel the runtime launches passes through this hook first —
+/// the analog of a mandatory compiler pass. Under [`LintLevel::Deny`]
+/// (the default) a kernel with any error-severity finding from the
+/// [`sparseweaver_lint`] verifier is rejected with
+/// [`FrameworkError::Lint`]; under [`LintLevel::Warn`] findings are
+/// printed to stderr but the launch proceeds; [`LintLevel::Off`] skips
+/// the pass entirely. Verdicts are cached by kernel name, so iterative
+/// algorithms re-launching the same kernel pay the analysis once.
+#[derive(Debug, Default)]
+pub struct Compiler {
+    level: LintLevel,
+    checked: HashSet<String>,
+}
+
+impl Compiler {
+    /// Creates a pipeline enforcing `level`.
+    pub fn new(level: LintLevel) -> Self {
+        Compiler {
+            level,
+            checked: HashSet::new(),
+        }
+    }
+
+    /// The enforcement level.
+    pub fn level(&self) -> LintLevel {
+        self.level
+    }
+
+    /// Runs the static verifier over `program` (cached by kernel name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::Lint`] under [`LintLevel::Deny`] when
+    /// the program has error-severity findings.
+    pub fn check(&mut self, program: &Program) -> Result<(), FrameworkError> {
+        if self.level == LintLevel::Off || self.checked.contains(program.name()) {
+            return Ok(());
+        }
+        let report = sparseweaver_lint::lint(program);
+        match self.level {
+            LintLevel::Off => {}
+            LintLevel::Warn => {
+                if !report.diagnostics.is_empty() {
+                    eprintln!("{}", report.to_text());
+                }
+            }
+            LintLevel::Deny => {
+                if !report.is_clean() {
+                    return Err(FrameworkError::Lint {
+                        kernel: program.name().to_string(),
+                        errors: report.error_count(),
+                        details: report.to_text(),
+                    });
+                }
+            }
+        }
+        self.checked.insert(program.name().to_string());
+        Ok(())
+    }
+}
 
 /// Registers holding the common kernel arguments, loaded by the template
 /// prologue.
@@ -359,6 +426,26 @@ mod tests {
         for s in Schedule::ALL {
             let p = build_gather_kernel("count", &CountOps { weighted: false }, s, &cfg);
             assert!(!p.is_empty(), "{s} produced an empty kernel");
+        }
+    }
+
+    #[test]
+    fn all_templates_lint_clean() {
+        let mut no_mask = GpuConfig::small_test();
+        no_mask.weaver.auto_mask = false;
+        for cfg in [GpuConfig::small_test(), no_mask] {
+            for s in Schedule::ALL {
+                for weighted in [false, true] {
+                    let p = build_gather_kernel("count", &CountOps { weighted }, s, &cfg);
+                    let report = sparseweaver_lint::lint(&p);
+                    assert!(
+                        report.is_clean() && report.warning_count() == 0,
+                        "{s} (weighted={weighted}, auto_mask={}):\n{}",
+                        cfg.weaver.auto_mask,
+                        report.to_text()
+                    );
+                }
+            }
         }
     }
 

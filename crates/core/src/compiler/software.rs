@@ -155,7 +155,8 @@ fn emit_binary_search(a: &mut Asm, pref_base: Reg, i: Reg, n: usize) -> Reg {
     let diff = a.reg();
     // `lo = mid + 1` steps shrink the span to `mid - lo`, so the interval
     // needs log2(n) + 1 halvings to be pinched to a single index.
-    for _ in 0..n.trailing_zeros() + 1 {
+    let rounds = n.trailing_zeros() + 1;
+    for round in 0..rounds {
         a.add(t, lo, hi);
         a.srli(t, t, 1); // t = mid
         a.slli(pm, t, 3);
@@ -168,11 +169,14 @@ fn emit_binary_search(a: &mut Asm, pref_base: Reg, i: Reg, n: usize) -> Reg {
         a.sub(diff, diff, lo);
         a.mul(diff, diff, c2);
         a.add(lo, lo, diff);
-        // hi = hi - (1 - c2) * (hi - mid)
-        a.seqi(c2, c2, 0);
-        a.sub(diff, hi, t);
-        a.mul(diff, diff, c2);
-        a.sub(hi, hi, diff);
+        // hi = hi - (1 - c2) * (hi - mid); only lo survives the final
+        // round, so the last hi update would be a dead write.
+        if round + 1 < rounds {
+            a.seqi(c2, c2, 0);
+            a.sub(diff, hi, t);
+            a.mul(diff, diff, c2);
+            a.sub(hi, hi, diff);
+        }
     }
     a.free(t);
     a.free(pm);
@@ -201,15 +205,21 @@ fn emit_register_to_shared(
     a.phase(Phase::Registration as u8);
     let deg = a.reg();
     let st = a.reg();
-    let vid_out = a.reg();
+    // Only worklist kernels store the registered VID; allocating (and
+    // initializing) it unconditionally would be a dead write elsewhere.
+    let vid_out = vid_base.map(|_| a.reg());
     let valid = a.reg();
     a.li(deg, 0);
     a.li(st, 0);
-    a.li(vid_out, 0);
+    if let Some(vo) = vid_out {
+        a.li(vo, 0);
+    }
     a.sltu(valid, idx, dom.bound);
     a.if_nonzero(valid, |a| {
         let v = dom.emit_get_frontier(a, idx);
-        a.mv(vid_out, v);
+        if let Some(vo) = vid_out {
+            a.mv(vo, v);
+        }
         let rf = a.reg();
         let has_filter = ops.emit_base_filter(a, pro, v, rf);
         let load = |a: &mut Asm| {
@@ -235,15 +245,17 @@ fn emit_register_to_shared(
     a.sts(deg, tmp, 0, Width::B8);
     a.add(tmp, addr, start_base);
     a.sts(st, tmp, 0, Width::B8);
-    if let Some(vb) = vid_base {
+    if let (Some(vb), Some(vo)) = (vid_base, vid_out) {
         a.add(tmp, addr, vb);
-        a.sts(vid_out, tmp, 0, Width::B8);
+        a.sts(vo, tmp, 0, Width::B8);
     }
     a.free(tmp);
     a.free(addr);
     a.free(deg);
     a.free(st);
-    a.free(vid_out);
+    if let Some(vo) = vid_out {
+        a.free(vo);
+    }
 }
 
 /// The shared distribution loop of `S_wm`/`S_cm`: edges `i = slot, slot +

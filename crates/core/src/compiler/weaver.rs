@@ -29,8 +29,15 @@ fn build_unit_kernel(name: &str, t: UnitTemplate<'_>) -> Program {
     a.csr(ncores, CsrKind::NumCores);
     let chunk = a.reg();
     a.ldarg(chunk, args::ST_CHUNK);
-    let staging = a.reg();
-    a.ldarg(staging, args::EGHW_STAGING);
+    // Only EGHW reads edge records out of the shared staging buffer; the
+    // plain SparseWeaver kernel never touches it.
+    let staging = if t.eghw {
+        let s = a.reg();
+        a.ldarg(s, args::EGHW_STAGING);
+        s
+    } else {
+        a.zero()
+    };
 
     // Block-level balancing: each core owns a contiguous vertex range
     // (Section III-A: "we aim to design hardware that achieves block-level
@@ -48,9 +55,11 @@ fn build_unit_kernel(name: &str, t: UnitTemplate<'_>) -> Program {
     a.free(ncores);
     a.free(cid);
 
-    // Full-thread-mask constant for the backend's mask restore.
-    let fm = a.reg();
-    {
+    // Full-thread-mask constant for the backend's mask restore. Only the
+    // hardware-masked variant restores via `tmc`; computing it in the
+    // ablation would be a dead write.
+    let fm = if auto_mask {
+        let fm = a.reg();
         let one = a.reg();
         let tpw = a.reg();
         a.csr(tpw, CsrKind::ThreadsPerWarp);
@@ -59,7 +68,10 @@ fn build_unit_kernel(name: &str, t: UnitTemplate<'_>) -> Program {
         a.addi(fm, fm, -1);
         a.free(one);
         a.free(tpw);
-    }
+        Some(fm)
+    } else {
+        None
+    };
 
     let cb = a.reg();
     a.mv(cb, lo);
@@ -166,7 +178,7 @@ fn build_unit_kernel(name: &str, t: UnitTemplate<'_>) -> Program {
     }
     a.jmp(dtop);
     a.bind(ddone);
-    if auto_mask {
+    if let Some(fm) = fm {
         a.tmc(fm); // restore the saved full mask (backend pass)
     }
     a.bar();

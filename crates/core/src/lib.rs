@@ -46,6 +46,21 @@ pub use session::{RunReport, Session};
 pub enum FrameworkError {
     /// The simulator rejected a kernel (a compiler bug) or hit a limit.
     Sim(sparseweaver_sim::SimError),
+    /// The static verifier rejected a kernel before launch (see the
+    /// `sparseweaver-lint` crate and `docs/lint-rules.md`).
+    Lint {
+        /// Name of the rejected kernel.
+        kernel: String,
+        /// Number of error-severity findings.
+        errors: usize,
+        /// The rendered diagnostics.
+        details: String,
+    },
+    /// Host-side I/O failed (e.g. creating a `--trace-out` file).
+    Io {
+        /// What was being done, plus the underlying error.
+        what: String,
+    },
     /// The graph does not fit the device model.
     GraphTooLarge {
         /// What overflowed.
@@ -64,6 +79,16 @@ impl std::fmt::Display for FrameworkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameworkError::Sim(e) => write!(f, "simulation error: {e}"),
+            FrameworkError::Lint {
+                kernel,
+                errors,
+                details,
+            } => write!(
+                f,
+                "kernel `{kernel}` rejected by the static verifier \
+                 ({errors} error(s)):\n{details}"
+            ),
+            FrameworkError::Io { what } => write!(f, "I/O error: {what}"),
             FrameworkError::GraphTooLarge { what } => {
                 write!(f, "graph too large for the device model: {what}")
             }
@@ -91,5 +116,6 @@ pub mod prelude {
     pub use crate::session::{RunReport, Session};
     pub use crate::FrameworkError;
     pub use sparseweaver_graph::Direction;
+    pub use sparseweaver_lint::LintLevel;
     pub use sparseweaver_sim::GpuConfig;
 }

@@ -6,6 +6,9 @@ use sparseweaver_sim::{Gpu, KernelStats};
 use sparseweaver_trace::TraceHandle;
 use sparseweaver_weaver::eghw::EghwLayout;
 
+use sparseweaver_lint::LintLevel;
+
+use crate::compiler::Compiler;
 use crate::schedule::Schedule;
 use crate::FrameworkError;
 
@@ -69,6 +72,7 @@ pub struct Runtime<'a> {
     next_alloc: u64,
     per_kernel: Vec<(String, KernelStats)>,
     total: KernelStats,
+    compiler: Compiler,
 }
 
 impl<'a> Runtime<'a> {
@@ -110,6 +114,7 @@ impl<'a> Runtime<'a> {
             next_alloc: 64,
             per_kernel: Vec::new(),
             total: KernelStats::default(),
+            compiler: Compiler::default(),
         };
         rt.device.offsets = rt.upload_u32(rt.view.offsets().to_vec().as_slice());
         rt.device.edges = rt.upload_u32(rt.view.targets().to_vec().as_slice());
@@ -145,6 +150,17 @@ impl<'a> Runtime<'a> {
     /// subsequent launches through this runtime are traced.
     pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
         self.gpu.set_tracer(tracer);
+    }
+
+    /// Sets how the static verifier reacts to kernel findings (default:
+    /// [`LintLevel::Deny`]). Resets the verdict cache.
+    pub fn set_lint(&mut self, level: LintLevel) {
+        self.compiler = Compiler::new(level);
+    }
+
+    /// The active lint enforcement level.
+    pub fn lint_level(&self) -> LintLevel {
+        self.compiler.level()
     }
 
     /// Allocates `bytes` of device memory (64-byte aligned).
@@ -267,14 +283,19 @@ impl<'a> Runtime<'a> {
     /// Launches `program` with the common arguments plus `extra` (starting
     /// at [`args::ALGO0`]), recording stats under the program's name.
     ///
+    /// Before the first launch of each kernel name, the program passes
+    /// through the static verifier according to [`Runtime::lint_level`].
+    ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
+    /// Propagates simulator errors, and [`FrameworkError::Lint`] when the
+    /// verifier rejects the kernel.
     pub fn launch(
         &mut self,
         program: &Program,
         extra: &[u64],
     ) -> Result<KernelStats, FrameworkError> {
+        self.compiler.check(program)?;
         let mut argv = self.common_args();
         argv.extend_from_slice(extra);
         let stats = self.gpu.launch(program, &argv)?;
@@ -393,6 +414,30 @@ mod tests {
         assert_eq!(per[0].0, "k1");
         assert_eq!(per[0].1.launches, 2);
         assert_eq!(rt.total_stats().launches, 2);
+    }
+
+    #[test]
+    fn lint_deny_rejects_ill_formed_kernel_unless_off() {
+        let (_, mut rt) = rt(Schedule::Svm);
+        assert_eq!(rt.lint_level(), LintLevel::Deny);
+        let fixtures = sparseweaver_lint::fixtures::ill_formed();
+        let (program, rule) = &fixtures[0];
+        let err = rt.launch(program, &[]).unwrap_err();
+        match err {
+            FrameworkError::Lint {
+                kernel,
+                errors,
+                details,
+            } => {
+                assert_eq!(&kernel, program.name());
+                assert!(errors > 0);
+                assert!(details.contains(rule), "{details}");
+            }
+            other => panic!("expected a lint rejection, got {other}"),
+        }
+        // Opting out lets the same kernel through to the simulator.
+        rt.set_lint(LintLevel::Off);
+        rt.launch(program, &[]).unwrap();
     }
 
     #[test]

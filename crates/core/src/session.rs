@@ -1,8 +1,11 @@
 //! Top-level entry point: run an algorithm on a graph under a schedule.
 
+use std::path::PathBuf;
+
 use sparseweaver_graph::{Csr, Direction};
+use sparseweaver_lint::LintLevel;
 use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, WeaverMode};
-use sparseweaver_trace::{TraceConfig, TraceHandle, TraceReport};
+use sparseweaver_trace::{FileSink, TraceConfig, TraceHandle, TraceReport};
 
 use crate::algorithms::Algorithm;
 use crate::output::AlgoOutput;
@@ -27,6 +30,8 @@ pub struct RunReport {
     pub output: AlgoOutput,
     /// Structured trace + metrics, when [`Session::trace`] was set.
     pub trace: Option<TraceReport>,
+    /// The lint enforcement level that vetted this run's kernels.
+    pub lint: LintLevel,
 }
 
 impl RunReport {
@@ -63,6 +68,15 @@ pub struct Session {
     /// When set, every [`Session::run`] attaches a tracer with this
     /// configuration and the resulting [`RunReport::trace`] is populated.
     pub trace: Option<TraceConfig>,
+    /// When set, traced events stream to this `.jsonl` file (one JSON
+    /// object per line) instead of the in-memory ring — nothing is
+    /// evicted, so arbitrarily long runs keep their full event timeline.
+    /// Implies tracing with [`Session::trace`]'s configuration (or the
+    /// default one when `trace` is unset).
+    pub trace_out: Option<PathBuf>,
+    /// How the static verifier treats kernel findings before each launch
+    /// (default: [`LintLevel::Deny`]).
+    pub lint: LintLevel,
 }
 
 impl Session {
@@ -73,6 +87,8 @@ impl Session {
             cfg,
             l1_penalty: true,
             trace: None,
+            trace_out: None,
+            lint: LintLevel::default(),
         }
     }
 
@@ -114,7 +130,9 @@ impl Session {
         schedule: Schedule,
     ) -> Result<Runtime<'g>, FrameworkError> {
         let gpu = Gpu::new(self.config_for(schedule));
-        Runtime::new(gpu, graph, direction, schedule)
+        let mut rt = Runtime::new(gpu, graph, direction, schedule)?;
+        rt.set_lint(self.lint);
+        Ok(rt)
     }
 
     /// Runs `algorithm` on `graph` under `schedule`.
@@ -129,7 +147,16 @@ impl Session {
         schedule: Schedule,
     ) -> Result<RunReport, FrameworkError> {
         let mut rt = self.runtime(graph, algorithm.direction(), schedule)?;
-        let tracer = self.trace.map(TraceHandle::new);
+        let tracer = match &self.trace_out {
+            Some(path) => {
+                let cfg = self.trace.unwrap_or_default();
+                let sink = FileSink::create(path).map_err(|e| FrameworkError::Io {
+                    what: format!("creating trace file {}: {e}", path.display()),
+                })?;
+                Some(TraceHandle::with_sink(cfg, Box::new(sink)))
+            }
+            None => self.trace.map(TraceHandle::new),
+        };
         rt.set_tracer(tracer.clone());
         let output = algorithm.run(&mut rt)?;
         let (stats, per_kernel) = rt.into_stats();
@@ -141,6 +168,7 @@ impl Session {
             per_kernel,
             output,
             trace: tracer.map(|t| t.report()),
+            lint: self.lint,
         })
     }
 }
@@ -183,6 +211,25 @@ mod tests {
         assert_eq!(r.algorithm, "pagerank");
         assert_eq!(r.output.len(), 40);
         assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn trace_out_streams_events_to_jsonl() {
+        let g = sparseweaver_graph::generators::uniform(30, 90, 11);
+        let path = std::env::temp_dir().join("sw_session_trace_out.jsonl");
+        let mut s = Session::new(GpuConfig::small_test());
+        s.trace_out = Some(path.clone());
+        let r = s.run(&g, &PageRank::new(1), Schedule::Svm).unwrap();
+        // The report exists, but its events streamed to disk.
+        let report = r.trace.expect("trace collected");
+        assert!(report.events.is_empty());
+        assert_eq!(report.dropped, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2, "expected a populated trace file");
+        assert!(lines.iter().any(|l| l.contains("kernel_launch")));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -594,6 +594,31 @@ impl Instr {
         }
     }
 
+    /// Explicit control-flow targets of this instruction (absolute pcs).
+    ///
+    /// `Join` transfers control through the warp's IPDOM stack rather than
+    /// an encoded target, so it reports none; a CFG builder must model the
+    /// matching `Split`'s `else_target`/`end_target` instead.
+    pub fn branch_targets(&self) -> Vec<u32> {
+        match *self {
+            Instr::Br { target, .. } | Instr::Jmp { target } => vec![target],
+            Instr::Split {
+                else_target,
+                end_target,
+                ..
+            } => vec![else_target, end_target],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether execution can continue at `pc + 1` after this instruction.
+    ///
+    /// `Join` never falls through: it resumes at the pending else side or
+    /// at the region's `end_target` (which may coincide with `pc + 1`).
+    pub fn can_fall_through(&self) -> bool {
+        !matches!(self, Instr::Halt | Instr::Jmp { .. } | Instr::Join)
+    }
+
     /// Whether this is one of the four Weaver ISA-extension instructions.
     pub fn is_weaver(&self) -> bool {
         matches!(
@@ -739,6 +764,32 @@ mod tests {
         assert_eq!(w.sources().len(), 3);
         assert!(w.is_weaver());
         assert!(!i.is_weaver());
+    }
+
+    #[test]
+    fn branch_targets_and_fall_through() {
+        let br = Instr::Br {
+            cond: BrCond::Eq,
+            rs1: Reg(1),
+            rs2: Reg(2),
+            target: 7,
+        };
+        assert_eq!(br.branch_targets(), vec![7]);
+        assert!(br.can_fall_through());
+        let jmp = Instr::Jmp { target: 3 };
+        assert_eq!(jmp.branch_targets(), vec![3]);
+        assert!(!jmp.can_fall_through());
+        let split = Instr::Split {
+            rs1: Reg(1),
+            else_target: 4,
+            end_target: 5,
+        };
+        assert_eq!(split.branch_targets(), vec![4, 5]);
+        assert!(split.can_fall_through());
+        assert!(Instr::Join.branch_targets().is_empty());
+        assert!(!Instr::Join.can_fall_through());
+        assert!(!Instr::Halt.can_fall_through());
+        assert!(Instr::Nop.can_fall_through());
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! CFG construction by abstract interpretation of the divergence stack.
+//!
+//! The verifier enumerates `(pc, stack)` states the way the simulator's
+//! IPDOM mechanism would: `split` pushes a frame, the then-side `join`
+//! either transfers to the frame's else side (flipping `in_else`) or pops
+//! to `end_target`. Memoizing visited states makes the walk terminate on
+//! loops; a program whose loop grows the stack shows up as SW-L202 (two
+//! different stack shapes at one pc) long before the safety caps bite.
+//!
+//! The same walk yields the structural diagnostics (SW-L201/202/203,
+//! SW-L301) and the edge set from which basic blocks are carved for the
+//! dataflow layer.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+use sparseweaver_isa::{Instr, Program};
+
+use crate::{Diagnostic, Rule};
+
+/// Deepest nesting of split regions the walk will follow. Real kernels nest
+/// a handful deep; hitting this means the stack grows without bound.
+const MAX_STACK_DEPTH: usize = 64;
+/// Total `(pc, stack)` states examined before giving up (safety net; never
+/// reached by programs that pass SW-L202).
+const MAX_STATES: usize = 1 << 20;
+/// Distinct stack shapes tracked per pc before further shapes are dropped.
+const MAX_SHAPES_PER_PC: usize = 8;
+
+/// One IPDOM stack frame as the simulator models it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Frame {
+    else_t: u32,
+    end_t: u32,
+    in_else: bool,
+}
+
+/// A maximal straight-line run of reachable instructions.
+#[derive(Debug, Clone)]
+pub(crate) struct BasicBlock {
+    /// First pc (inclusive).
+    pub start: u32,
+    /// One past the last pc.
+    pub end: u32,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// The pcs in this block, in order.
+    pub fn pcs(&self) -> std::ops::Range<u32> {
+        self.start..self.end
+    }
+}
+
+/// The reachable control-flow graph plus structural diagnostics.
+#[derive(Debug)]
+pub(crate) struct Cfg {
+    /// Reachable basic blocks, ordered by start pc (entry first).
+    pub blocks: Vec<BasicBlock>,
+    /// Block index owning each reachable pc.
+    pub block_of: BTreeMap<u32, usize>,
+    /// `tmc` sites among the reachable pcs.
+    pub tmc_sites: Vec<u32>,
+    /// Structural findings from the walk (SW-L104/201/202/203/301).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Cfg {
+    /// Index of the block containing pc 0, if the program is non-empty.
+    pub fn entry(&self) -> Option<usize> {
+        self.block_of.get(&0).copied()
+    }
+
+    pub fn build(p: &Program) -> Cfg {
+        let len = p.len() as u32;
+        let mut succs: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut visited: BTreeSet<u32> = BTreeSet::new();
+        let mut shapes: BTreeMap<u32, Vec<Vec<(u32, u32)>>> = BTreeMap::new();
+        let mut mismatch: BTreeSet<u32> = BTreeSet::new();
+        let mut lone_join: BTreeSet<u32> = BTreeSet::new();
+        let mut halt_diverged: BTreeSet<u32> = BTreeSet::new();
+        let mut bar_diverged: BTreeSet<u32> = BTreeSet::new();
+        let mut tmc_sites: BTreeSet<u32> = BTreeSet::new();
+
+        let mut seen: HashSet<(u32, Vec<Frame>)> = HashSet::new();
+        let mut work: VecDeque<(u32, Vec<Frame>)> = VecDeque::new();
+        if len > 0 {
+            work.push_back((0, Vec::new()));
+        }
+
+        let mut states = 0usize;
+        while let Some((pc, stack)) = work.pop_front() {
+            if states >= MAX_STATES {
+                break;
+            }
+            if !seen.insert((pc, stack.clone())) {
+                continue;
+            }
+            states += 1;
+
+            // Track the set of stack *shapes* (target pairs, ignoring
+            // `in_else`) seen at each pc. Two shapes means the divergence
+            // depth depends on the path taken — SW-L202.
+            let shape: Vec<(u32, u32)> = stack.iter().map(|f| (f.else_t, f.end_t)).collect();
+            let pc_shapes = shapes.entry(pc).or_default();
+            if !pc_shapes.contains(&shape) {
+                if !pc_shapes.is_empty() {
+                    mismatch.insert(pc);
+                }
+                if pc_shapes.len() >= MAX_SHAPES_PER_PC {
+                    continue; // bounded; already reported as a mismatch
+                }
+                pc_shapes.push(shape);
+            }
+            visited.insert(pc);
+
+            // Enqueue a successor state, treating a target one past the end
+            // as an implicit halt.
+            let mut push = |from: u32, to: u32, st: Vec<Frame>| {
+                if to >= len {
+                    if !st.is_empty() {
+                        halt_diverged.insert(from);
+                    }
+                    return;
+                }
+                succs.entry(from).or_default().insert(to);
+                work.push_back((to, st));
+            };
+
+            match *p.get(pc).expect("pc in range") {
+                Instr::Halt => {
+                    if !stack.is_empty() {
+                        halt_diverged.insert(pc);
+                    }
+                }
+                Instr::Jmp { target } => push(pc, target, stack),
+                Instr::Br { target, .. } => {
+                    push(pc, target, stack.clone());
+                    push(pc, pc + 1, stack);
+                }
+                Instr::Split {
+                    else_target,
+                    end_target,
+                    ..
+                } => {
+                    if stack.len() >= MAX_STACK_DEPTH {
+                        mismatch.insert(pc);
+                        continue;
+                    }
+                    let mut then_side = stack.clone();
+                    then_side.push(Frame {
+                        else_t: else_target,
+                        end_t: end_target,
+                        in_else: false,
+                    });
+                    push(pc, pc + 1, then_side);
+                    // The else side starts with the frame flipped (reached
+                    // via the then-side's join in the simulator; entering
+                    // it directly over-approximates reachability).
+                    let mut else_side = stack;
+                    else_side.push(Frame {
+                        else_t: else_target,
+                        end_t: end_target,
+                        in_else: true,
+                    });
+                    push(pc, else_target, else_side);
+                }
+                Instr::Join => match stack.last().copied() {
+                    None => {
+                        lone_join.insert(pc);
+                    }
+                    Some(f) if !f.in_else => {
+                        let mut flipped = stack.clone();
+                        flipped.last_mut().expect("nonempty").in_else = true;
+                        push(pc, f.else_t, flipped);
+                        let mut popped = stack;
+                        popped.pop();
+                        push(pc, f.end_t, popped);
+                    }
+                    Some(f) => {
+                        let mut popped = stack;
+                        popped.pop();
+                        push(pc, f.end_t, popped);
+                    }
+                },
+                Instr::Bar => {
+                    if !stack.is_empty() {
+                        bar_diverged.insert(pc);
+                    }
+                    push(pc, pc + 1, stack);
+                }
+                Instr::Tmc { .. } => {
+                    tmc_sites.insert(pc);
+                    push(pc, pc + 1, stack);
+                }
+                _ => push(pc, pc + 1, stack),
+            }
+        }
+
+        // --- basic blocks over the reachable pcs --------------------------
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        if visited.contains(&0) {
+            leaders.insert(0);
+        }
+        for (&from, tos) in &succs {
+            let multi = tos.len() != 1 || !tos.contains(&(from + 1));
+            for &to in tos {
+                if to != from + 1 {
+                    leaders.insert(to);
+                }
+            }
+            if multi {
+                leaders.insert(from + 1);
+            }
+        }
+
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        for &pc in &visited {
+            let new_block = match prev {
+                None => true,
+                Some(q) => pc != q + 1 || leaders.contains(&pc),
+            };
+            if new_block {
+                blocks.push(BasicBlock {
+                    start: pc,
+                    end: pc + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            } else {
+                blocks.last_mut().expect("block open").end = pc + 1;
+            }
+            block_of.insert(pc, blocks.len() - 1);
+            prev = Some(pc);
+        }
+        for bi in 0..blocks.len() {
+            let last = blocks[bi].end - 1;
+            if let Some(tos) = succs.get(&last) {
+                for &to in tos {
+                    let ti = block_of[&to];
+                    if !blocks[bi].succs.contains(&ti) {
+                        blocks[bi].succs.push(ti);
+                    }
+                    if !blocks[ti].preds.contains(&bi) {
+                        blocks[ti].preds.push(bi);
+                    }
+                }
+            }
+        }
+
+        // --- diagnostics --------------------------------------------------
+        let mut diagnostics = Vec::new();
+        let disasm = |pc: u32| p.get(pc).map(|i| i.to_string()).unwrap_or_default();
+        for pc in lone_join {
+            diagnostics.push(Diagnostic::new(
+                Rule::JoinWithoutSplit,
+                pc,
+                format!("`{}` executes with an empty divergence stack", disasm(pc)),
+            ));
+        }
+        for pc in halt_diverged {
+            diagnostics.push(Diagnostic::new(
+                Rule::HaltUnderDivergence,
+                pc,
+                format!(
+                    "`{}` terminates the warp inside an open split region \
+                     (pending lanes never resume)",
+                    disasm(pc)
+                ),
+            ));
+        }
+        for pc in bar_diverged {
+            diagnostics.push(Diagnostic::new(
+                Rule::BarrierUnderDivergence,
+                pc,
+                format!(
+                    "`{}` can execute under a divergent mask; inactive lanes \
+                     never arrive and the core deadlocks",
+                    disasm(pc)
+                ),
+            ));
+        }
+        // Stack shapes are constant along a block, so report mismatches at
+        // block granularity to avoid repeating the finding per pc.
+        for b in &blocks {
+            if let Some(&pc) = mismatch.range(b.start..b.end).next() {
+                diagnostics.push(Diagnostic::new(
+                    Rule::DivergenceStackMismatch,
+                    b.start,
+                    format!(
+                        "pc {} is reachable with different divergence stacks; \
+                         split/join nesting is unbalanced across paths",
+                        pc
+                    ),
+                ));
+            }
+        }
+        // Unreachable pcs, grouped into maximal runs.
+        let mut run: Option<(u32, u32)> = None;
+        let flush = |run: &mut Option<(u32, u32)>, out: &mut Vec<Diagnostic>| {
+            if let Some((s, e)) = run.take() {
+                out.push(Diagnostic::new(
+                    Rule::UnreachableCode,
+                    s,
+                    format!("pcs {s}..={e} are unreachable from the kernel entry"),
+                ));
+            }
+        };
+        for pc in 0..len {
+            if visited.contains(&pc) {
+                flush(&mut run, &mut diagnostics);
+            } else {
+                run = Some(match run {
+                    None => (pc, pc),
+                    Some((s, _)) => (s, pc),
+                });
+            }
+        }
+        flush(&mut run, &mut diagnostics);
+
+        Cfg {
+            blocks,
+            block_of,
+            tmc_sites: tmc_sites.into_iter().collect(),
+            diagnostics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseweaver_isa::Asm;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new("line");
+        let r = a.reg();
+        a.li(r, 1);
+        a.addi(r, r, 1);
+        a.halt();
+        let cfg = Cfg::build(&a.finish());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].start, 0);
+        assert_eq!(cfg.blocks[0].end, 3);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_links_edges() {
+        let mut a = Asm::new("br");
+        let r = a.reg();
+        a.li(r, 1);
+        let end = a.new_label();
+        a.beq(r, a.zero(), end);
+        a.addi(r, r, 1);
+        a.bind(end);
+        a.halt();
+        let cfg = Cfg::build(&a.finish());
+        // blocks: [0..2) branch, [2..3) fallthrough, [3..4) halt
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        assert_eq!(cfg.blocks[1].succs, vec![2]);
+        assert_eq!(cfg.blocks[2].preds.len(), 2);
+        assert_eq!(cfg.entry(), Some(0));
+    }
+
+    #[test]
+    fn if_nonzero_join_sees_both_polarities_without_mismatch() {
+        let mut a = Asm::new("ifnz");
+        let c = a.reg();
+        a.li(c, 1);
+        a.if_nonzero(c, |a| a.nop());
+        a.halt();
+        let cfg = Cfg::build(&a.finish());
+        assert!(cfg.diagnostics.is_empty(), "{:?}", cfg.diagnostics);
+        let reachable: usize = cfg.blocks.iter().map(|b| b.pcs().len()).sum();
+        assert_eq!(reachable, 5); // li, split, nop, join, halt
+    }
+
+    #[test]
+    fn branch_to_one_past_end_is_a_legal_exit() {
+        use sparseweaver_isa::{Instr, Reg};
+        let p = Program::new(
+            "offend",
+            vec![
+                Instr::LdImm { rd: Reg(1), imm: 0 },
+                Instr::Jmp { target: 2 },
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        assert!(cfg.diagnostics.is_empty(), "{:?}", cfg.diagnostics);
+    }
+}

@@ -1,0 +1,245 @@
+//! Block-level dataflow analyses over the 64-register file.
+//!
+//! Register sets are `u64` bitsets (bit *n* = `xN`), so the classic
+//! definedness and liveness fixpoints are a few dozen word operations even
+//! for the largest schedule templates.
+
+use sparseweaver_isa::{Instr, Program, Reg, ZERO};
+
+use crate::cfg::Cfg;
+use crate::{Diagnostic, Rule};
+
+fn bit(r: Reg) -> u64 {
+    1u64 << (r.0 & 63)
+}
+
+/// Ops whose only effect is writing their destination register. Only these
+/// are eligible for the dead-write lint: discarding the result of a load,
+/// CSR read, atomic, vote, or Weaver decode is idiomatic (the side effect
+/// or the broadcast is the point).
+fn is_pure(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::LdImm { .. }
+            | Instr::Alu { .. }
+            | Instr::AluI { .. }
+            | Instr::Fpu { .. }
+            | Instr::FCmp { .. }
+            | Instr::CvtIF { .. }
+            | Instr::CvtFI { .. }
+    )
+}
+
+pub(crate) fn check(p: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(entry) = cfg.entry() else {
+        return out;
+    };
+    let n = cfg.blocks.len();
+    let instr = |pc: u32| p.get(pc).expect("reachable pc in range");
+
+    // Per-block summary: registers definitely written within the block.
+    let defs: Vec<u64> = cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            b.pcs()
+                .filter_map(|pc| instr(pc).dest())
+                .fold(0u64, |acc, d| acc | bit(d))
+        })
+        .collect();
+
+    // --- definedness (forward): must = intersection, may = union ---------
+    // x0 is hardwired and counts as always defined; everything else starts
+    // undefined at launch (the simulator zero-fills, but reading that zero
+    // is almost always a template bug).
+    let x0 = bit(ZERO);
+    let mut must_in = vec![u64::MAX; n];
+    let mut may_in = vec![0u64; n];
+    must_in[entry] = x0;
+    may_in[entry] = x0;
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            if b != entry {
+                let mut must = u64::MAX;
+                let mut may = 0u64;
+                for &pr in &cfg.blocks[b].preds {
+                    must &= must_in[pr] | defs[pr];
+                    may |= may_in[pr] | defs[pr];
+                }
+                must |= x0;
+                may |= x0;
+                if must != must_in[b] || may != may_in[b] {
+                    must_in[b] = must;
+                    may_in[b] = may;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut must = must_in[b];
+        let mut may = may_in[b];
+        for pc in block.pcs() {
+            let i = instr(pc);
+            let mut reported = 0u64;
+            for src in i.sources() {
+                let s = bit(src);
+                if reported & s != 0 {
+                    continue;
+                }
+                reported |= s;
+                if may & s == 0 {
+                    out.push(Diagnostic::new(
+                        Rule::UseBeforeDef,
+                        pc,
+                        format!("`{i}` reads {src}, which no path has written"),
+                    ));
+                } else if must & s == 0 {
+                    out.push(Diagnostic::new(
+                        Rule::MaybeUndefined,
+                        pc,
+                        format!("`{i}` reads {src}, which some paths leave unwritten"),
+                    ));
+                }
+            }
+            if let Some(d) = i.dest() {
+                must |= bit(d);
+                may |= bit(d);
+            }
+        }
+    }
+
+    // --- liveness (backward): dead pure writes ----------------------------
+    let uses: Vec<u64> = cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            let mut defined = 0u64;
+            let mut used = 0u64;
+            for pc in b.pcs() {
+                let i = instr(pc);
+                for src in i.sources() {
+                    if defined & bit(src) == 0 {
+                        used |= bit(src);
+                    }
+                }
+                if let Some(d) = i.dest() {
+                    defined |= bit(d);
+                }
+            }
+            used
+        })
+        .collect();
+    let mut live_in = vec![0u64; n];
+    loop {
+        let mut changed = false;
+        for b in (0..n).rev() {
+            let live_out = cfg.blocks[b]
+                .succs
+                .iter()
+                .fold(0u64, |acc, &s| acc | live_in[s]);
+            let li = uses[b] | (live_out & !defs[b]);
+            if li != live_in[b] {
+                live_in[b] = li;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for block in &cfg.blocks {
+        let mut live = block.succs.iter().fold(0u64, |acc, &s| acc | live_in[s]);
+        for pc in block.pcs().rev() {
+            let i = instr(pc);
+            if let Some(d) = i.dest() {
+                if d != ZERO && is_pure(i) && live & bit(d) == 0 {
+                    out.push(Diagnostic::new(
+                        Rule::DeadWrite,
+                        pc,
+                        format!("`{i}` writes {d}, but the value is never read"),
+                    ));
+                }
+                live &= !bit(d);
+            }
+            for src in i.sources() {
+                live |= bit(src);
+            }
+        }
+    }
+
+    // --- tmc all-lanes-off ------------------------------------------------
+    for &pc in &cfg.tmc_sites {
+        let Instr::Tmc { rs1 } = *instr(pc) else {
+            continue;
+        };
+        if rs1 == ZERO {
+            out.push(Diagnostic::new(
+                Rule::TmcAllLanesOff,
+                pc,
+                "`tmc x0` sets an empty thread mask; the warp can never re-enable lanes"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let (defs, reaches_entry) = reaching_defs(p, cfg, pc, rs1);
+        let all_zero = !defs.is_empty()
+            && defs
+                .iter()
+                .all(|&dpc| matches!(instr(dpc), Instr::LdImm { imm: 0, .. }));
+        if !reaches_entry && all_zero {
+            out.push(Diagnostic::new(
+                Rule::TmcAllLanesOff,
+                pc,
+                format!(
+                    "`{}`: every reaching definition of {rs1} is `li {rs1}, 0`; \
+                     the mask is constant zero",
+                    instr(pc)
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// The definition sites of `reg` that reach `pc`, found by a backward walk
+/// over the block graph. Also reports whether the walk reached the kernel
+/// entry without seeing a definition (i.e. the launch-time value reaches).
+fn reaching_defs(p: &Program, cfg: &Cfg, pc: u32, reg: Reg) -> (Vec<u32>, bool) {
+    let instr = |pc: u32| p.get(pc).expect("reachable pc in range");
+    let find_in = |lo: u32, hi: u32| -> Option<u32> {
+        (lo..hi).rev().find(|&q| instr(q).dest() == Some(reg))
+    };
+    let b0 = cfg.block_of[&pc];
+    if let Some(d) = find_in(cfg.blocks[b0].start, pc) {
+        return (vec![d], false);
+    }
+    let mut defs = Vec::new();
+    let mut reaches_entry = b0 == cfg.entry().expect("nonempty");
+    let mut seen = vec![false; cfg.blocks.len()];
+    let mut stack: Vec<usize> = cfg.blocks[b0].preds.clone();
+    while let Some(b) = stack.pop() {
+        if seen[b] {
+            continue;
+        }
+        seen[b] = true;
+        if let Some(d) = find_in(cfg.blocks[b].start, cfg.blocks[b].end) {
+            if !defs.contains(&d) {
+                defs.push(d);
+            }
+            continue;
+        }
+        if Some(b) == cfg.entry() {
+            reaches_entry = true;
+        }
+        stack.extend(cfg.blocks[b].preds.iter().copied());
+    }
+    (defs, reaches_entry)
+}

@@ -1,0 +1,78 @@
+//! Bundled ill-formed programs, one per headline failure class.
+//!
+//! These are the seeded negative cases used by `swlint --selftest` and the
+//! negative-path test suite: each is the minimal program triggering one of
+//! the hazards the verifier exists to catch.
+
+use sparseweaver_isa::{Asm, CsrKind, Instr, Program};
+
+/// The four seeded ill-formed programs, each paired with the rule ID it
+/// must trigger.
+pub fn ill_formed() -> Vec<(Program, &'static str)> {
+    vec![
+        (use_before_def(), "SW-L101"),
+        (unbalanced_join(), "SW-L201"),
+        (divergent_barrier(), "SW-L301"),
+        (unregistered_decode(), "SW-L401"),
+    ]
+}
+
+/// Reads two registers nothing ever wrote.
+pub fn use_before_def() -> Program {
+    let mut a = Asm::new("bad_use_before_def");
+    let x = a.reg();
+    let y = a.reg();
+    let z = a.reg();
+    a.add(z, x, y);
+    a.halt();
+    a.finish()
+}
+
+/// A `join` with no enclosing `split`: pops an empty IPDOM stack.
+pub fn unbalanced_join() -> Program {
+    let mut a = Asm::new("bad_unbalanced_join");
+    a.emit(Instr::Join);
+    a.halt();
+    a.finish()
+}
+
+/// A core-wide barrier inside a split region: inactive lanes never arrive.
+pub fn divergent_barrier() -> Program {
+    let mut a = Asm::new("bad_divergent_barrier");
+    let lane = a.reg();
+    let c = a.reg();
+    a.csr(lane, CsrKind::LaneId);
+    a.sltui(c, lane, 1);
+    a.if_nonzero(c, |a| a.bar());
+    a.halt();
+    a.finish()
+}
+
+/// `WEAVER_DEC_ID` with no `WEAVER_REG` anywhere: decodes from an
+/// unconfigured Weaver unit.
+pub fn unregistered_decode() -> Program {
+    let mut a = Asm::new("bad_unregistered_decode");
+    let v = a.reg();
+    a.weaver_dec_id(v);
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_triggers_exactly_its_rule() {
+        for (program, rule_id) in ill_formed() {
+            let report = crate::lint(&program);
+            assert!(
+                report.diagnostics.iter().any(|d| d.rule.id() == rule_id),
+                "{} did not trigger {rule_id}:\n{}",
+                program.name(),
+                report.to_text()
+            );
+            assert!(!report.is_clean(), "{} unexpectedly clean", program.name());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Weaver-protocol state machine check (Table II).
+//!
+//! The Weaver unit is configured by `WEAVER_REG` and consumed by
+//! `WEAVER_DEC_ID`/`WEAVER_DEC_LOC`/`WEAVER_SKIP`. Registration happens
+//! per-warp, distribution per-core, so a core-wide barrier must separate
+//! the two: decoding before every warp's registration has landed reads a
+//! half-built Sparse Workload Information Table.
+//!
+//! Each block is analyzed under a *powerset* of three per-path states —
+//! Unregistered, Registered (reg seen, no barrier yet), Synced (barrier
+//! after reg) — joined by union over predecessors. A decode is flagged
+//! when no path has registered at all (SW-L401) or when some path's
+//! registration is not yet barrier-synchronized (SW-L402). Conditional
+//! registration (the Fig. 9 template registers under `if_nonzero`) is
+//! fine: the registering path reaches the decode as Synced.
+
+use sparseweaver_isa::{Instr, Program};
+
+use crate::cfg::Cfg;
+use crate::{Diagnostic, Rule};
+
+const UNREG: u8 = 1;
+const REG: u8 = 2;
+const SYNCED: u8 = 4;
+
+fn transfer(i: &Instr, s: u8) -> u8 {
+    match i {
+        Instr::WeaverReg { .. } => {
+            if s != 0 {
+                REG
+            } else {
+                0
+            }
+        }
+        // A barrier publishes every pending registration core-wide.
+        Instr::Bar => (s & UNREG) | if s & (REG | SYNCED) != 0 { SYNCED } else { 0 },
+        _ => s,
+    }
+}
+
+fn is_decode(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::WeaverDecId { .. } | Instr::WeaverDecLoc { .. } | Instr::WeaverSkip { .. }
+    )
+}
+
+pub(crate) fn check(p: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(entry) = cfg.entry() else {
+        return out;
+    };
+    if p.weaver_instr_count() == 0 {
+        return out;
+    }
+    let instr = |pc: u32| p.get(pc).expect("reachable pc in range");
+    let n = cfg.blocks.len();
+    let mut state_in = vec![0u8; n];
+    state_in[entry] = UNREG;
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            let mut s = state_in[b];
+            for pc in cfg.blocks[b].pcs() {
+                s = transfer(instr(pc), s);
+            }
+            for &succ in &cfg.blocks[b].succs {
+                let merged = state_in[succ] | s;
+                if merged != state_in[succ] {
+                    state_in[succ] = merged;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut s = state_in[b];
+        for pc in block.pcs() {
+            let i = instr(pc);
+            if is_decode(i) {
+                if s & (REG | SYNCED) == 0 {
+                    out.push(Diagnostic::new(
+                        Rule::WeaverDecodeUnregistered,
+                        pc,
+                        format!(
+                            "`{i}` decodes from the Weaver unit, but no path from \
+                             the kernel entry executes `weaver.reg`"
+                        ),
+                    ));
+                } else if s & REG != 0 {
+                    out.push(Diagnostic::new(
+                        Rule::WeaverDecodeUnsynced,
+                        pc,
+                        format!(
+                            "`{i}` may execute before registration is \
+                             barrier-synchronized; insert a `bar` between \
+                             `weaver.reg` and the distribution loop"
+                        ),
+                    ));
+                }
+            }
+            s = transfer(i, s);
+        }
+    }
+    out
+}

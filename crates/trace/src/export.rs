@@ -150,8 +150,12 @@ fn counter_json(ts: u64, name: &str, fields: &[(&str, u64)]) -> String {
     )
 }
 
-/// One ring-buffer event as a trace-event JSON object.
-fn event_json(e: &TraceEvent) -> String {
+/// One event as a Chrome trace-event JSON object (no trailing newline).
+///
+/// [`crate::FileSink`] writes one of these per line, so a `.jsonl` trace
+/// file concatenates into a Chrome/Perfetto `traceEvents` array with a
+/// `jq -s` one-liner.
+pub fn event_json(e: &TraceEvent) -> String {
     let (name, cat, args) = match &e.data {
         EventData::KernelLaunch { name } => (
             "kernel_launch".to_string(),

@@ -42,5 +42,5 @@ pub mod tracer;
 
 pub use event::{EventData, MemLevel, Phase, StallCause, TableOp, TraceEvent, WeaverState};
 pub use metrics::{CounterSnapshot, KernelSpan, MetricSample};
-pub use sink::{RingSink, TraceSink};
+pub use sink::{FileSink, RingSink, TraceSink};
 pub use tracer::{Category, CategoryMask, TraceConfig, TraceHandle, TraceReport, Tracer};

@@ -1,6 +1,9 @@
 //! Event sinks: where emitted events go.
 
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 
 use crate::event::TraceEvent;
 
@@ -86,6 +89,94 @@ impl TraceSink for RingSink {
     }
 }
 
+/// A streaming sink writing one JSON object per event to a `.jsonl` file.
+///
+/// Unlike [`RingSink`], nothing is buffered in memory and nothing is ever
+/// evicted: every event survives, so arbitrarily long runs can be traced
+/// without losing the head of the timeline. Lines are
+/// [`crate::export::event_json`] objects; reassemble a Chrome/Perfetto
+/// trace with `jq -s '{traceEvents: .}' out.jsonl`.
+///
+/// Write errors after a successful open are latched rather than panicking
+/// mid-simulation; check [`FileSink::io_error`] (or [`FileSink::flush`])
+/// after the run.
+#[derive(Debug)]
+pub struct FileSink {
+    out: BufWriter<File>,
+    written: u64,
+    error: Option<io::ErrorKind>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the file cannot be created.
+    pub fn create(path: &Path) -> io::Result<FileSink> {
+        Ok(FileSink {
+            out: BufWriter::new(File::create(path)?),
+            written: 0,
+            error: None,
+        })
+    }
+
+    /// Number of events written so far (including buffered ones).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first write error encountered, if any.
+    pub fn io_error(&self) -> Option<io::ErrorKind> {
+        self.error
+    }
+
+    /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, or the first latched write error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        match self.error {
+            Some(kind) => Err(io::Error::from(kind)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&mut self, event: TraceEvent) {
+        let line = crate::export::event_json(&event);
+        if let Err(e) = writeln!(self.out, "{line}") {
+            if self.error.is_none() {
+                self.error = Some(e.kind());
+            }
+            return;
+        }
+        self.written += 1;
+    }
+
+    fn buffered(&self) -> usize {
+        0 // events stream straight to the file
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        let _ = self.out.flush();
+        Vec::new()
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +220,30 @@ mod tests {
         s.record(ev(2));
         assert_eq!(s.buffered(), 1);
         assert_eq!(s.drain()[0].cycle, 2);
+    }
+
+    #[test]
+    fn file_sink_streams_jsonl_without_dropping() {
+        let path = std::env::temp_dir().join("sw_file_sink_test.jsonl");
+        {
+            let mut s = FileSink::create(&path).unwrap();
+            for c in 0..100 {
+                s.record(ev(c));
+            }
+            assert_eq!(s.written(), 100);
+            assert_eq!(s.dropped(), 0);
+            assert_eq!(s.buffered(), 0);
+            assert!(s.drain().is_empty()); // events live on disk, not in memory
+            s.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 100);
+        // Every line is a self-contained JSON object.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[42].contains("\"ts\":42"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -253,6 +253,12 @@ impl TraceHandle {
         TraceHandle(Rc::new(RefCell::new(Tracer::new(cfg))))
     }
 
+    /// Creates a handle over a tracer writing into a caller-provided sink
+    /// (e.g. a streaming [`crate::FileSink`]) instead of the default ring.
+    pub fn with_sink(cfg: TraceConfig, sink: Box<dyn TraceSink>) -> Self {
+        TraceHandle(Rc::new(RefCell::new(Tracer::with_sink(cfg, sink))))
+    }
+
     /// Whether events of `cat` are being recorded (fast pre-check so
     /// callers can skip building event payloads).
     pub fn enabled(&self, cat: Category) -> bool {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate for the `trace_overhead` Criterion group: the disabled-by-default
+# tracer hooks must not cost measurable simulation time.
+#
+# The gate is self-baselining so runner speed cancels out: `tracing_off`
+# is compared against `tracing_on` from the same run. Enabled tracing
+# performs strictly more work (event recording + counter sampling), so a
+# healthy disabled path is faster. If the hooks start costing when
+# tracing is off, tracing_off converges on tracing_on — the gate fails
+# once tracing_off exceeds tracing_on by more than TOLERANCE_PCT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE_PCT="${TOLERANCE_PCT:-10}"
+
+out=$(cargo bench -p sparseweaver-bench --bench paper_artifacts -- trace_overhead)
+echo "$out"
+
+off=$(echo "$out" | awk '$1 == "trace_overhead/tracing_off" { print $3 }')
+on=$(echo "$out" | awk '$1 == "trace_overhead/tracing_on" { print $3 }')
+
+if [ -z "$off" ] || [ -z "$on" ]; then
+    echo "FAIL: trace_overhead group did not report both tracing_off and tracing_on" >&2
+    exit 1
+fi
+
+awk -v off="$off" -v on="$on" -v tol="$TOLERANCE_PCT" 'BEGIN {
+    limit = on * (100 + tol) / 100
+    printf "tracing_off %d ns/iter vs tracing_on %d ns/iter (limit %.0f, tolerance %s%%)\n",
+        off, on, limit, tol
+    if (off > limit) {
+        print "FAIL: disabled tracing regressed — the off-path hooks are no longer free"
+        exit 1
+    }
+    print "ok: disabled tracing within tolerance"
+}'

@@ -1,0 +1,278 @@
+//! `swlint` — static verifier for SparseWeaver kernel IR.
+//!
+//! Compiles the built-in algorithm kernels (without touching a simulated
+//! device) and runs the `sparseweaver-lint` CFG/dataflow verifier over
+//! each: use-before-def, dead writes, unreachable code, divergence-stack
+//! balance, barrier-under-divergence deadlocks, `tmc 0` wedges, and the
+//! Weaver registration protocol. Rule catalog: `docs/lint-rules.md`.
+//!
+//! ```text
+//! swlint                         # every algorithm x every schedule
+//! swlint --algo bfs --schedule sw
+//! swlint --json                  # one LintReport JSON object per line
+//! swlint --selftest              # verify the seeded ill-formed fixtures
+//! swlint --version
+//! ```
+//!
+//! Exit status: 0 when every kernel is clean, 1 when any error-severity
+//! finding fires (including `--selftest`, whose fixtures must all fire),
+//! 2 on usage errors.
+
+use std::collections::{HashMap, HashSet};
+use std::process::exit;
+
+use sparseweaver::core::algorithms::{
+    Algorithm, Bfs, ConnectedComponents, Gcn, PageRank, Spmv, Sssp,
+};
+use sparseweaver::core::Schedule;
+use sparseweaver::graph::Direction;
+use sparseweaver::isa::Program;
+use sparseweaver::lint::{fixtures, lint, LintReport};
+use sparseweaver::sim::GpuConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "swlint — SparseWeaver kernel-IR static verifier
+
+USAGE:
+  swlint [--algo ALGO] [--schedule S] [--config vortex|eval|small|8core] [--json]
+  swlint --selftest [--json]
+  swlint --version
+
+  ALGO:  pr | pr-push | bfs | sssp | sssp-wl | cc | spmv | gcn   (default: all)
+  S:     svm | em | wm | cm | sw | eghw                          (default: all)
+
+  --json      one LintReport JSON object per kernel, one per line
+  --selftest  lint the seeded ill-formed programs and check that each
+              triggers exactly its documented rule (exits 1: they are
+              ill-formed by construction)
+
+Rule catalog: docs/lint-rules.md (SW-L1xx dataflow, SW-L2xx divergence
+stack, SW-L3xx barrier/mask, SW-L4xx Weaver protocol)."
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument `{}`", args[i]);
+            usage()
+        };
+        let next_is_value = args
+            .get(i + 1)
+            .map(|n| !n.starts_with("--"))
+            .unwrap_or(false);
+        if next_is_value {
+            flags.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(name.to_string(), String::new());
+            i += 1;
+        }
+    }
+    for k in flags.keys() {
+        if !["algo", "schedule", "config", "json", "selftest"].contains(&k.as_str()) {
+            eprintln!("unknown flag `--{k}`");
+            usage()
+        }
+    }
+    flags
+}
+
+fn parse_schedules(flags: &HashMap<String, String>) -> Vec<Schedule> {
+    match flags.get("schedule").map(String::as_str) {
+        None => Schedule::ALL.to_vec(),
+        Some("svm") | Some("S_vm") => vec![Schedule::Svm],
+        Some("em") | Some("sem") | Some("S_em") => vec![Schedule::Sem],
+        Some("wm") | Some("swm") | Some("S_wm") => vec![Schedule::Swm],
+        Some("cm") | Some("scm") | Some("S_cm") => vec![Schedule::Scm],
+        Some("sw") | Some("weaver") | Some("sparseweaver") => vec![Schedule::SparseWeaver],
+        Some("eghw") => vec![Schedule::Eghw],
+        Some(other) => {
+            eprintln!("unknown schedule `{other}`");
+            usage()
+        }
+    }
+}
+
+fn config_for(flags: &HashMap<String, String>) -> GpuConfig {
+    match flags.get("config").map(String::as_str) {
+        None | Some("eval") | Some("evaluation") => GpuConfig::evaluation_default(),
+        Some("vortex") => GpuConfig::vortex_default(),
+        Some("small") => GpuConfig::small_test(),
+        Some("8core") => GpuConfig::eight_core(),
+        Some(other) => {
+            eprintln!("unknown config `{other}`");
+            usage()
+        }
+    }
+}
+
+/// The built-in algorithms, keyed the way `--algo` selects them. Kernel
+/// parameters (source vertex, iteration counts) do not affect the emitted
+/// instruction stream, so fixed placeholders suffice.
+fn algorithms(selected: Option<&str>) -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    let all: Vec<(&'static str, Box<dyn Algorithm>)> = vec![
+        ("pr", Box::new(PageRank::new(1))),
+        (
+            "pr-push",
+            Box::new(PageRank::new(1).with_direction(Direction::Push)),
+        ),
+        ("bfs", Box::new(Bfs::new(0))),
+        ("sssp", Box::new(Sssp::new(0))),
+        ("sssp-wl", Box::new(Sssp::new(0).with_worklist(true))),
+        ("cc", Box::new(ConnectedComponents::new())),
+        ("spmv", Box::new(Spmv::new())),
+    ];
+    match selected {
+        None => all,
+        Some(name) => {
+            let found: Vec<_> = all.into_iter().filter(|(n, _)| *n == name).collect();
+            if found.is_empty() && name != "gcn" {
+                eprintln!("unknown algorithm `{name}` (pr | pr-push | bfs | sssp | sssp-wl | cc | spmv | gcn)");
+                usage()
+            }
+            found
+        }
+    }
+}
+
+fn report_line(label: &str, program: &Program, report: &LintReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    if report.is_clean() && report.warning_count() == 0 {
+        println!("ok    {label:<28} {:>4} instrs", program.len());
+    } else {
+        println!(
+            "FAIL  {label:<28} {:>4} instrs  {} error(s), {} warning(s)",
+            program.len(),
+            report.error_count(),
+            report.warning_count()
+        );
+        for line in report.to_text().lines() {
+            println!("      {line}");
+        }
+    }
+}
+
+fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
+    let json = flags.contains_key("json");
+    let cfg = config_for(flags);
+    let schedules = parse_schedules(flags);
+    let algo_filter = flags.get("algo").map(String::as_str);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut kernels = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, algo) in algorithms(algo_filter) {
+        for &schedule in &schedules {
+            for program in algo.kernels(schedule, &cfg) {
+                // Schedule-independent kernels (init/apply) repeat across
+                // schedules under the same name; lint each stream once.
+                // The algorithm label stays in the key: variants like
+                // pr-push emit different streams under shared names.
+                let label = format!("{name}:{}", program.name());
+                if !seen.insert(label.clone()) {
+                    continue;
+                }
+                let report = lint(&program);
+                kernels += 1;
+                errors += report.error_count();
+                warnings += report.warning_count();
+                report_line(&label, &program, &report, json);
+            }
+        }
+    }
+    if algo_filter.is_none() || algo_filter == Some("gcn") {
+        let gcn = Gcn::new(8);
+        for &schedule in &schedules {
+            for program in gcn.kernels(schedule, &cfg) {
+                let label = format!("gcn:{}", program.name());
+                if !seen.insert(label.clone()) {
+                    continue;
+                }
+                let report = lint(&program);
+                kernels += 1;
+                errors += report.error_count();
+                warnings += report.warning_count();
+                report_line(&label, &program, &report, json);
+            }
+        }
+    }
+    if !json {
+        println!("{kernels} kernel(s) linted: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Lints the seeded ill-formed programs and checks each triggers exactly
+/// its documented rule — a liveness check for the verifier itself.
+fn cmd_selftest(json: bool) -> i32 {
+    let mut ok = true;
+    let mut findings = 0usize;
+    for (program, expected_rule) in fixtures::ill_formed() {
+        let report = lint(&program);
+        let hit = report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule.id() == expected_rule);
+        findings += report.error_count();
+        if json {
+            println!("{}", report.to_json());
+        } else if hit {
+            println!(
+                "ok    {:<28} triggers {expected_rule} as documented",
+                program.name()
+            );
+        } else {
+            println!(
+                "MISS  {:<28} expected {expected_rule}, got:\n{}",
+                program.name(),
+                report.to_text()
+            );
+        }
+        ok &= hit;
+    }
+    if !json {
+        println!(
+            "selftest: {} fixture(s), {findings} error finding(s), verifier {}",
+            fixtures::ill_formed().len(),
+            if ok { "healthy" } else { "BROKEN" }
+        );
+    }
+    // The fixtures are ill-formed by construction: a clean exit here would
+    // mean the verifier went blind, so any outcome with findings exits 1
+    // and a miss (verifier regression) exits 2.
+    if !ok {
+        2
+    } else {
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("swlint {}", sparseweaver::VERSION);
+        return;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let flags = parse_flags(&args);
+    let code = if flags.contains_key("selftest") {
+        cmd_selftest(flags.contains_key("json"))
+    } else {
+        cmd_lint(&flags)
+    };
+    exit(code)
+}

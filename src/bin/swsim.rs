@@ -16,6 +16,7 @@ use std::process::exit;
 use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
 use sparseweaver::core::{Schedule, Session};
 use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
+use sparseweaver::lint::LintLevel;
 use sparseweaver::sim::GpuConfig;
 use sparseweaver::trace::{export, CategoryMask, TraceConfig};
 
@@ -27,7 +28,7 @@ USAGE:
   swsim run    (--graph FILE | --dataset ID | --gen SPEC) --algo ALGO --schedule S
                [--iters N] [--source V] [--config vortex|eval|small] [--json] [--all-schedules]
                [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
-               [--sample-every N]
+               [--sample-every N] [--trace-out FILE.jsonl] [--lint off|warn|deny]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
   swsim datasets
@@ -42,7 +43,13 @@ TRACING:
   --trace FILE        write a Chrome-trace JSON (load in Perfetto / chrome://tracing)
   --trace-level L     event categories: warp | mem | weaver | all (default all)
   --sample-every N    counter-sample interval in cycles (default 1000)
-  --metrics-out FILE  write a metrics-JSON document (counter time series)"
+  --metrics-out FILE  write a metrics-JSON document (counter time series)
+  --trace-out FILE    stream events as JSONL (one object per line, nothing evicted)
+
+LINTING:
+  --lint LEVEL        static kernel verifier: off | warn | deny (default deny);
+                      `deny` rejects kernels with error findings before launch
+                      (see also the standalone `swlint` tool)"
     );
     exit(2)
 }
@@ -66,6 +73,8 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "trace-level",
             "sample-every",
             "metrics-out",
+            "trace-out",
+            "lint",
         ],
         "gen" => &["graph", "dataset", "gen", "out"],
         "disasm" => &["algo", "schedule", "config"],
@@ -242,10 +251,17 @@ fn make_algo(flags: &HashMap<String, String>, graph: &Csr) -> Box<dyn Algorithm>
 }
 
 /// Validates `run` flag combinations, returning the tracing configuration
-/// (if any) and the output paths for the two export formats.
+/// (if any), the output paths for the two export formats, and the
+/// streaming JSONL path.
+#[allow(clippy::type_complexity)]
 fn trace_setup(
     flags: &HashMap<String, String>,
-) -> (Option<TraceConfig>, Option<String>, Option<String>) {
+) -> (
+    Option<TraceConfig>,
+    Option<String>,
+    Option<String>,
+    Option<String>,
+) {
     let path_flag = |name: &str| -> Option<String> {
         flags.get(name).map(|v| {
             if v.is_empty() {
@@ -257,18 +273,19 @@ fn trace_setup(
     };
     let trace_path = path_flag("trace");
     let metrics_path = path_flag("metrics-out");
-    let tracing = trace_path.is_some() || metrics_path.is_some();
+    let trace_out = path_flag("trace-out");
+    let tracing = trace_path.is_some() || metrics_path.is_some() || trace_out.is_some();
     if !tracing {
         for dependent in ["trace-level", "sample-every"] {
             if flags.contains_key(dependent) {
-                eprintln!("--{dependent} requires --trace or --metrics-out");
+                eprintln!("--{dependent} requires --trace, --metrics-out or --trace-out");
                 exit(2)
             }
         }
-        return (None, None, None);
+        return (None, None, None, None);
     }
     if flags.contains_key("all-schedules") {
-        eprintln!("--trace / --metrics-out trace a single schedule; drop --all-schedules");
+        eprintln!("tracing flags trace a single schedule; drop --all-schedules");
         exit(2)
     }
     let categories = match flags.get("trace-level") {
@@ -284,7 +301,18 @@ fn trace_setup(
         sample_every,
         ..TraceConfig::default()
     };
-    (Some(cfg), trace_path, metrics_path)
+    (Some(cfg), trace_path, metrics_path, trace_out)
+}
+
+/// Parses `--lint LEVEL` (default: deny).
+fn lint_level(flags: &HashMap<String, String>) -> LintLevel {
+    match flags.get("lint") {
+        None => LintLevel::default(),
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        }),
+    }
 }
 
 fn cmd_run(flags: HashMap<String, String>) {
@@ -300,11 +328,13 @@ fn cmd_run(flags: HashMap<String, String>) {
         eprintln!("--schedule conflicts with --all-schedules");
         exit(2)
     }
-    let (trace_cfg, trace_path, metrics_path) = trace_setup(&flags);
+    let (trace_cfg, trace_path, metrics_path, trace_out) = trace_setup(&flags);
     let graph = load_graph(&flags);
     let algo = make_algo(&flags, &graph);
     let mut session = Session::new(config_for(&flags));
     session.trace = trace_cfg;
+    session.trace_out = trace_out.clone().map(std::path::PathBuf::from);
+    session.lint = lint_level(&flags);
     let json = flags.contains_key("json");
     let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
         Schedule::ALL.to_vec()
@@ -376,6 +406,11 @@ fn cmd_run(flags: HashMap<String, String>) {
             }
             if let Some(path) = &metrics_path {
                 write(path, export::metrics_json(trace), "metrics");
+            }
+            if let Some(path) = &trace_out {
+                if !json {
+                    println!("event stream written to {path}");
+                }
             }
         }
     }
@@ -465,7 +500,7 @@ fn cmd_datasets() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--version" || a == "-V") {
-        println!("swsim {}", env!("CARGO_PKG_VERSION"));
+        println!("swsim {}", sparseweaver::VERSION);
         return;
     }
     let Some(cmd) = args.first() else { usage() };

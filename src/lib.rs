@@ -19,6 +19,9 @@
 //! - [`sim`] — the cycle-level SIMT GPU simulator.
 //! - [`trace`] — structured simulation tracing & metrics: typed events,
 //!   counter sampling, Chrome-trace (Perfetto) and metrics-JSON export.
+//! - [`lint`] — the kernel-IR static verifier: CFG/dataflow analysis with
+//!   divergence, barrier-deadlock, and Weaver-protocol checks
+//!   (see `docs/lint-rules.md`).
 //! - [`core`] — the graph framework: algorithms, scheduling schemes, the
 //!   kernel compiler, host runtime, analytic models, auto-tuner.
 //!
@@ -39,7 +42,12 @@
 pub use sparseweaver_core as core;
 pub use sparseweaver_graph as graph;
 pub use sparseweaver_isa as isa;
+pub use sparseweaver_lint as lint;
 pub use sparseweaver_mem as mem;
 pub use sparseweaver_sim as sim;
 pub use sparseweaver_trace as trace;
 pub use sparseweaver_weaver as weaver;
+
+/// The workspace version, shared by every CLI entry point (`swsim
+/// --version`, `swlint --version`).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,273 @@
+//! Lint coverage for the shipped kernels and the verifier itself.
+//!
+//! Positive path: every built-in algorithm kernel, across every schedule,
+//! must lint clean — zero errors *and* zero warnings. These are the same
+//! streams `Session::run` launches, so a regression here would also trip
+//! the runtime's `LintLevel::Deny` gate.
+//!
+//! Negative path: the seeded ill-formed fixtures must each trigger
+//! exactly their documented rule (`docs/lint-rules.md`), and the `swlint`
+//! binary must report both paths with the documented exit codes.
+
+use std::process::Command;
+
+use sparseweaver::core::algorithms::{
+    Algorithm, Bfs, ConnectedComponents, Gcn, PageRank, Spmv, Sssp,
+};
+use sparseweaver::core::Schedule;
+use sparseweaver::graph::Direction;
+use sparseweaver::lint::{fixtures, lint, Severity};
+use sparseweaver::sim::GpuConfig;
+
+fn algorithms() -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    vec![
+        ("pr", Box::new(PageRank::new(1)) as Box<dyn Algorithm>),
+        (
+            "pr-push",
+            Box::new(PageRank::new(1).with_direction(Direction::Push)),
+        ),
+        ("bfs", Box::new(Bfs::new(0))),
+        ("sssp", Box::new(Sssp::new(0))),
+        ("sssp-wl", Box::new(Sssp::new(0).with_worklist(true))),
+        ("cc", Box::new(ConnectedComponents::new())),
+        ("spmv", Box::new(Spmv::new())),
+    ]
+}
+
+fn configs() -> Vec<(&'static str, GpuConfig)> {
+    let mut no_mask = GpuConfig::small_test();
+    no_mask.weaver.auto_mask = false;
+    vec![
+        ("small", GpuConfig::small_test()),
+        ("eval", GpuConfig::evaluation_default()),
+        ("small/no-auto-mask", no_mask),
+    ]
+}
+
+#[test]
+fn every_builtin_algorithm_kernel_lints_clean() {
+    let mut linted = 0usize;
+    for (cfg_name, cfg) in configs() {
+        for (algo_name, algo) in algorithms() {
+            for schedule in Schedule::ALL {
+                for program in algo.kernels(schedule, &cfg) {
+                    let report = lint(&program);
+                    assert!(
+                        report.is_clean() && report.warning_count() == 0,
+                        "{algo_name}:{} ({schedule:?}, {cfg_name}):\n{}",
+                        program.name(),
+                        report.to_text()
+                    );
+                    linted += 1;
+                }
+            }
+        }
+    }
+    // Every algorithm contributes at least one kernel per schedule.
+    assert!(linted >= configs().len() * algorithms().len() * Schedule::ALL.len());
+}
+
+#[test]
+fn gcn_kernels_lint_clean() {
+    for (cfg_name, cfg) in configs() {
+        for dim in [1, 8, 16] {
+            let gcn = Gcn::new(dim);
+            for schedule in Schedule::ALL {
+                for program in gcn.kernels(schedule, &cfg) {
+                    let report = lint(&program);
+                    assert!(
+                        report.is_clean() && report.warning_count() == 0,
+                        "gcn(dim={dim}):{} ({schedule:?}, {cfg_name}):\n{}",
+                        program.name(),
+                        report.to_text()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Each seeded ill-formed program trips exactly its documented rule at
+/// error severity, so `swlint --selftest` (and the CI step built on it)
+/// genuinely proves the verifier is awake.
+#[test]
+fn ill_formed_fixtures_trigger_their_documented_rules() {
+    let fixtures = fixtures::ill_formed();
+    assert_eq!(fixtures.len(), 4, "the four seeded fixtures");
+    let mut rules_seen = Vec::new();
+    for (program, expected_rule) in fixtures {
+        let report = lint(&program);
+        assert!(
+            report.error_count() > 0,
+            "{} should have error findings",
+            program.name()
+        );
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule.id() == expected_rule);
+        let hit = hit.unwrap_or_else(|| {
+            panic!(
+                "{} expected {expected_rule}, got:\n{}",
+                program.name(),
+                report.to_text()
+            )
+        });
+        assert_eq!(hit.severity(), Severity::Error);
+        rules_seen.push(expected_rule);
+    }
+    // One fixture per check family: dataflow, divergence stack,
+    // barrier/mask, Weaver protocol.
+    for expected in ["SW-L101", "SW-L201", "SW-L301", "SW-L401"] {
+        assert!(
+            rules_seen.contains(&expected),
+            "missing fixture for {expected}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- swlint CLI
+
+fn swlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swlint"))
+}
+
+#[test]
+fn swlint_all_clean_exits_zero() {
+    let out = swlint()
+        .args(["--config", "small"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+}
+
+#[test]
+fn swlint_json_emits_one_report_per_line() {
+    let out = swlint()
+        .args([
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for line in text.lines() {
+        assert!(line.starts_with("{\"program\":"), "{line}");
+        assert!(line.contains("\"errors\":0"), "{line}");
+    }
+    assert!(!text.trim().is_empty());
+}
+
+#[test]
+fn swlint_selftest_exits_one_and_names_every_rule() {
+    let out = swlint().arg("--selftest").output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fixtures are ill-formed by design"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in ["SW-L101", "SW-L201", "SW-L301", "SW-L401"] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+    assert!(text.contains("verifier healthy"), "{text}");
+}
+
+#[test]
+fn swlint_rejects_unknown_flags_and_values_with_exit_2() {
+    for args in [
+        &["--bogus"][..],
+        &["--algo", "nope"][..],
+        &["--schedule", "nope"][..],
+        &["--config", "nope"][..],
+    ] {
+        let out = swlint().args(args).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn swlint_version_matches_workspace_version() {
+    for flag in ["--version", "-V"] {
+        let out = swlint().arg(flag).output().expect("spawn");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.starts_with("swlint ") && text.contains(env!("CARGO_PKG_VERSION")),
+            "{text}"
+        );
+    }
+}
+
+// ------------------------------------------------------------- swsim flags
+
+fn swsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swsim"))
+}
+
+#[test]
+fn swsim_rejects_bad_lint_level_with_exit_2() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "svm",
+            "--config",
+            "small",
+            "--lint",
+            "bogus",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown lint level"));
+}
+
+#[test]
+fn swsim_trace_out_streams_jsonl_file() {
+    let path = std::env::temp_dir().join("sw_cli_trace_out.jsonl");
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "svm",
+            "--config",
+            "small",
+            "--trace-out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("event stream written to"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().count() > 2);
+    assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(text.contains("kernel_launch"));
+    let _ = std::fs::remove_file(&path);
+}

@@ -8,15 +8,17 @@
 //! activation around the distribution loop, is folded into the Weaver
 //! template (`tmc` + the hardware mask from `WEAVER_DEC_ID`).
 
+pub mod regalloc;
 mod software;
 mod vertex;
 pub mod virtualize;
 mod weaver;
 
+pub use regalloc::RegAlloc;
 pub use vertex::build_vertex_kernel;
 pub use virtualize::VirtualizedOps;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use sparseweaver_isa::{Asm, CsrKind, Program, Reg, Width};
 use sparseweaver_lint::LintLevel;
@@ -26,7 +28,7 @@ use crate::runtime::args;
 use crate::schedule::Schedule;
 use crate::FrameworkError;
 
-/// The compilation pipeline's verification stage.
+/// The compilation pipeline's verification and optimization stage.
 ///
 /// Every kernel the runtime launches passes through this hook first —
 /// the analog of a mandatory compiler pass. Under [`LintLevel::Deny`]
@@ -36,24 +38,54 @@ use crate::FrameworkError;
 /// printed to stderr but the launch proceeds; [`LintLevel::Off`] skips
 /// the pass entirely. Verdicts are cached by kernel name, so iterative
 /// algorithms re-launching the same kernel pay the analysis once.
-#[derive(Debug, Default)]
+///
+/// When register allocation is enabled (the default), [`Compiler::process`]
+/// additionally runs the [`regalloc`] pass over each verified kernel and
+/// re-lints the rewritten stream before handing it to the simulator, so a
+/// miscompile in the allocator is rejected rather than silently executed.
+#[derive(Debug)]
 pub struct Compiler {
     level: LintLevel,
+    regalloc: bool,
     checked: HashSet<String>,
+    processed: HashMap<String, Program>,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new(LintLevel::default())
+    }
 }
 
 impl Compiler {
-    /// Creates a pipeline enforcing `level`.
+    /// Creates a pipeline enforcing `level`, with register allocation on.
     pub fn new(level: LintLevel) -> Self {
         Compiler {
             level,
+            regalloc: true,
             checked: HashSet::new(),
+            processed: HashMap::new(),
         }
     }
 
     /// The enforcement level.
     pub fn level(&self) -> LintLevel {
         self.level
+    }
+
+    /// Whether the register-allocation pass runs in [`Compiler::process`].
+    pub fn regalloc(&self) -> bool {
+        self.regalloc
+    }
+
+    /// Enables or disables the register-allocation pass. Clears the
+    /// processed-kernel cache so the change applies to kernels already
+    /// seen.
+    pub fn set_regalloc(&mut self, enabled: bool) {
+        if self.regalloc != enabled {
+            self.regalloc = enabled;
+            self.processed.clear();
+        }
     }
 
     /// Runs the static verifier over `program` (cached by kernel name).
@@ -86,6 +118,55 @@ impl Compiler {
         }
         self.checked.insert(program.name().to_string());
         Ok(())
+    }
+
+    /// Runs the full pipeline over `program`: verification ([`Compiler::check`])
+    /// followed by register allocation, returning the kernel the runtime
+    /// should launch. Results are cached by kernel name, like verdicts.
+    ///
+    /// The rewritten stream is re-linted before being accepted: under
+    /// [`LintLevel::Deny`] an allocator output with error-severity
+    /// findings is rejected, and under any level a rewritten kernel whose
+    /// re-lint reports errors falls back to the (already verified)
+    /// original rather than executing unproven code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::Lint`] when the input fails
+    /// [`Compiler::check`], or when the rewritten stream fails the
+    /// re-lint under [`LintLevel::Deny`].
+    pub fn process(&mut self, program: &Program) -> Result<Program, FrameworkError> {
+        if let Some(done) = self.processed.get(program.name()) {
+            return Ok(done.clone());
+        }
+        self.check(program)?;
+        let out = if self.regalloc {
+            let result = regalloc::allocate(program);
+            if !result.applied {
+                program.clone()
+            } else {
+                let report = sparseweaver_lint::lint(&result.program);
+                if report.is_clean() {
+                    result.program
+                } else if self.level == LintLevel::Deny {
+                    return Err(FrameworkError::Lint {
+                        kernel: program.name().to_string(),
+                        errors: report.error_count(),
+                        details: format!("after register allocation:\n{}", report.to_text()),
+                    });
+                } else {
+                    // Warn/Off: the original stream already passed (or
+                    // skipped) the gate; never launch a rewrite that
+                    // regressed it.
+                    program.clone()
+                }
+            }
+        } else {
+            program.clone()
+        };
+        self.processed
+            .insert(program.name().to_string(), out.clone());
+        Ok(out)
     }
 }
 

@@ -1,0 +1,515 @@
+//! Liveness-based register allocation over the lint dataflow facts.
+//!
+//! The schedule templates allocate architectural registers with the
+//! assembler's LIFO pool, which is simple but leaks pressure two ways:
+//! values freed out of LIFO order strand high register indices, and any
+//! write whose value a later edit made unreadable survives as an SW-L103
+//! dead write. This pass rebuilds the register assignment from the same
+//! dataflow engine the verifier uses ([`DataflowFacts`]):
+//!
+//! 1. **Dead-write elimination** — pure writes (the SW-L103 class) whose
+//!    destination is dead are deleted and branch/split targets remapped,
+//!    iterated to a fixpoint.
+//! 2. **Def-use webs** — every use is merged with all of its reaching
+//!    definitions (union-find); uses reached by the kernel-entry value
+//!    join a per-register entry web (the simulator zero-fills the file,
+//!    so launch-time values survive renaming).
+//! 3. **Live intervals** — each web's interval spans its mentions and,
+//!    crucially, every pc where the architectural register is live with
+//!    one of the web's definitions reaching it. That extension is what
+//!    keeps loop-carried values alive across pcs that never name them.
+//!    Webs of the same architectural register with overlapping intervals
+//!    are merged (always semantics-preserving: they then behave exactly
+//!    like the original register), which also bounds the number of
+//!    simultaneously live webs by the number of distinct source
+//!    registers.
+//! 4. **Linear scan** — webs sorted by interval start take the smallest
+//!    free register `>= x1`. Together with step 3's bound this
+//!    guarantees the rewritten kernel's high-water never exceeds the
+//!    original's.
+//!
+//! The pass refuses to touch anything it cannot prove safe: programs the
+//! CFG builder rejects, registers outside the 64-entry file, and
+//! unreachable instructions (left verbatim) all fall back to the
+//! identity. The compiler pipeline re-lints the rewritten stream, so
+//! even a bug here fails loudly instead of producing silent corruption.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sparseweaver_isa::{Instr, Program, Reg, NUM_REGS, ZERO};
+use sparseweaver_lint::facts::{is_pure_write, reg_bit};
+use sparseweaver_lint::DataflowFacts;
+
+/// Outcome of running the allocator over one kernel.
+#[derive(Debug, Clone)]
+pub struct RegAlloc {
+    /// The (possibly rewritten) kernel.
+    pub program: Program,
+    /// Whether the pass transformed the kernel. `false` means the input
+    /// is returned verbatim (malformed program or nothing to do).
+    pub applied: bool,
+    /// Register high-water of the input kernel.
+    pub pre_high_water: usize,
+    /// Register high-water of the output kernel (`== pre_high_water`
+    /// when not applied; never greater).
+    pub post_high_water: usize,
+    /// Dead pure writes (SW-L103 sites) deleted by the pass.
+    pub dead_writes_removed: usize,
+}
+
+/// Runs dead-write elimination and linear-scan register reassignment
+/// over `program`.
+///
+/// Falls back to the identity (with `applied: false`) when the program
+/// is malformed or mentions registers outside the architectural file —
+/// the caller's lint gate owns rejecting those.
+pub fn allocate(program: &Program) -> RegAlloc {
+    let pre = program.register_high_water();
+    let identity = || RegAlloc {
+        program: program.clone(),
+        applied: false,
+        pre_high_water: pre,
+        post_high_water: pre,
+        dead_writes_removed: 0,
+    };
+    if pre >= NUM_REGS {
+        return identity();
+    }
+    let Some((program, removed)) = try_allocate(program) else {
+        return identity();
+    };
+    let post = program.register_high_water();
+    if post > pre {
+        // The interval model should make this impossible; refuse to ship
+        // a kernel that needs *more* register-file space than its input.
+        return identity();
+    }
+    RegAlloc {
+        program,
+        applied: true,
+        pre_high_water: pre,
+        post_high_water: post,
+        dead_writes_removed: removed,
+    }
+}
+
+fn try_allocate(program: &Program) -> Option<(Program, usize)> {
+    let (program, removed) = eliminate_dead_writes(program)?;
+    let facts = DataflowFacts::compute(&program)?;
+    let program = reassign(&program, &facts)?;
+    Some((program, removed))
+}
+
+/// Deletes reachable pure writes whose destination is dead, remapping
+/// branch/split targets past the removed instructions. Iterates to a
+/// fixpoint: deleting one write can kill the writes feeding it.
+fn eliminate_dead_writes(program: &Program) -> Option<(Program, usize)> {
+    let mut prog = program.clone();
+    let mut removed = 0usize;
+    loop {
+        let facts = DataflowFacts::compute(&prog)?;
+        let keep: Vec<bool> = prog
+            .instrs()
+            .iter()
+            .enumerate()
+            .map(|(pc, i)| {
+                let pc = pc as u32;
+                let dead = facts.is_reachable(pc)
+                    && is_pure_write(i)
+                    && i.dest()
+                        .is_some_and(|d| d != ZERO && facts.live_out(pc) & reg_bit(d) == 0);
+                !dead
+            })
+            .collect();
+        if keep.iter().all(|&k| k) {
+            return Some((prog, removed));
+        }
+        removed += keep.iter().filter(|&&k| !k).count();
+        // kept_before[t] = number of surviving instructions with pc < t;
+        // a target of `len` (one past the end, a legal halt) maps to the
+        // new length.
+        let mut kept_before = vec![0u32; keep.len() + 1];
+        for (pc, &k) in keep.iter().enumerate() {
+            kept_before[pc + 1] = kept_before[pc] + k as u32;
+        }
+        let remap = |t: u32| kept_before[t as usize];
+        let instrs: Vec<Instr> = prog
+            .instrs()
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| match *i {
+                Instr::Br {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => Instr::Br {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: remap(target),
+                },
+                Instr::Jmp { target } => Instr::Jmp {
+                    target: remap(target),
+                },
+                Instr::Split {
+                    rs1,
+                    else_target,
+                    end_target,
+                } => Instr::Split {
+                    rs1,
+                    else_target: remap(else_target),
+                    end_target: remap(end_target),
+                },
+                other => other,
+            })
+            .collect();
+        prog = Program::new(prog.name().to_string(), instrs);
+    }
+}
+
+/// Plain union-find with path halving.
+struct Uf {
+    parent: Vec<usize>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Builds def-use webs and live intervals, then linear-scans them onto
+/// the smallest free registers and rewrites the stream.
+fn reassign(program: &Program, facts: &DataflowFacts) -> Option<Program> {
+    let instrs = program.instrs();
+    let reachable: Vec<u32> = (0..instrs.len() as u32)
+        .filter(|&pc| facts.is_reachable(pc))
+        .collect();
+
+    // Web nodes: 0..NUM_REGS are per-register entry pseudo-definitions
+    // (the launch-time zero-filled value); one node per definition site
+    // follows.
+    let mut def_node: BTreeMap<(u32, u8), usize> = BTreeMap::new();
+    let mut node_reg: Vec<u8> = (0..NUM_REGS as u8).collect();
+    for &pc in &reachable {
+        if let Some(d) = instrs[pc as usize].dest() {
+            if d != ZERO {
+                def_node.insert((pc, d.0), node_reg.len());
+                node_reg.push(d.0);
+            }
+        }
+    }
+    let mut uf = Uf::new(node_reg.len());
+
+    // Each use merges all of its reaching definitions into one web.
+    let mut use_node: BTreeMap<(u32, u8), usize> = BTreeMap::new();
+    for &pc in &reachable {
+        for src in instrs[pc as usize].sources() {
+            if src == ZERO || use_node.contains_key(&(pc, src.0)) {
+                continue;
+            }
+            let (defs, from_entry) = facts.reaching_defs(pc, src);
+            let mut rep = if from_entry || defs.is_empty() {
+                src.0 as usize // the entry pseudo-def node
+            } else {
+                def_node[&(defs[0], src.0)]
+            };
+            for &dpc in &defs {
+                let n = def_node[&(dpc, src.0)];
+                uf.union(rep, n);
+                rep = n;
+            }
+            use_node.insert((pc, src.0), rep);
+        }
+    }
+
+    // Interval atoms: every pc a web must cover. Mentions first, then
+    // every live pc attributed to the web(s) whose definitions reach it
+    // — the extension that keeps loop-carried values covered between
+    // their textual mentions.
+    let mut atoms: Vec<(usize, u32)> = Vec::new();
+    for (&(pc, _), &n) in &def_node {
+        atoms.push((n, pc));
+    }
+    for (&(pc, _), &n) in &use_node {
+        atoms.push((n, pc));
+    }
+    for &pc in &reachable {
+        let live = facts.live_in(pc);
+        for r in 1..NUM_REGS as u8 {
+            if live & reg_bit(Reg(r)) == 0 {
+                continue;
+            }
+            let (defs, from_entry) = facts.reaching_defs(pc, Reg(r));
+            if from_entry || defs.is_empty() {
+                atoms.push((r as usize, pc));
+            }
+            for &dpc in &defs {
+                atoms.push((def_node[&(dpc, r)], pc));
+            }
+        }
+    }
+
+    // Webs of the same architectural register with overlapping intervals
+    // collapse into one (then they behave exactly like the original
+    // register); iterate because merging widens intervals.
+    let intervals = loop {
+        let mut intervals: BTreeMap<usize, (u32, u32)> = BTreeMap::new();
+        for &(n, pc) in &atoms {
+            let root = uf.find(n);
+            let e = intervals.entry(root).or_insert((pc, pc));
+            e.0 = e.0.min(pc);
+            e.1 = e.1.max(pc);
+        }
+        let mut by_reg: BTreeMap<u8, Vec<(u32, u32, usize)>> = BTreeMap::new();
+        for (&root, &(start, end)) in &intervals {
+            by_reg
+                .entry(node_reg[root])
+                .or_default()
+                .push((start, end, root));
+        }
+        let mut merged = false;
+        for webs in by_reg.values_mut() {
+            webs.sort_unstable();
+            for w in webs.windows(2) {
+                if w[1].0 <= w[0].1 {
+                    uf.union(w[0].2, w[1].2);
+                    merged = true;
+                }
+            }
+        }
+        if !merged {
+            break intervals;
+        }
+    };
+
+    // Linear scan: smallest free register wins. Same-register webs are
+    // now interval-disjoint, so at any pc the active webs name distinct
+    // architectural registers — the scan can never need more registers
+    // than the input used, and never runs dry.
+    let mut order: Vec<(u32, u32, usize)> = intervals
+        .iter()
+        .map(|(&root, &(start, end))| (start, end, root))
+        .collect();
+    order.sort_unstable();
+    let mut free = [true; NUM_REGS];
+    free[0] = false; // x0 is hardwired
+    let mut active: Vec<(u32, u8)> = Vec::new();
+    let mut assign: HashMap<usize, u8> = HashMap::new();
+    for (start, end, root) in order {
+        active.retain(|&(aend, phys)| {
+            if aend < start {
+                free[phys as usize] = true;
+                false
+            } else {
+                true
+            }
+        });
+        let phys = (1..NUM_REGS).find(|&i| free[i])? as u8;
+        free[phys as usize] = false;
+        active.push((end, phys));
+        assign.insert(root, phys);
+    }
+
+    // Resolve the per-site maps up front so the rewrite closures only
+    // borrow immutable data.
+    let use_phys: HashMap<(u32, u8), Reg> = use_node
+        .iter()
+        .map(|(&k, &n)| (k, Reg(assign[&uf.find(n)])))
+        .collect();
+    let def_phys: HashMap<(u32, u8), Reg> = def_node
+        .iter()
+        .map(|(&k, &n)| (k, Reg(assign[&uf.find(n)])))
+        .collect();
+
+    let rewritten: Vec<Instr> = instrs
+        .iter()
+        .enumerate()
+        .map(|(pc, i)| {
+            let pc = pc as u32;
+            if !facts.is_reachable(pc) {
+                return *i; // never executes; leave it verbatim
+            }
+            i.map_regs(
+                |s| if s == ZERO { s } else { use_phys[&(pc, s.0)] },
+                |d| if d == ZERO { d } else { def_phys[&(pc, d.0)] },
+            )
+        })
+        .collect();
+    Some(Program::new(program.name().to_string(), rewritten))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{build_gather_kernel, tests::CountOps};
+    use crate::schedule::Schedule;
+    use sparseweaver_isa::Asm;
+    use sparseweaver_sim::GpuConfig;
+
+    #[test]
+    fn dead_writes_are_removed_and_targets_remapped() {
+        let mut a = Asm::new("dce");
+        let x = a.reg(); // x1
+        let d = a.reg(); // x2
+        a.li(x, 1); // 0
+        let end = a.new_label();
+        a.bltu(ZERO, x, end); // 1: always taken, but pc 2 stays reachable
+        a.li(d, 9); // 2: dead pure write
+        a.nop(); // 3
+        a.bind(end);
+        a.tmc(x); // 4
+        a.halt(); // 5
+        let r = allocate(&a.finish());
+        assert!(r.applied);
+        assert_eq!(r.dead_writes_removed, 1);
+        assert_eq!(r.program.len(), 5);
+        let Instr::Br { target, .. } = r.program.instrs()[1] else {
+            panic!("expected branch, got {}", r.program.instrs()[1]);
+        };
+        assert_eq!(target, 3, "target past the removed write shifts down");
+    }
+
+    #[test]
+    fn scattered_registers_are_compacted() {
+        let p = Program::new(
+            "scatter",
+            vec![
+                Instr::LdImm {
+                    rd: Reg(40),
+                    imm: 1,
+                },
+                Instr::Tmc { rs1: Reg(40) },
+                Instr::Halt,
+            ],
+        );
+        let r = allocate(&p);
+        assert!(r.applied);
+        assert_eq!(r.pre_high_water, 40);
+        assert_eq!(r.post_high_water, 1);
+        assert_eq!(r.program.instrs()[0], Instr::LdImm { rd: Reg(1), imm: 1 });
+        assert_eq!(r.program.instrs()[1], Instr::Tmc { rs1: Reg(1) });
+    }
+
+    #[test]
+    fn loop_carried_value_keeps_its_register_across_the_loop() {
+        // `a` is defined before the loop and read at its top; `t` is
+        // defined *after* that read. A naive min-mention/max-mention
+        // interval would let `t` reuse `a`'s register and clobber it for
+        // the next iteration — the liveness extension must prevent that.
+        let mut a = Asm::new("loop_hazard");
+        let va = a.reg(); // x1
+        let vi = a.reg(); // x2
+        let vs = a.reg(); // x3
+        let vt = a.reg(); // x4
+        a.li(va, 7); // 0
+        a.li(vi, 0); // 1
+        let top = a.new_label();
+        a.bind(top);
+        a.mv(vs, va); // 2: read of `a`, every iteration
+        a.li(vt, 3); // 3: fresh value after `a`'s last textual mention
+        a.addi(vi, vi, 1); // 4
+        a.bltu(vi, vt, top); // 5
+        a.tmc(vs); // 6
+        a.halt(); // 7
+        let r = allocate(&a.finish());
+        assert!(r.applied);
+        let read_a = r.program.instrs()[2].sources()[0];
+        let def_t = r.program.instrs()[3].dest().unwrap();
+        assert_ne!(read_a, def_t, "loop-carried `a` must survive `t`'s def");
+        assert!(r.post_high_water <= r.pre_high_water);
+    }
+
+    #[test]
+    fn malformed_programs_fall_back_to_identity() {
+        let mut a = Asm::new("lone_join");
+        a.emit(Instr::Join);
+        a.halt();
+        let p = a.finish();
+        let r = allocate(&p);
+        assert!(!r.applied);
+        assert_eq!(r.program, p);
+    }
+
+    #[test]
+    fn out_of_file_registers_fall_back_to_identity() {
+        let p = Program::new("wild", vec![Instr::Tmc { rs1: Reg(64) }, Instr::Halt]);
+        let r = allocate(&p);
+        assert!(!r.applied);
+        assert_eq!(r.program, p);
+    }
+
+    #[test]
+    fn unreachable_instructions_are_left_verbatim() {
+        let mut a = Asm::new("skip");
+        let x = a.reg(); // x1
+        let end = a.new_label();
+        a.li(x, 5); // 0
+        a.jmp(end); // 1
+        a.tmc(x); // 2: unreachable
+        a.bind(end);
+        a.tmc(x); // 3
+        a.halt(); // 4
+        let r = allocate(&a.finish());
+        assert!(r.applied);
+        assert_eq!(r.program.instrs()[2], Instr::Tmc { rs1: Reg(1) });
+    }
+
+    #[test]
+    fn all_templates_stay_clean_and_never_grow_pressure() {
+        let cfg = GpuConfig::small_test();
+        for s in Schedule::ALL {
+            for weighted in [false, true] {
+                let p = build_gather_kernel("count", &CountOps { weighted }, s, &cfg);
+                let r = allocate(&p);
+                assert!(r.applied, "{s}: templates are well-formed");
+                assert!(
+                    r.post_high_water <= r.pre_high_water,
+                    "{s}: {} > {}",
+                    r.post_high_water,
+                    r.pre_high_water
+                );
+                let report = sparseweaver_lint::lint(&r.program);
+                assert!(
+                    report.is_clean() && report.warning_count() == 0,
+                    "{s} (weighted={weighted}) after regalloc:\n{}",
+                    report.to_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_idempotent_on_pressure() {
+        let cfg = GpuConfig::small_test();
+        let p = build_gather_kernel(
+            "count",
+            &CountOps { weighted: true },
+            Schedule::SparseWeaver,
+            &cfg,
+        );
+        let first = allocate(&p);
+        let second = allocate(&first.program);
+        assert_eq!(second.dead_writes_removed, 0);
+        assert_eq!(second.post_high_water, first.post_high_water);
+    }
+}

@@ -153,14 +153,39 @@ impl<'a> Runtime<'a> {
     }
 
     /// Sets how the static verifier reacts to kernel findings (default:
-    /// [`LintLevel::Deny`]). Resets the verdict cache.
+    /// [`LintLevel::Deny`]). Resets the verdict cache; the register
+    /// allocation setting carries over.
     pub fn set_lint(&mut self, level: LintLevel) {
+        let regalloc = self.compiler.regalloc();
         self.compiler = Compiler::new(level);
+        self.compiler.set_regalloc(regalloc);
     }
 
     /// The active lint enforcement level.
     pub fn lint_level(&self) -> LintLevel {
         self.compiler.level()
+    }
+
+    /// Enables or disables the compiler's register-allocation pass for
+    /// subsequent launches (default: enabled).
+    pub fn set_regalloc(&mut self, enabled: bool) {
+        self.compiler.set_regalloc(enabled);
+    }
+
+    /// Whether the register-allocation pass is enabled.
+    pub fn regalloc(&self) -> bool {
+        self.compiler.regalloc()
+    }
+
+    /// Runs the compiler pipeline over `program` without launching it,
+    /// returning the kernel that [`Runtime::launch`] would execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::Lint`] when the verifier rejects the
+    /// kernel (before or after register allocation).
+    pub fn compile(&mut self, program: &Program) -> Result<Program, FrameworkError> {
+        self.compiler.process(program)
     }
 
     /// Allocates `bytes` of device memory (64-byte aligned).
@@ -284,7 +309,10 @@ impl<'a> Runtime<'a> {
     /// at [`args::ALGO0`]), recording stats under the program's name.
     ///
     /// Before the first launch of each kernel name, the program passes
-    /// through the static verifier according to [`Runtime::lint_level`].
+    /// through the compiler pipeline: the static verifier according to
+    /// [`Runtime::lint_level`], then (when enabled) register allocation
+    /// with a re-lint of the rewritten stream. The rewritten kernel is
+    /// what actually executes.
     ///
     /// # Errors
     ///
@@ -295,10 +323,10 @@ impl<'a> Runtime<'a> {
         program: &Program,
         extra: &[u64],
     ) -> Result<KernelStats, FrameworkError> {
-        self.compiler.check(program)?;
+        let program = self.compiler.process(program)?;
         let mut argv = self.common_args();
         argv.extend_from_slice(extra);
-        let stats = self.gpu.launch(program, &argv)?;
+        let stats = self.gpu.launch(&program, &argv)?;
         self.total.accumulate(&stats);
         if let Some((_, agg)) = self
             .per_kernel

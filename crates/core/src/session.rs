@@ -4,10 +4,11 @@ use std::path::PathBuf;
 
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_lint::LintLevel;
-use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, WeaverMode};
+use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, Occupancy, WeaverMode};
 use sparseweaver_trace::{FileSink, TraceConfig, TraceHandle, TraceReport};
 
 use crate::algorithms::Algorithm;
+use crate::compiler::Compiler;
 use crate::output::AlgoOutput;
 use crate::runtime::Runtime;
 use crate::schedule::Schedule;
@@ -30,8 +31,16 @@ pub struct RunReport {
     pub output: AlgoOutput,
     /// Structured trace + metrics, when [`Session::trace`] was set.
     pub trace: Option<TraceReport>,
+    /// The first I/O error hit while streaming the trace to
+    /// [`Session::trace_out`], if any: the file on disk is missing
+    /// events and must not be presented as a complete timeline.
+    pub sink_error: Option<std::io::ErrorKind>,
     /// The lint enforcement level that vetted this run's kernels.
     pub lint: LintLevel,
+    /// Register-file occupancy of the machine that ran this report
+    /// (`resident < configured` means the register file capped
+    /// parallelism).
+    pub occupancy: Occupancy,
 }
 
 impl RunReport {
@@ -77,6 +86,10 @@ pub struct Session {
     /// How the static verifier treats kernel findings before each launch
     /// (default: [`LintLevel::Deny`]).
     pub lint: LintLevel,
+    /// Whether kernels pass through liveness-based register allocation
+    /// before launch (default on). Turning it off runs template output
+    /// verbatim — useful for A/B-ing the pass.
+    pub regalloc: bool,
 }
 
 impl Session {
@@ -89,6 +102,7 @@ impl Session {
             trace: None,
             trace_out: None,
             lint: LintLevel::default(),
+            regalloc: true,
         }
     }
 
@@ -132,7 +146,56 @@ impl Session {
         let gpu = Gpu::new(self.config_for(schedule));
         let mut rt = Runtime::new(gpu, graph, direction, schedule)?;
         rt.set_lint(self.lint);
+        rt.set_regalloc(self.regalloc);
         Ok(rt)
+    }
+
+    /// The effective configuration for running `algorithm` under
+    /// `schedule`, with `warps_per_core` pre-clamped to the register-file
+    /// occupancy cap of the algorithm's hungriest (post-allocation)
+    /// kernel. Returns the clamped config and the originally configured
+    /// warp count.
+    ///
+    /// The clamp happens *before* the machine is built because the
+    /// schedule templates bake thread geometry into kernels at code
+    /// generation (shared-memory layouts, scan widths): compile geometry,
+    /// physical warps, and the geometry CSRs must all describe the same
+    /// machine. Warp counts stay a power of two (the `S_cm` core-wide
+    /// scan requires it), and kernel generation re-runs after each shrink
+    /// until the cap stops binding.
+    fn clamped_config(
+        &self,
+        algorithm: &dyn Algorithm,
+        schedule: Schedule,
+    ) -> Result<(GpuConfig, usize), FrameworkError> {
+        let mut eff = self.config_for(schedule);
+        let configured = eff.warps_per_core;
+        loop {
+            let kernels = algorithm.kernels(schedule, &eff);
+            if kernels.is_empty() {
+                // Custom-runtime algorithm: nothing to pre-compile, the
+                // launch-time cap inside the GPU still applies.
+                break;
+            }
+            // Fresh compiler per iteration: kernels regenerate under the
+            // shrunken geometry and must not hit a stale per-name cache.
+            let mut compiler = Compiler::new(self.lint);
+            compiler.set_regalloc(self.regalloc);
+            let mut max_hw = 0;
+            for k in &kernels {
+                max_hw = max_hw.max(compiler.process(k)?.register_high_water());
+            }
+            let cap = eff.occupancy_cap(max_hw);
+            if cap >= eff.warps_per_core {
+                break;
+            }
+            let shrunk = prev_power_of_two(cap);
+            if shrunk == eff.warps_per_core {
+                break;
+            }
+            eff.warps_per_core = shrunk;
+        }
+        Ok((eff, configured))
     }
 
     /// Runs `algorithm` on `graph` under `schedule`.
@@ -146,7 +209,12 @@ impl Session {
         algorithm: &dyn Algorithm,
         schedule: Schedule,
     ) -> Result<RunReport, FrameworkError> {
-        let mut rt = self.runtime(graph, algorithm.direction(), schedule)?;
+        let (eff, configured) = self.clamped_config(algorithm, schedule)?;
+        let mut gpu = Gpu::new(eff);
+        gpu.set_configured_warps_per_core(configured);
+        let mut rt = Runtime::new(gpu, graph, algorithm.direction(), schedule)?;
+        rt.set_lint(self.lint);
+        rt.set_regalloc(self.regalloc);
         let tracer = match &self.trace_out {
             Some(path) => {
                 let cfg = self.trace.unwrap_or_default();
@@ -159,7 +227,10 @@ impl Session {
         };
         rt.set_tracer(tracer.clone());
         let output = algorithm.run(&mut rt)?;
+        let occupancy = rt.gpu().occupancy();
         let (stats, per_kernel) = rt.into_stats();
+        let trace = tracer.map(|t| t.report());
+        let sink_error = trace.as_ref().and_then(|t| t.sink_error);
         Ok(RunReport {
             schedule,
             algorithm: algorithm.name().to_string(),
@@ -167,10 +238,21 @@ impl Session {
             stats,
             per_kernel,
             output,
-            trace: tracer.map(|t| t.report()),
+            trace,
+            sink_error,
             lint: self.lint,
+            occupancy,
         })
     }
+}
+
+/// Largest power of two `<= n` (1 for `n == 0`).
+fn prev_power_of_two(n: usize) -> usize {
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
 }
 
 #[cfg(test)]
@@ -211,6 +293,48 @@ mod tests {
         assert_eq!(r.algorithm, "pagerank");
         assert_eq!(r.output.len(), 40);
         assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn regalloc_toggle_does_not_change_results() {
+        let g = sparseweaver_graph::generators::powerlaw(48, 240, 1.8, 3);
+        for schedule in [Schedule::Svm, Schedule::SparseWeaver, Schedule::Scm] {
+            let mut on = Session::new(GpuConfig::small_test());
+            let mut off = Session::new(GpuConfig::small_test());
+            off.regalloc = false;
+            let r_on = on.run(&g, &PageRank::new(2), schedule).unwrap();
+            let r_off = off.run(&g, &PageRank::new(2), schedule).unwrap();
+            assert!(
+                r_on.output.approx_eq(&r_off.output, 1e-12),
+                "allocation changed {schedule:?} results"
+            );
+        }
+    }
+
+    #[test]
+    fn register_file_cap_clamps_the_machine() {
+        let g = sparseweaver_graph::generators::uniform(40, 160, 5);
+        let mut s = Session::new(GpuConfig::regfile_limited());
+        let r = s.run(&g, &PageRank::new(2), Schedule::Svm).unwrap();
+        let occ = r.occupancy;
+        assert!(occ.kernel_high_water > 8, "hw {}", occ.kernel_high_water);
+        assert!(
+            occ.resident < occ.configured,
+            "expected a binding cap: {occ:?}"
+        );
+        assert_eq!(occ.configured, 4);
+        // The clamped machine still computes the right answer.
+        assert!(r.output.approx_eq(&PageRank::new(2).reference(&g), 1e-9));
+    }
+
+    #[test]
+    fn uncapped_machine_reports_full_occupancy() {
+        let g = sparseweaver_graph::generators::uniform(40, 160, 5);
+        let mut s = Session::new(GpuConfig::small_test());
+        let r = s.run(&g, &PageRank::new(2), Schedule::Svm).unwrap();
+        assert_eq!(r.occupancy.resident, 4);
+        assert_eq!(r.occupancy.configured, 4);
+        assert!(r.sink_error.is_none());
     }
 
     #[test]

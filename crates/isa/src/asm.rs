@@ -54,6 +54,11 @@ pub struct Asm {
     fixups: Vec<(usize, Fixup)>,
     labels: Vec<Option<u32>>,
     free: Vec<u8>,
+    /// Bit `r` set while `xr` is checked out of the pool. The live count
+    /// is `allocated.count_ones()`, so high-water stays exact even if the
+    /// free list were ever corrupted; it also makes the double-free check
+    /// O(1) and catches frees of registers `reg()` never handed out.
+    allocated: u64,
     high_water: usize,
 }
 
@@ -68,6 +73,7 @@ impl Asm {
             fixups: Vec::new(),
             labels: Vec::new(),
             free,
+            allocated: 0,
             high_water: 0,
         }
     }
@@ -87,24 +93,37 @@ impl Asm {
             .free
             .pop()
             .unwrap_or_else(|| panic!("kernel `{}` ran out of registers", self.name));
-        self.high_water = self.high_water.max((NUM_REGS - 1) - self.free.len());
+        self.allocated |= 1 << r;
+        self.high_water = self.high_water.max(self.allocated.count_ones() as usize);
         Reg(r)
     }
 
-    /// Returns a register to the pool.
+    /// Returns a register to the pool. Freed registers are handed back
+    /// out LIFO, so the most recently released register is reused first.
     ///
     /// # Panics
     ///
-    /// Panics on double-free or on freeing `x0`.
+    /// Panics on double-free, on freeing a register `reg()` never
+    /// allocated (including out-of-range indices), or on freeing `x0`.
     pub fn free(&mut self, r: Reg) {
         assert!(r != ZERO, "cannot free x0");
-        assert!(!self.free.contains(&r.0), "double free of {r}");
+        assert!(
+            (r.0 as usize) < NUM_REGS,
+            "cannot free {r}: not an architectural register"
+        );
+        assert!(self.allocated & (1 << r.0) != 0, "double free of {r}");
+        self.allocated &= !(1 << r.0);
         self.free.push(r.0);
     }
 
     /// Maximum number of registers ever live at once.
     pub fn register_high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Number of registers currently checked out.
+    pub fn live_registers(&self) -> usize {
+        self.allocated.count_ones() as usize
     }
 
     /// Current instruction position.
@@ -675,6 +694,52 @@ mod tests {
         }
         assert_eq!(p.get(2), Some(&Instr::Join));
         assert_eq!(p.get(4), Some(&Instr::Join));
+    }
+
+    /// Interleaved alloc/free must track the exact live-set peak: the
+    /// high-water is the maximum simultaneously-live count, not the
+    /// number of distinct registers ever touched, and free-then-realloc
+    /// churn must neither inflate nor undercount it.
+    #[test]
+    fn high_water_exact_across_interleaved_alloc_free() {
+        let mut a = Asm::new("interleave");
+        let r1 = a.reg(); // live: 1, peak 1
+        let r2 = a.reg(); // live: 2, peak 2
+        assert_eq!(a.register_high_water(), 2);
+        a.free(r1); // live: 1
+        let r3 = a.reg(); // live: 2 (reuses x1), peak still 2
+        assert_eq!(r3, Reg(1), "LIFO reuse of the freed register");
+        assert_eq!(a.register_high_water(), 2);
+        let r4 = a.reg(); // live: 3, peak 3
+        assert_eq!(a.register_high_water(), 3);
+        a.free(r2);
+        a.free(r3);
+        a.free(r4); // live: 0
+        assert_eq!(a.live_registers(), 0);
+        // Re-allocate up to (but not past) the old peak: unchanged.
+        let _r5 = a.reg();
+        let _r6 = a.reg();
+        let _r7 = a.reg();
+        assert_eq!(a.register_high_water(), 3);
+        // One past the old peak bumps it.
+        let _r8 = a.reg();
+        assert_eq!(a.register_high_water(), 4);
+        assert_eq!(a.live_registers(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an architectural register")]
+    fn out_of_range_free_panics() {
+        let mut a = Asm::new("regs");
+        a.free(Reg(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn freeing_a_never_allocated_register_panics() {
+        let mut a = Asm::new("regs");
+        let _ = a.reg(); // x1 is live; x50 never handed out
+        a.free(Reg(50));
     }
 
     #[test]

@@ -629,6 +629,136 @@ impl Instr {
                 | Instr::WeaverSkip { .. }
         )
     }
+
+    /// Rewrites the instruction's register operands: every source through
+    /// `f_src`, the destination (if any) through `f_dst`.
+    ///
+    /// The closures are separate because a register-allocation pass may
+    /// place the value *read* at this pc and the value *written* at this
+    /// pc in different physical registers even when the instruction names
+    /// the same architectural register for both (e.g. `add x1, x1, x2`
+    /// starting a fresh live range for the destination).
+    pub fn map_regs(
+        &self,
+        mut f_src: impl FnMut(Reg) -> Reg,
+        mut f_dst: impl FnMut(Reg) -> Reg,
+    ) -> Instr {
+        match *self {
+            Instr::Nop | Instr::Halt | Instr::Bar | Instr::Phase(_) | Instr::Join => *self,
+            Instr::Jmp { target } => Instr::Jmp { target },
+            Instr::LdImm { rd, imm } => Instr::LdImm { rd: f_dst(rd), imm },
+            Instr::Alu { op, rd, rs1, rs2 } => Instr::Alu {
+                op,
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+                rs2: f_src(rs2),
+            },
+            Instr::AluI { op, rd, rs1, imm } => Instr::AluI {
+                op,
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+                imm,
+            },
+            Instr::Fpu { op, rd, rs1, rs2 } => Instr::Fpu {
+                op,
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+                rs2: f_src(rs2),
+            },
+            Instr::FCmp { op, rd, rs1, rs2 } => Instr::FCmp {
+                op,
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+                rs2: f_src(rs2),
+            },
+            Instr::CvtIF { rd, rs1 } => Instr::CvtIF {
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+            },
+            Instr::CvtFI { rd, rs1 } => Instr::CvtFI {
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+            },
+            Instr::Csr { rd, kind } => Instr::Csr {
+                rd: f_dst(rd),
+                kind,
+            },
+            Instr::LdArg { rd, idx } => Instr::LdArg { rd: f_dst(rd), idx },
+            Instr::Ld {
+                rd,
+                addr,
+                offset,
+                width,
+                space,
+            } => Instr::Ld {
+                rd: f_dst(rd),
+                addr: f_src(addr),
+                offset,
+                width,
+                space,
+            },
+            Instr::St {
+                src,
+                addr,
+                offset,
+                width,
+                space,
+            } => Instr::St {
+                src: f_src(src),
+                addr: f_src(addr),
+                offset,
+                width,
+                space,
+            },
+            Instr::Atom {
+                op,
+                rd,
+                addr,
+                src,
+                space,
+            } => Instr::Atom {
+                op,
+                rd: f_dst(rd),
+                addr: f_src(addr),
+                src: f_src(src),
+                space,
+            },
+            Instr::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Instr::Br {
+                cond,
+                rs1: f_src(rs1),
+                rs2: f_src(rs2),
+                target,
+            },
+            Instr::Split {
+                rs1,
+                else_target,
+                end_target,
+            } => Instr::Split {
+                rs1: f_src(rs1),
+                else_target,
+                end_target,
+            },
+            Instr::Vote { op, rd, rs1 } => Instr::Vote {
+                op,
+                rd: f_dst(rd),
+                rs1: f_src(rs1),
+            },
+            Instr::Tmc { rs1 } => Instr::Tmc { rs1: f_src(rs1) },
+            Instr::WeaverReg { vid, loc, deg } => Instr::WeaverReg {
+                vid: f_src(vid),
+                loc: f_src(loc),
+                deg: f_src(deg),
+            },
+            Instr::WeaverDecId { rd } => Instr::WeaverDecId { rd: f_dst(rd) },
+            Instr::WeaverDecLoc { rd } => Instr::WeaverDecLoc { rd: f_dst(rd) },
+            Instr::WeaverSkip { vid } => Instr::WeaverSkip { vid: f_src(vid) },
+        }
+    }
 }
 
 impl fmt::Display for Instr {

@@ -80,6 +80,24 @@ impl Program {
     pub fn weaver_instr_count(&self) -> usize {
         self.instrs.iter().filter(|i| i.is_weaver()).count()
     }
+
+    /// The highest architectural register index the program mentions
+    /// (sources or destinations), i.e. the number of register-file slots
+    /// above `x0` the kernel needs. `x0` is hardwired and does not count;
+    /// a program touching only `x0` reports 0.
+    ///
+    /// This is the *static* footprint the register-file occupancy model
+    /// divides into `regs_per_core` — unlike [`crate::Asm`]'s dynamic
+    /// high-water, it is defined for any program, including streams
+    /// rewritten after assembly (e.g. by the register allocator).
+    pub fn register_high_water(&self) -> usize {
+        self.instrs
+            .iter()
+            .flat_map(|i| i.sources().into_iter().chain(i.dest()))
+            .map(|r| r.0 as usize)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 impl fmt::Display for Program {
@@ -116,6 +134,27 @@ mod tests {
     #[should_panic(expected = "beyond program length")]
     fn out_of_range_target_panics() {
         let _ = Program::new("t", vec![Instr::Jmp { target: 5 }]);
+    }
+
+    #[test]
+    fn register_high_water_spans_sources_and_dests() {
+        let p = Program::new(
+            "hw",
+            vec![
+                Instr::LdImm { rd: Reg(3), imm: 1 },
+                Instr::St {
+                    src: Reg(3),
+                    addr: Reg(7),
+                    offset: 0,
+                    width: crate::instr::Width::B8,
+                    space: crate::instr::Space::Global,
+                },
+                Instr::Halt,
+            ],
+        );
+        assert_eq!(p.register_high_water(), 7);
+        let zero_only = Program::new("z", vec![Instr::Tmc { rs1: Reg(0) }, Instr::Halt]);
+        assert_eq!(zero_only.register_high_water(), 0);
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl BasicBlock {
 }
 
 /// The reachable control-flow graph plus structural diagnostics.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Cfg {
     /// Reachable basic blocks, ordered by start pc (entry first).
     pub blocks: Vec<BasicBlock>,

@@ -17,7 +17,7 @@ fn bit(r: Reg) -> u64 {
 /// are eligible for the dead-write lint: discarding the result of a load,
 /// CSR read, atomic, vote, or Weaver decode is idiomatic (the side effect
 /// or the broadcast is the point).
-fn is_pure(i: &Instr) -> bool {
+pub(crate) fn is_pure(i: &Instr) -> bool {
     matches!(
         i,
         Instr::LdImm { .. }
@@ -212,7 +212,7 @@ pub(crate) fn check(p: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
 /// The definition sites of `reg` that reach `pc`, found by a backward walk
 /// over the block graph. Also reports whether the walk reached the kernel
 /// entry without seeing a definition (i.e. the launch-time value reaches).
-fn reaching_defs(p: &Program, cfg: &Cfg, pc: u32, reg: Reg) -> (Vec<u32>, bool) {
+pub(crate) fn reaching_defs(p: &Program, cfg: &Cfg, pc: u32, reg: Reg) -> (Vec<u32>, bool) {
     let instr = |pc: u32| p.get(pc).expect("reachable pc in range");
     let find_in = |lo: u32, hi: u32| -> Option<u32> {
         (lo..hi).rev().find(|&q| instr(q).dest() == Some(reg))

@@ -1,0 +1,234 @@
+//! Exported per-pc dataflow facts.
+//!
+//! The lint analyses (CFG construction, definedness, liveness, reaching
+//! definitions) are useful beyond diagnostics: the core compiler's
+//! register allocator builds live ranges over exactly these results, so
+//! the pass and the verifier that proves it safe share one dataflow
+//! engine. [`DataflowFacts::compute`] exposes the facts behind a stable
+//! API without making the internal CFG representation public.
+
+use std::collections::BTreeMap;
+
+use sparseweaver_isa::{Instr, Program, Reg, ZERO};
+
+use crate::cfg::Cfg;
+use crate::{dataflow, Severity};
+
+/// Returns the register's bit in a `u64` register-set bitset (bit *n* =
+/// `xN`), the same encoding all facts below use.
+pub fn reg_bit(r: Reg) -> u64 {
+    1u64 << (r.0 & 63)
+}
+
+/// Whether the instruction's only effect is writing its destination
+/// register — the class of writes the SW-L103 dead-write lint covers and
+/// the only class a dead-code-elimination pass may remove. Loads, CSR
+/// reads, atomics, votes, and Weaver decodes are excluded: their side
+/// effects (or the broadcast) are the point even when the result is
+/// discarded.
+pub fn is_pure_write(i: &Instr) -> bool {
+    dataflow::is_pure(i)
+}
+
+/// Per-pc liveness and reaching-definition facts for one program.
+///
+/// Only *reachable* pcs carry facts; unreachable instructions (SW-L104)
+/// report everything-live so conservative consumers leave them alone.
+#[derive(Debug, Clone)]
+pub struct DataflowFacts {
+    program: Program,
+    cfg: Cfg,
+    live_in: BTreeMap<u32, u64>,
+    live_out: BTreeMap<u32, u64>,
+}
+
+impl DataflowFacts {
+    /// Computes the facts for `program`.
+    ///
+    /// Returns `None` when the CFG construction itself reports
+    /// error-severity findings (unbalanced divergence stacks and the
+    /// like): a program the verifier rejects has no well-defined
+    /// dataflow, so consumers must not transform it.
+    pub fn compute(program: &Program) -> Option<DataflowFacts> {
+        let cfg = Cfg::build(program);
+        if cfg
+            .diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+        {
+            return None;
+        }
+        let n = cfg.blocks.len();
+        let instr = |pc: u32| program.get(pc).expect("reachable pc in range");
+
+        // Block-level backward liveness fixpoint (same formulation as the
+        // SW-L103 lint: li = uses | (live_out & !defs)).
+        let mut defs = vec![0u64; n];
+        let mut uses = vec![0u64; n];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut defined = 0u64;
+            for pc in block.pcs() {
+                let i = instr(pc);
+                for src in i.sources() {
+                    if defined & reg_bit(src) == 0 {
+                        uses[b] |= reg_bit(src);
+                    }
+                }
+                if let Some(d) = i.dest() {
+                    defined |= reg_bit(d);
+                }
+            }
+            defs[b] = defined;
+        }
+        let mut block_live_in = vec![0u64; n];
+        loop {
+            let mut changed = false;
+            for b in (0..n).rev() {
+                let live_out = cfg.blocks[b]
+                    .succs
+                    .iter()
+                    .fold(0u64, |acc, &s| acc | block_live_in[s]);
+                let li = uses[b] | (live_out & !defs[b]);
+                if li != block_live_in[b] {
+                    block_live_in[b] = li;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Per-pc refinement: walk each block backward from its live-out.
+        let mut live_in = BTreeMap::new();
+        let mut live_out = BTreeMap::new();
+        for block in &cfg.blocks {
+            let mut live = block
+                .succs
+                .iter()
+                .fold(0u64, |acc, &s| acc | block_live_in[s]);
+            for pc in block.pcs().rev() {
+                let i = instr(pc);
+                live_out.insert(pc, live);
+                if let Some(d) = i.dest() {
+                    if d != ZERO {
+                        live &= !reg_bit(d);
+                    }
+                }
+                for src in i.sources() {
+                    live |= reg_bit(src);
+                }
+                live_in.insert(pc, live);
+            }
+        }
+
+        Some(DataflowFacts {
+            program: program.clone(),
+            cfg,
+            live_in,
+            live_out,
+        })
+    }
+
+    /// Whether any execution path reaches `pc`.
+    pub fn is_reachable(&self, pc: u32) -> bool {
+        self.live_in.contains_key(&pc)
+    }
+
+    /// Registers live *into* `pc` as a bitset. Unreachable pcs report
+    /// everything-live.
+    pub fn live_in(&self, pc: u32) -> u64 {
+        self.live_in.get(&pc).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Registers live *out of* `pc` as a bitset (i.e. whose values some
+    /// successor path may still read). Unreachable pcs report
+    /// everything-live.
+    pub fn live_out(&self, pc: u32) -> u64 {
+        self.live_out.get(&pc).copied().unwrap_or(u64::MAX)
+    }
+
+    /// The definition sites of `reg` that reach the *use* at `pc`, plus
+    /// whether the kernel-entry (launch-time) value also reaches it.
+    ///
+    /// Unreachable pcs report no definitions with the entry value
+    /// reaching, the conservative answer.
+    pub fn reaching_defs(&self, pc: u32, reg: Reg) -> (Vec<u32>, bool) {
+        if !self.cfg.block_of.contains_key(&pc) {
+            return (Vec::new(), true);
+        }
+        dataflow::reaching_defs(&self.program, &self.cfg, pc, reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseweaver_isa::Asm;
+
+    #[test]
+    fn straight_line_liveness_is_exact() {
+        let mut a = Asm::new("line");
+        let x = a.reg(); // x1
+        let y = a.reg(); // x2
+        a.li(x, 5); // pc 0
+        a.addi(y, x, 1); // pc 1
+        a.tmc(y); // pc 2: keeps y live into 2
+        a.halt(); // pc 3
+        let f = DataflowFacts::compute(&a.finish()).expect("well-formed");
+        assert_eq!(f.live_in(0), 0);
+        assert_eq!(f.live_out(0), reg_bit(Reg(1)));
+        assert_eq!(f.live_in(1), reg_bit(Reg(1)));
+        assert_eq!(f.live_out(1), reg_bit(Reg(2)));
+        assert_eq!(f.live_in(2), reg_bit(Reg(2)));
+        assert_eq!(f.live_out(2), 0);
+        let (defs, entry) = f.reaching_defs(1, Reg(1));
+        assert_eq!(defs, vec![0]);
+        assert!(!entry);
+    }
+
+    #[test]
+    fn loop_carries_liveness_around_the_back_edge() {
+        let mut a = Asm::new("loop");
+        let i = a.reg(); // x1
+        let n = a.reg(); // x2
+        a.li(i, 0); // pc 0
+        a.li(n, 8); // pc 1
+        let top = a.new_label();
+        a.bind(top);
+        a.addi(i, i, 1); // pc 2
+        a.bltu(i, n, top); // pc 3
+        a.halt(); // pc 4
+        let f = DataflowFacts::compute(&a.finish()).expect("well-formed");
+        // `i` and `n` are live around the whole loop body.
+        assert_ne!(f.live_in(2) & reg_bit(Reg(1)), 0);
+        assert_ne!(f.live_in(2) & reg_bit(Reg(2)), 0);
+        assert_ne!(f.live_out(3) & reg_bit(Reg(1)), 0, "live on the back edge");
+        // The use of `i` at pc 2 is reached by both its init and itself.
+        let (mut defs, entry) = f.reaching_defs(2, Reg(1));
+        defs.sort_unstable();
+        assert_eq!(defs, vec![0, 2]);
+        assert!(!entry);
+    }
+
+    #[test]
+    fn malformed_programs_yield_no_facts() {
+        let mut a = Asm::new("lone_join");
+        a.emit(sparseweaver_isa::Instr::Join);
+        a.halt();
+        assert!(DataflowFacts::compute(&a.finish()).is_none());
+    }
+
+    #[test]
+    fn unreachable_pcs_are_conservatively_everything_live() {
+        let mut a = Asm::new("skip");
+        let end = a.new_label();
+        a.jmp(end);
+        a.nop(); // unreachable
+        a.bind(end);
+        a.halt();
+        let f = DataflowFacts::compute(&a.finish()).expect("warnings only");
+        assert!(!f.is_reachable(1));
+        assert_eq!(f.live_in(1), u64::MAX);
+    }
+}

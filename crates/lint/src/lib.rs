@@ -41,8 +41,11 @@
 
 mod cfg;
 mod dataflow;
+pub mod facts;
 pub mod fixtures;
 mod weaver;
+
+pub use facts::DataflowFacts;
 
 use std::fmt;
 

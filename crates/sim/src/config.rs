@@ -38,6 +38,15 @@ pub struct GpuConfig {
     pub alu_latency: u64,
     /// FPU result latency.
     pub fpu_latency: u64,
+    /// Architectural registers each resident warp needs slots for, at
+    /// most [`sparseweaver_isa::NUM_REGS`]. A kernel whose register
+    /// high-water exceeds this cannot run.
+    pub regfile_regs_per_warp: usize,
+    /// Physical register-file capacity per core, in registers. Divided
+    /// by a kernel's register demand it yields the occupancy cap — how
+    /// many warps can actually be resident (see
+    /// [`GpuConfig::occupancy_cap`]).
+    pub regs_per_core: usize,
     /// Safety limit per kernel launch.
     pub max_cycles: u64,
 }
@@ -58,6 +67,8 @@ impl GpuConfig {
             shared_latency: 2,
             alu_latency: 1,
             fpu_latency: 3,
+            regfile_regs_per_warp: sparseweaver_isa::NUM_REGS,
+            regs_per_core: sparseweaver_isa::NUM_REGS * 32,
             max_cycles: u64::MAX,
         }
     }
@@ -107,8 +118,22 @@ impl GpuConfig {
             shared_latency: 2,
             alu_latency: 1,
             fpu_latency: 3,
+            regfile_regs_per_warp: sparseweaver_isa::NUM_REGS,
+            regs_per_core: sparseweaver_isa::NUM_REGS * 4,
             max_cycles: 200_000_000,
         }
+    }
+
+    /// A register-file-limited variant of [`GpuConfig::small_test`]: the
+    /// same 2-core / 4-warp / 4-lane machine with a register file sized so
+    /// that typical kernels (register high-water well above 8) cannot keep
+    /// all four warps resident. Used to exercise and demonstrate the
+    /// occupancy cap.
+    pub fn regfile_limited() -> Self {
+        let mut cfg = Self::small_test();
+        cfg.regfile_regs_per_warp = 32;
+        cfg.regs_per_core = 32;
+        cfg
     }
 
     /// An Ampere-A30-like stand-in for the Fig. 3/4 comparison: more
@@ -146,6 +171,21 @@ impl GpuConfig {
         self.warps_per_core * self.threads_per_warp
     }
 
+    /// How many warps per core the register file can keep resident for a
+    /// kernel with the given register high-water.
+    ///
+    /// The file holds [`GpuConfig::regs_per_core`] registers; each
+    /// resident warp claims one slot per architectural register the
+    /// kernel touches (at least 1, at most
+    /// [`GpuConfig::regfile_regs_per_warp`]). The cap is clamped to
+    /// `1..=warps_per_core`: at least one warp always runs (a kernel
+    /// whose demand exceeds the whole file is rejected at launch), and
+    /// the scheduler cannot host more warps than exist.
+    pub fn occupancy_cap(&self, high_water: usize) -> usize {
+        let demand = high_water.clamp(1, self.regfile_regs_per_warp);
+        (self.regs_per_core / demand).clamp(1, self.warps_per_core)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -164,6 +204,15 @@ impl GpuConfig {
         );
         assert!(self.weaver.st_capacity > 0);
         assert!(self.num_cores > 0 && self.warps_per_core > 0);
+        assert!(
+            (1..=sparseweaver_isa::NUM_REGS).contains(&self.regfile_regs_per_warp),
+            "regfile_regs_per_warp must be in 1..={}",
+            sparseweaver_isa::NUM_REGS
+        );
+        assert!(
+            self.regs_per_core >= self.regfile_regs_per_warp,
+            "register file must hold at least one full warp"
+        );
     }
 }
 
@@ -178,6 +227,46 @@ mod tests {
         GpuConfig::small_test().validate();
         GpuConfig::ampere_like().validate();
         GpuConfig::ada_like().validate();
+        GpuConfig::regfile_limited().validate();
+    }
+
+    #[test]
+    fn default_register_files_never_cap_occupancy() {
+        for cfg in [
+            GpuConfig::vortex_default(),
+            GpuConfig::evaluation_default(),
+            GpuConfig::small_test(),
+        ] {
+            // Even a kernel touching every architectural register keeps
+            // the machine fully occupied under the default sizing.
+            assert_eq!(
+                cfg.occupancy_cap(sparseweaver_isa::NUM_REGS),
+                cfg.warps_per_core
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_cap_scales_with_register_demand() {
+        let cfg = GpuConfig::regfile_limited();
+        assert_eq!(cfg.warps_per_core, 4);
+        assert_eq!(cfg.occupancy_cap(0), 4, "zero demand counts as one slot");
+        assert_eq!(cfg.occupancy_cap(8), 4);
+        assert_eq!(cfg.occupancy_cap(12), 2);
+        assert_eq!(cfg.occupancy_cap(16), 2);
+        assert_eq!(cfg.occupancy_cap(17), 1);
+        assert_eq!(cfg.occupancy_cap(32), 1);
+        // Demand beyond the per-warp limit clamps rather than dividing
+        // to zero; the launch-time check rejects such kernels.
+        assert_eq!(cfg.occupancy_cap(64), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one full warp")]
+    fn register_file_smaller_than_a_warp_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.regs_per_core = 16; // < regfile_regs_per_warp (64)
+        cfg.validate();
     }
 
     #[test]

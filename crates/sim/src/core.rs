@@ -83,6 +83,9 @@ pub struct Core {
     eghw_dt: Vec<Vec<i64>>,
     next_warp: usize,
     resident: usize,
+    /// Warps participating in the current launch (the rest are parked by
+    /// the register-file occupancy cap and stay halted throughout).
+    active_warps: usize,
     /// Counters for the current launch.
     pub stats: CoreStats,
     trace: Option<(Vec<TraceRecord>, usize)>,
@@ -109,6 +112,7 @@ impl Core {
             eghw_dt: vec![vec![EMPTY_WORK_ID; cfg.threads_per_warp]; cfg.warps_per_core],
             next_warp: 0,
             resident: cfg.warps_per_core,
+            active_warps: cfg.warps_per_core,
             stats: CoreStats::default(),
             trace: None,
             tracer: None,
@@ -185,15 +189,32 @@ impl Core {
         self.trace.take().map(|(v, _)| v).unwrap_or_default()
     }
 
+    /// Warps taking part in the current launch. Below the physical warp
+    /// count when the register-file occupancy cap parked the rest.
+    pub fn active_warps(&self) -> usize {
+        self.active_warps
+    }
+
     /// Resets warps and counters for a new launch (units keep their
     /// configuration; tables are cleared).
-    pub fn reset_for_launch(&mut self) {
+    ///
+    /// Only the first `resident` warps participate; the remainder are
+    /// parked as halted for the whole launch — the register file cannot
+    /// hold their contexts. Parked warps count as arrived at barriers
+    /// (like any halted warp) and are excluded from the thread-geometry
+    /// CSRs, so kernels see a machine with `resident` warps per core.
+    pub fn reset_for_launch(&mut self, resident: usize) {
+        let resident = resident.clamp(1, self.warps.len());
         for w in &mut self.warps {
             w.reset();
         }
+        for w in &mut self.warps[resident..] {
+            w.state = WarpState::Halted;
+        }
         self.shared.reset_traffic();
         self.next_warp = 0;
-        self.resident = self.warps.len();
+        self.resident = resident;
+        self.active_warps = resident;
         self.stats = CoreStats::default();
         self.weaver.reset();
         self.eghw.reset();
@@ -466,7 +487,10 @@ impl Core {
                 warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
             }
             Instr::Csr { rd, kind } => {
-                let wpc = self.warps.len();
+                // Geometry reflects *resident* warps: a parked warp must
+                // not widen the kernel's iteration space, or its share of
+                // the work would silently go undone.
+                let wpc = self.active_warps;
                 let warp = &mut self.warps[w];
                 for l in 0..lanes {
                     let v = match kind {

@@ -47,6 +47,27 @@ pub struct Gpu {
     hierarchy: Hierarchy,
     cores: Vec<Core>,
     tracer: Option<TraceHandle>,
+    occupancy: Occupancy,
+    configured_warps_per_core: usize,
+}
+
+/// Register-file occupancy of the most recent launch.
+///
+/// `resident < configured` means the register file — not the warp
+/// scheduler — was the binding limit on parallelism for that kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Registers the launched kernel touches
+    /// ([`Program::register_high_water`]).
+    pub kernel_high_water: usize,
+    /// Warps per core the register file can hold for that kernel
+    /// ([`GpuConfig::occupancy_cap`]).
+    pub cap: usize,
+    /// Warps per core actually resident this launch.
+    pub resident: usize,
+    /// Warps per core the machine was configured with (see
+    /// [`Gpu::set_configured_warps_per_core`]).
+    pub configured: usize,
 }
 
 impl Gpu {
@@ -62,9 +83,29 @@ impl Gpu {
             mem: MainMemory::new(1 << 20),
             hierarchy: Hierarchy::new(cfg.hierarchy),
             cores: (0..cfg.num_cores).map(|i| Core::new(i, &cfg)).collect(),
+            configured_warps_per_core: cfg.warps_per_core,
             cfg,
             tracer: None,
+            occupancy: Occupancy::default(),
         }
+    }
+
+    /// Register-file occupancy of the most recent launch (zeros before
+    /// the first launch).
+    pub fn occupancy(&self) -> Occupancy {
+        self.occupancy
+    }
+
+    /// Records the warp count the *user* configured, when it differs from
+    /// this machine's physical `warps_per_core`.
+    ///
+    /// A session that pre-clamps its machine to the occupancy cap (so
+    /// kernel geometry and physical warps agree) builds the `Gpu` with the
+    /// clamped warp count; calling this with the original keeps
+    /// [`Occupancy::configured`] — and the exported `warps_configured`
+    /// gauge — honest about what the cap displaced.
+    pub fn set_configured_warps_per_core(&mut self, configured: usize) {
+        self.configured_warps_per_core = configured.max(self.cfg.warps_per_core);
     }
 
     /// Attaches (or detaches, with `None`) a structured-event tracer.
@@ -132,13 +173,36 @@ impl Gpu {
 
     /// Runs `program` to completion on all cores and returns its stats.
     ///
+    /// Before the first cycle, the launch sizes each core's resident warp
+    /// set to what the register file can hold for this kernel
+    /// ([`GpuConfig::occupancy_cap`] of its register high-water); excess
+    /// warps are parked for the whole launch and the thread-geometry CSRs
+    /// report the reduced machine.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] on kernel bugs (divergent uniform branches,
-    /// unbalanced joins), deadlock, or exceeding the cycle budget.
+    /// unbalanced joins, touching more registers than a warp's allotment),
+    /// deadlock, or exceeding the cycle budget.
     pub fn launch(&mut self, program: &Program, args: &[u64]) -> Result<KernelStats, SimError> {
+        let high_water = program.register_high_water();
+        if high_water > self.cfg.regfile_regs_per_warp {
+            return Err(SimError::RegisterPressure {
+                kernel: program.name().to_string(),
+                high_water,
+                limit: self.cfg.regfile_regs_per_warp,
+            });
+        }
+        let cap = self.cfg.occupancy_cap(high_water);
+        let resident = cap.min(self.cfg.warps_per_core);
+        self.occupancy = Occupancy {
+            kernel_high_water: high_water,
+            cap,
+            resident,
+            configured: self.configured_warps_per_core,
+        };
         for c in &mut self.cores {
-            c.reset_for_launch();
+            c.reset_for_launch(resident);
         }
         self.hierarchy.reset_ports();
         let mem_before = self.hierarchy.stats();
@@ -341,6 +405,10 @@ impl Gpu {
         let (mr, mw) = self.mem.traffic();
         snap.mem_reads = mr - traffic_before.0;
         snap.mem_writes = mw - traffic_before.1;
+        snap.kernel_high_water = self.occupancy.kernel_high_water as u64;
+        snap.occupancy_cap = self.occupancy.cap as u64;
+        snap.warps_resident = self.occupancy.resident as u64;
+        snap.warps_configured = self.occupancy.configured as u64;
         snap
     }
 }
@@ -808,6 +876,139 @@ mod tests {
             g.launch(&program, &[]).unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// A kernel that touches `extra` registers beyond its working set
+    /// before every thread stores its global TID.
+    fn hungry_tid_kernel(extra: usize) -> sparseweaver_isa::Program {
+        let mut a = Asm::new("hungry_tids");
+        let regs: Vec<_> = (0..extra).map(|_| a.reg()).collect();
+        for (i, &r) in regs.iter().enumerate() {
+            a.li(r, i as i64);
+        }
+        let tid = a.reg();
+        let addr = a.reg();
+        a.csr(tid, CsrKind::GlobalTid);
+        a.muli(addr, tid, 8);
+        a.stg(tid, addr, 0, Width::B8);
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn register_file_caps_resident_warps() {
+        let cfg = GpuConfig::regfile_limited();
+        let mut g = Gpu::new(cfg);
+        g.mem_mut().grow_to(1 << 20);
+        // 14 extra + tid + addr = 16 touched registers: cap = 32/16 = 2
+        // of the 4 configured warps.
+        let p = hungry_tid_kernel(14);
+        g.launch(&p, &[]).unwrap();
+        let occ = g.occupancy();
+        assert_eq!(occ.kernel_high_water, 16);
+        assert_eq!(occ.cap, 2);
+        assert_eq!(occ.resident, 2);
+        assert_eq!(occ.configured, 4);
+        // The kernel saw the reduced machine: exactly
+        // cores x resident x lanes global TIDs were written.
+        let threads = cfg.num_cores * occ.resident * cfg.threads_per_warp;
+        for t in 0..threads as u64 {
+            assert_eq!(g.mem().read(t * 8, 8), t, "thread {t}");
+        }
+        assert_eq!(g.mem().read(threads as u64 * 8, 8), 0, "no extra thread");
+    }
+
+    #[test]
+    fn uncapped_kernel_keeps_all_warps_resident() {
+        let mut g = gpu();
+        let p = hungry_tid_kernel(0);
+        g.launch(&p, &[]).unwrap();
+        let occ = g.occupancy();
+        assert_eq!(occ.resident, g.config().warps_per_core);
+        assert_eq!(occ.configured, g.config().warps_per_core);
+        assert!(occ.kernel_high_water > 0);
+    }
+
+    #[test]
+    fn kernel_over_the_per_warp_allotment_is_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.regfile_regs_per_warp = 8;
+        cfg.regs_per_core = 32;
+        let mut g = Gpu::new(cfg);
+        g.mem_mut().grow_to(1 << 20);
+        let p = hungry_tid_kernel(14); // 16 > 8 per-warp allotment
+        match g.launch(&p, &[]) {
+            Err(SimError::RegisterPressure {
+                high_water, limit, ..
+            }) => {
+                assert_eq!(high_water, 16);
+                assert_eq!(limit, 8);
+            }
+            other => panic!("expected register-pressure error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_gauges_reach_the_trace_samples() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let mut g = Gpu::new(GpuConfig::regfile_limited());
+        g.mem_mut().grow_to(1 << 20);
+        let tr = TraceHandle::new(TraceConfig::default());
+        g.set_tracer(Some(tr.clone()));
+        let p = hungry_tid_kernel(14);
+        g.launch(&p, &[]).unwrap();
+        let report = tr.report();
+        let last = report.samples.last().expect("kernel-end sample");
+        assert_eq!(last.counters.kernel_high_water, 16);
+        assert_eq!(last.counters.occupancy_cap, 2);
+        assert_eq!(last.counters.warps_resident, 2);
+        assert_eq!(last.counters.warps_configured, 4);
+    }
+
+    #[test]
+    fn barriers_ignore_parked_warps() {
+        // The barrier test kernel, on a capped machine: halted (parked)
+        // warps must count as arrived or the barrier deadlocks.
+        let mut g = Gpu::new(GpuConfig::regfile_limited());
+        g.mem_mut().grow_to(1 << 20);
+        let mut a = Asm::new("capped_barrier");
+        let regs: Vec<_> = (0..12).map(|_| a.reg()).collect();
+        for (i, &r) in regs.iter().enumerate() {
+            a.li(r, i as i64);
+        }
+        let wid = a.reg();
+        let addr = a.reg();
+        let v = a.reg();
+        a.csr(wid, CsrKind::WarpId);
+        a.li(addr, 0);
+        let skip = a.reg();
+        a.seqi(skip, wid, 0);
+        a.if_nonzero(skip, |a| {
+            let c = a.reg();
+            a.li(c, 42);
+            a.sts(c, addr, 0, Width::B8);
+            a.free(c);
+        });
+        a.bar();
+        a.lds(v, addr, 0, Width::B8);
+        let out = a.reg();
+        a.csr(out, CsrKind::GlobalTid);
+        a.muli(out, out, 8);
+        a.stg(v, out, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+        g.launch(&p, &[]).unwrap();
+        let occ = g.occupancy();
+        assert!(
+            occ.resident < g.config().warps_per_core,
+            "test needs a binding cap (hw {})",
+            occ.kernel_high_water
+        );
+        let threads = g.config().num_cores * occ.resident * g.config().threads_per_warp;
+        for t in 0..threads as u64 {
+            assert_eq!(g.mem().read(t * 8, 8), 42, "thread {t}");
+        }
     }
 
     #[test]

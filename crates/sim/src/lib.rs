@@ -31,7 +31,7 @@ pub mod warp;
 
 pub use config::{GpuConfig, WeaverMode};
 pub use core::TraceRecord;
-pub use gpu::Gpu;
+pub use gpu::{Gpu, Occupancy};
 pub use stats::{KernelStats, Phase, StallBreakdown};
 
 /// Simulation errors: kernel bugs surfaced by the machine model.
@@ -66,6 +66,16 @@ pub enum SimError {
         /// The exceeded limit.
         limit: u64,
     },
+    /// The kernel touches more registers than one warp's register-file
+    /// allotment; not even a single warp can hold its context.
+    RegisterPressure {
+        /// Kernel name.
+        kernel: String,
+        /// Registers the kernel touches ([`sparseweaver_isa::Program::register_high_water`]).
+        high_water: usize,
+        /// Per-warp limit ([`GpuConfig::regfile_regs_per_warp`]).
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -82,6 +92,17 @@ impl std::fmt::Display for SimError {
             }
             SimError::CycleLimit { kernel, limit } => {
                 write!(f, "`{kernel}` exceeded the cycle limit of {limit}")
+            }
+            SimError::RegisterPressure {
+                kernel,
+                high_water,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "`{kernel}` touches {high_water} registers but the register \
+                     file allots {limit} per warp"
+                )
             }
         }
     }

@@ -74,6 +74,70 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
         push(&mut out, event_json(e));
     }
 
+    // Derived per-core warp-residency timeline: distinct warps observed
+    // issuing since the current kernel launch (this plateaus at the
+    // register-file residency cap, not the configured warp count), and
+    // how many of them sit stalled while the core is blocked.
+    let num_cores = report
+        .events
+        .iter()
+        .map(|e| e.core as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut issued: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); num_cores];
+    for e in &report.events {
+        let core = e.core as usize;
+        match &e.data {
+            EventData::KernelLaunch { .. } => {
+                for (c, set) in issued.iter_mut().enumerate() {
+                    if !set.is_empty() {
+                        set.clear();
+                        push(
+                            &mut out,
+                            counter_json(
+                                e.cycle,
+                                &format!("warps:core{c}"),
+                                &[("resident", 0), ("stalled", 0)],
+                            ),
+                        );
+                    }
+                }
+            }
+            EventData::WarpIssue { warp, .. } if issued[core].insert(*warp) => {
+                push(
+                    &mut out,
+                    counter_json(
+                        e.cycle,
+                        &format!("warps:core{core}"),
+                        &[("resident", issued[core].len() as u64), ("stalled", 0)],
+                    ),
+                );
+            }
+            EventData::WarpStall { cycles, .. } => {
+                // The whole core is blocked for [cycle, cycle + cycles):
+                // every resident warp is stalled, then none are.
+                let n = issued[core].len() as u64;
+                push(
+                    &mut out,
+                    counter_json(
+                        e.cycle,
+                        &format!("warps:core{core}"),
+                        &[("resident", n), ("stalled", n)],
+                    ),
+                );
+                push(
+                    &mut out,
+                    counter_json(
+                        e.cycle + cycles,
+                        &format!("warps:core{core}"),
+                        &[("resident", n), ("stalled", 0)],
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
     // Counter tracks from the sampled metrics.
     for s in &report.samples {
         let c = &s.counters;
@@ -129,6 +193,19 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
                     ("st_fetches", c.weaver_st_fetches),
                     ("dec_requests", c.weaver_dec_requests),
                     ("registrations", c.weaver_registrations),
+                ],
+            ),
+        );
+        push(
+            &mut out,
+            counter_json(
+                ts,
+                "occupancy",
+                &[
+                    ("kernel_high_water", c.kernel_high_water),
+                    ("cap", c.occupancy_cap),
+                    ("warps_resident", c.warps_resident),
+                    ("warps_configured", c.warps_configured),
                 ],
             ),
         );
@@ -309,7 +386,9 @@ pub fn counters_json(c: &CounterSnapshot) -> String {
          \"l3_accesses\":{},\"l3_hits\":{},\"dram_accesses\":{}}},\
          \"shared\":{{\"reads\":{},\"writes\":{}}},\
          \"device_mem\":{{\"reads\":{},\"writes\":{}}},\
-         \"weaver\":{{\"st_fetches\":{},\"dec_requests\":{},\"registrations\":{}}}}}",
+         \"weaver\":{{\"st_fetches\":{},\"dec_requests\":{},\"registrations\":{}}},\
+         \"occupancy\":{{\"kernel_high_water\":{},\"cap\":{},\"warps_resident\":{},\
+         \"warps_configured\":{}}}}}",
         c.instructions,
         c.thread_instructions,
         c.stall_memory,
@@ -333,6 +412,10 @@ pub fn counters_json(c: &CounterSnapshot) -> String {
         c.weaver_st_fetches,
         c.weaver_dec_requests,
         c.weaver_registrations,
+        c.kernel_high_water,
+        c.occupancy_cap,
+        c.warps_resident,
+        c.warps_configured,
     )
 }
 
@@ -455,6 +538,106 @@ mod tests {
         assert_eq!(c.get("instructions").unwrap().as_num(), Some(9.0));
         let kernels = v.get("kernels").unwrap().as_arr().unwrap();
         assert_eq!(kernels[0].get("name").unwrap().as_str(), Some("bfs_step"));
+    }
+
+    #[test]
+    fn warp_residency_track_is_derived_from_issue_and_stall_events() {
+        let t = TraceHandle::new(TraceConfig::default());
+        t.kernel_begin("k");
+        for w in 0..2 {
+            t.emit(
+                w as u64 + 1,
+                0,
+                EventData::WarpIssue {
+                    warp: w,
+                    pc: 0,
+                    active: 4,
+                },
+            );
+        }
+        // Re-issues must not grow the resident count.
+        t.emit(
+            3,
+            0,
+            EventData::WarpIssue {
+                warp: 0,
+                pc: 1,
+                active: 4,
+            },
+        );
+        t.emit(
+            4,
+            0,
+            EventData::WarpStall {
+                cause: StallCause::Memory,
+                phase: Phase::GatherSum,
+                cycles: 6,
+            },
+        );
+        t.kernel_end(12, &CounterSnapshot::default());
+        let doc = chrome_trace_json(&t.report());
+        let v = json::parse(&doc).unwrap();
+        let track: Vec<_> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("warps:core0"))
+            .map(|e| {
+                (
+                    e.get("ts").unwrap().as_num().unwrap() as u64,
+                    e.get("args")
+                        .unwrap()
+                        .get("resident")
+                        .unwrap()
+                        .as_num()
+                        .unwrap() as u64,
+                    e.get("args")
+                        .unwrap()
+                        .get("stalled")
+                        .unwrap()
+                        .as_num()
+                        .unwrap() as u64,
+                )
+            })
+            .collect();
+        // Ramp to 2 resident (no third point for the re-issue), then a
+        // stall window [4, 10) covering both warps.
+        assert_eq!(track, vec![(1, 1, 0), (2, 2, 0), (4, 2, 2), (10, 2, 0)]);
+    }
+
+    #[test]
+    fn occupancy_gauges_reach_both_documents() {
+        let t = TraceHandle::new(TraceConfig::default());
+        t.kernel_begin("k");
+        let counters = CounterSnapshot {
+            kernel_high_water: 16,
+            occupancy_cap: 2,
+            warps_resident: 2,
+            warps_configured: 4,
+            ..CounterSnapshot::default()
+        };
+        t.kernel_end(10, &counters);
+        let report = t.report();
+        let chrome = json::parse(&chrome_trace_json(&report)).unwrap();
+        let occ = chrome
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("occupancy"))
+            .expect("occupancy counter track");
+        assert_eq!(
+            occ.get("args").unwrap().get("cap").unwrap().as_num(),
+            Some(2.0)
+        );
+        let metrics = json::parse(&metrics_json(&report)).unwrap();
+        let o = metrics.get("totals").unwrap().get("occupancy").unwrap();
+        assert_eq!(o.get("kernel_high_water").unwrap().as_num(), Some(16.0));
+        assert_eq!(o.get("warps_resident").unwrap().as_num(), Some(2.0));
+        assert_eq!(o.get("warps_configured").unwrap().as_num(), Some(4.0));
     }
 
     #[test]

@@ -57,10 +57,24 @@ pub struct CounterSnapshot {
     pub weaver_dec_requests: u64,
     /// Weaver ST registrations.
     pub weaver_registrations: u64,
+    /// Register high-water of the currently running kernel (gauge).
+    pub kernel_high_water: u64,
+    /// Register-file occupancy cap for that kernel: the most warps per
+    /// core the file can hold resident (gauge).
+    pub occupancy_cap: u64,
+    /// Warps actually resident per core this launch (gauge).
+    pub warps_resident: u64,
+    /// Warps per core the machine was configured with (gauge); a
+    /// `warps_resident` below this means the register file is the
+    /// binding occupancy limit.
+    pub warps_configured: u64,
 }
 
 impl CounterSnapshot {
-    /// Adds another snapshot field-wise.
+    /// Adds another snapshot field-wise. The occupancy fields are gauges,
+    /// not counters: the most recent non-zero value wins instead of
+    /// summing, so folding a launch snapshot onto committed totals keeps
+    /// the running kernel's occupancy.
     pub fn add(&mut self, other: &CounterSnapshot) {
         self.instructions += other.instructions;
         self.thread_instructions += other.thread_instructions;
@@ -87,6 +101,16 @@ impl CounterSnapshot {
         self.weaver_st_fetches += other.weaver_st_fetches;
         self.weaver_dec_requests += other.weaver_dec_requests;
         self.weaver_registrations += other.weaver_registrations;
+        for (dst, src) in [
+            (&mut self.kernel_high_water, other.kernel_high_water),
+            (&mut self.occupancy_cap, other.occupancy_cap),
+            (&mut self.warps_resident, other.warps_resident),
+            (&mut self.warps_configured, other.warps_configured),
+        ] {
+            if src != 0 {
+                *dst = src;
+            }
+        }
     }
 }
 
@@ -133,5 +157,26 @@ mod tests {
         assert_eq!(a.dram_accesses, 2);
         assert_eq!(a.l1_hits, 3);
         assert_eq!(a.phase_cycles[Phase::GatherSum as usize], 12);
+    }
+
+    #[test]
+    fn occupancy_gauges_take_the_latest_nonzero_value() {
+        let mut a = CounterSnapshot {
+            occupancy_cap: 4,
+            warps_resident: 4,
+            warps_configured: 32,
+            ..CounterSnapshot::default()
+        };
+        let b = CounterSnapshot {
+            kernel_high_water: 12,
+            occupancy_cap: 2,
+            warps_resident: 2,
+            ..CounterSnapshot::default()
+        };
+        a.add(&b);
+        assert_eq!(a.kernel_high_water, 12);
+        assert_eq!(a.occupancy_cap, 2, "gauge overwritten, not summed");
+        assert_eq!(a.warps_resident, 2);
+        assert_eq!(a.warps_configured, 32, "zero does not clear a gauge");
     }
 }

@@ -23,6 +23,14 @@ pub trait TraceSink {
 
     /// Removes and returns all held events in arrival order.
     fn drain(&mut self) -> Vec<TraceEvent>;
+
+    /// The first I/O error the sink encountered, if any. In-memory sinks
+    /// never fail; streaming sinks latch write/flush errors here so the
+    /// report layer can surface a truncated trace instead of silently
+    /// shipping one.
+    fn io_error(&self) -> Option<io::ErrorKind> {
+        None
+    }
 }
 
 /// A bounded ring buffer keeping the most recent `capacity` events.
@@ -121,6 +129,12 @@ impl FileSink {
         })
     }
 
+    fn latch(&mut self, e: &io::Error) {
+        if self.error.is_none() {
+            self.error = Some(e.kind());
+        }
+    }
+
     /// Number of events written so far (including buffered ones).
     pub fn written(&self) -> u64 {
         self.written
@@ -149,9 +163,7 @@ impl TraceSink for FileSink {
     fn record(&mut self, event: TraceEvent) {
         let line = crate::export::event_json(&event);
         if let Err(e) = writeln!(self.out, "{line}") {
-            if self.error.is_none() {
-                self.error = Some(e.kind());
-            }
+            self.latch(&e);
             return;
         }
         self.written += 1;
@@ -166,14 +178,30 @@ impl TraceSink for FileSink {
     }
 
     fn drain(&mut self) -> Vec<TraceEvent> {
-        let _ = self.out.flush();
+        // A failed flush means the file on disk is missing events; latch
+        // it so the report layer surfaces the truncation.
+        if let Err(e) = self.out.flush() {
+            self.latch(&e);
+        }
         Vec::new()
+    }
+
+    fn io_error(&self) -> Option<io::ErrorKind> {
+        self.error
     }
 }
 
 impl Drop for FileSink {
     fn drop(&mut self) {
-        let _ = self.out.flush();
+        // Last chance to surface a truncated trace: by drop time no one
+        // can observe the latch anymore, so a lost flush (or a still
+        // latched write error) goes to stderr instead of vanishing.
+        if let Err(e) = self.out.flush() {
+            self.latch(&e);
+        }
+        if let Some(kind) = self.error {
+            eprintln!("warning: trace file is incomplete ({kind}); events were lost");
+        }
     }
 }
 
@@ -245,5 +273,34 @@ mod tests {
         }
         assert!(lines[42].contains("\"ts\":42"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_sinks_never_report_io_errors() {
+        let mut s = RingSink::new(4);
+        s.record(ev(1));
+        assert_eq!(s.io_error(), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn full_device_latches_flush_error_instead_of_discarding_it() {
+        // `/dev/full` accepts the open but fails every write with ENOSPC,
+        // which a BufWriter only observes at flush time — exactly the
+        // path that used to be `let _ = flush()`.
+        let path = Path::new("/dev/full");
+        if !path.exists() {
+            return; // minimal container without /dev/full
+        }
+        let mut s = FileSink::create(path).unwrap();
+        for c in 0..4096 {
+            s.record(ev(c)); // enough to overflow the BufWriter at least once
+        }
+        let _ = s.drain();
+        assert!(
+            s.io_error().is_some(),
+            "flush to a full device must latch an error"
+        );
+        assert!(s.flush().is_err());
     }
 }

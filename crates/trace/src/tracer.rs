@@ -221,14 +221,18 @@ impl Tracer {
 
     /// Drains everything collected so far into a [`TraceReport`].
     pub fn take_report(&mut self) -> TraceReport {
+        // Drain first: streaming sinks flush on drain, which is where a
+        // truncated file latches its error.
+        let events = self.sink.drain();
         TraceReport {
-            events: self.sink.drain(),
+            events,
             samples: std::mem::take(&mut self.samples),
             kernels: std::mem::take(&mut self.kernels),
             dropped: self.sink.dropped(),
             sample_every: self.sample_every,
             totals: self.committed,
             total_cycles: self.base,
+            sink_error: self.sink.io_error(),
         }
     }
 }
@@ -314,6 +318,10 @@ pub struct TraceReport {
     pub totals: CounterSnapshot,
     /// Total cycles across all launches.
     pub total_cycles: u64,
+    /// The sink's first I/O error, if any (streaming sinks only): the
+    /// on-disk trace is incomplete and downstream consumers should treat
+    /// it — and report it — as truncated.
+    pub sink_error: Option<std::io::ErrorKind>,
 }
 
 #[cfg(test)]

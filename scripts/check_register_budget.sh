@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CI gate for per-kernel register pressure: every built-in kernel's
+# post-regalloc register high-water mark must stay within the budget
+# committed in scripts/register_budgets.txt.
+#
+# `swlint --regs` prints one `LABEL PRE POST` line per kernel on the
+# default (eval) config; POST is the high-water mark after the
+# liveness-based register allocator runs, i.e. what the simulated GPU's
+# occupancy model actually charges against the register file. A kernel
+# exceeding its budget silently lowers achievable occupancy on
+# register-file-limited configs, so growth must be deliberate: raise the
+# budget in the same change that grows the kernel. Kernels missing from
+# the budget file (newly added ones) fail too — add a line for them.
+#
+# Regenerate after an intentional change:
+#   cargo run --release --bin swlint -- --regs | awk '{print $1, $3}' \
+#     > scripts/register_budgets.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGETS="scripts/register_budgets.txt"
+
+out=$(cargo run --release --quiet --bin swlint -- --regs)
+
+if [ -z "$out" ]; then
+    echo "FAIL: swlint --regs produced no output" >&2
+    exit 1
+fi
+
+echo "$out" | awk -v budgets="$BUDGETS" '
+BEGIN {
+    while ((getline line < budgets) > 0) {
+        split(line, f, " ")
+        if (f[1] != "") budget[f[1]] = f[2]
+    }
+    close(budgets)
+}
+{
+    label = $1; post = $3
+    checked++
+    if (!(label in budget)) {
+        printf "FAIL: %s (post-regalloc hw %d) has no committed budget\n", label, post
+        bad++
+        next
+    }
+    if (post > budget[label]) {
+        printf "FAIL: %s uses %d registers, budget is %d\n", label, post, budget[label]
+        bad++
+    } else if (post < budget[label]) {
+        printf "note: %s improved to %d registers (budget %d) — consider tightening\n",
+            label, post, budget[label]
+    }
+}
+END {
+    if (checked == 0) { print "FAIL: no kernels checked"; exit 1 }
+    if (bad > 0) {
+        printf "%d of %d kernel(s) over budget or unbudgeted — update %s deliberately\n",
+            bad, checked, budgets
+        exit 1
+    }
+    printf "ok: %d kernel(s) within register budgets\n", checked
+}'

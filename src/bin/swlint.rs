@@ -35,7 +35,8 @@ fn usage() -> ! {
         "swlint — SparseWeaver kernel-IR static verifier
 
 USAGE:
-  swlint [--algo ALGO] [--schedule S] [--config vortex|eval|small|8core] [--json]
+  swlint [--algo ALGO] [--schedule S] [--config vortex|eval|small|8core|regfile]
+         [--regalloc on|off] [--regs] [--json]
   swlint --selftest [--json]
   swlint --version
 
@@ -43,6 +44,11 @@ USAGE:
   S:     svm | em | wm | cm | sw | eghw                          (default: all)
 
   --json      one LintReport JSON object per kernel, one per line
+  --regalloc  on|off: run liveness-based register allocation before
+              linting, as the runtime does before launching (default on)
+  --regs      print one `LABEL PRE POST` register-high-water line per
+              kernel instead of lint reports (drives the CI register-
+              pressure budget); the exit code still reflects lint errors
   --selftest  lint the seeded ill-formed programs and check that each
               triggers exactly its documented rule (exits 1: they are
               ill-formed by construction)
@@ -74,7 +80,11 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         }
     }
     for k in flags.keys() {
-        if !["algo", "schedule", "config", "json", "selftest"].contains(&k.as_str()) {
+        if ![
+            "algo", "schedule", "config", "json", "selftest", "regalloc", "regs",
+        ]
+        .contains(&k.as_str())
+        {
             eprintln!("unknown flag `--{k}`");
             usage()
         }
@@ -104,10 +114,37 @@ fn config_for(flags: &HashMap<String, String>) -> GpuConfig {
         Some("vortex") => GpuConfig::vortex_default(),
         Some("small") => GpuConfig::small_test(),
         Some("8core") => GpuConfig::eight_core(),
+        Some("regfile") => GpuConfig::regfile_limited(),
         Some(other) => {
             eprintln!("unknown config `{other}`");
             usage()
         }
+    }
+}
+
+/// Parses `--regalloc on|off` (default: on).
+fn regalloc_flag(flags: &HashMap<String, String>) -> bool {
+    match flags.get("regalloc").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("--regalloc expects on|off, got `{other}`");
+            exit(2)
+        }
+    }
+}
+
+/// Applies register allocation when `regalloc` is on, mirroring what the
+/// runtime launches; identity when the allocator bails out.
+fn maybe_allocate(program: Program, regalloc: bool) -> Program {
+    if !regalloc {
+        return program;
+    }
+    let result = sparseweaver::core::compiler::regalloc::allocate(&program);
+    if result.applied {
+        result.program
+    } else {
+        program
     }
 }
 
@@ -162,6 +199,8 @@ fn report_line(label: &str, program: &Program, report: &LintReport, json: bool) 
 
 fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
     let json = flags.contains_key("json");
+    let regalloc = regalloc_flag(flags);
+    let regs_mode = flags.contains_key("regs");
     let cfg = config_for(flags);
     let schedules = parse_schedules(flags);
     let algo_filter = flags.get("algo").map(String::as_str);
@@ -169,6 +208,19 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
     let mut kernels = 0usize;
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut process = |label: String, program: Program| {
+        let pre = program.register_high_water();
+        let program = maybe_allocate(program, regalloc);
+        let report = lint(&program);
+        kernels += 1;
+        errors += report.error_count();
+        warnings += report.warning_count();
+        if regs_mode {
+            println!("{label} {pre} {}", program.register_high_water());
+        } else {
+            report_line(&label, &program, &report, json);
+        }
+    };
     for (name, algo) in algorithms(algo_filter) {
         for &schedule in &schedules {
             for program in algo.kernels(schedule, &cfg) {
@@ -180,11 +232,7 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
                 if !seen.insert(label.clone()) {
                     continue;
                 }
-                let report = lint(&program);
-                kernels += 1;
-                errors += report.error_count();
-                warnings += report.warning_count();
-                report_line(&label, &program, &report, json);
+                process(label, program);
             }
         }
     }
@@ -196,15 +244,11 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
                 if !seen.insert(label.clone()) {
                     continue;
                 }
-                let report = lint(&program);
-                kernels += 1;
-                errors += report.error_count();
-                warnings += report.warning_count();
-                report_line(&label, &program, &report, json);
+                process(label, program);
             }
         }
     }
-    if !json {
+    if !json && !regs_mode {
         println!("{kernels} kernel(s) linted: {errors} error(s), {warnings} warning(s)");
     }
     if errors > 0 {

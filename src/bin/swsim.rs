@@ -26,9 +26,11 @@ fn usage() -> ! {
 
 USAGE:
   swsim run    (--graph FILE | --dataset ID | --gen SPEC) --algo ALGO --schedule S
-               [--iters N] [--source V] [--config vortex|eval|small] [--json] [--all-schedules]
+               [--iters N] [--source V] [--config vortex|eval|small|8core|regfile]
+               [--json] [--all-schedules]
                [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
                [--sample-every N] [--trace-out FILE.jsonl] [--lint off|warn|deny]
+               [--regalloc on|off]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
   swsim datasets
@@ -49,7 +51,15 @@ TRACING:
 LINTING:
   --lint LEVEL        static kernel verifier: off | warn | deny (default deny);
                       `deny` rejects kernels with error findings before launch
-                      (see also the standalone `swlint` tool)"
+                      (see also the standalone `swlint` tool)
+
+REGISTER ALLOCATION:
+  --regalloc on|off   liveness-based register allocation before launch
+                      (default on); `off` runs template output verbatim
+
+EXIT CODES:
+  0 success | 1 run error | 2 usage error |
+  3 run succeeded but the --trace-out stream hit an I/O error (file truncated)"
     );
     exit(2)
 }
@@ -75,6 +85,7 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "metrics-out",
             "trace-out",
             "lint",
+            "regalloc",
         ],
         "gen" => &["graph", "dataset", "gen", "out"],
         "disasm" => &["algo", "schedule", "config"],
@@ -207,9 +218,22 @@ fn config_for(flags: &HashMap<String, String>) -> GpuConfig {
         Some("vortex") => GpuConfig::vortex_default(),
         Some("small") => GpuConfig::small_test(),
         Some("8core") => GpuConfig::eight_core(),
+        Some("regfile") => GpuConfig::regfile_limited(),
         Some(other) => {
             eprintln!("unknown config `{other}`");
             usage()
+        }
+    }
+}
+
+/// Parses `--regalloc on|off` (default: on).
+fn regalloc_flag(flags: &HashMap<String, String>) -> bool {
+    match flags.get("regalloc").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("--regalloc expects on|off, got `{other}`");
+            exit(2)
         }
     }
 }
@@ -335,7 +359,9 @@ fn cmd_run(flags: HashMap<String, String>) {
     session.trace = trace_cfg;
     session.trace_out = trace_out.clone().map(std::path::PathBuf::from);
     session.lint = lint_level(&flags);
+    session.regalloc = regalloc_flag(&flags);
     let json = flags.contains_key("json");
+    let mut sink_failed = false;
     let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
         Schedule::ALL.to_vec()
     } else {
@@ -373,20 +399,39 @@ fn cmd_run(flags: HashMap<String, String>) {
                     ("launches", report.stats.launches.to_string()),
                     ("ipc", format!("{:.4}", report.stats.ipc())),
                     ("dram_accesses", report.stats.mem.dram_accesses.to_string()),
+                    (
+                        "kernel_high_water",
+                        report.occupancy.kernel_high_water.to_string()
+                    ),
+                    ("warps_resident", report.occupancy.resident.to_string()),
+                    ("warps_configured", report.occupancy.configured.to_string()),
                 ])
             );
         } else {
             let speed = baseline
                 .map(|b: u64| format!("  {:.2}x vs first", b as f64 / report.cycles.max(1) as f64))
                 .unwrap_or_default();
+            let occ = &report.occupancy;
+            let capped = if occ.resident < occ.configured {
+                format!(
+                    "  [regfile cap: {}/{} warps resident, hw {}]",
+                    occ.resident, occ.configured, occ.kernel_high_water
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{:<13} {:>12} cycles  {:>10} instrs  ipc {:>5.2}  {} launches{speed}",
+                "{:<13} {:>12} cycles  {:>10} instrs  ipc {:>5.2}  {} launches{speed}{capped}",
                 schedule.to_string(),
                 report.cycles,
                 report.stats.instructions,
                 report.stats.ipc(),
                 report.stats.launches,
             );
+        }
+        if let Some(kind) = report.sink_error {
+            eprintln!("warning: trace event stream is incomplete ({kind:?}); events were lost");
+            sink_failed = true;
         }
         if baseline.is_none() {
             baseline = Some(report.cycles);
@@ -413,6 +458,9 @@ fn cmd_run(flags: HashMap<String, String>) {
                 }
             }
         }
+    }
+    if sink_failed {
+        exit(3)
     }
 }
 

@@ -14,7 +14,8 @@ use std::process::Command;
 use sparseweaver::core::algorithms::{
     Algorithm, Bfs, ConnectedComponents, Gcn, PageRank, Spmv, Sssp,
 };
-use sparseweaver::core::Schedule;
+use sparseweaver::core::compiler::regalloc;
+use sparseweaver::core::{Schedule, Session};
 use sparseweaver::graph::Direction;
 use sparseweaver::lint::{fixtures, lint, Severity};
 use sparseweaver::sim::GpuConfig;
@@ -84,6 +85,64 @@ fn gcn_kernels_lint_clean() {
                 }
             }
         }
+    }
+}
+
+/// Register allocation over the whole kernel zoo: every rewritten stream
+/// still lints clean with zero warnings (in particular zero SW-L103
+/// dead-write findings), and the pass never increases a kernel's register
+/// high-water.
+#[test]
+fn regalloc_keeps_every_kernel_clean_and_never_grows_pressure() {
+    let mut allocated = 0usize;
+    for (cfg_name, cfg) in configs() {
+        for (algo_name, algo) in algorithms() {
+            for schedule in Schedule::ALL {
+                for program in algo.kernels(schedule, &cfg) {
+                    let pre = program.register_high_water();
+                    let result = regalloc::allocate(&program);
+                    assert!(
+                        result.applied,
+                        "{algo_name}:{} ({schedule:?}, {cfg_name}): allocator bailed out",
+                        program.name()
+                    );
+                    let post = result.program.register_high_water();
+                    assert!(
+                        post <= pre,
+                        "{algo_name}:{} ({schedule:?}, {cfg_name}): high-water grew {pre} -> {post}",
+                        program.name()
+                    );
+                    let report = lint(&result.program);
+                    assert!(
+                        report.is_clean() && report.warning_count() == 0,
+                        "{algo_name}:{} ({schedule:?}, {cfg_name}) after regalloc:\n{}",
+                        program.name(),
+                        report.to_text()
+                    );
+                    allocated += 1;
+                }
+            }
+        }
+    }
+    assert!(allocated >= configs().len() * algorithms().len() * Schedule::ALL.len());
+}
+
+/// Register allocation is semantics-preserving end to end: with it on and
+/// off, every schedule computes identical PageRank vectors (including the
+/// shared-memory-scan schedules whose kernels bake thread geometry).
+#[test]
+fn regalloc_on_off_produce_identical_outputs_for_every_schedule() {
+    let graph = sparseweaver::graph::generators::powerlaw(48, 240, 1.8, 3);
+    for schedule in Schedule::ALL {
+        let mut on = Session::new(GpuConfig::small_test());
+        let mut off = Session::new(GpuConfig::small_test());
+        off.regalloc = false;
+        let r_on = on.run(&graph, &PageRank::new(2), schedule).unwrap();
+        let r_off = off.run(&graph, &PageRank::new(2), schedule).unwrap();
+        assert!(
+            r_on.output.approx_eq(&r_off.output, 1e-12),
+            "register allocation changed {schedule:?} output"
+        );
     }
 }
 
@@ -238,6 +297,113 @@ fn swsim_rejects_bad_lint_level_with_exit_2() {
         .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown lint level"));
+}
+
+#[test]
+fn swlint_regs_prints_pre_and_post_high_water_per_kernel() {
+    let out = swlint()
+        .args(["--config", "small", "--regs"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut kernels = 0;
+    for line in text.lines().filter(|l| l.contains(':')) {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(fields.len(), 3, "expected `LABEL PRE POST`: {line}");
+        let pre: usize = fields[1].parse().expect("pre high-water");
+        let post: usize = fields[2].parse().expect("post high-water");
+        assert!(post <= pre, "{line}: allocation grew register pressure");
+        kernels += 1;
+    }
+    assert!(kernels > 30, "only {kernels} kernels listed:\n{text}");
+}
+
+#[test]
+fn swsim_rejects_bad_regalloc_value_with_exit_2() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "svm",
+            "--config",
+            "small",
+            "--regalloc",
+            "bogus",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--regalloc expects on|off"));
+}
+
+/// The acceptance scenario for the occupancy model: on the
+/// register-file-limited config the cap binds (resident < configured),
+/// and both export documents carry it.
+#[test]
+fn swsim_regfile_config_shows_binding_occupancy_cap_in_exports() {
+    let metrics = std::env::temp_dir().join("sw_cli_occupancy_metrics.json");
+    let trace = std::env::temp_dir().join("sw_cli_occupancy_trace.json");
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:60:240:7",
+            "--algo",
+            "pr",
+            "--schedule",
+            "svm",
+            "--config",
+            "regfile",
+            "--metrics-out",
+        ])
+        .arg(&metrics)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[regfile cap:"), "{stdout}");
+    let metrics_doc = std::fs::read_to_string(&metrics).unwrap();
+    let occ = metrics_doc
+        .split("\"occupancy\":{")
+        .nth(1)
+        .and_then(|rest| rest.split('}').next())
+        .expect("occupancy object in metrics.json");
+    let field = |name: &str| -> u64 {
+        occ.split(&format!("\"{name}\":"))
+            .nth(1)
+            .and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|d| d.parse().ok())
+            })
+            .unwrap_or_else(|| panic!("missing {name} in {occ}"))
+    };
+    let resident = field("warps_resident");
+    let configured = field("warps_configured");
+    assert!(resident >= 1 && resident < configured, "{occ}");
+    assert!(field("kernel_high_water") > 0, "{occ}");
+    let trace_doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        trace_doc.contains("\"name\":\"occupancy\""),
+        "no counter track"
+    );
+    assert!(
+        trace_doc.contains("\"name\":\"warps:core0\""),
+        "no warp track"
+    );
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
 }
 
 #[test]

@@ -100,6 +100,10 @@ fn table_latency_is_concealed_by_the_pipeline() {
     let run = |lat: u64| {
         let mut cfg = GpuConfig::small_test();
         cfg.warps_per_core = 32;
+        // Size the register file for the enlarged machine, like the
+        // vortex preset does — otherwise the occupancy cap parks most
+        // of the warps this test exists to exercise.
+        cfg.regs_per_core = sparseweaver::isa::NUM_REGS * cfg.warps_per_core;
         cfg.weaver.table_latency = lat;
         let mut s = Session::new(cfg);
         s.run(&g, &PageRank::new(3), Schedule::SparseWeaver)

@@ -1,0 +1,234 @@
+//! Fault-injection campaign runner.
+//!
+//! A campaign is N seeded runs of one `(graph, algorithm, schedule)`
+//! configuration under a [`FaultSpec`], each classified against a
+//! fault-free golden run into the four-way taxonomy of
+//! [`Outcome`]: **masked** (output matches the golden run), **SDC**
+//! (silent data corruption), **detected crash** (a typed error surfaced
+//! the fault), or **hang** (deadlock / cycle limit / Weaver timeout).
+//!
+//! Per-run seeds derive from the campaign seed via
+//! [`sparseweaver_fault::child_seed`], so the whole campaign — including
+//! its rendered summary — is byte-for-byte reproducible from
+//! `(spec, seed, runs)`. The `swfault` binary is a thin CLI over this
+//! module; the property tests drive it directly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sparseweaver_fault::{CampaignSummary, FaultSpec, Outcome, SplitMix64};
+use sparseweaver_graph::Csr;
+use sparseweaver_sim::{GpuConfig, SimError};
+
+use crate::algorithms::Algorithm;
+use crate::schedule::Schedule;
+use crate::session::Session;
+use crate::FrameworkError;
+
+/// Float tolerance for golden-output comparison (integer outputs compare
+/// exactly).
+pub const GOLDEN_TOL: f64 = 1e-9;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// What to inject, at which rates.
+    pub spec: FaultSpec,
+    /// Campaign seed; run `i` uses `child_seed(seed, i)`.
+    pub seed: u64,
+    /// Number of injected runs.
+    pub runs: u32,
+    /// Bound on launch retries after a Weaver response timeout.
+    pub max_weaver_retries: u32,
+}
+
+/// One classified run of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRun {
+    /// Run index within the campaign.
+    pub index: u32,
+    /// The derived injector seed this run used.
+    pub seed: u64,
+    /// The four-way classification.
+    pub outcome: Outcome,
+    /// Human-readable detail: the error text for crashes and hangs, the
+    /// first diverging index for SDC, retry/fallback notes for masked
+    /// runs.
+    pub detail: String,
+}
+
+/// Everything a campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Aggregated counts, renderable as deterministic JSON.
+    pub summary: CampaignSummary,
+    /// Per-run classifications, in run order.
+    pub runs: Vec<CampaignRun>,
+    /// Runs that escaped classification by panicking. The simulator's
+    /// contract is typed errors, never panics — any non-zero value here
+    /// is a bug in the machine model, and `swfault` fails the campaign
+    /// on it.
+    pub panics: u64,
+}
+
+/// Runs a full campaign: one fault-free golden run, then
+/// [`CampaignConfig::runs`] injected runs classified against it.
+///
+/// Every injected run executes inside `catch_unwind`, so a panic in the
+/// machine model is recorded in [`CampaignResult::panics`] instead of
+/// aborting the campaign.
+///
+/// # Errors
+///
+/// Returns an error only if the *golden* (fault-free) run fails — an
+/// injected run can never fail the campaign, it is classified.
+pub fn run_campaign(
+    cfg: &GpuConfig,
+    graph: &Csr,
+    algorithm: &dyn Algorithm,
+    schedule: Schedule,
+    campaign: &CampaignConfig,
+) -> Result<CampaignResult, FrameworkError> {
+    let mut golden_session = Session::new(*cfg);
+    let golden = golden_session.run(graph, algorithm, schedule)?.output;
+
+    let mut summary = CampaignSummary {
+        spec: campaign.spec.to_string(),
+        seed: campaign.seed,
+        ..CampaignSummary::default()
+    };
+    let mut runs = Vec::with_capacity(campaign.runs as usize);
+    let mut panics = 0u64;
+
+    for index in 0..campaign.runs {
+        let seed = SplitMix64::child_seed(campaign.seed, index as u64);
+        let mut session = Session::new(*cfg);
+        session.inject = Some(campaign.spec);
+        session.inject_seed = seed;
+        session.max_weaver_retries = campaign.max_weaver_retries;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let result = session.run(graph, algorithm, schedule);
+            (result, session.last_faults())
+        }));
+        let (result, faults) = match outcome {
+            Ok(pair) => pair,
+            Err(_) => {
+                panics += 1;
+                continue;
+            }
+        };
+        if let Some(f) = faults {
+            summary.faults_injected += f.total();
+        }
+        let (outcome, detail) = match result {
+            Ok(report) => {
+                summary.retries += report.weaver_retries;
+                if report.fell_back_from.is_some() {
+                    summary.fallbacks += 1;
+                }
+                match report.output.mismatch(&golden, GOLDEN_TOL) {
+                    None => {
+                        let mut detail = String::from("output matches golden");
+                        if report.weaver_retries > 0 {
+                            detail.push_str(&format!(
+                                " after {} retr{}",
+                                report.weaver_retries,
+                                if report.weaver_retries == 1 {
+                                    "y"
+                                } else {
+                                    "ies"
+                                }
+                            ));
+                        }
+                        if let Some(from) = report.fell_back_from {
+                            detail.push_str(&format!(" (fell back from {from:?} to S_wm)"));
+                        }
+                        (Outcome::Masked, detail)
+                    }
+                    Some(at) => (Outcome::Sdc, format!("output diverges at index {at}")),
+                }
+            }
+            Err(FrameworkError::Sim(
+                e @ (SimError::Deadlock { .. }
+                | SimError::CycleLimit { .. }
+                | SimError::WeaverTimeout { .. }),
+            )) => (Outcome::Hang, e.to_string()),
+            Err(e) => (Outcome::DetectedCrash, e.to_string()),
+        };
+        summary.record(outcome);
+        runs.push(CampaignRun {
+            index,
+            seed,
+            outcome,
+            detail,
+        });
+    }
+
+    Ok(CampaignResult {
+        summary,
+        runs,
+        panics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Bfs;
+    use sparseweaver_graph::generators;
+
+    fn small_campaign(spec: &str, seed: u64, runs: u32) -> CampaignResult {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        run_campaign(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &CampaignConfig {
+                spec: FaultSpec::parse(spec).unwrap(),
+                seed,
+                runs,
+                max_weaver_retries: 1,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_free_spec_is_all_masked() {
+        let r = small_campaign("reg=0.0", 1, 3);
+        assert_eq!(r.summary.masked, 3);
+        assert_eq!(r.summary.faults_injected, 0);
+        assert!(r.summary.is_classified());
+        assert_eq!(r.panics, 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = small_campaign("reg=0.002,mem=0.001", 42, 4);
+        let b = small_campaign("reg=0.002,mem=0.001", 42, 4);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn weaver_drops_end_masked_via_retry_or_fallback() {
+        let r = small_campaign("weaver-drop=1.0", 7, 2);
+        // Every response drops: retries exhaust, the run degrades to
+        // S_wm, and the output still matches the golden run.
+        assert_eq!(r.summary.masked, 2, "summary: {:?}", r.summary);
+        assert_eq!(r.summary.fallbacks, 2);
+        assert!(r.summary.retries >= 2);
+        assert!(r.summary.faults_injected > 0);
+        assert_eq!(r.panics, 0);
+    }
+
+    #[test]
+    fn every_run_is_classified_under_heavy_injection() {
+        let r = small_campaign("reg=0.01,mem=0.01,fetch=0.005", 3, 6);
+        assert!(r.summary.is_classified(), "summary: {:?}", r.summary);
+        assert_eq!(r.panics, 0);
+        assert_eq!(r.runs.len(), 6);
+    }
+}

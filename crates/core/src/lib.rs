@@ -30,6 +30,7 @@
 pub mod algorithms;
 pub mod analytic;
 pub mod autotune;
+pub mod campaign;
 pub mod compiler;
 pub mod output;
 pub mod runtime;

@@ -1,9 +1,10 @@
 //! The host runtime: device memory layout, uploads, kernel launches.
 
+use sparseweaver_fault::FaultHandle;
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_isa::Program;
-use sparseweaver_sim::{Gpu, KernelStats};
-use sparseweaver_trace::TraceHandle;
+use sparseweaver_sim::{Gpu, KernelStats, SimError};
+use sparseweaver_trace::{CounterSnapshot, EventData, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
 
 use sparseweaver_lint::LintLevel;
@@ -35,6 +36,9 @@ pub mod args {
     /// Number of common arguments.
     pub const COMMON: usize = 8;
 }
+
+/// Default bound on launch retries after a Weaver response timeout.
+pub const DEFAULT_WEAVER_RETRIES: u32 = 2;
 
 /// Addresses of the uploaded graph view.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +77,10 @@ pub struct Runtime<'a> {
     per_kernel: Vec<(String, KernelStats)>,
     total: KernelStats,
     compiler: Compiler,
+    tracer: Option<TraceHandle>,
+    fault: Option<FaultHandle>,
+    max_weaver_retries: u32,
+    weaver_retries: u64,
 }
 
 impl<'a> Runtime<'a> {
@@ -115,6 +123,10 @@ impl<'a> Runtime<'a> {
             per_kernel: Vec::new(),
             total: KernelStats::default(),
             compiler: Compiler::default(),
+            tracer: None,
+            fault: None,
+            max_weaver_retries: DEFAULT_WEAVER_RETRIES,
+            weaver_retries: 0,
         };
         rt.device.offsets = rt.upload_u32(rt.view.offsets().to_vec().as_slice());
         rt.device.edges = rt.upload_u32(rt.view.targets().to_vec().as_slice());
@@ -149,7 +161,31 @@ impl<'a> Runtime<'a> {
     /// Attaches (or detaches) a structured-event tracer on the GPU; all
     /// subsequent launches through this runtime are traced.
     pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
-        self.gpu.set_tracer(tracer);
+        self.gpu.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches) a deterministic fault injector on the GPU.
+    ///
+    /// With an injector whose spec can drop Weaver responses, every launch
+    /// snapshots device memory first, so a [`SimError::WeaverTimeout`] can
+    /// be retried from a clean functional state (see
+    /// [`Runtime::set_max_weaver_retries`]).
+    pub fn set_fault_injector(&mut self, fault: Option<FaultHandle>) {
+        self.gpu.set_fault_injector(fault.clone());
+        self.fault = fault;
+    }
+
+    /// Bounds how many times a launch is retried after a Weaver response
+    /// timeout before the error propagates (default
+    /// [`DEFAULT_WEAVER_RETRIES`]).
+    pub fn set_max_weaver_retries(&mut self, retries: u32) {
+        self.max_weaver_retries = retries;
+    }
+
+    /// Launch retries performed after Weaver timeouts so far.
+    pub fn weaver_retries(&self) -> u64 {
+        self.weaver_retries
     }
 
     /// Sets how the static verifier reacts to kernel findings (default:
@@ -326,7 +362,40 @@ impl<'a> Runtime<'a> {
         let program = self.compiler.process(program)?;
         let mut argv = self.common_args();
         argv.extend_from_slice(extra);
-        let stats = self.gpu.launch(&program, &argv)?;
+        // With an injector that can drop Weaver responses, keep a
+        // functional-memory snapshot so the launch can be retried from
+        // clean state after a timeout.
+        let snapshot = self
+            .fault
+            .as_ref()
+            .filter(|f| f.spec().weaver_drop_rate > 0.0)
+            .map(|_| self.gpu.mem().clone());
+        let mut attempt: u32 = 0;
+        let stats = loop {
+            match self.gpu.launch(&program, &argv) {
+                Ok(stats) => break stats,
+                Err(SimError::WeaverTimeout { kernel, .. })
+                    if snapshot.is_some() && attempt < self.max_weaver_retries =>
+                {
+                    attempt += 1;
+                    self.weaver_retries += 1;
+                    if let Some(m) = &snapshot {
+                        *self.gpu.mem_mut() = m.clone();
+                    }
+                    if let Some(f) = &self.fault {
+                        f.clear_weaver_faulty();
+                    }
+                    if let Some(tr) = &self.tracer {
+                        tr.emit(0, 0, EventData::WeaverRetry { kernel, attempt });
+                        tr.add_totals(&CounterSnapshot {
+                            weaver_retries: 1,
+                            ..CounterSnapshot::default()
+                        });
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.total.accumulate(&stats);
         if let Some((_, agg)) = self
             .per_kernel

@@ -2,10 +2,13 @@
 
 use std::path::PathBuf;
 
+use sparseweaver_fault::{FaultCounts, FaultHandle, FaultInjector, FaultSpec};
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_lint::LintLevel;
-use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, Occupancy, WeaverMode};
-use sparseweaver_trace::{FileSink, TraceConfig, TraceHandle, TraceReport};
+use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, Occupancy, SimError, WeaverMode};
+use sparseweaver_trace::{
+    CounterSnapshot, EventData, FileSink, TraceConfig, TraceHandle, TraceReport,
+};
 
 use crate::algorithms::Algorithm;
 use crate::compiler::Compiler;
@@ -41,6 +44,14 @@ pub struct RunReport {
     /// (`resident < configured` means the register file capped
     /// parallelism).
     pub occupancy: Occupancy,
+    /// Launch retries performed after Weaver response timeouts.
+    pub weaver_retries: u64,
+    /// When the run degraded to a software schedule after retry
+    /// exhaustion, the schedule originally requested;
+    /// [`RunReport::schedule`] is what actually executed.
+    pub fell_back_from: Option<Schedule>,
+    /// Injection counters, when a fault injector was attached.
+    pub faults: Option<FaultCounts>,
 }
 
 impl RunReport {
@@ -90,6 +101,22 @@ pub struct Session {
     /// before launch (default on). Turning it off runs template output
     /// verbatim — useful for A/B-ing the pass.
     pub regalloc: bool,
+    /// Deterministic fault-injection spec applied to every run (`None` =
+    /// fault-free machine).
+    pub inject: Option<FaultSpec>,
+    /// Seed for the injector's RNG stream.
+    pub inject_seed: u64,
+    /// Bound on launch retries after a Weaver response timeout, before
+    /// the run degrades to the software `S_wm` schedule.
+    pub max_weaver_retries: u32,
+    /// Whether a run whose retries are exhausted degrades to `S_wm`
+    /// (default on). Turning it off surfaces the Weaver timeout as an
+    /// error instead — useful for capturing a hang report of the faulty
+    /// machine rather than masking it.
+    pub fallback: bool,
+    /// Injection counters of the most recent [`Session::run`], kept even
+    /// when the run errored (the [`RunReport`] is lost on that path).
+    last_faults: Option<FaultCounts>,
 }
 
 impl Session {
@@ -103,7 +130,19 @@ impl Session {
             trace_out: None,
             lint: LintLevel::default(),
             regalloc: true,
+            inject: None,
+            inject_seed: 0,
+            max_weaver_retries: crate::runtime::DEFAULT_WEAVER_RETRIES,
+            fallback: true,
+            last_faults: None,
         }
+    }
+
+    /// Injection counters of the most recent [`Session::run`] (also
+    /// populated when the run returned an error), or `None` when no
+    /// injector was attached.
+    pub fn last_faults(&self) -> Option<FaultCounts> {
+        self.last_faults
     }
 
     /// The base machine configuration.
@@ -200,6 +239,15 @@ impl Session {
 
     /// Runs `algorithm` on `graph` under `schedule`.
     ///
+    /// With [`Session::inject`] set, the run executes on a faulty machine:
+    /// a deterministic injector seeded with [`Session::inject_seed`] is
+    /// attached to the GPU. A launch whose Weaver response is dropped is
+    /// retried up to [`Session::max_weaver_retries`] times from a
+    /// restored memory snapshot; when retries are exhausted the Weaver
+    /// unit is considered faulty and the whole run degrades to the
+    /// software `S_wm` schedule (graceful degradation —
+    /// [`RunReport::fell_back_from`] records the original request).
+    ///
     /// # Errors
     ///
     /// Propagates compiler/simulator/convergence errors.
@@ -208,6 +256,49 @@ impl Session {
         graph: &Csr,
         algorithm: &dyn Algorithm,
         schedule: Schedule,
+    ) -> Result<RunReport, FrameworkError> {
+        let fault = self
+            .inject
+            .filter(|s| s.is_active())
+            .map(|spec| FaultHandle::new(FaultInjector::new(spec, self.inject_seed)));
+        let result = match self.run_once(graph, algorithm, schedule, fault.clone(), None) {
+            Err(FrameworkError::Sim(SimError::WeaverTimeout { kernel, .. }))
+                if self.fallback && schedule.uses_unit() =>
+            {
+                // Retries exhausted: the Weaver unit is faulty. Re-run the
+                // whole algorithm under the software warp-mapping schedule
+                // on the same (still-faulty) machine — it never consults
+                // the unit, so dropped responses cannot recur.
+                self.run_once(
+                    graph,
+                    algorithm,
+                    Schedule::Swm,
+                    fault.clone(),
+                    Some((schedule, kernel)),
+                )
+                .map(|mut report| {
+                    // The launch that exhausted its budget retried exactly
+                    // this many times before the fallback.
+                    report.weaver_retries += self.max_weaver_retries as u64;
+                    report
+                })
+            }
+            other => other,
+        };
+        self.last_faults = fault.map(|f| f.counts());
+        result
+    }
+
+    /// One attempt of [`Session::run`] under exactly `schedule`.
+    /// `fallback_from` marks this as the graceful-degradation re-run:
+    /// `(originally requested schedule, kernel that exhausted retries)`.
+    fn run_once(
+        &mut self,
+        graph: &Csr,
+        algorithm: &dyn Algorithm,
+        schedule: Schedule,
+        fault: Option<FaultHandle>,
+        fallback_from: Option<(Schedule, String)>,
     ) -> Result<RunReport, FrameworkError> {
         let (eff, configured) = self.clamped_config(algorithm, schedule)?;
         let mut gpu = Gpu::new(eff);
@@ -226,8 +317,34 @@ impl Session {
             None => self.trace.map(TraceHandle::new),
         };
         rt.set_tracer(tracer.clone());
+        rt.set_fault_injector(fault.clone());
+        rt.set_max_weaver_retries(self.max_weaver_retries);
+        if let (Some(tr), Some((from, kernel))) = (&tracer, &fallback_from) {
+            tr.emit(
+                0,
+                0,
+                EventData::WeaverFallback {
+                    kernel: kernel.clone(),
+                    schedule: schedule.paper_name().to_string(),
+                },
+            );
+            // The failed attempt's tracer died with it; carry what the
+            // injector did to that run (the drops that exhausted the
+            // retry budget) into this run's totals so `metrics.json`
+            // explains the fallback it reports.
+            let pre = fault.as_ref().map(|f| f.counts()).unwrap_or_default();
+            tr.add_totals(&CounterSnapshot {
+                faults_injected: pre.total(),
+                weaver_drops: pre.weaver_drops,
+                weaver_retries: self.max_weaver_retries as u64,
+                weaver_fallbacks: 1,
+                ..CounterSnapshot::default()
+            });
+            let _ = from;
+        }
         let output = algorithm.run(&mut rt)?;
         let occupancy = rt.gpu().occupancy();
+        let weaver_retries = rt.weaver_retries();
         let (stats, per_kernel) = rt.into_stats();
         let trace = tracer.map(|t| t.report());
         let sink_error = trace.as_ref().and_then(|t| t.sink_error);
@@ -242,6 +359,9 @@ impl Session {
             sink_error,
             lint: self.lint,
             occupancy,
+            weaver_retries,
+            fell_back_from: fallback_from.map(|(from, _)| from),
+            faults: fault.map(|f| f.counts()),
         })
     }
 }

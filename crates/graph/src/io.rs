@@ -16,6 +16,7 @@ use crate::VertexId;
 pub struct ParseEdgeListError {
     line: usize,
     message: String,
+    snippet: String,
 }
 
 impl ParseEdgeListError {
@@ -23,14 +24,19 @@ impl ParseEdgeListError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// The offending line's text (truncated to 60 characters).
+    pub fn snippet(&self) -> &str {
+        &self.snippet
+    }
 }
 
 impl fmt::Display for ParseEdgeListError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid edge list at line {}: {}",
-            self.line, self.message
+            "invalid edge list at line {}: {} in `{}`",
+            self.line, self.message, self.snippet
         )
     }
 }
@@ -67,6 +73,7 @@ pub fn parse_edge_list(text: &str) -> Result<Csr, ParseEdgeListError> {
         let err = |message: &str| ParseEdgeListError {
             line: i + 1,
             message: message.to_string(),
+            snippet: line.chars().take(60).collect(),
         };
         let src: u64 = parts
             .next()
@@ -169,6 +176,15 @@ mod tests {
         let e = parse_edge_list("0 1\nxyz 3\n").unwrap_err();
         assert_eq!(e.line(), 2);
         assert!(e.to_string().contains("line 2"));
+        assert_eq!(e.snippet(), "xyz 3");
+        assert!(e.to_string().contains("`xyz 3`"));
+    }
+
+    #[test]
+    fn long_offending_lines_are_truncated_in_errors() {
+        let junk = "z".repeat(500);
+        let e = parse_edge_list(&format!("0 1\n{junk}\n")).unwrap_err();
+        assert_eq!(e.snippet().chars().count(), 60);
     }
 
     #[test]

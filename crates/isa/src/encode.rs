@@ -290,9 +290,22 @@ pub fn encode_instr(instr: &Instr) -> (u32, u64) {
 /// Returns [`DecodeError`] on unknown opcodes or sub-operation indices.
 pub fn decode_instr(hdr: u32, payload: u64) -> Result<Instr, DecodeError> {
     let op = (hdr & 0xff) as u8;
-    let rd = Reg(((hdr >> 8) & 0xff) as u8);
-    let rs1 = Reg(((hdr >> 16) & 0xff) as u8);
-    let rs2 = Reg(((hdr >> 24) & 0xff) as u8);
+    // Register fields must address the architectural register file; a
+    // corrupted word whose field exceeds NUM_REGS is an illegal
+    // instruction, not an out-of-bounds register-file index.
+    let reg = |field: u32| -> Result<Reg, DecodeError> {
+        let r = (field & 0xff) as u8;
+        if (r as usize) < crate::NUM_REGS {
+            Ok(Reg(r))
+        } else {
+            Err(DecodeError {
+                reason: format!("register x{r} out of range (file has {})", crate::NUM_REGS),
+            })
+        }
+    };
+    let rd = reg(hdr >> 8)?;
+    let rs1 = reg(hdr >> 16)?;
+    let rs2 = reg(hdr >> 24)?;
     let sub = |all_len: usize| -> Result<usize, DecodeError> {
         let i = (payload & 0xff) as usize;
         if i < all_len {
@@ -418,7 +431,7 @@ pub fn decode_instr(hdr: u32, payload: u64) -> Result<Instr, DecodeError> {
         OP_WREG => Instr::WeaverReg {
             vid: rs1,
             loc: rs2,
-            deg: Reg(payload as u8),
+            deg: reg(payload as u32)?,
         },
         OP_WDECID => Instr::WeaverDecId { rd },
         OP_WDECLOC => Instr::WeaverDecLoc { rd },

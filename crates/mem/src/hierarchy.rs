@@ -179,6 +179,20 @@ impl Port {
     }
 }
 
+/// One port's queue state at a point in time, reported by
+/// [`Hierarchy::port_occupancy`] for hang diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortOccupancy {
+    /// Port name (`l1:<core>`, `l2`, `dram`, `atomic`).
+    pub name: String,
+    /// Slots consumed in the current service window.
+    pub used: u64,
+    /// Slots available per service window.
+    pub per_window: u64,
+    /// The cycle the current service window ends.
+    pub busy_until: u64,
+}
+
 /// The memory hierarchy timing model.
 ///
 /// # Examples
@@ -245,6 +259,27 @@ impl Hierarchy {
     /// The configuration this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
+    }
+
+    /// A snapshot of every port's queue state — the "MSHR/queue
+    /// occupancy" section of a hang report.
+    pub fn port_occupancy(&self) -> Vec<PortOccupancy> {
+        let snap = |name: String, p: &Port| PortOccupancy {
+            name,
+            used: p.used,
+            per_window: p.per_window,
+            busy_until: p.cycle,
+        };
+        let mut out: Vec<PortOccupancy> = self
+            .l1_ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| snap(format!("l1:{i}"), p))
+            .collect();
+        out.push(snap("l2".to_string(), &self.l2_port));
+        out.push(snap("dram".to_string(), &self.dram_port));
+        out.push(snap("atomic".to_string(), &self.atomic_port));
+        out
     }
 
     /// DRAM latency in GPU cycles (base latency x frequency ratio).

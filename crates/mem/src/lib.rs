@@ -26,8 +26,8 @@ pub mod hierarchy;
 pub mod main_memory;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, LevelStats};
-pub use main_memory::MainMemory;
+pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, LevelStats, PortOccupancy};
+pub use main_memory::{MainMemory, MemFault};
 
 /// Cache line size in bytes, fixed at 64 as on Vortex.
 pub const LINE_BYTES: u64 = 64;

@@ -3,6 +3,43 @@
 use std::cell::Cell;
 use std::fmt;
 
+use sparseweaver_fault::FaultHandle;
+
+/// A typed device-memory access fault (out-of-bounds or bad width),
+/// raised by [`MainMemory::try_read`]/[`MainMemory::try_write`] so the
+/// simulator can surface it as a detected crash instead of aborting the
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u64,
+    /// The access width in bytes.
+    pub width: u64,
+    /// Whether the access was a store.
+    pub write: bool,
+    /// The memory size at the time of the fault (0 for a width fault).
+    pub size: u64,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.write { "write" } else { "read" };
+        if matches!(self.width, 1 | 2 | 4 | 8) {
+            write!(
+                f,
+                "device {kind} of {} bytes at {:#x} out of bounds (memory is {} bytes)",
+                self.width, self.addr, self.size
+            )
+        } else {
+            write!(
+                f,
+                "device {kind} at {:#x} has unsupported width {}",
+                self.addr, self.width
+            )
+        }
+    }
+}
+
 /// Byte-addressed device memory holding the *functional* state of the GPU.
 ///
 /// All loads, stores and atomics resolve here immediately; the cache
@@ -23,6 +60,7 @@ pub struct MainMemory {
     data: Vec<u8>,
     reads: Cell<u64>,
     writes: Cell<u64>,
+    fault: Option<FaultHandle>,
 }
 
 /// Equality is over the *contents* only: the traffic counters are
@@ -49,7 +87,16 @@ impl MainMemory {
             data: vec![0; size],
             reads: Cell::new(0),
             writes: Cell::new(0),
+            fault: None,
         }
+    }
+
+    /// Attach (or detach) the fault injector. Only the *device-side*
+    /// access path ([`try_read`](MainMemory::try_read)) consults it; host
+    /// helpers like [`read_u32_slice`](MainMemory::read_u32_slice) stay
+    /// fault-free so golden comparisons read true device state.
+    pub fn set_fault_injector(&mut self, fault: Option<FaultHandle>) {
+        self.fault = fault;
     }
 
     /// Cumulative `(reads, writes)` access counts since construction or
@@ -82,11 +129,82 @@ impl MainMemory {
         }
     }
 
-    /// Reads `width` bytes (1, 2, 4 or 8) at `addr`, zero-extended.
+    /// Device-side read of `width` bytes (1, 2, 4 or 8) at `addr`,
+    /// zero-extended. This is the path simulated loads take: it returns a
+    /// typed [`MemFault`] instead of panicking, and an attached fault
+    /// injector may flip one bit of the returned word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on out-of-bounds access or unsupported width.
+    pub fn try_read(&self, addr: u64, width: u64) -> Result<u64, MemFault> {
+        self.reads.set(self.reads.get() + 1);
+        let a = addr as usize;
+        let w = width as usize;
+        if !matches!(w, 1 | 2 | 4 | 8) {
+            return Err(MemFault {
+                addr,
+                width,
+                write: false,
+                size: 0,
+            });
+        }
+        let slice = a
+            .checked_add(w)
+            .and_then(|end| self.data.get(a..end))
+            .ok_or(MemFault {
+                addr,
+                width,
+                write: false,
+                size: self.data.len() as u64,
+            })?;
+        let mut buf = [0u8; 8];
+        buf[..w].copy_from_slice(slice);
+        let value = u64::from_le_bytes(buf);
+        match &self.fault {
+            Some(h) => Ok(h.with(|i| i.corrupt_mem(value, w))),
+            None => Ok(value),
+        }
+    }
+
+    /// Device-side write of the low `width` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on out-of-bounds access or unsupported width.
+    pub fn try_write(&mut self, addr: u64, value: u64, width: u64) -> Result<(), MemFault> {
+        self.writes.set(self.writes.get() + 1);
+        let a = addr as usize;
+        let w = width as usize;
+        if !matches!(w, 1 | 2 | 4 | 8) {
+            return Err(MemFault {
+                addr,
+                width,
+                write: true,
+                size: 0,
+            });
+        }
+        let size = self.data.len() as u64;
+        let bytes = value.to_le_bytes();
+        let slice = a
+            .checked_add(w)
+            .and_then(|end| self.data.get_mut(a..end))
+            .ok_or(MemFault {
+                addr,
+                width,
+                write: true,
+                size,
+            })?;
+        slice.copy_from_slice(&bytes[..w]);
+        Ok(())
+    }
+
+    /// Host-side read of `width` bytes (1, 2, 4 or 8) at `addr`,
+    /// zero-extended. Never consults the fault injector.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-bounds access or unsupported width — a kernel bug,
+    /// Panics on out-of-bounds access or unsupported width — a host bug,
     /// surfaced loudly rather than silently corrupting an experiment.
     pub fn read(&self, addr: u64, width: u64) -> u64 {
         self.reads.set(self.reads.get() + 1);
@@ -240,6 +358,43 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_read_panics() {
         MainMemory::new(4).read(2, 4);
+    }
+
+    #[test]
+    fn try_read_returns_typed_fault() {
+        let m = MainMemory::new(4);
+        let e = m.try_read(2, 4).unwrap_err();
+        assert!(!e.write);
+        assert_eq!(e.addr, 2);
+        assert!(e.to_string().contains("out of bounds"));
+        let e = m.try_read(0, 3).unwrap_err();
+        assert!(e.to_string().contains("unsupported width"));
+        // Address arithmetic that would overflow usize is a fault, not a panic.
+        assert!(m.try_read(u64::MAX, 8).is_err());
+    }
+
+    #[test]
+    fn try_write_returns_typed_fault() {
+        let mut m = MainMemory::new(4);
+        let e = m.try_write(2, 0, 4).unwrap_err();
+        assert!(e.write);
+        assert!(e.to_string().contains("out of bounds"));
+        assert!(m.try_write(0, 0, 5).is_err());
+        m.try_write(0, 0xaa, 1).unwrap();
+        assert_eq!(m.try_read(0, 1).unwrap(), 0xaa);
+    }
+
+    #[test]
+    fn fault_injector_corrupts_device_reads_only() {
+        use sparseweaver_fault::{FaultHandle, FaultInjector, FaultSpec};
+        let spec = FaultSpec::parse("mem=1").unwrap();
+        let mut m = MainMemory::new(64);
+        m.write(0, 0x55, 8);
+        m.set_fault_injector(Some(FaultHandle::new(FaultInjector::new(spec, 1))));
+        let device = m.try_read(0, 8).unwrap();
+        assert_ne!(device, 0x55, "device read should see a flipped bit");
+        // The host path reads true state.
+        assert_eq!(m.read(0, 8), 0x55);
     }
 
     #[test]

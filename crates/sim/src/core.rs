@@ -1,7 +1,8 @@
 //! One SIMT core: warp scheduler, instruction execution, barriers,
 //! shared memory, and the Weaver/EGHW functional-unit port.
 
-use sparseweaver_isa::{Instr, Program, Space, VoteOp, Width};
+use sparseweaver_fault::FaultHandle;
+use sparseweaver_isa::{Instr, Program, Space, VoteOp, Width, NUM_REGS};
 use sparseweaver_mem::{Hierarchy, MainMemory};
 use sparseweaver_trace::{Category, EventData, TraceHandle};
 use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
@@ -90,6 +91,11 @@ pub struct Core {
     pub stats: CoreStats,
     trace: Option<(Vec<TraceRecord>, usize)>,
     tracer: Option<TraceHandle>,
+    fault: Option<FaultHandle>,
+    /// Cached `spec.fetch_rate > 0` / `spec.reg_rate > 0`, so the
+    /// fault-free hot path pays no per-instruction borrow.
+    fault_fetch: bool,
+    fault_reg: bool,
     lanes: usize,
     shared_latency: u64,
     alu_latency: u64,
@@ -116,6 +122,9 @@ impl Core {
             stats: CoreStats::default(),
             trace: None,
             tracer: None,
+            fault: None,
+            fault_fetch: false,
+            fault_reg: false,
             lanes: cfg.threads_per_warp,
             shared_latency: cfg.shared_latency,
             alu_latency: cfg.alu_latency,
@@ -140,23 +149,6 @@ impl Core {
         self.resident == 0
     }
 
-    /// One line per warp describing its scheduling state (debugging aid).
-    pub fn debug_warp_states(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        for (i, w) in self.warps.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "  warp {i}: pc={} state={:?} active={:#06x} stack_depth={}",
-                w.pc,
-                w.state,
-                w.active,
-                w.simt.len()
-            );
-        }
-        s
-    }
-
     /// Number of warps currently parked at the barrier.
     pub fn warps_at_barrier(&self) -> usize {
         self.warps
@@ -176,6 +168,61 @@ impl Core {
     pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
         self.weaver.set_tracer(tracer.clone(), self.id as u32);
         self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches) the fault injector; the handle is forwarded
+    /// to the core's Weaver unit for the protocol sites.
+    pub fn set_fault_injector(&mut self, fault: Option<FaultHandle>) {
+        self.weaver.set_fault_injector(fault.clone());
+        let spec = fault.as_ref().map(|f| f.spec());
+        self.fault_fetch = spec.is_some_and(|s| s.fetch_rate > 0.0);
+        self.fault_reg = spec.is_some_and(|s| s.reg_rate > 0.0);
+        self.fault = fault;
+    }
+
+    /// A structured snapshot of this core for a [`crate::HangReport`].
+    pub fn hang_state(&self, cycle: u64) -> crate::hang::CoreHang {
+        let warps = self
+            .warps
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let (next_ready, waiting_on) = match w.soonest_pending(cycle) {
+                    Some((t, k)) => (
+                        t,
+                        match k {
+                            PendKind::Memory => "memory",
+                            PendKind::Shared => "shared",
+                            PendKind::Weaver => "weaver",
+                            PendKind::Exec => "exec",
+                            PendKind::None => "none",
+                        },
+                    ),
+                    None => (0, "none"),
+                };
+                crate::hang::WarpHang {
+                    warp: i,
+                    pc: w.pc,
+                    state: match w.state {
+                        WarpState::Running => "running",
+                        WarpState::AtBarrier => "at_barrier",
+                        WarpState::Halted => "halted",
+                    }
+                    .to_string(),
+                    active_mask: w.active,
+                    stack_depth: w.simt.len(),
+                    waiting_on: waiting_on.to_string(),
+                    next_ready,
+                }
+            })
+            .collect();
+        crate::hang::CoreHang {
+            core: self.id,
+            resident_warps: self.resident,
+            barrier_arrivals: self.warps_at_barrier(),
+            weaver_fsm_state: self.weaver.fsm_state_id(),
+            warps,
+        }
     }
 
     /// Enables instruction tracing: up to `cap` issued instructions are
@@ -352,6 +399,7 @@ impl Core {
                     );
                 }
             }
+            let instr = self.fetch_with_faults(instr, w, program)?;
             self.exec(w, instr, cycle, args, hier, mem, num_cores, program)?;
             self.next_warp = (w + 1) % n;
             self.stats.instructions += 1;
@@ -409,6 +457,37 @@ impl Core {
         Ok(IssueOutcome::Blocked(blocked))
     }
 
+    /// Models a transient bit flip between I-cache and decode: the fetched
+    /// instruction is re-encoded, one bit of its 32-bit word may flip, and
+    /// the corrupt word is decoded again. A word that no longer decodes is
+    /// an [`SimError::IllegalInstruction`] (detected crash); one that still
+    /// decodes executes as the mutated instruction.
+    fn fetch_with_faults(
+        &mut self,
+        instr: Instr,
+        w: usize,
+        program: &Program,
+    ) -> Result<Instr, SimError> {
+        if !self.fault_fetch {
+            return Ok(instr);
+        }
+        let Some(f) = &self.fault else {
+            return Ok(instr);
+        };
+        let (word, payload) = sparseweaver_isa::encode::encode_instr(&instr);
+        let corrupt = f.with(|i| i.corrupt_fetch(word));
+        if corrupt == word {
+            return Ok(instr);
+        }
+        sparseweaver_isa::encode::decode_instr(corrupt, payload).map_err(|_| {
+            SimError::IllegalInstruction {
+                kernel: program.name().to_string(),
+                pc: self.warps[w].pc,
+                word: corrupt,
+            }
+        })
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn exec(
         &mut self,
@@ -426,6 +505,17 @@ impl Core {
         let lanes = self.lanes;
         let core_id = self.id;
         self.stats.thread_instructions += self.warps[w].active_count() as u64;
+        // Transient register-file upset: one bit of one register word of
+        // the executing warp may flip, visible to all subsequent reads.
+        if self.fault_reg {
+            if let Some(f) = &self.fault {
+                if let Some((lane, reg, bit)) =
+                    f.with(|i| i.reg_event(lanes as u64, NUM_REGS as u64))
+                {
+                    self.warps[w].flip_bit(lane, reg, bit);
+                }
+            }
+        }
         let warp = &mut self.warps[w];
         warp.pc += 1;
 
@@ -523,7 +613,7 @@ impl Core {
                 width,
                 space,
             } => {
-                self.exec_load(w, rd, addr, offset, width, space, cycle, hier, mem);
+                self.exec_load(w, rd, addr, offset, width, space, cycle, hier, mem, program)?;
             }
             Instr::St {
                 src,
@@ -532,7 +622,9 @@ impl Core {
                 width,
                 space,
             } => {
-                self.exec_store(w, src, addr, offset, width, space, cycle, hier, mem);
+                self.exec_store(
+                    w, src, addr, offset, width, space, cycle, hier, mem, program,
+                )?;
             }
             Instr::Atom {
                 op,
@@ -550,8 +642,9 @@ impl Core {
                             let operand = self.warps[w].read(l, src);
                             let r = hier.atomic(core_id, a, cycle);
                             max_done = max_done.max(cycle + r.latency);
-                            let old = mem.read(a, 8);
-                            mem.write(a, op.combine(old, operand), 8);
+                            let old = mem.try_read(a, 8).map_err(|e| mem_fault(program, &e))?;
+                            mem.try_write(a, op.combine(old, operand), 8)
+                                .map_err(|e| mem_fault(program, &e))?;
                             self.warps[w].write(l, rd, old);
                         }
                         self.warps[w].set_pending(rd, max_done, PendKind::Memory);
@@ -563,8 +656,13 @@ impl Core {
                         for (i, l) in active.into_iter().enumerate() {
                             let a = self.warps[w].read(l, addr);
                             let operand = self.warps[w].read(l, src);
-                            let old = self.shared.read(a, 8);
-                            self.shared.write(a, op.combine(old, operand), 8);
+                            let old = self
+                                .shared
+                                .try_read(a, 8)
+                                .map_err(|e| mem_fault(program, &e))?;
+                            self.shared
+                                .try_write(a, op.combine(old, operand), 8)
+                                .map_err(|e| mem_fault(program, &e))?;
                             self.warps[w].write(l, rd, old);
                             max_done = max_done.max(cycle + self.shared_latency + i as u64);
                         }
@@ -684,7 +782,12 @@ impl Core {
             }
             Instr::Tmc { rs1 } => {
                 let m = warp.read_uniform(rs1) & full_mask(lanes);
-                assert!(m != 0, "tmc would deactivate every lane");
+                if m == 0 {
+                    return Err(SimError::Fault {
+                        kernel: program.name().to_string(),
+                        what: format!("tmc at pc {} would deactivate every lane", warp.pc - 1),
+                    });
+                }
                 warp.active = m;
             }
             Instr::WeaverReg { vid, loc, deg } => {
@@ -702,7 +805,12 @@ impl Core {
                                 )
                             })
                             .collect();
-                        self.weaver.reg(w, &records, cycle);
+                        self.weaver
+                            .reg(w, &records, cycle)
+                            .map_err(|e| SimError::Fault {
+                                kernel: program.name().to_string(),
+                                what: e.to_string(),
+                            })?;
                     }
                     WeaverMode::Eghw => {
                         let records: Vec<(usize, u32)> = active
@@ -730,7 +838,9 @@ impl Core {
                         // The unit has its own memory port (SCU/GraphPEG
                         // style): full lookup latency, no GPU port queue.
                         let lat = hier.access_unqueued(core_id, a, false).latency;
-                        (mem.read(a, wd), lat)
+                        // The unit's port cannot raise a bus error; an
+                        // out-of-bounds lookup reads as zero.
+                        (mem.try_read(a, wd).unwrap_or(0), lat)
                     });
                     let staging = eghw_staging_base(self.shared.len(), self.warps.len(), lanes);
                     for l in 0..lanes {
@@ -799,7 +909,8 @@ impl Core {
         cycle: u64,
         hier: &mut Hierarchy,
         mem: &mut MainMemory,
-    ) {
+        program: &Program,
+    ) -> Result<(), SimError> {
         let active: Vec<usize> = self.warps[w].active_lanes().collect();
         match space {
             Space::Shared => {
@@ -807,7 +918,10 @@ impl Core {
                     let a = self.warps[w]
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
-                    let v = self.shared.read(a, width.bytes());
+                    let v = self
+                        .shared
+                        .try_read(a, width.bytes())
+                        .map_err(|e| mem_fault(program, &e))?;
                     self.warps[w].write(l, rd, v);
                 }
                 self.warps[w].set_pending(rd, cycle + self.shared_latency, PendKind::Shared);
@@ -837,12 +951,15 @@ impl Core {
                     let a = self.warps[w]
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
-                    let v = mem.read(a, width.bytes());
+                    let v = mem
+                        .try_read(a, width.bytes())
+                        .map_err(|e| mem_fault(program, &e))?;
                     self.warps[w].write(l, rd, v);
                 }
                 self.warps[w].set_pending(rd, cycle + max_lat, PendKind::Memory);
             }
         }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -857,7 +974,8 @@ impl Core {
         cycle: u64,
         hier: &mut Hierarchy,
         mem: &mut MainMemory,
-    ) {
+        program: &Program,
+    ) -> Result<(), SimError> {
         let active: Vec<usize> = self.warps[w].active_lanes().collect();
         match space {
             Space::Shared => {
@@ -866,7 +984,9 @@ impl Core {
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
                     let v = self.warps[w].read(l, src);
-                    self.shared.write(a, v, width.bytes());
+                    self.shared
+                        .try_write(a, v, width.bytes())
+                        .map_err(|e| mem_fault(program, &e))?;
                 }
             }
             Space::Global => {
@@ -891,11 +1011,21 @@ impl Core {
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
                     let v = self.warps[w].read(l, src);
-                    mem.write(a, v, width.bytes());
+                    mem.try_write(a, v, width.bytes())
+                        .map_err(|e| mem_fault(program, &e))?;
                 }
             }
         }
         // Stores are fire-and-forget: the warp continues immediately.
+        Ok(())
+    }
+}
+
+/// Maps a typed device-memory fault to a [`SimError::Fault`].
+fn mem_fault(program: &Program, e: &sparseweaver_mem::MemFault) -> SimError {
+    SimError::Fault {
+        kernel: program.name().to_string(),
+        what: e.to_string(),
     }
 }
 

@@ -1,5 +1,6 @@
 //! The whole GPU: cores + memory hierarchy + the global cycle loop.
 
+use sparseweaver_fault::FaultHandle;
 use sparseweaver_isa::Program;
 use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory};
 use sparseweaver_trace::{CounterSnapshot, EventData, StallCause, TraceHandle};
@@ -47,6 +48,7 @@ pub struct Gpu {
     hierarchy: Hierarchy,
     cores: Vec<Core>,
     tracer: Option<TraceHandle>,
+    fault: Option<FaultHandle>,
     occupancy: Occupancy,
     configured_warps_per_core: usize,
 }
@@ -86,6 +88,7 @@ impl Gpu {
             configured_warps_per_core: cfg.warps_per_core,
             cfg,
             tracer: None,
+            fault: None,
             occupancy: Occupancy::default(),
         }
     }
@@ -120,6 +123,26 @@ impl Gpu {
             c.set_tracer(tracer.clone());
         }
         self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches, with `None`) a deterministic fault injector.
+    ///
+    /// The handle is distributed to device memory (word corruption on
+    /// device reads), every core (register-file and instruction-fetch bit
+    /// flips), and each core's Weaver unit (Table-II response drops and
+    /// delays). With no injector attached — the default — every hook is a
+    /// `None` check and the machine is exactly the fault-free simulator.
+    pub fn set_fault_injector(&mut self, fault: Option<FaultHandle>) {
+        self.mem.set_fault_injector(fault.clone());
+        for c in &mut self.cores {
+            c.set_fault_injector(fault.clone());
+        }
+        self.fault = fault;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultHandle> {
+        self.fault.as_ref()
     }
 
     /// The machine configuration.
@@ -207,6 +230,7 @@ impl Gpu {
         self.hierarchy.reset_ports();
         let mem_before = self.hierarchy.stats();
         let traffic_before = self.mem.traffic();
+        let fault_before = self.fault.as_ref().map(|f| f.counts()).unwrap_or_default();
         if let Some(tr) = &self.tracer {
             tr.kernel_begin(program.name());
         }
@@ -218,14 +242,10 @@ impl Gpu {
 
         loop {
             if cycle > self.cfg.max_cycles {
-                if std::env::var_os("SPARSEWEAVER_DEBUG_HANG").is_some() {
-                    for (i, c) in self.cores.iter().enumerate() {
-                        eprintln!("core {i}:\n{}", c.debug_warp_states());
-                    }
-                }
                 return Err(SimError::CycleLimit {
                     kernel: program.name().to_string(),
                     limit: self.cfg.max_cycles,
+                    hang: Box::new(self.build_hang_report(program.name(), cycle)),
                 });
             }
             blocked.clear();
@@ -273,9 +293,23 @@ impl Gpu {
                     .min()
                     .unwrap_or(u64::MAX);
                 if jump == u64::MAX {
+                    let hang = Box::new(self.build_hang_report(program.name(), cycle));
+                    let kernel = program.name().to_string();
+                    // A deadlock whose proximate cause is a dropped Weaver
+                    // response is a protocol timeout: the runtime can retry
+                    // the launch and fall back to the software `S_wm`
+                    // schedule, neither of which helps a true deadlock.
+                    if self.fault.as_ref().is_some_and(|f| f.weaver_faulty()) {
+                        return Err(SimError::WeaverTimeout {
+                            kernel,
+                            cycle,
+                            hang,
+                        });
+                    }
                     return Err(SimError::Deadlock {
-                        kernel: program.name().to_string(),
+                        kernel,
                         cycle,
+                        hang,
                     });
                 }
                 jump - cycle
@@ -317,8 +351,12 @@ impl Gpu {
             cycle += delta;
             if let Some(tr) = &self.tracer {
                 if tr.sample_due(cycle) {
-                    let snap =
-                        self.launch_snapshot(barrier_warp_cycles, &mem_before, traffic_before);
+                    let snap = self.launch_snapshot(
+                        barrier_warp_cycles,
+                        &mem_before,
+                        traffic_before,
+                        &fault_before,
+                    );
                     tr.record_sample(cycle, &snap);
                 }
             }
@@ -355,10 +393,26 @@ impl Gpu {
             dram_accesses: mem_after.dram_accesses - mem_before.dram_accesses,
         };
         if let Some(tr) = &self.tracer {
-            let snap = self.launch_snapshot(barrier_warp_cycles, &mem_before, traffic_before);
+            let snap = self.launch_snapshot(
+                barrier_warp_cycles,
+                &mem_before,
+                traffic_before,
+                &fault_before,
+            );
             tr.kernel_end(cycle, &snap);
         }
         Ok(stats)
+    }
+
+    /// Snapshots the whole machine for hang diagnostics: per-warp
+    /// scheduling state on every core plus memory-port occupancy.
+    fn build_hang_report(&self, kernel: &str, cycle: u64) -> crate::hang::HangReport {
+        crate::hang::HangReport {
+            kernel: kernel.to_string(),
+            cycle,
+            cores: self.cores.iter().map(|c| c.hang_state(cycle)).collect(),
+            ports: self.hierarchy.port_occupancy(),
+        }
     }
 
     /// Launch-relative counter snapshot for the tracer: everything measured
@@ -369,6 +423,7 @@ impl Gpu {
         barrier_warp_cycles: u64,
         mem_before: &LevelStats,
         traffic_before: (u64, u64),
+        fault_before: &sparseweaver_fault::FaultCounts,
     ) -> CounterSnapshot {
         let mut snap = CounterSnapshot::default();
         for c in &self.cores {
@@ -402,6 +457,11 @@ impl Gpu {
             snap.l3_hits = a.hits - b.hits;
         }
         snap.dram_accesses = now.dram_accesses - mem_before.dram_accesses;
+        if let Some(f) = &self.fault {
+            let counts = f.counts();
+            snap.faults_injected = counts.total() - fault_before.total();
+            snap.weaver_drops = counts.weaver_drops - fault_before.weaver_drops;
+        }
         let (mr, mw) = self.mem.traffic();
         snap.mem_reads = mr - traffic_before.0;
         snap.mem_writes = mw - traffic_before.1;

@@ -1,0 +1,189 @@
+//! Structured hang diagnostics.
+//!
+//! When a launch deadlocks or exceeds its cycle budget, the GPU snapshots
+//! the whole machine into a [`HangReport`] attached to the returned
+//! [`SimError`](crate::SimError). The report replaces the old
+//! `SPARSEWEAVER_DEBUG_HANG` environment variable: instead of an
+//! unstructured dump to stderr, callers get per-warp scheduling state,
+//! barrier arrivals, Weaver FSM state, and memory-port queue occupancy,
+//! all renderable as JSON (`swsim --hang-report <path>`).
+
+use std::fmt::Write as _;
+
+use sparseweaver_mem::PortOccupancy;
+
+/// One warp's scheduling state at the moment of the hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpHang {
+    /// Warp index within its core.
+    pub warp: usize,
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Scheduling state: `running`, `at_barrier`, or `halted`.
+    pub state: String,
+    /// Active thread mask.
+    pub active_mask: u64,
+    /// IPDOM divergence-stack depth.
+    pub stack_depth: usize,
+    /// What the warp's soonest-ready pending register waits on
+    /// (`memory`, `shared`, `weaver`, `exec`, or `none`).
+    pub waiting_on: String,
+    /// Cycle at which that register becomes ready (`u64::MAX` = never,
+    /// e.g. a dropped Weaver response).
+    pub next_ready: u64,
+}
+
+/// One core's state at the moment of the hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreHang {
+    /// Core index.
+    pub core: usize,
+    /// Warps still resident (not halted).
+    pub resident_warps: usize,
+    /// Warps currently arrived at the core barrier.
+    pub barrier_arrivals: usize,
+    /// The Weaver FSM's state id (0–8, Fig. 6).
+    pub weaver_fsm_state: u8,
+    /// Per-warp detail.
+    pub warps: Vec<WarpHang>,
+}
+
+/// A structured snapshot of the machine at a deadlock or cycle-limit
+/// abort, attached to [`SimError::Deadlock`](crate::SimError::Deadlock),
+/// [`SimError::CycleLimit`](crate::SimError::CycleLimit), and
+/// [`SimError::WeaverTimeout`](crate::SimError::WeaverTimeout).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HangReport {
+    /// The kernel that hung.
+    pub kernel: String,
+    /// The cycle at which progress stopped (or the limit was exceeded).
+    pub cycle: u64,
+    /// Per-core machine state.
+    pub cores: Vec<CoreHang>,
+    /// Memory-port queue occupancy (`l1:<core>`, `l2`, `dram`, `atomic`).
+    pub ports: Vec<PortOccupancy>,
+}
+
+impl HangReport {
+    /// Renders the report as a single JSON object (hand-rolled like the
+    /// rest of the stack's exports; key order is fixed so output is
+    /// byte-deterministic).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"sparseweaver-hang-report-v1\",\"kernel\":\"{}\",\"cycle\":{},\"cores\":[",
+            escape(&self.kernel),
+            self.cycle
+        );
+        for (i, c) in self.cores.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"core\":{},\"resident_warps\":{},\"barrier_arrivals\":{},\
+                 \"weaver_fsm_state\":{},\"warps\":[",
+                c.core, c.resident_warps, c.barrier_arrivals, c.weaver_fsm_state
+            );
+            for (j, w) in c.warps.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"warp\":{},\"pc\":{},\"state\":\"{}\",\"active_mask\":{},\
+                     \"stack_depth\":{},\"waiting_on\":\"{}\",\"next_ready\":{}}}",
+                    w.warp,
+                    w.pc,
+                    escape(&w.state),
+                    w.active_mask,
+                    w.stack_depth,
+                    escape(&w.waiting_on),
+                    w.next_ready
+                );
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"ports\":[");
+        for (i, p) in self.ports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"used\":{},\"per_window\":{},\"busy_until\":{}}}",
+                escape(&p.name),
+                p.used,
+                p.per_window,
+                p.busy_until
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let r = HangReport {
+            kernel: "bfs_gather".to_string(),
+            cycle: 42,
+            cores: vec![CoreHang {
+                core: 0,
+                resident_warps: 2,
+                barrier_arrivals: 1,
+                weaver_fsm_state: 6,
+                warps: vec![WarpHang {
+                    warp: 0,
+                    pc: 7,
+                    state: "running".to_string(),
+                    active_mask: 0xf,
+                    stack_depth: 1,
+                    waiting_on: "weaver".to_string(),
+                    next_ready: u64::MAX,
+                }],
+            }],
+            ports: vec![PortOccupancy {
+                name: "l1:0".to_string(),
+                used: 1,
+                per_window: 2,
+                busy_until: 40,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\"schema\":\"sparseweaver-hang-report-v1\""));
+        assert!(j.contains("\"kernel\":\"bfs_gather\""));
+        assert!(j.contains("\"weaver_fsm_state\":6"));
+        assert!(j.contains("\"waiting_on\":\"weaver\""));
+        assert!(j.contains(&format!("\"next_ready\":{}", u64::MAX)));
+        assert!(j.contains("\"name\":\"l1:0\""));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let j = HangReport::default().to_json();
+        assert!(j.contains("\"cores\":[]"));
+        assert!(j.contains("\"ports\":[]"));
+    }
+}

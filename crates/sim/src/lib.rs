@@ -26,12 +26,14 @@
 pub mod config;
 pub mod core;
 pub mod gpu;
+pub mod hang;
 pub mod stats;
 pub mod warp;
 
 pub use config::{GpuConfig, WeaverMode};
 pub use core::TraceRecord;
 pub use gpu::{Gpu, Occupancy};
+pub use hang::{CoreHang, HangReport, WarpHang};
 pub use stats::{KernelStats, Phase, StallBreakdown};
 
 /// Simulation errors: kernel bugs surfaced by the machine model.
@@ -51,6 +53,8 @@ pub enum SimError {
         kernel: String,
         /// Cycle at which progress stopped.
         cycle: u64,
+        /// Machine snapshot at the moment of the hang.
+        hang: Box<HangReport>,
     },
     /// A `join` executed with an empty divergence stack.
     UnbalancedJoin {
@@ -65,6 +69,37 @@ pub enum SimError {
         kernel: String,
         /// The exceeded limit.
         limit: u64,
+        /// Machine snapshot at the moment the limit tripped.
+        hang: Box<HangReport>,
+    },
+    /// Every core is waiting on a Weaver response that will never arrive
+    /// (the unit dropped it, per the injected Table-II protocol fault).
+    /// Distinguished from [`SimError::Deadlock`] so the runtime can retry
+    /// and, on exhaustion, fall back to the software `S_wm` schedule.
+    WeaverTimeout {
+        /// Kernel name.
+        kernel: String,
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Machine snapshot at the moment of the hang.
+        hang: Box<HangReport>,
+    },
+    /// An instruction word failed to decode (corrupted fetch).
+    IllegalInstruction {
+        /// Kernel name.
+        kernel: String,
+        /// Program counter of the corrupt word.
+        pc: u32,
+        /// The 32-bit instruction word that failed to decode.
+        word: u32,
+    },
+    /// A detected machine fault: out-of-bounds memory access, a `tmc`
+    /// that would deactivate every lane, an ST-capacity violation, …
+    Fault {
+        /// Kernel name.
+        kernel: String,
+        /// What faulted.
+        what: String,
     },
     /// The kernel touches more registers than one warp's register-file
     /// allotment; not even a single warp can hold its context.
@@ -84,14 +119,29 @@ impl std::fmt::Display for SimError {
             SimError::DivergentBranch { kernel, pc } => {
                 write!(f, "divergent uniform branch in `{kernel}` at pc {pc}")
             }
-            SimError::Deadlock { kernel, cycle } => {
+            SimError::Deadlock { kernel, cycle, .. } => {
                 write!(f, "deadlock in `{kernel}` at cycle {cycle}")
             }
             SimError::UnbalancedJoin { kernel, pc } => {
                 write!(f, "unbalanced join in `{kernel}` at pc {pc}")
             }
-            SimError::CycleLimit { kernel, limit } => {
+            SimError::CycleLimit { kernel, limit, .. } => {
                 write!(f, "`{kernel}` exceeded the cycle limit of {limit}")
+            }
+            SimError::WeaverTimeout { kernel, cycle, .. } => {
+                write!(
+                    f,
+                    "weaver response timed out in `{kernel}` at cycle {cycle}"
+                )
+            }
+            SimError::IllegalInstruction { kernel, pc, word } => {
+                write!(
+                    f,
+                    "illegal instruction in `{kernel}` at pc {pc} (word {word:#010x})"
+                )
+            }
+            SimError::Fault { kernel, what } => {
+                write!(f, "machine fault in `{kernel}`: {what}")
             }
             SimError::RegisterPressure {
                 kernel,
@@ -104,6 +154,19 @@ impl std::fmt::Display for SimError {
                      file allots {limit} per warp"
                 )
             }
+        }
+    }
+}
+
+impl SimError {
+    /// The attached machine snapshot, when this error is a hang
+    /// (deadlock, cycle limit, or Weaver timeout).
+    pub fn hang_report(&self) -> Option<&HangReport> {
+        match self {
+            SimError::Deadlock { hang, .. }
+            | SimError::CycleLimit { hang, .. }
+            | SimError::WeaverTimeout { hang, .. } => Some(hang),
+            _ => None,
         }
     }
 }

@@ -120,6 +120,26 @@ impl Warp {
         (self.ready[reg.0 as usize], self.pend[reg.0 as usize])
     }
 
+    /// The soonest-ready register still pending at `cycle`, as
+    /// `(ready_at, producer)` — hang-diagnostics helper.
+    pub fn soonest_pending(&self, cycle: u64) -> Option<(u64, PendKind)> {
+        let mut best: Option<(u64, PendKind)> = None;
+        for r in 1..NUM_REGS {
+            if self.ready[r] > cycle && best.is_none_or(|(t, _)| self.ready[r] < t) {
+                best = Some((self.ready[r], self.pend[r]));
+            }
+        }
+        best
+    }
+
+    /// Flips one bit of `reg` in `lane` (fault injection). Flips into x0
+    /// or out-of-range coordinates are ignored.
+    pub fn flip_bit(&mut self, lane: usize, reg: usize, bit: u32) {
+        if reg != 0 && reg < NUM_REGS && lane < self.lanes {
+            self.regs[lane * NUM_REGS + reg] ^= 1u64 << (bit & 63);
+        }
+    }
+
     /// Lanes currently active, as indices.
     pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.lanes).filter(move |&l| self.active >> l & 1 == 1)

@@ -268,13 +268,35 @@ pub enum EventData {
         /// Number of entries/slots touched.
         count: u32,
     },
+    /// The runtime relaunched a kernel after a Weaver response timeout
+    /// (Table-II protocol fault): memory was restored from the pre-launch
+    /// snapshot and the launch retried.
+    WeaverRetry {
+        /// Kernel (program) name.
+        kernel: String,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// Retries were exhausted and the runtime marked the Weaver unit
+    /// faulty; subsequent work runs under the software `S_wm` schedule.
+    WeaverFallback {
+        /// Kernel (program) name that exhausted its retries.
+        kernel: String,
+        /// Schedule the session fell back to (e.g. `"S_wm"`).
+        schedule: String,
+    },
 }
 
 impl EventData {
     /// The category this event belongs to (drives `--trace-level`).
     pub fn category(&self) -> Category {
         match self {
-            EventData::KernelLaunch { .. } | EventData::KernelEnd { .. } => Category::Kernel,
+            EventData::KernelLaunch { .. }
+            | EventData::KernelEnd { .. }
+            // Retry/fallback are launch-lifecycle decisions made by the
+            // runtime, so they ride the always-on kernel category.
+            | EventData::WeaverRetry { .. }
+            | EventData::WeaverFallback { .. } => Category::Kernel,
             EventData::PhaseBegin { .. }
             | EventData::WarpIssue { .. }
             | EventData::WarpStall { .. }

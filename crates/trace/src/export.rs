@@ -200,6 +200,19 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
             &mut out,
             counter_json(
                 ts,
+                "faults",
+                &[
+                    ("injected", c.faults_injected),
+                    ("weaver_drops", c.weaver_drops),
+                    ("weaver_retries", c.weaver_retries),
+                    ("weaver_fallbacks", c.weaver_fallbacks),
+                ],
+            ),
+        );
+        push(
+            &mut out,
+            counter_json(
+                ts,
                 "occupancy",
                 &[
                     ("kernel_high_water", c.kernel_high_water),
@@ -310,6 +323,20 @@ pub fn event_json(e: &TraceEvent) -> String {
             "weaver",
             format!("\"op\":\"{}\",\"count\":{count}", op.label()),
         ),
+        EventData::WeaverRetry { kernel, attempt } => (
+            "weaver_retry".to_string(),
+            "kernel",
+            format!("\"kernel\":\"{}\",\"attempt\":{attempt}", escape(kernel)),
+        ),
+        EventData::WeaverFallback { kernel, schedule } => (
+            "weaver_fallback".to_string(),
+            "kernel",
+            format!(
+                "\"kernel\":\"{}\",\"schedule\":\"{}\"",
+                escape(kernel),
+                escape(schedule)
+            ),
+        ),
     };
     format!(
         "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
@@ -387,6 +414,8 @@ pub fn counters_json(c: &CounterSnapshot) -> String {
          \"shared\":{{\"reads\":{},\"writes\":{}}},\
          \"device_mem\":{{\"reads\":{},\"writes\":{}}},\
          \"weaver\":{{\"st_fetches\":{},\"dec_requests\":{},\"registrations\":{}}},\
+         \"faults\":{{\"injected\":{},\"weaver_drops\":{},\"weaver_retries\":{},\
+         \"weaver_fallbacks\":{}}},\
          \"occupancy\":{{\"kernel_high_water\":{},\"cap\":{},\"warps_resident\":{},\
          \"warps_configured\":{}}}}}",
         c.instructions,
@@ -412,6 +441,10 @@ pub fn counters_json(c: &CounterSnapshot) -> String {
         c.weaver_st_fetches,
         c.weaver_dec_requests,
         c.weaver_registrations,
+        c.faults_injected,
+        c.weaver_drops,
+        c.weaver_retries,
+        c.weaver_fallbacks,
         c.kernel_high_water,
         c.occupancy_cap,
         c.warps_resident,

@@ -57,6 +57,16 @@ pub struct CounterSnapshot {
     pub weaver_dec_requests: u64,
     /// Weaver ST registrations.
     pub weaver_registrations: u64,
+    /// Faults injected by the deterministic injector (all sites).
+    pub faults_injected: u64,
+    /// Weaver responses dropped by the injector (Table-II protocol
+    /// faults).
+    pub weaver_drops: u64,
+    /// Launch retries the runtime performed after a Weaver timeout.
+    pub weaver_retries: u64,
+    /// Falls back to the software `S_wm` schedule after retry
+    /// exhaustion.
+    pub weaver_fallbacks: u64,
     /// Register high-water of the currently running kernel (gauge).
     pub kernel_high_water: u64,
     /// Register-file occupancy cap for that kernel: the most warps per
@@ -101,6 +111,10 @@ impl CounterSnapshot {
         self.weaver_st_fetches += other.weaver_st_fetches;
         self.weaver_dec_requests += other.weaver_dec_requests;
         self.weaver_registrations += other.weaver_registrations;
+        self.faults_injected += other.faults_injected;
+        self.weaver_drops += other.weaver_drops;
+        self.weaver_retries += other.weaver_retries;
+        self.weaver_fallbacks += other.weaver_fallbacks;
         for (dst, src) in [
             (&mut self.kernel_high_water, other.kernel_high_water),
             (&mut self.occupancy_cap, other.occupancy_cap),

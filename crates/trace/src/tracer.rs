@@ -219,6 +219,13 @@ impl Tracer {
         self.base += cycles;
     }
 
+    /// Folds `extra` directly onto the committed totals, outside any
+    /// launch. The runtime uses this for counters it owns — retry and
+    /// fallback decisions happen between launches, not inside one.
+    pub fn add_totals(&mut self, extra: &CounterSnapshot) {
+        self.committed.add(extra);
+    }
+
     /// Drains everything collected so far into a [`TraceReport`].
     pub fn take_report(&mut self) -> TraceReport {
         // Drain first: streaming sinks flush on drain, which is where a
@@ -292,6 +299,11 @@ impl TraceHandle {
     /// See [`Tracer::kernel_end`].
     pub fn kernel_end(&self, cycles: u64, final_counters: &CounterSnapshot) {
         self.0.borrow_mut().kernel_end(cycles, final_counters);
+    }
+
+    /// See [`Tracer::add_totals`].
+    pub fn add_totals(&self, extra: &CounterSnapshot) {
+        self.0.borrow_mut().add_totals(extra);
     }
 
     /// Drains the collected data. Later reports only contain data

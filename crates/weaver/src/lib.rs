@@ -37,7 +37,7 @@ pub mod unit;
 
 pub use fsm::{DecodeBatch, FsmState, WeaverFsm};
 pub use tables::{DenseTable, SparseTable, StEntry};
-pub use unit::{WeaverConfig, WeaverUnit};
+pub use unit::{DecResponse, StOverflow, WeaverConfig, WeaverUnit};
 
 /// The value returned for lanes with no work: the paper's "empty Work ID".
 pub const EMPTY_WORK_ID: i64 = -1;

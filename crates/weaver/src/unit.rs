@@ -12,10 +12,35 @@
 //! - registration writes one ST entry per active lane, pipelined one per
 //!   cycle.
 
+use std::fmt;
+
+use sparseweaver_fault::{FaultHandle, WeaverFault};
 use sparseweaver_trace::{EventData, TableOp, TraceHandle, WeaverState};
 
 use crate::fsm::{DecodeBatch, WeaverFsm};
 use crate::tables::{DenseTable, SparseTable, StEntry};
+
+/// A registration addressed a Sparse Table slot past the configured
+/// capacity — the compiler's chunked registration loop is supposed to
+/// prevent this, so it surfaces as a typed error (detected crash) rather
+/// than a process abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StOverflow {
+    /// The slot index the registration addressed.
+    pub index: usize,
+    /// The configured ST capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for StOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "weaver registration addressed ST slot {} but capacity is {}",
+            self.index, self.capacity
+        )
+    }
+}
 
 /// Configuration of the Weaver unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -50,6 +75,9 @@ pub struct DecResponse {
     pub batch: DecodeBatch,
     /// GPU cycle at which the response is available.
     pub ready_at: u64,
+    /// The response was lost to an injected protocol fault (`ready_at` is
+    /// `u64::MAX`); the requesting warp will never observe it.
+    pub dropped: bool,
 }
 
 /// The per-core Weaver functional unit.
@@ -60,7 +88,7 @@ pub struct DecResponse {
 /// use sparseweaver_weaver::{WeaverConfig, WeaverUnit};
 ///
 /// let mut w = WeaverUnit::new(WeaverConfig::default(), 8, 4);
-/// w.reg(0, &[(0, 3, 0, 2), (1, 5, 2, 1)], 0);
+/// w.reg(0, &[(0, 3, 0, 2), (1, 5, 2, 1)], 0).unwrap();
 /// let resp = w.dec_id(1, 10);
 /// assert_eq!(resp.batch.vids, vec![3, 3, 5, -1]);
 /// ```
@@ -81,6 +109,7 @@ pub struct WeaverUnit {
     /// Total registered entries.
     registrations: u64,
     tracer: Option<TraceHandle>,
+    fault: Option<FaultHandle>,
     /// Core index stamped on emitted events.
     core: u32,
 }
@@ -99,9 +128,22 @@ impl WeaverUnit {
             dec_requests: 0,
             registrations: 0,
             tracer: None,
+            fault: None,
             core: 0,
             cfg,
         }
+    }
+
+    /// Attaches (or detaches) the fault injector. With a handle attached,
+    /// each decode response consults the injector's Weaver protocol sites
+    /// (drops and delays per Table II).
+    pub fn set_fault_injector(&mut self, fault: Option<FaultHandle>) {
+        self.fault = fault;
+    }
+
+    /// The FSM's current state id (0–8), for hang diagnostics.
+    pub fn fsm_state_id(&self) -> u8 {
+        self.fsm.state().state_id()
     }
 
     /// Attaches (or detaches) a tracer; `core` is stamped on every event
@@ -130,17 +172,29 @@ impl WeaverUnit {
     /// the FSM and clears the ST ("initialized to init status when a new
     /// registration request is received").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a computed slot exceeds the ST capacity — the compiler's
-    /// chunked registration loop must prevent this.
-    pub fn reg(&mut self, warp: usize, records: &[(usize, u32, u32, u32)], now: u64) -> u64 {
+    /// Returns [`StOverflow`] if a computed slot exceeds the ST capacity —
+    /// the compiler's chunked registration loop must prevent this, so a
+    /// violation (e.g. a corrupted warp index) is a detected crash.
+    pub fn reg(
+        &mut self,
+        warp: usize,
+        records: &[(usize, u32, u32, u32)],
+        now: u64,
+    ) -> Result<u64, StOverflow> {
         if !self.in_registration {
             self.staging.clear();
             self.in_registration = true;
         }
         for &(lane, vid, loc, deg) in records {
             let index = warp * self.lanes + lane;
+            if index >= self.cfg.st_capacity {
+                return Err(StOverflow {
+                    index,
+                    capacity: self.cfg.st_capacity,
+                });
+            }
             self.staging.register(index, StEntry { vid, loc, deg });
             self.registrations += 1;
         }
@@ -158,7 +212,7 @@ impl WeaverUnit {
         let start = now.max(self.busy_until);
         let occupancy = self.cfg.base_latency + records.len() as u64;
         self.busy_until = start + occupancy;
-        start + occupancy + self.cfg.table_latency
+        Ok(start + occupancy + self.cfg.table_latency)
     }
 
     /// Services a `WEAVER_DEC_ID` from `warp`: runs the FSM to fill one OD
@@ -224,8 +278,26 @@ impl WeaverUnit {
         let start = now.max(self.busy_until);
         let occupancy = 1 + batch.st_fetches as u64;
         self.busy_until = start + occupancy;
-        let ready_at = start + occupancy + self.cfg.base_latency + self.cfg.table_latency;
-        DecResponse { batch, ready_at }
+        let mut ready_at = start + occupancy + self.cfg.base_latency + self.cfg.table_latency;
+        // Injected Table-II protocol faults: a dropped response never
+        // arrives (the requesting warp's scoreboard entry stays pending
+        // forever); a delayed one arrives late.
+        let mut dropped = false;
+        if let Some(h) = &self.fault {
+            match h.with(|i| i.weaver_response()) {
+                WeaverFault::None => {}
+                WeaverFault::Drop => {
+                    ready_at = u64::MAX;
+                    dropped = true;
+                }
+                WeaverFault::Delay(d) => ready_at = ready_at.saturating_add(d),
+            }
+        }
+        DecResponse {
+            batch,
+            ready_at,
+            dropped,
+        }
     }
 
     /// Services a `WEAVER_DEC_LOC` from `warp`: reads the warp's DT row.
@@ -293,9 +365,9 @@ mod tests {
     fn register_then_decode() {
         let mut w = unit();
         // Warp 0 lanes 0..2 register vertices 0 and 2.
-        w.reg(0, &[(0, 0, 2, 1), (1, 2, 10, 2)], 0);
+        w.reg(0, &[(0, 0, 2, 1), (1, 2, 10, 2)], 0).unwrap();
         // Warp 1 lane 0 registers vertex 4 (out-of-order warps).
-        w.reg(1, &[(0, 4, 30, 5)], 3);
+        w.reg(1, &[(0, 4, 30, 5)], 3).unwrap();
         let r = w.dec_id(2, 20);
         assert_eq!(r.batch.vids, vec![0, 2, 2, 4]);
         assert_eq!(r.batch.eids, vec![2, 10, 11, 30]);
@@ -309,8 +381,8 @@ mod tests {
         let mut w = unit();
         // Registrations arrive warp 1 first, then warp 0; the scan must
         // still be in (warp, thread) index order.
-        w.reg(1, &[(0, 9, 0, 1)], 0);
-        w.reg(0, &[(0, 3, 1, 1)], 1);
+        w.reg(1, &[(0, 9, 0, 1)], 0).unwrap();
+        w.reg(0, &[(0, 3, 1, 1)], 1).unwrap();
         let r = w.dec_id(0, 10);
         assert_eq!(r.batch.vids[0], 3);
         assert_eq!(r.batch.vids[1], 9);
@@ -319,12 +391,12 @@ mod tests {
     #[test]
     fn new_registration_restarts_round() {
         let mut w = unit();
-        w.reg(0, &[(0, 1, 0, 1)], 0);
+        w.reg(0, &[(0, 1, 0, 1)], 0).unwrap();
         let r = w.dec_id(0, 5);
         assert_eq!(r.batch.vids[0], 1);
         assert!(w.dec_id(0, 6).batch.exhausted);
         // Next round.
-        w.reg(0, &[(0, 7, 3, 1)], 10);
+        w.reg(0, &[(0, 7, 3, 1)], 10).unwrap();
         let r = w.dec_id(0, 15);
         assert_eq!(r.batch.vids[0], 7);
         assert_eq!(r.batch.eids[0], 3);
@@ -333,7 +405,7 @@ mod tests {
     #[test]
     fn occupancy_serializes_but_latency_pipelines() {
         let mut w = unit();
-        w.reg(0, &[(0, 0, 0, 8), (1, 1, 8, 8)], 0);
+        w.reg(0, &[(0, 0, 0, 8), (1, 1, 8, 8)], 0).unwrap();
         let t0 = 100;
         let a = w.dec_id(0, t0);
         let b = w.dec_id(1, t0);
@@ -354,7 +426,7 @@ mod tests {
                 2,
                 4,
             );
-            w.reg(0, &[(0, 0, 0, 4)], 0);
+            w.reg(0, &[(0, 0, 0, 4)], 0).unwrap();
             w.dec_id(0, 10).ready_at
         };
         let fast = mk(4);
@@ -365,7 +437,7 @@ mod tests {
     #[test]
     fn skip_reaches_fsm() {
         let mut w = unit();
-        w.reg(0, &[(0, 5, 0, 100)], 0);
+        w.reg(0, &[(0, 5, 0, 100)], 0).unwrap();
         let r = w.dec_id(0, 5);
         assert_eq!(r.batch.vids, vec![5, 5, 5, 5]);
         w.skip(&[5], 6);
@@ -375,7 +447,7 @@ mod tests {
     #[test]
     fn counters_track_activity() {
         let mut w = unit();
-        w.reg(0, &[(0, 0, 0, 1), (1, 1, 1, 1)], 0);
+        w.reg(0, &[(0, 0, 0, 1), (1, 1, 1, 1)], 0).unwrap();
         let _ = w.dec_id(0, 5);
         let (fetches, decs, regs) = w.counters();
         assert_eq!(regs, 2);
@@ -391,7 +463,7 @@ mod tests {
         let t = TraceHandle::new(TraceConfig::default());
         t.kernel_begin("k");
         w.set_tracer(Some(t.clone()), 3);
-        w.reg(0, &[(0, 0, 2, 1), (1, 2, 10, 2)], 0);
+        w.reg(0, &[(0, 0, 2, 1), (1, 2, 10, 2)], 0).unwrap();
         let _ = w.dec_id(0, 10);
         let _ = w.dec_loc(0, 20);
         t.kernel_end(30, &Default::default());
@@ -461,8 +533,8 @@ mod tests {
             )),
             0,
         );
-        plain.reg(0, &[(0, 0, 0, 5), (1, 7, 5, 3)], 0);
-        traced.reg(0, &[(0, 0, 0, 5), (1, 7, 5, 3)], 0);
+        plain.reg(0, &[(0, 0, 0, 5), (1, 7, 5, 3)], 0).unwrap();
+        traced.reg(0, &[(0, 0, 0, 5), (1, 7, 5, 3)], 0).unwrap();
         for i in 0..4u64 {
             let a = plain.dec_id(0, 10 + i);
             let b = traced.dec_id(0, 10 + i);
@@ -474,7 +546,7 @@ mod tests {
     #[test]
     fn reset_clears_state() {
         let mut w = unit();
-        w.reg(0, &[(0, 0, 0, 1)], 0);
+        w.reg(0, &[(0, 0, 0, 1)], 0).unwrap();
         let _ = w.dec_id(0, 5);
         w.reset();
         assert_eq!(w.counters(), (0, 0, 0));

@@ -139,7 +139,8 @@ proptest! {
             if let Some((vid, deg)) = s {
                 let warp = i / lanes;
                 let lane = i % lanes;
-                unit.reg(warp, &[(lane, *vid, loc, *deg)], i as u64);
+                unit.reg(warp, &[(lane, *vid, loc, *deg)], i as u64)
+                    .expect("record fits the ST");
                 loc += deg;
             }
         }

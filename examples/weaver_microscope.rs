@@ -93,7 +93,8 @@ fn main() {
             ..WeaverConfig::default()
         };
         let mut unit = WeaverUnit::new(cfg, 8, 4);
-        unit.reg(0, &[(0, 0, 0, 64), (1, 1, 64, 64)], 0);
+        unit.reg(0, &[(0, 0, 0, 64), (1, 1, 64, 64)], 0)
+            .expect("two records fit the ST");
         // Back-to-back decode requests from different warps: occupancy
         // (one table read per slot) serializes them, but the table READ
         // LATENCY only adds to each response's depth - it pipelines.

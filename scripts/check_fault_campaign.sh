@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate for the fault-injection campaign runner: a fixed-seed 200-run
+# BFS campaign must reproduce byte-for-byte.
+#
+# The campaign derives every per-run injector seed from the campaign
+# seed (SplitMix64 child streams), so `(spec, seed, runs)` fully
+# determines the machine's fault history and therefore the summary.
+# Any drift — in the injector, the retry/fallback protocol, the
+# classifier, or the simulator's fault surfaces — shows up as a diff
+# against the committed golden summary.
+#
+# `swfault` itself enforces the other two acceptance properties: it
+# exits non-zero if any run panicked (the machine model must surface
+# faults as typed errors) or if the four outcome classes do not sum to
+# the number of runs.
+#
+# To regenerate after an intentional change (e.g. a new fault site):
+#   cargo run --release --bin swfault -- \
+#     --inject reg=0.0001,mem=0.00005,fetch=0.00005,weaver-drop=0.05 \
+#     --runs 200 --seed 2025 > scripts/fault_campaign_golden.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN=scripts/fault_campaign_golden.json
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+cargo run --release --quiet --bin swfault -- \
+    --inject reg=0.0001,mem=0.00005,fetch=0.00005,weaver-drop=0.05 \
+    --runs 200 --seed 2025 > "$OUT"
+
+if ! diff -u "$GOLDEN" "$OUT"; then
+    echo "FAIL: campaign summary drifted from $GOLDEN" >&2
+    echo "If the change is intentional, regenerate the golden (see header)." >&2
+    exit 1
+fi
+echo "ok: 200-run fixed-seed campaign is byte-identical to the golden summary"

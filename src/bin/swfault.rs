@@ -1,0 +1,285 @@
+//! `swfault` — run deterministic fault-injection campaigns against the
+//! simulated SparseWeaver GPU.
+//!
+//! ```text
+//! swfault --inject reg=0.002,mem=0.001 --runs 200 --seed 42
+//! swfault --inject weaver-drop=1.0 --algo bfs --schedule sw --details
+//! swfault --inject fetch=0.005 --gen powerlaw:200:2000:2.2:7 --out summary.json
+//! ```
+//!
+//! A campaign executes one fault-free golden run, then N seeded injected
+//! runs, classifying each as **masked**, **SDC**, **detected-crash** or
+//! **hang** (see `docs/robustness.md`). The summary JSON is byte-identical
+//! for identical `(spec, seed, runs)` — CI diffs it against a golden file
+//! via `scripts/check_fault_campaign.sh`.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
+use sparseweaver::core::campaign::{run_campaign, CampaignConfig};
+use sparseweaver::core::runtime::DEFAULT_WEAVER_RETRIES;
+use sparseweaver::core::Schedule;
+use sparseweaver::fault::FaultSpec;
+use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
+use sparseweaver::sim::GpuConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "swfault — SparseWeaver fault-injection campaign runner
+
+USAGE:
+  swfault --inject SPEC [--runs N] [--seed N]
+          [--graph FILE | --dataset ID | --gen GSPEC]
+          [--algo ALGO] [--schedule S] [--iters N] [--source V]
+          [--config vortex|eval|small|8core|regfile]
+          [--retries N] [--out FILE] [--details]
+  swfault --version
+
+  SPEC:  comma-separated site=rate clauses, sites:
+         reg | mem | fetch | weaver-drop | weaver-delay[:<cycles>]
+         e.g. `reg=0.001,mem=0.0005,weaver-drop=0.01`
+  ALGO:  pr | bfs | sssp | cc | spmv          (default bfs)
+  S:     svm | em | wm | cm | sw | eghw       (default sw)
+  GSPEC: powerlaw:V:E:ALPHA:SEED | uniform:V:E:SEED | rmat:SCALE:E:SEED
+
+  --runs N       injected runs (default 200)
+  --seed N       campaign seed; run i uses child_seed(seed, i) (default 0)
+  --retries N    launch retries after a Weaver response timeout (default 2)
+  --out FILE     also write the summary JSON to FILE
+  --details      print one line per run (index, seed, class, detail)
+
+  With no graph flag, a small built-in uniform graph is used so a default
+  campaign finishes quickly.
+
+EXIT CODES:
+  0 campaign ran, every run classified, no panics | 1 campaign failed
+  (golden run error, a run escaped classification, or a panic in the
+  machine model) | 2 usage error"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let allowed = [
+        "inject", "runs", "seed", "graph", "dataset", "gen", "algo", "schedule", "iters", "source",
+        "config", "retries", "out", "details",
+    ];
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument `{}`", args[i]);
+            usage()
+        };
+        if !allowed.contains(&name) {
+            eprintln!("unknown flag `--{name}`");
+            usage()
+        }
+        let next_is_value = args
+            .get(i + 1)
+            .map(|n| !n.starts_with("--"))
+            .unwrap_or(false);
+        if next_is_value {
+            flags.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(name.to_string(), String::new());
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> T {
+    match flags.get(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{name} expects a number, got `{v}`");
+            exit(2)
+        }),
+    }
+}
+
+fn parse_schedule(s: &str) -> Schedule {
+    match s {
+        "svm" | "S_vm" => Schedule::Svm,
+        "em" | "sem" | "S_em" => Schedule::Sem,
+        "wm" | "swm" | "S_wm" => Schedule::Swm,
+        "cm" | "scm" | "S_cm" => Schedule::Scm,
+        "sw" | "weaver" | "sparseweaver" => Schedule::SparseWeaver,
+        "eghw" => Schedule::Eghw,
+        other => {
+            eprintln!("unknown schedule `{other}`");
+            usage()
+        }
+    }
+}
+
+fn parse_gen(spec: &str) -> Csr {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize| -> u64 {
+        parts
+            .get(i)
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad generator spec `{spec}`");
+                exit(2)
+            })
+    };
+    let fnum = |i: usize| -> f64 {
+        parts
+            .get(i)
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad generator spec `{spec}`");
+                exit(2)
+            })
+    };
+    let base = match parts.first().copied() {
+        Some("powerlaw") => generators::powerlaw(num(1) as usize, num(2) as usize, fnum(3), num(4)),
+        Some("uniform") => generators::uniform(num(1) as usize, num(2) as usize, num(3)),
+        Some("rmat") => generators::rmat(num(1) as u32, num(2) as usize, 0.57, 0.19, 0.19, num(3)),
+        _ => {
+            eprintln!("bad generator spec `{spec}`");
+            usage()
+        }
+    };
+    generators::with_random_weights(&base, 64, 0xC11)
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Csr {
+    if let Some(path) = flags.get("graph") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        match io::parse_edge_list(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                exit(1)
+            }
+        }
+    } else if let Some(id) = flags.get("dataset") {
+        let id = DatasetId::ALL
+            .into_iter()
+            .find(|d| {
+                d.short_name().eq_ignore_ascii_case(id) || d.full_name().eq_ignore_ascii_case(id)
+            })
+            .unwrap_or_else(|| {
+                eprintln!("unknown dataset `{id}` — see `swsim datasets`");
+                exit(2)
+            });
+        dataset(id).graph
+    } else if let Some(spec) = flags.get("gen") {
+        parse_gen(spec)
+    } else {
+        // Small default so `swfault --inject ... --runs 200` stays fast.
+        generators::with_random_weights(&generators::uniform(24, 72, 7), 64, 0xC11)
+    }
+}
+
+fn config_for(flags: &HashMap<String, String>) -> GpuConfig {
+    match flags.get("config").map(String::as_str) {
+        None | Some("small") => GpuConfig::small_test(),
+        Some("eval") | Some("evaluation") => GpuConfig::evaluation_default(),
+        Some("vortex") => GpuConfig::vortex_default(),
+        Some("8core") => GpuConfig::eight_core(),
+        Some("regfile") => GpuConfig::regfile_limited(),
+        Some(other) => {
+            eprintln!("unknown config `{other}`");
+            usage()
+        }
+    }
+}
+
+fn make_algo(flags: &HashMap<String, String>, graph: &Csr) -> Box<dyn Algorithm> {
+    let iters: u32 = numeric_flag(flags, "iters", 5);
+    let source: u32 = numeric_flag(flags, "source", 0);
+    let _ = graph;
+    match flags.get("algo").map(String::as_str) {
+        None | Some("bfs") => Box::new(Bfs::new(source)),
+        Some("pr") | Some("pagerank") => Box::new(PageRank::new(iters)),
+        Some("sssp") => Box::new(Sssp::new(source)),
+        Some("cc") => Box::new(ConnectedComponents::new()),
+        Some("spmv") => Box::new(Spmv::new()),
+        Some(other) => {
+            eprintln!("unknown algorithm `{other}` (pr | bfs | sssp | cc | spmv)");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("swfault {}", sparseweaver::VERSION);
+        return;
+    }
+    let flags = parse_flags(&args);
+    let Some(spec_text) = flags.get("inject") else {
+        eprintln!("--inject SPEC is required");
+        usage()
+    };
+    let spec = FaultSpec::parse(spec_text).unwrap_or_else(|e| {
+        eprintln!("bad --inject spec: {e}");
+        exit(2)
+    });
+    let campaign = CampaignConfig {
+        spec,
+        seed: numeric_flag(&flags, "seed", 0),
+        runs: numeric_flag(&flags, "runs", 200),
+        max_weaver_retries: numeric_flag(&flags, "retries", DEFAULT_WEAVER_RETRIES),
+    };
+    let graph = load_graph(&flags);
+    let algo = make_algo(&flags, &graph);
+    let schedule = parse_schedule(flags.get("schedule").map(String::as_str).unwrap_or("sw"));
+    let cfg = config_for(&flags);
+
+    let result =
+        run_campaign(&cfg, &graph, algo.as_ref(), schedule, &campaign).unwrap_or_else(|e| {
+            eprintln!("golden (fault-free) run failed: {e}");
+            exit(1)
+        });
+
+    if flags.contains_key("details") {
+        for run in &result.runs {
+            eprintln!(
+                "run {:>4}  seed {:#018x}  {:<14} {}",
+                run.index,
+                run.seed,
+                run.outcome.label(),
+                run.detail
+            );
+        }
+    }
+    let json = result.summary.to_json();
+    println!("{json}");
+    if let Some(path) = flags.get("out") {
+        if path.is_empty() {
+            eprintln!("--out expects a file path");
+            exit(2)
+        }
+        std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        eprintln!("summary written to {path}");
+    }
+    if result.panics > 0 {
+        eprintln!(
+            "FAIL: {} run(s) panicked — the machine model must surface faults as typed errors",
+            result.panics
+        );
+        exit(1)
+    }
+    if !result.summary.is_classified() {
+        eprintln!("FAIL: outcome classes do not sum to the number of runs");
+        exit(1)
+    }
+}

@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use std::process::exit;
 
 use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
-use sparseweaver::core::{Schedule, Session};
+use sparseweaver::core::{FrameworkError, Schedule, Session};
+use sparseweaver::fault::FaultSpec;
 use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
 use sparseweaver::lint::LintLevel;
 use sparseweaver::sim::GpuConfig;
@@ -30,7 +31,7 @@ USAGE:
                [--json] [--all-schedules]
                [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
                [--sample-every N] [--trace-out FILE.jsonl] [--lint off|warn|deny]
-               [--regalloc on|off]
+               [--regalloc on|off] [--inject SPEC [--seed N]] [--hang-report FILE]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
   swsim datasets
@@ -57,9 +58,24 @@ REGISTER ALLOCATION:
   --regalloc on|off   liveness-based register allocation before launch
                       (default on); `off` runs template output verbatim
 
+FAULT INJECTION:
+  --inject SPEC       deterministic fault injection, e.g.
+                      `reg=0.001,mem=0.0005,weaver-drop=0.01`; sites:
+                      reg | mem | fetch | weaver-drop | weaver-delay
+                      (see docs/robustness.md and the `swfault` tool)
+  --seed N            injector seed (default 0); same seed, same faults
+  --hang-report FILE  on deadlock / cycle limit / Weaver timeout, write a
+                      structured hang report (per-warp PC, thread masks,
+                      Weaver FSM state, queue occupancy) as JSON
+  --fallback on|off   graceful degradation to S_wm after Weaver-timeout
+                      retries exhaust (default on); `off` surfaces the
+                      timeout as a hang instead
+
 EXIT CODES:
-  0 success | 1 run error | 2 usage error |
-  3 run succeeded but the --trace-out stream hit an I/O error (file truncated)"
+  0 success | 1 run error | 2 usage error, or a kernel rejected by the
+  static verifier (--lint deny) | 3 run succeeded but the --trace-out
+  stream hit an I/O error (file truncated) | 4 hang — deadlock, cycle
+  limit or Weaver timeout (report written if --hang-report was given)"
     );
     exit(2)
 }
@@ -86,6 +102,10 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "trace-out",
             "lint",
             "regalloc",
+            "inject",
+            "seed",
+            "hang-report",
+            "fallback",
         ],
         "gen" => &["graph", "dataset", "gen", "out"],
         "disasm" => &["algo", "schedule", "config"],
@@ -360,6 +380,31 @@ fn cmd_run(flags: HashMap<String, String>) {
     session.trace_out = trace_out.clone().map(std::path::PathBuf::from);
     session.lint = lint_level(&flags);
     session.regalloc = regalloc_flag(&flags);
+    if let Some(spec) = flags.get("inject") {
+        session.inject = Some(FaultSpec::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad --inject spec: {e}");
+            exit(2)
+        }));
+        session.inject_seed = numeric_flag(&flags, "seed", || 0);
+    } else if flags.contains_key("seed") {
+        eprintln!("--seed requires --inject");
+        exit(2)
+    }
+    session.fallback = match flags.get("fallback").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("--fallback expects on|off, got `{other}`");
+            exit(2)
+        }
+    };
+    let hang_report_path = flags.get("hang-report").map(|v| {
+        if v.is_empty() {
+            eprintln!("--hang-report expects a file path");
+            exit(2)
+        }
+        v.clone()
+    });
     let json = flags.contains_key("json");
     let mut sink_failed = false;
     let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
@@ -382,12 +427,31 @@ fn cmd_run(flags: HashMap<String, String>) {
     }
     let mut baseline = None;
     for schedule in schedules {
-        let report = session
-            .run(&graph, algo.as_ref(), schedule)
-            .unwrap_or_else(|e| {
+        let report = match session.run(&graph, algo.as_ref(), schedule) {
+            Ok(report) => report,
+            Err(e @ FrameworkError::Lint { .. }) => {
+                eprintln!("run failed: {e}");
+                exit(2)
+            }
+            Err(FrameworkError::Sim(e)) if e.hang_report().is_some() => {
+                eprintln!("run failed: {e}");
+                if let Some(path) = &hang_report_path {
+                    let hang = e.hang_report().expect("variant carries a report");
+                    let mut body = hang.to_json();
+                    body.push('\n');
+                    std::fs::write(path, body).unwrap_or_else(|err| {
+                        eprintln!("cannot write hang report to {path}: {err}");
+                        exit(1)
+                    });
+                    eprintln!("hang report written to {path}");
+                }
+                exit(4)
+            }
+            Err(e) => {
                 eprintln!("run failed: {e}");
                 exit(1)
-            });
+            }
+        };
         if json {
             println!(
                 "{}",

@@ -19,6 +19,9 @@
 //! - [`sim`] — the cycle-level SIMT GPU simulator.
 //! - [`trace`] — structured simulation tracing & metrics: typed events,
 //!   counter sampling, Chrome-trace (Perfetto) and metrics-JSON export.
+//! - [`fault`] — deterministic fault injection: seeded bit flips and
+//!   Weaver-protocol faults, campaign classification
+//!   (see `docs/robustness.md`).
 //! - [`lint`] — the kernel-IR static verifier: CFG/dataflow analysis with
 //!   divergence, barrier-deadlock, and Weaver-protocol checks
 //!   (see `docs/lint-rules.md`).
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub use sparseweaver_core as core;
+pub use sparseweaver_fault as fault;
 pub use sparseweaver_graph as graph;
 pub use sparseweaver_isa as isa;
 pub use sparseweaver_lint as lint;

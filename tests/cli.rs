@@ -1,9 +1,13 @@
-//! End-to-end tests of the `swsim` CLI binary.
+//! End-to-end tests of the `swsim` and `swfault` CLI binaries.
 
 use std::process::Command;
 
 fn swsim() -> Command {
     Command::new(env!("CARGO_BIN_EXE_swsim"))
+}
+
+fn swfault() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swfault"))
 }
 
 #[test]
@@ -270,6 +274,230 @@ fn bad_flag_combinations_exit_with_code_2() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+/// Exit 1 with line-and-snippet context when the edge list is corrupt.
+#[test]
+fn corrupt_graph_file_exits_1_with_line_context() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/corrupt.el");
+    let out = swsim()
+        .args([
+            "run",
+            "--graph",
+            fixture,
+            "--algo",
+            "bfs",
+            "--schedule",
+            "svm",
+            "--config",
+            "small",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 4"), "stderr: {err}");
+    assert!(err.contains("`2 banana`"), "stderr: {err}");
+}
+
+/// A malformed --inject spec and --seed without --inject are usage errors.
+#[test]
+fn bad_injection_flags_exit_with_code_2() {
+    let cases: &[&[&str]] = &[
+        &[
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--inject",
+            "gamma-rays=0.5",
+        ],
+        &[
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--seed",
+            "3",
+        ],
+        &[
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--inject",
+            "reg=0.1",
+            "--fallback",
+            "sometimes",
+        ],
+    ];
+    for args in cases {
+        let out = swsim().args(*args).output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {:?} stderr: {}",
+            args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// Weaver-drop injection with graceful degradation enabled (the default)
+/// still exits 0: retries exhaust, the run falls back to S_wm, and the
+/// output matches the fault-free result.
+#[test]
+fn weaver_drop_with_fallback_succeeds() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--inject",
+            "weaver-drop=1.0",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// With fallback disabled, the same injection surfaces as a hang:
+/// exit 4 and a structured hang report written to --hang-report.
+#[test]
+fn weaver_drop_without_fallback_exits_4_and_writes_hang_report() {
+    let dir = std::env::temp_dir().join("swsim_cli_hang_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("hang.json");
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--inject",
+            "weaver-drop=1.0",
+            "--seed",
+            "5",
+            "--fallback",
+            "off",
+            "--hang-report",
+        ])
+        .arg(&report)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&report).unwrap();
+    assert!(body.contains("\"schema\":\"sparseweaver-hang-report-v1\""));
+    assert!(body.contains("\"warps\""));
+    assert!(body.contains("\"weaver_fsm_state\""));
+    let _ = std::fs::remove_file(&report);
+}
+
+/// A --trace-out stream that hits an I/O error mid-run exits 3 (the run
+/// itself succeeded, but the on-disk event timeline is incomplete).
+#[test]
+#[cfg(target_os = "linux")]
+fn trace_out_stream_error_exits_3() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "svm",
+            "--config",
+            "small",
+            "--trace-out",
+            "/dev/full",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A small fixed-seed campaign via `swfault`: deterministic summary,
+/// every run classified, no panics.
+#[test]
+fn swfault_campaign_is_deterministic_and_classified() {
+    let run = || {
+        let out = swfault()
+            .args([
+                "--inject",
+                "reg=0.002,mem=0.001",
+                "--runs",
+                "5",
+                "--seed",
+                "42",
+            ])
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give a byte-identical summary");
+    assert!(a.contains("\"schema\":\"sparseweaver-fault-campaign-v1\""));
+    assert!(a.contains("\"runs\":5"));
+}
+
+#[test]
+fn swfault_rejects_bad_spec_with_usage_error() {
+    let out = swfault()
+        .args(["--inject", "cosmic=1.0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -1,0 +1,5 @@
+# regression fixture: line 4 has an unparsable destination id
+0 1
+1 2 7
+2 banana
+3 0

@@ -334,6 +334,68 @@ fn trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fast-path engine's hot loop: full simulated runs (BFS and SSSP,
+/// SparseWeaver and `S_wm` schedules) on a mid-size synthetic graph,
+/// the same runs with idle-cycle fast-forward disabled, and a small
+/// fault campaign through the parallel driver. `scripts/check_sim_speed.sh`
+/// gates on this group and renders it into `BENCH_sim.json`.
+fn sim_hot_loop(c: &mut Criterion) {
+    use sparseweaver_core::campaign::{run_campaign, CampaignConfig};
+    use sparseweaver_fault::FaultSpec;
+
+    let g = generators::with_random_weights(&generators::powerlaw(400, 2400, 1.9, 7), 64, 1);
+    let mut group = c.benchmark_group("sim_hot_loop");
+    group.sample_size(10);
+    for (name, schedule) in [("weaver", Schedule::SparseWeaver), ("swm", Schedule::Swm)] {
+        group.bench_function(format!("bfs_{name}"), |b| {
+            b.iter(|| {
+                let mut s = bench_session();
+                black_box(s.run(&g, &Bfs::new(0), schedule).expect("run"))
+            })
+        });
+        group.bench_function(format!("sssp_{name}"), |b| {
+            b.iter(|| {
+                let mut s = bench_session();
+                black_box(s.run(&g, &Sssp::new(0), schedule).expect("run"))
+            })
+        });
+    }
+    // The self-baselining pair for the CI gate: the same BFS run with the
+    // per-core blocked cache disabled must not be *faster* than the
+    // fast-forwarding engine.
+    group.bench_function("bfs_weaver_fastforward_off", |b| {
+        b.iter(|| {
+            let mut s = bench_session();
+            s.fast_forward = false;
+            black_box(
+                s.run(&g, &Bfs::new(0), Schedule::SparseWeaver)
+                    .expect("run"),
+            )
+        })
+    });
+    group.bench_function("campaign_20runs", |b| {
+        let small = generators::with_random_weights(&generators::uniform(24, 72, 7), 64, 0xC11);
+        let campaign = CampaignConfig::new(
+            FaultSpec::parse("reg=0.001,mem=0.0005").expect("spec"),
+            2025,
+            20,
+        );
+        b.iter(|| {
+            black_box(
+                run_campaign(
+                    &GpuConfig::small_test(),
+                    &small,
+                    &Bfs::new(0),
+                    Schedule::SparseWeaver,
+                    &campaign,
+                )
+                .expect("campaign"),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// Table V: the auto-tuner search.
 fn table5_autotune(c: &mut Criterion) {
     let g = small_graph();
@@ -364,5 +426,6 @@ criterion_group!(
     table5_autotune,
     extensions,
     trace_overhead,
+    sim_hot_loop,
 );
 criterion_main!(artifacts);

@@ -1,27 +1,55 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] [all | <id>...]
+//! experiments [--quick] [--jobs N] [--out DIR] [all | <id>...]
 //! ```
 //!
 //! With `all` (the default) every artifact is regenerated in paper order;
 //! `--quick` shrinks the sweeps (3 datasets, 3 GCN dims) for smoke runs;
+//! `--jobs N` runs artifacts (and their internal dataset/scale sweeps) on
+//! N worker threads — output order and bytes are identical at any N;
 //! `--out DIR` additionally writes one text file per artifact.
 
 use std::io::Write;
 
+use rayon::ThreadPoolBuilder;
+use sparseweaver_bench::experiments::par_map;
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
+    let out_dir = value_of(&args, "--out");
+    let jobs: usize = match value_of(&args, "--jobs") {
+        None => 1,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects a number, got `{v}`");
+            std::process::exit(2)
+        }),
+    };
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if jobs > hardware {
+        eprintln!(
+            "warning: --jobs {jobs} exceeds the {hardware} hardware thread(s) available — \
+             extra workers only add contention"
+        );
+    }
+    let flag_values: Vec<&String> = args
         .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+        .enumerate()
+        .filter(|(i, _)| *i > 0 && matches!(args[i - 1].as_str(), "--out" | "--jobs"))
+        .map(|(_, a)| a)
+        .collect();
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .filter(|a| !flag_values.contains(a))
         .cloned()
         .collect();
 
@@ -37,15 +65,37 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
-    let mut ran = 0;
-    for (id, desc, f) in &catalog {
-        if !run_all && !selected.iter().any(|s| s == id) {
-            continue;
-        }
+    #[allow(clippy::type_complexity)] // same shape as `catalog()`'s rows
+    let to_run: Vec<(&str, &str, fn(bool) -> String)> = catalog
+        .into_iter()
+        .filter(|(id, _, _)| run_all || selected.iter().any(|s| s == id))
+        .collect();
+    if to_run.is_empty() {
+        eprintln!("unknown experiment id; use `experiments list`");
+        std::process::exit(2);
+    }
+
+    let run_one = |(id, desc, f): (&str, &str, fn(bool) -> String)| {
         eprintln!("== running {id}: {desc} ==");
         let started = std::time::Instant::now();
         let report = f(quick);
         eprintln!("== {id} done in {:?} ==", started.elapsed());
+        report
+    };
+    // Collect reports by catalog index, then print in catalog order —
+    // stdout is byte-identical whether jobs is 1 or 16. A single selected
+    // artifact runs on the installing thread, so its *internal* dataset
+    // and scale sweeps inherit the pool instead.
+    let reports: Vec<String> = if jobs > 1 {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("experiments thread pool");
+        pool.install(|| par_map(to_run.clone(), run_one))
+    } else {
+        to_run.iter().map(|e| run_one(*e)).collect()
+    };
+    for ((id, _, _), report) in to_run.iter().zip(&reports) {
         println!("{report}");
         println!("{}", "=".repeat(78));
         if let Some(dir) = &out_dir {
@@ -53,10 +103,5 @@ fn main() {
             let mut file = std::fs::File::create(&path).expect("create report file");
             file.write_all(report.as_bytes()).expect("write report");
         }
-        ran += 1;
-    }
-    if ran == 0 {
-        eprintln!("unknown experiment id; use `experiments list`");
-        std::process::exit(2);
     }
 }

@@ -12,7 +12,18 @@ use sparseweaver_mem::CacheConfig;
 use sparseweaver_sim::{GpuConfig, Phase};
 use sparseweaver_weaver::area;
 
+use rayon::prelude::*;
+
 use crate::report::{geomean, Table};
+
+/// Order-preserving parallel map over the ambient rayon pool: the sweep
+/// primitive behind the dataset/scale loops and the `experiments --jobs`
+/// flag. Results are collected by input index, so artifact text is
+/// byte-identical at every worker count; outside a pool it degenerates
+/// to a plain serial map.
+pub fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    items.into_par_iter().map(f).collect()
+}
 
 /// PageRank iterations used throughout the evaluation sweeps.
 pub const PR_ITERS: u32 = 5;
@@ -270,7 +281,9 @@ pub fn fig10(quick: bool) -> String {
     for aname in algo_list() {
         let mut t = Table::new(&["graph", "S_vm", "S_em", "S_wm", "S_cm", "SparseWeaver"]);
         let mut sw_speedups = Vec::new();
-        for &id in &datasets {
+        // Each dataset owns its Session, so the 9-graph sweep fans out
+        // across the ambient pool; rows fold back in dataset order.
+        let rows = par_map(datasets.clone(), |id| {
             let d = dataset(id);
             let algo = make_algo(aname, &d.graph);
             let mut session = Session::new(GpuConfig::evaluation_default());
@@ -278,6 +291,7 @@ pub fn fig10(quick: bool) -> String {
                 .run(&d.graph, algo.as_ref(), Schedule::Svm)
                 .expect("svm");
             let mut cells = vec![id.to_string(), "1.00".to_string()];
+            let mut speedups = Vec::new();
             for s in [
                 Schedule::Sem,
                 Schedule::Swm,
@@ -286,12 +300,18 @@ pub fn fig10(quick: bool) -> String {
             ] {
                 let r = session.run(&d.graph, algo.as_ref(), s).expect("run");
                 let sp = r.speedup_over(&base);
+                speedups.push((s, sp));
+                cells.push(format!("{sp:.2}"));
+            }
+            (cells, speedups)
+        });
+        for (cells, speedups) in rows {
+            for (s, sp) in speedups {
                 per_scheme_all.entry(s).or_default().push(sp);
                 if s == Schedule::SparseWeaver {
                     sw_speedups.push(sp);
                     grand.push(sp);
                 }
-                cells.push(format!("{sp:.2}"));
             }
             t.row_owned(cells);
         }
@@ -892,19 +912,23 @@ pub fn scaling(quick: bool) -> String {
             ("8x", 34_400, 480_000),
         ]
     };
-    for &(label, v, e) in scales {
+    // Each scale point is an independent graph + Session; run the sweep
+    // on the ambient pool and fold rows back in scale order.
+    for row in par_map(scales.to_vec(), |(label, v, e)| {
         let g = generators::with_random_weights(&generators::powerlaw(v, e, 1.8, 6), 64, 1);
         let mut s = Session::new(GpuConfig::evaluation_default());
         let pr = PageRank::new(PR_ITERS);
         let em = s.run(&g, &pr, Schedule::Sem).expect("sem");
         let sw = s.run(&g, &pr, Schedule::SparseWeaver).expect("sw");
-        t.row_owned(vec![
+        vec![
             label.to_string(),
             g.num_edges().to_string(),
             em.cycles.to_string(),
             sw.cycles.to_string(),
             format!("{:.2}", em.cycles as f64 / sw.cycles.max(1) as f64),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     format!(
         "Scale study: SparseWeaver vs S_em as the data outgrows the caches (PR)

@@ -31,7 +31,11 @@ use crate::schedule::Schedule;
 use crate::FrameworkError;
 
 /// A graph algorithm runnable under any scheduling scheme.
-pub trait Algorithm {
+///
+/// `Sync` is a supertrait so campaign and sweep runners can share one
+/// `&dyn Algorithm` across worker threads; implementations are plain
+/// parameter structs, so the bound costs nothing.
+pub trait Algorithm: Sync {
     /// The algorithm's short name (used in kernel names and reports).
     fn name(&self) -> &'static str;
 

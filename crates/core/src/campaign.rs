@@ -15,7 +15,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use sparseweaver_fault::{CampaignSummary, FaultSpec, Outcome, SplitMix64};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use sparseweaver_fault::{CampaignSummary, FaultCounts, FaultSpec, Outcome, SplitMix64};
 use sparseweaver_graph::Csr;
 use sparseweaver_sim::{GpuConfig, SimError};
 
@@ -39,6 +41,31 @@ pub struct CampaignConfig {
     pub runs: u32,
     /// Bound on launch retries after a Weaver response timeout.
     pub max_weaver_retries: u32,
+    /// Worker threads for the injected runs (0 or 1 = serial). Each run
+    /// owns its `Gpu` and injector, and results are folded in run-index
+    /// order, so every `jobs` value produces byte-identical output.
+    pub jobs: usize,
+    /// Whether a run whose Weaver retries are exhausted may degrade to
+    /// the software `S_wm` schedule (the [`Session`] default). With
+    /// fallback off, exhausted retries surface as a Weaver timeout and
+    /// classify as a hang — the knob that gives campaigns deterministic
+    /// `hang` coverage.
+    pub fallback: bool,
+}
+
+impl CampaignConfig {
+    /// A campaign with `spec`, `seed`, and `runs`, serial execution, one
+    /// Weaver retry, and fallback enabled — the `swfault` defaults.
+    pub fn new(spec: FaultSpec, seed: u64, runs: u32) -> Self {
+        CampaignConfig {
+            spec,
+            seed,
+            runs,
+            max_weaver_retries: 1,
+            jobs: 1,
+            fallback: true,
+        }
+    }
 }
 
 /// One classified run of a campaign.
@@ -70,12 +97,29 @@ pub struct CampaignResult {
     pub panics: u64,
 }
 
+/// Raw result of one injected run, before the index-ordered fold into
+/// the summary. `outcome == None` means the run panicked.
+struct RunOutput {
+    seed: u64,
+    faults: Option<FaultCounts>,
+    retries: u64,
+    fell_back: bool,
+    outcome: Option<(Outcome, String)>,
+}
+
 /// Runs a full campaign: one fault-free golden run, then
 /// [`CampaignConfig::runs`] injected runs classified against it.
 ///
 /// Every injected run executes inside `catch_unwind`, so a panic in the
 /// machine model is recorded in [`CampaignResult::panics`] instead of
 /// aborting the campaign.
+///
+/// With [`CampaignConfig::jobs`] > 1 the injected runs execute on a
+/// thread pool. Each run builds its own [`Session`] (and thus its own
+/// `Gpu` and fault injector) from a seed derived purely from
+/// `(campaign seed, run index)`, and results are collected and folded in
+/// run-index order — so the summary, the per-run list, and the rendered
+/// JSON are byte-identical for every `jobs` value.
 ///
 /// # Errors
 ///
@@ -91,62 +135,55 @@ pub fn run_campaign(
     let mut golden_session = Session::new(*cfg);
     let golden = golden_session.run(graph, algorithm, schedule)?.output;
 
-    let mut summary = CampaignSummary {
-        spec: campaign.spec.to_string(),
-        seed: campaign.seed,
-        ..CampaignSummary::default()
-    };
-    let mut runs = Vec::with_capacity(campaign.runs as usize);
-    let mut panics = 0u64;
-
-    for index in 0..campaign.runs {
+    let run_one = |index: u32| -> RunOutput {
         let seed = SplitMix64::child_seed(campaign.seed, index as u64);
         let mut session = Session::new(*cfg);
         session.inject = Some(campaign.spec);
         session.inject_seed = seed;
         session.max_weaver_retries = campaign.max_weaver_retries;
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
+        session.fallback = campaign.fallback;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
             let result = session.run(graph, algorithm, schedule);
             (result, session.last_faults())
         }));
-        let (result, faults) = match outcome {
+        let (result, faults) = match caught {
             Ok(pair) => pair,
             Err(_) => {
-                panics += 1;
-                continue;
+                return RunOutput {
+                    seed,
+                    faults: None,
+                    retries: 0,
+                    fell_back: false,
+                    outcome: None,
+                }
             }
         };
-        if let Some(f) = faults {
-            summary.faults_injected += f.total();
-        }
-        let (outcome, detail) = match result {
-            Ok(report) => {
-                summary.retries += report.weaver_retries;
-                if report.fell_back_from.is_some() {
-                    summary.fallbacks += 1;
-                }
-                match report.output.mismatch(&golden, GOLDEN_TOL) {
-                    None => {
-                        let mut detail = String::from("output matches golden");
-                        if report.weaver_retries > 0 {
-                            detail.push_str(&format!(
-                                " after {} retr{}",
-                                report.weaver_retries,
-                                if report.weaver_retries == 1 {
-                                    "y"
-                                } else {
-                                    "ies"
-                                }
-                            ));
-                        }
-                        if let Some(from) = report.fell_back_from {
-                            detail.push_str(&format!(" (fell back from {from:?} to S_wm)"));
-                        }
-                        (Outcome::Masked, detail)
+        let (retries, fell_back) = match &result {
+            Ok(report) => (report.weaver_retries, report.fell_back_from.is_some()),
+            Err(_) => (0, false),
+        };
+        let outcome = match result {
+            Ok(report) => match report.output.mismatch(&golden, GOLDEN_TOL) {
+                None => {
+                    let mut detail = String::from("output matches golden");
+                    if report.weaver_retries > 0 {
+                        detail.push_str(&format!(
+                            " after {} retr{}",
+                            report.weaver_retries,
+                            if report.weaver_retries == 1 {
+                                "y"
+                            } else {
+                                "ies"
+                            }
+                        ));
                     }
-                    Some(at) => (Outcome::Sdc, format!("output diverges at index {at}")),
+                    if let Some(from) = report.fell_back_from {
+                        detail.push_str(&format!(" (fell back from {from:?} to S_wm)"));
+                    }
+                    (Outcome::Masked, detail)
                 }
-            }
+                Some(at) => (Outcome::Sdc, format!("output diverges at index {at}")),
+            },
             Err(FrameworkError::Sim(
                 e @ (SimError::Deadlock { .. }
                 | SimError::CycleLimit { .. }
@@ -154,10 +191,50 @@ pub fn run_campaign(
             )) => (Outcome::Hang, e.to_string()),
             Err(e) => (Outcome::DetectedCrash, e.to_string()),
         };
+        RunOutput {
+            seed,
+            faults,
+            retries,
+            fell_back,
+            outcome: Some(outcome),
+        }
+    };
+
+    let outputs: Vec<RunOutput> = if campaign.jobs > 1 && campaign.runs > 1 {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(campaign.jobs)
+            .build()
+            .expect("campaign thread pool");
+        pool.install(|| (0..campaign.runs).into_par_iter().map(run_one).collect())
+    } else {
+        (0..campaign.runs).map(run_one).collect()
+    };
+
+    // Fold in run-index order: the summary counters and the JSON they
+    // render to must not depend on worker scheduling.
+    let mut summary = CampaignSummary {
+        spec: campaign.spec.to_string(),
+        seed: campaign.seed,
+        ..CampaignSummary::default()
+    };
+    let mut runs = Vec::with_capacity(campaign.runs as usize);
+    let mut panics = 0u64;
+    for (index, out) in outputs.into_iter().enumerate() {
+        let Some((outcome, detail)) = out.outcome else {
+            panics += 1;
+            continue;
+        };
+        if let Some(f) = out.faults {
+            summary.faults_injected += f.total();
+        }
+        summary.retries += out.retries;
+        if out.fell_back {
+            summary.fallbacks += 1;
+        }
         summary.record(outcome);
         runs.push(CampaignRun {
-            index,
-            seed,
+            index: index as u32,
+            seed: out.seed,
             outcome,
             detail,
         });
@@ -176,22 +253,16 @@ mod tests {
     use crate::algorithms::Bfs;
     use sparseweaver_graph::generators;
 
-    fn small_campaign(spec: &str, seed: u64, runs: u32) -> CampaignResult {
+    fn campaign_with_jobs(spec: &str, seed: u64, runs: u32, jobs: usize) -> CampaignResult {
         let g = generators::uniform(24, 72, 7);
         let cfg = GpuConfig::small_test();
-        run_campaign(
-            &cfg,
-            &g,
-            &Bfs::new(0),
-            Schedule::SparseWeaver,
-            &CampaignConfig {
-                spec: FaultSpec::parse(spec).unwrap(),
-                seed,
-                runs,
-                max_weaver_retries: 1,
-            },
-        )
-        .unwrap()
+        let mut campaign = CampaignConfig::new(FaultSpec::parse(spec).unwrap(), seed, runs);
+        campaign.jobs = jobs;
+        run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap()
+    }
+
+    fn small_campaign(spec: &str, seed: u64, runs: u32) -> CampaignResult {
+        campaign_with_jobs(spec, seed, runs, 1)
     }
 
     #[test]
@@ -230,5 +301,58 @@ mod tests {
         assert!(r.summary.is_classified(), "summary: {:?}", r.summary);
         assert_eq!(r.panics, 0);
         assert_eq!(r.runs.len(), 6);
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial() {
+        let serial = campaign_with_jobs("reg=0.005,mem=0.002,fetch=0.002", 11, 8, 1);
+        let parallel = campaign_with_jobs("reg=0.005,mem=0.002,fetch=0.002", 11, 8, 4);
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(serial.panics, parallel.panics);
+    }
+
+    #[test]
+    fn fixed_seed_campaign_covers_all_four_classes() {
+        // The no-fallback golden campaign of
+        // `scripts/check_fault_campaign.sh` at reduced run count: same
+        // graph, spec, seed, and retry bound as the committed
+        // `fault_campaign_hang_golden.json`, and the same coverage claim
+        // — every outcome class, including hang, appears.
+        let g = generators::with_random_weights(&generators::uniform(24, 72, 7), 64, 0xC11);
+        let cfg = GpuConfig::small_test();
+        let mut campaign = CampaignConfig::new(
+            FaultSpec::parse("reg=0.002,mem=0.001,fetch=0.001,weaver-drop=0.02").unwrap(),
+            7,
+            30,
+        );
+        campaign.max_weaver_retries = crate::runtime::DEFAULT_WEAVER_RETRIES;
+        campaign.fallback = false;
+        let r = run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap();
+        assert!(r.summary.is_classified(), "summary: {:?}", r.summary);
+        assert!(r.summary.masked > 0, "no masked runs: {:?}", r.summary);
+        assert!(r.summary.sdc > 0, "no SDC runs: {:?}", r.summary);
+        assert!(
+            r.summary.detected_crash > 0,
+            "no detected crashes: {:?}",
+            r.summary
+        );
+        assert!(r.summary.hang > 0, "no hangs: {:?}", r.summary);
+        assert_eq!(r.panics, 0);
+    }
+
+    #[test]
+    fn fallback_off_surfaces_weaver_timeouts_as_hangs() {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        let mut campaign = CampaignConfig::new(FaultSpec::parse("weaver-drop=1.0").unwrap(), 7, 2);
+        campaign.fallback = false;
+        let r = run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap();
+        // With every response dropped and no S_wm degradation, retries
+        // exhaust and both runs land in the hang class.
+        assert_eq!(r.summary.hang, 2, "summary: {:?}", r.summary);
+        assert_eq!(r.summary.fallbacks, 0);
+        assert_eq!(r.panics, 0);
     }
 }

@@ -188,6 +188,13 @@ impl<'a> Runtime<'a> {
         self.weaver_retries
     }
 
+    /// Enables or disables the simulator's idle-cycle fast-forward cache
+    /// for subsequent launches (default on; bit-identical either way —
+    /// see [`Gpu::set_fast_forward`]).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.gpu.set_fast_forward(on);
+    }
+
     /// Sets how the static verifier reacts to kernel findings (default:
     /// [`LintLevel::Deny`]). Resets the verdict cache; the register
     /// allocation setting carries over.

@@ -114,6 +114,11 @@ pub struct Session {
     /// error instead — useful for capturing a hang report of the faulty
     /// machine rather than masking it.
     pub fallback: bool,
+    /// Whether the simulator's idle-cycle fast-forward cache is enabled
+    /// (default on). Both settings are bit-identical by contract
+    /// ([`sparseweaver_sim::Gpu::set_fast_forward`]); the off switch
+    /// exists for determinism cross-checks and perf A/B runs.
+    pub fast_forward: bool,
     /// Injection counters of the most recent [`Session::run`], kept even
     /// when the run errored (the [`RunReport`] is lost on that path).
     last_faults: Option<FaultCounts>,
@@ -134,6 +139,7 @@ impl Session {
             inject_seed: 0,
             max_weaver_retries: crate::runtime::DEFAULT_WEAVER_RETRIES,
             fallback: true,
+            fast_forward: true,
             last_faults: None,
         }
     }
@@ -186,6 +192,7 @@ impl Session {
         let mut rt = Runtime::new(gpu, graph, direction, schedule)?;
         rt.set_lint(self.lint);
         rt.set_regalloc(self.regalloc);
+        rt.set_fast_forward(self.fast_forward);
         Ok(rt)
     }
 
@@ -319,6 +326,7 @@ impl Session {
         rt.set_tracer(tracer.clone());
         rt.set_fault_injector(fault.clone());
         rt.set_max_weaver_retries(self.max_weaver_retries);
+        rt.set_fast_forward(self.fast_forward);
         if let (Some(tr), Some((from, kernel))) = (&tracer, &fallback_from) {
             tr.emit(
                 0,

@@ -1,0 +1,174 @@
+//! Pre-decoded kernel programs for the simulator's hot loop.
+//!
+//! [`Instr::sources`] returns a fresh `Vec<Reg>` on every call, which the
+//! core pipeline would otherwise pay once per scoreboard check per warp
+//! per cycle. [`DecodedProgram`] decodes each [`Program`] exactly once at
+//! launch into a dense, PC-indexed [`DecodedInstr`] array carrying the
+//! source registers in a fixed inline array and the destination register
+//! pre-extracted, so issue-time dependence checks are allocation-free.
+//!
+//! The decoded form is a pure cache: it holds the same [`Instr`] values
+//! in the same order as the source program, so fetching from it is
+//! bit-identical to fetching from the `Program` — the fetch-flip fault
+//! path must still re-encode/corrupt/re-decode the word per fetch and
+//! bypasses this cache entirely.
+
+use crate::instr::{Instr, Reg};
+use crate::program::Program;
+
+/// Upper bound on source operands across the ISA (`weaver.reg` reads
+/// `vid`, `loc`, `deg`).
+pub const MAX_SRCS: usize = 3;
+
+/// One instruction with its register operands pre-extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// The instruction exactly as it appears in the source [`Program`].
+    pub instr: Instr,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<Reg>,
+    srcs: [Reg; MAX_SRCS],
+    num_srcs: u8,
+}
+
+impl DecodedInstr {
+    /// Decodes a single instruction. Unused `srcs` slots are padded with
+    /// `x0`, which never pends in the scoreboard.
+    pub fn new(instr: Instr) -> Self {
+        let sources = instr.sources();
+        debug_assert!(sources.len() <= MAX_SRCS);
+        let mut srcs = [Reg(0); MAX_SRCS];
+        srcs[..sources.len()].copy_from_slice(&sources);
+        DecodedInstr {
+            dest: instr.dest(),
+            num_srcs: sources.len() as u8,
+            srcs,
+            instr,
+        }
+    }
+
+    /// The instruction's source registers, without allocating.
+    pub fn srcs(&self) -> &[Reg] {
+        &self.srcs[..self.num_srcs as usize]
+    }
+
+    /// All registers the scoreboard must consult before issue: sources
+    /// followed by the destination (write-after-write ordering).
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs().iter().copied().chain(self.dest)
+    }
+}
+
+/// A [`Program`] decoded once into a dense, PC-indexed instruction cache.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedProgram {
+    instrs: Vec<DecodedInstr>,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `program`, preserving PC order.
+    pub fn new(program: &Program) -> Self {
+        DecodedProgram {
+            instrs: program
+                .instrs()
+                .iter()
+                .map(|i| DecodedInstr::new(*i))
+                .collect(),
+        }
+    }
+
+    /// The decoded instruction at `pc`, or `None` past the end.
+    pub fn get(&self, pc: u32) -> Option<&DecodedInstr> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Space, Width};
+
+    fn decode_all(p: &Program) -> DecodedProgram {
+        DecodedProgram::new(p)
+    }
+
+    #[test]
+    fn decoded_matches_program_instrs_and_operands() {
+        let p = Program::new(
+            "d",
+            vec![
+                Instr::LdImm { rd: Reg(1), imm: 7 },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(1),
+                    rs2: Reg(1),
+                },
+                Instr::WeaverReg {
+                    vid: Reg(1),
+                    loc: Reg(2),
+                    deg: Reg(3),
+                },
+                Instr::St {
+                    src: Reg(2),
+                    addr: Reg(1),
+                    offset: 0,
+                    width: Width::B4,
+                    space: Space::Global,
+                },
+                Instr::Halt,
+            ],
+        );
+        let d = decode_all(&p);
+        assert_eq!(d.len(), p.len());
+        assert!(!d.is_empty());
+        for pc in 0..p.len() as u32 {
+            let di = d.get(pc).unwrap();
+            let i = p.get(pc).unwrap();
+            assert_eq!(&di.instr, i);
+            assert_eq!(di.srcs(), i.sources().as_slice());
+            assert_eq!(di.dest, i.dest());
+        }
+        assert_eq!(d.get(p.len() as u32), None);
+    }
+
+    #[test]
+    fn regs_chains_sources_then_dest() {
+        let di = DecodedInstr::new(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(4),
+            rs1: Reg(2),
+            rs2: Reg(3),
+        });
+        let regs: Vec<Reg> = di.regs().collect();
+        assert_eq!(regs, vec![Reg(2), Reg(3), Reg(4)]);
+    }
+
+    #[test]
+    fn zero_operand_instrs_decode_empty() {
+        let di = DecodedInstr::new(Instr::Nop);
+        assert!(di.srcs().is_empty());
+        assert_eq!(di.dest, None);
+        assert_eq!(di.regs().count(), 0);
+    }
+
+    #[test]
+    fn max_srcs_covers_the_widest_instruction() {
+        let widest = Instr::WeaverReg {
+            vid: Reg(1),
+            loc: Reg(2),
+            deg: Reg(3),
+        };
+        assert_eq!(widest.sources().len(), MAX_SRCS);
+    }
+}

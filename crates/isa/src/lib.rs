@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod decoded;
 pub mod encode;
 pub mod instr;
 pub mod program;
 
 pub use asm::{Asm, Label};
+pub use decoded::{DecodedInstr, DecodedProgram};
 pub use instr::{AluOp, AtomOp, BrCond, CsrKind, FCmpOp, FpuOp, Instr, Reg, Space, VoteOp, Width};
 pub use program::Program;
 

@@ -2,7 +2,9 @@
 //! shared memory, and the Weaver/EGHW functional-unit port.
 
 use sparseweaver_fault::FaultHandle;
-use sparseweaver_isa::{Instr, Program, Space, VoteOp, Width, NUM_REGS};
+use sparseweaver_isa::{
+    DecodedInstr, DecodedProgram, Instr, Program, Space, VoteOp, Width, NUM_REGS,
+};
 use sparseweaver_mem::{Hierarchy, MainMemory};
 use sparseweaver_trace::{Category, EventData, TraceHandle};
 use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
@@ -10,7 +12,7 @@ use sparseweaver_weaver::{WeaverUnit, EMPTY_WORK_ID};
 
 use crate::config::{GpuConfig, WeaverMode};
 use crate::stats::{PendKind, Phase, StallBreakdown};
-use crate::warp::{full_mask, SimtEntry, Warp, WarpState};
+use crate::warp::{full_mask, lanes_of, SimtEntry, Warp, WarpState};
 use crate::SimError;
 
 /// Why a core could not issue this cycle, and when it can retry.
@@ -301,17 +303,26 @@ impl Core {
 
     /// Consumes zero-cost `Phase` markers and returns the warp's next real
     /// instruction, halting the warp if it runs off the end.
-    fn resolve_front(&mut self, warp: usize, program: &Program, cycle: u64) -> Option<Instr> {
+    fn resolve_front<'p>(
+        &mut self,
+        warp: usize,
+        decoded: &'p DecodedProgram,
+        cycle: u64,
+    ) -> Option<&'p DecodedInstr> {
         loop {
             if self.warps[warp].state != WarpState::Running {
                 return None;
             }
-            match program.get(self.warps[warp].pc) {
+            match decoded.get(self.warps[warp].pc) {
                 None => {
                     self.halt_warp(warp);
                     return None;
                 }
-                Some(&Instr::Phase(p)) => {
+                Some(d) if !matches!(d.instr, Instr::Phase(_)) => return Some(d),
+                Some(d) => {
+                    let Instr::Phase(p) = d.instr else {
+                        unreachable!()
+                    };
                     let phase = match p {
                         0 => Phase::Init,
                         1 => Phase::Registration,
@@ -335,7 +346,6 @@ impl Core {
                     self.warps[warp].phase = phase;
                     self.warps[warp].pc += 1;
                 }
-                Some(&i) => return Some(i),
             }
         }
     }
@@ -346,10 +356,12 @@ impl Core {
     ///
     /// Propagates kernel bugs surfaced by the machine model (divergent
     /// uniform branches, unbalanced joins).
+    #[allow(clippy::too_many_arguments)]
     pub fn try_issue(
         &mut self,
         cycle: u64,
         program: &Program,
+        decoded: &DecodedProgram,
         args: &[u64],
         hier: &mut Hierarchy,
         mem: &mut MainMemory,
@@ -362,18 +374,17 @@ impl Core {
         // Round-robin scan for a ready warp.
         for i in 0..n {
             let w = (self.next_warp + i) % n;
-            let Some(instr) = self.resolve_front(w, program, cycle) else {
+            let Some(d) = self.resolve_front(w, decoded, cycle) else {
                 continue;
             };
-            // Scoreboard: all sources and the destination must be ready.
-            let ready = instr
-                .sources()
-                .into_iter()
-                .chain(instr.dest())
-                .all(|r| self.warps[w].reg_ready(r, cycle));
+            // Scoreboard: all sources and the destination must be ready
+            // (operands come pre-extracted from the decoded cache, so this
+            // check allocates nothing).
+            let ready = d.regs().all(|r| self.warps[w].reg_ready(r, cycle));
             if !ready {
                 continue;
             }
+            let instr = d.instr;
             if let Some((records, cap)) = &mut self.trace {
                 if records.len() < *cap {
                     records.push(TraceRecord {
@@ -415,12 +426,12 @@ impl Core {
             if w.state != WarpState::Running {
                 continue;
             }
-            let Some(instr) = program.get(w.pc) else {
+            let Some(d) = decoded.get(w.pc) else {
                 continue;
             };
             let mut when = 0u64;
             let mut kind = PendKind::Exec;
-            for r in instr.sources().into_iter().chain(instr.dest()) {
+            for r in d.regs() {
                 let (t, k) = w.reg_pending(r);
                 if t > when {
                     when = t;
@@ -529,48 +540,48 @@ impl Core {
                 self.maybe_release_barrier();
             }
             Instr::LdImm { rd, imm } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     warp.write(l, rd, imm as u64);
                 }
                 warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
             }
             Instr::Alu { op, rd, rs1, rs2 } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let v = op.apply(warp.read(l, rs1), warp.read(l, rs2));
                     warp.write(l, rd, v);
                 }
                 warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
             }
             Instr::AluI { op, rd, rs1, imm } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let v = op.apply(warp.read(l, rs1), imm as u64);
                     warp.write(l, rd, v);
                 }
                 warp.set_pending(rd, cycle + self.alu_latency, PendKind::Exec);
             }
             Instr::Fpu { op, rd, rs1, rs2 } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let v = op.apply(warp.read(l, rs1), warp.read(l, rs2));
                     warp.write(l, rd, v);
                 }
                 warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
             }
             Instr::FCmp { op, rd, rs1, rs2 } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let v = op.apply(warp.read(l, rs1), warp.read(l, rs2));
                     warp.write(l, rd, v);
                 }
                 warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
             }
             Instr::CvtIF { rd, rs1 } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let v = (warp.read(l, rs1) as i64) as f64;
                     warp.write(l, rd, v.to_bits());
                 }
                 warp.set_pending(rd, cycle + self.fpu_latency, PendKind::Exec);
             }
             Instr::CvtFI { rd, rs1 } => {
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let v = f64::from_bits(warp.read(l, rs1)) as i64;
                     warp.write(l, rd, v as u64);
                 }
@@ -633,11 +644,11 @@ impl Core {
                 src,
                 space,
             } => {
-                let active: Vec<usize> = warp.active_lanes().collect();
+                let mask = warp.active;
                 let mut max_done = cycle;
                 match space {
                     Space::Global => {
-                        for l in active {
+                        for l in lanes_of(mask) {
                             let a = self.warps[w].read(l, addr);
                             let operand = self.warps[w].read(l, src);
                             let r = hier.atomic(core_id, a, cycle);
@@ -653,7 +664,7 @@ impl Core {
                         // Scratchpad atomics: serialized lane by lane at
                         // shared-memory latency (bank conflicts on the
                         // same counter are the realistic cost).
-                        for (i, l) in active.into_iter().enumerate() {
+                        for (i, l) in lanes_of(mask).enumerate() {
                             let a = self.warps[w].read(l, addr);
                             let operand = self.warps[w].read(l, src);
                             let old = self
@@ -677,7 +688,7 @@ impl Core {
                 target,
             } => {
                 let mut taken: Option<bool> = None;
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     let t = cond.eval(warp.read(l, rs1), warp.read(l, rs2));
                     match taken {
                         None => taken = Some(t),
@@ -705,7 +716,7 @@ impl Core {
                 let split_pc = warp.pc - 1;
                 let m = warp.active;
                 let mut t = 0u64;
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     if warp.read(l, rs1) != 0 {
                         t |= 1 << l;
                     }
@@ -763,7 +774,7 @@ impl Core {
                 let mut ballot = 0u64;
                 let mut count = 0u32;
                 let mut active = 0u32;
-                for l in warp.active_lanes().collect::<Vec<_>>() {
+                for l in lanes_of(warp.active) {
                     active += 1;
                     if warp.read(l, rs1) != 0 {
                         ballot |= 1 << l;
@@ -791,12 +802,11 @@ impl Core {
                 warp.active = m;
             }
             Instr::WeaverReg { vid, loc, deg } => {
-                let active: Vec<usize> = warp.active_lanes().collect();
+                let mask = warp.active;
                 match self.weaver_mode {
                     WeaverMode::Weaver => {
-                        let records: Vec<(usize, u32, u32, u32)> = active
-                            .iter()
-                            .map(|&l| {
+                        let records: Vec<(usize, u32, u32, u32)> = lanes_of(mask)
+                            .map(|l| {
                                 (
                                     l,
                                     self.warps[w].read(l, vid) as u32,
@@ -813,9 +823,8 @@ impl Core {
                             })?;
                     }
                     WeaverMode::Eghw => {
-                        let records: Vec<(usize, u32)> = active
-                            .iter()
-                            .map(|&l| (l, self.warps[w].read(l, vid) as u32))
+                        let records: Vec<(usize, u32)> = lanes_of(mask)
+                            .map(|l| (l, self.warps[w].read(l, vid) as u32))
                             .collect();
                         self.eghw.reg(w, &records, cycle);
                     }
@@ -886,8 +895,7 @@ impl Core {
             },
             Instr::WeaverSkip { vid } => {
                 if self.weaver_mode == WeaverMode::Weaver {
-                    let vids: Vec<u32> = self.warps[w]
-                        .active_lanes()
+                    let vids: Vec<u32> = lanes_of(self.warps[w].active)
                         .map(|l| self.warps[w].read(l, vid) as u32)
                         .collect();
                     self.weaver.skip(&vids, cycle);
@@ -911,10 +919,10 @@ impl Core {
         mem: &mut MainMemory,
         program: &Program,
     ) -> Result<(), SimError> {
-        let active: Vec<usize> = self.warps[w].active_lanes().collect();
+        let mask = self.warps[w].active;
         match space {
             Space::Shared => {
-                for &l in &active {
+                for l in lanes_of(mask) {
                     let a = self.warps[w]
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
@@ -928,26 +936,32 @@ impl Core {
             }
             Space::Global => {
                 // Coalesce into unique lines (in address order for
-                // determinism), one hierarchy access each.
-                let mut lines: Vec<u64> = active
-                    .iter()
-                    .map(|&l| {
-                        sparseweaver_mem::line_of(
-                            self.warps[w]
-                                .read(l, addr)
-                                .wrapping_add(offset as i64 as u64),
-                        )
-                    })
-                    .collect();
+                // determinism), one hierarchy access each. A warp has at
+                // most 64 lanes, so the line set fits on the stack.
+                let mut lines = [0u64; 64];
+                let mut n = 0usize;
+                for l in lanes_of(mask) {
+                    lines[n] = sparseweaver_mem::line_of(
+                        self.warps[w]
+                            .read(l, addr)
+                            .wrapping_add(offset as i64 as u64),
+                    );
+                    n += 1;
+                }
+                let lines = &mut lines[..n];
                 lines.sort_unstable();
-                lines.dedup();
                 let mut max_lat = 0u64;
-                for line in lines {
+                let mut prev = None;
+                for &line in lines.iter() {
+                    if prev == Some(line) {
+                        continue;
+                    }
+                    prev = Some(line);
                     let r = hier.access(self.id, line, false, cycle);
                     max_lat = max_lat.max(r.latency);
                     self.stats.stalls.l1_queue += r.queue_delay;
                 }
-                for &l in &active {
+                for l in lanes_of(mask) {
                     let a = self.warps[w]
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
@@ -976,10 +990,10 @@ impl Core {
         mem: &mut MainMemory,
         program: &Program,
     ) -> Result<(), SimError> {
-        let active: Vec<usize> = self.warps[w].active_lanes().collect();
+        let mask = self.warps[w].active;
         match space {
             Space::Shared => {
-                for &l in &active {
+                for l in lanes_of(mask) {
                     let a = self.warps[w]
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);
@@ -990,23 +1004,28 @@ impl Core {
                 }
             }
             Space::Global => {
-                let mut lines: Vec<u64> = active
-                    .iter()
-                    .map(|&l| {
-                        sparseweaver_mem::line_of(
-                            self.warps[w]
-                                .read(l, addr)
-                                .wrapping_add(offset as i64 as u64),
-                        )
-                    })
-                    .collect();
+                let mut lines = [0u64; 64];
+                let mut n = 0usize;
+                for l in lanes_of(mask) {
+                    lines[n] = sparseweaver_mem::line_of(
+                        self.warps[w]
+                            .read(l, addr)
+                            .wrapping_add(offset as i64 as u64),
+                    );
+                    n += 1;
+                }
+                let lines = &mut lines[..n];
                 lines.sort_unstable();
-                lines.dedup();
-                for line in lines {
+                let mut prev = None;
+                for &line in lines.iter() {
+                    if prev == Some(line) {
+                        continue;
+                    }
+                    prev = Some(line);
                     let r = hier.access(self.id, line, true, cycle);
                     self.stats.stalls.l1_queue += r.queue_delay;
                 }
-                for &l in &active {
+                for l in lanes_of(mask) {
                     let a = self.warps[w]
                         .read(l, addr)
                         .wrapping_add(offset as i64 as u64);

@@ -1,7 +1,7 @@
 //! The whole GPU: cores + memory hierarchy + the global cycle loop.
 
 use sparseweaver_fault::FaultHandle;
-use sparseweaver_isa::Program;
+use sparseweaver_isa::{DecodedProgram, Program};
 use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory};
 use sparseweaver_trace::{CounterSnapshot, EventData, StallCause, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
@@ -51,6 +51,7 @@ pub struct Gpu {
     fault: Option<FaultHandle>,
     occupancy: Occupancy,
     configured_warps_per_core: usize,
+    fast_forward: bool,
 }
 
 /// Register-file occupancy of the most recent launch.
@@ -90,7 +91,25 @@ impl Gpu {
             tracer: None,
             fault: None,
             occupancy: Occupancy::default(),
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables the idle-cycle fast-forward cache (on by
+    /// default).
+    ///
+    /// With fast-forward on, a core that reports [`IssueOutcome::Blocked`]
+    /// is not re-scanned until the global clock reaches the block's
+    /// `next_ready` cycle; its cached stall reason is replayed into the
+    /// attribution counters and trace events for every skipped scan. This
+    /// is bit-identical to re-scanning because warp wake-ups are purely
+    /// core-local: the scoreboard's ready cycles are fixed at issue time,
+    /// and barriers and the Weaver unit only advance on the owning core's
+    /// own issues. Disabling it restores the per-cycle re-scan — useful as
+    /// a determinism cross-check; both paths must produce the same stats,
+    /// traces, and outputs.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Register-file occupancy of the most recent launch (zeros before
@@ -235,10 +254,16 @@ impl Gpu {
             tr.kernel_begin(program.name());
         }
         let num_cores = self.cores.len();
+        // Decode once; the per-cycle issue path never touches the word
+        // decoder again (the fetch-flip fault path re-encodes per fetch).
+        let decoded = DecodedProgram::new(program);
         let mut cycle: u64 = 0;
         let mut warp_cycles: u64 = 0;
         let mut barrier_warp_cycles: u64 = 0;
         let mut blocked: Vec<(usize, crate::core::Blocked)> = Vec::new();
+        // Fast-forward cache: a core's last Blocked outcome, valid (and
+        // replayed without re-scanning) until `next_ready`.
+        let mut core_blocked: Vec<Option<Blocked>> = vec![None; num_cores];
 
         loop {
             if cycle > self.cfg.max_cycles {
@@ -251,12 +276,25 @@ impl Gpu {
             blocked.clear();
             let mut any_issued = false;
             let mut all_finished = true;
-            for i in 0..num_cores {
+            for (i, cached) in core_blocked.iter_mut().enumerate() {
+                if self.fast_forward {
+                    if let Some(b) = *cached {
+                        if cycle < b.next_ready {
+                            // Still waiting on the same producer; replay
+                            // the cached stall without re-scanning.
+                            all_finished = false;
+                            blocked.push((i, b));
+                            continue;
+                        }
+                        *cached = None;
+                    }
+                }
                 let outcome = {
                     let core = &mut self.cores[i];
                     core.try_issue(
                         cycle,
                         program,
+                        &decoded,
                         args,
                         &mut self.hierarchy,
                         &mut self.mem,
@@ -271,6 +309,9 @@ impl Gpu {
                     IssueOutcome::Blocked(b) => {
                         all_finished = false;
                         blocked.push((i, b));
+                        if self.fast_forward {
+                            *cached = Some(b);
+                        }
                     }
                     IssueOutcome::Finished => {
                         if self.cores[i].stats.finish_cycle == 0 {
@@ -936,6 +977,74 @@ mod tests {
             g.launch(&program, &[]).unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fast_forward_toggle_is_bit_identical() {
+        // A kernel mixing memory, barrier, and atomic stalls: the
+        // fast-forward cache must replay stall attribution and cycle
+        // counts exactly as the per-cycle re-scan does.
+        let program = {
+            let mut a = Asm::new("ff_identical");
+            let tid = a.reg();
+            let addr = a.reg();
+            let v = a.reg();
+            a.csr(tid, CsrKind::GlobalTid);
+            a.muli(addr, tid, 8);
+            a.ldg(v, addr, 0, Width::B8);
+            a.add(v, v, tid);
+            a.stg(v, addr, 0, Width::B8);
+            a.bar();
+            a.atom(AtomOp::Add, v, addr, tid);
+            a.halt();
+            a.finish()
+        };
+        let run = |ff: bool| {
+            let mut g = gpu();
+            g.set_fast_forward(ff);
+            let stats = g.launch(&program, &[]).unwrap();
+            let words: Vec<u64> = (0..g.config().total_threads() as u64)
+                .map(|t| g.mem().read(t * 8, 8))
+                .collect();
+            (stats, words)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fast_forward_traces_are_identical() {
+        use sparseweaver_trace::{TraceConfig, TraceHandle};
+
+        let program = {
+            let mut a = Asm::new("ff_traced");
+            let tid = a.reg();
+            let addr = a.reg();
+            let v = a.reg();
+            a.csr(tid, CsrKind::GlobalTid);
+            a.muli(addr, tid, 8);
+            a.ldg(v, addr, 0, Width::B8);
+            a.add(v, v, tid);
+            a.stg(v, addr, 0, Width::B8);
+            a.bar();
+            a.halt();
+            a.finish()
+        };
+        let run = |ff: bool| {
+            let mut g = gpu();
+            g.set_fast_forward(ff);
+            let tr = TraceHandle::new(TraceConfig {
+                sample_every: 2,
+                ..TraceConfig::default()
+            });
+            g.set_tracer(Some(tr.clone()));
+            g.launch(&program, &[]).unwrap();
+            let report = tr.report();
+            (
+                format!("{:?}", report.events),
+                format!("{:?}", report.samples),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     /// A kernel that touches `extra` registers beyond its working set

@@ -166,6 +166,21 @@ pub fn full_mask(lanes: usize) -> u64 {
     }
 }
 
+/// The set lanes of `mask`, ascending — like [`Warp::active_lanes`] but
+/// free of the `&self` borrow, so the execution loops can walk a saved
+/// mask while mutating the warp without collecting into a `Vec` first.
+pub fn lanes_of(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(l)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +225,18 @@ mod tests {
         let lanes: Vec<_> = w.active_lanes().collect();
         assert_eq!(lanes, vec![1, 3]);
         assert_eq!(w.active_count(), 2);
+    }
+
+    #[test]
+    fn lanes_of_matches_active_lanes() {
+        for mask in [0u64, 0b1, 0b1010, 0b1111, u64::MAX >> 32] {
+            let mut w = Warp::new(32);
+            w.active = mask & full_mask(32);
+            let via_warp: Vec<_> = w.active_lanes().collect();
+            let via_mask: Vec<_> = lanes_of(w.active).collect();
+            assert_eq!(via_mask, via_warp, "mask {mask:b}");
+        }
+        assert_eq!(lanes_of(1u64 << 63).collect::<Vec<_>>(), vec![63]);
     }
 
     #[test]

@@ -14,14 +14,24 @@
 # faults as typed errors) or if the four outcome classes do not sum to
 # the number of runs.
 #
+# A second fixed-seed campaign runs with `--no-fallback` at rates chosen
+# so every outcome class — including hang — appears: dropping Weaver
+# responses without the S_wm degradation surfaces Weaver timeouts as
+# hangs deterministically. Beyond byte-identity, this gate asserts all
+# four classes are non-zero, closing the hang-coverage gap (ROADMAP).
+#
 # To regenerate after an intentional change (e.g. a new fault site):
 #   cargo run --release --bin swfault -- \
 #     --inject reg=0.0001,mem=0.00005,fetch=0.00005,weaver-drop=0.05 \
 #     --runs 200 --seed 2025 > scripts/fault_campaign_golden.json
+#   cargo run --release --bin swfault -- \
+#     --inject reg=0.002,mem=0.001,fetch=0.001,weaver-drop=0.02 \
+#     --runs 200 --seed 7 --no-fallback > scripts/fault_campaign_hang_golden.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GOLDEN=scripts/fault_campaign_golden.json
+HANG_GOLDEN=scripts/fault_campaign_hang_golden.json
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
@@ -35,3 +45,20 @@ if ! diff -u "$GOLDEN" "$OUT"; then
     exit 1
 fi
 echo "ok: 200-run fixed-seed campaign is byte-identical to the golden summary"
+
+cargo run --release --quiet --bin swfault -- \
+    --inject reg=0.002,mem=0.001,fetch=0.001,weaver-drop=0.02 \
+    --runs 200 --seed 7 --no-fallback > "$OUT"
+
+if ! diff -u "$HANG_GOLDEN" "$OUT"; then
+    echo "FAIL: no-fallback campaign summary drifted from $HANG_GOLDEN" >&2
+    echo "If the change is intentional, regenerate the golden (see header)." >&2
+    exit 1
+fi
+for class in masked sdc detected_crash hang; do
+    if ! grep -q "\"$class\":[1-9]" "$OUT"; then
+        echo "FAIL: outcome class \"$class\" is zero — campaign no longer covers all four classes" >&2
+        exit 1
+    fi
+done
+echo "ok: no-fallback campaign is byte-identical and covers all four outcome classes"

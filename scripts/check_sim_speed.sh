@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI gate for the `sim_hot_loop` Criterion group: the fast-path engine
+# (pre-decoded kernels + idle-cycle fast-forward) must not regress.
+#
+# The gate is self-baselining so runner speed cancels out: the BFS run
+# with fast-forward ON is compared against the identical run with the
+# per-core blocked cache disabled, from the same bench invocation. The
+# fast-forwarding engine does strictly less per-cycle work, so a healthy
+# fast path is at least as fast. If it ever exceeds the disabled path by
+# more than TOLERANCE_PCT, the optimisation has rotted — fail.
+#
+# The group's numbers are also rendered into BENCH_sim.json (ns/iter and
+# simulated runs per second per entry) for tracking across commits; see
+# docs/performance.md for how to read it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE_PCT="${TOLERANCE_PCT:-10}"
+OUT_JSON="${OUT_JSON:-BENCH_sim.json}"
+
+out=$(cargo bench -p sparseweaver-bench --bench paper_artifacts -- sim_hot_loop)
+echo "$out"
+
+entries="bfs_weaver sssp_weaver bfs_swm sssp_swm bfs_weaver_fastforward_off campaign_20runs"
+{
+    echo "{"
+    first=1
+    for e in $entries; do
+        ns=$(echo "$out" | awk -v id="sim_hot_loop/$e" '$1 == id { print $3 }')
+        if [ -z "$ns" ]; then
+            echo "FAIL: sim_hot_loop group did not report $e" >&2
+            exit 1
+        fi
+        [ "$first" -eq 1 ] || echo ","
+        first=0
+        awk -v e="$e" -v ns="$ns" 'BEGIN {
+            printf "  \"%s\": { \"ns_per_iter\": %d, \"runs_per_sec\": %.3f }", e, ns, 1e9 / ns
+        }'
+    done
+    echo ""
+    echo "}"
+} > "$OUT_JSON"
+echo "wrote $OUT_JSON"
+
+on=$(echo "$out" | awk '$1 == "sim_hot_loop/bfs_weaver" { print $3 }')
+off=$(echo "$out" | awk '$1 == "sim_hot_loop/bfs_weaver_fastforward_off" { print $3 }')
+
+awk -v on="$on" -v off="$off" -v tol="$TOLERANCE_PCT" 'BEGIN {
+    limit = off * (100 + tol) / 100
+    printf "fast-forward on %d ns/iter vs off %d ns/iter (limit %.0f, tolerance %s%%)\n",
+        on, off, limit, tol
+    if (on > limit) {
+        print "FAIL: the fast-path engine is slower than the un-fast-forwarded loop"
+        exit 1
+    }
+    print "ok: fast-path engine within tolerance of its baseline"
+}'

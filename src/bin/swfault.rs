@@ -33,7 +33,8 @@ USAGE:
           [--graph FILE | --dataset ID | --gen GSPEC]
           [--algo ALGO] [--schedule S] [--iters N] [--source V]
           [--config vortex|eval|small|8core|regfile]
-          [--retries N] [--out FILE] [--details]
+          [--retries N] [--jobs N] [--no-fallback]
+          [--out FILE] [--details]
   swfault --version
 
   SPEC:  comma-separated site=rate clauses, sites:
@@ -46,6 +47,10 @@ USAGE:
   --runs N       injected runs (default 200)
   --seed N       campaign seed; run i uses child_seed(seed, i) (default 0)
   --retries N    launch retries after a Weaver response timeout (default 2)
+  --jobs N       worker threads for injected runs (default 1). Any value
+                 produces byte-identical output; results fold in run order.
+  --no-fallback  forbid degrading to S_wm when Weaver retries exhaust —
+                 such runs classify as hangs instead of masked
   --out FILE     also write the summary JSON to FILE
   --details      print one line per run (index, seed, class, detail)
 
@@ -62,8 +67,22 @@ EXIT CODES:
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let allowed = [
-        "inject", "runs", "seed", "graph", "dataset", "gen", "algo", "schedule", "iters", "source",
-        "config", "retries", "out", "details",
+        "inject",
+        "runs",
+        "seed",
+        "graph",
+        "dataset",
+        "gen",
+        "algo",
+        "schedule",
+        "iters",
+        "source",
+        "config",
+        "retries",
+        "jobs",
+        "no-fallback",
+        "out",
+        "details",
     ];
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -230,22 +249,34 @@ fn main() {
         eprintln!("bad --inject spec: {e}");
         exit(2)
     });
-    let campaign = CampaignConfig {
+    let mut campaign = CampaignConfig::new(
         spec,
-        seed: numeric_flag(&flags, "seed", 0),
-        runs: numeric_flag(&flags, "runs", 200),
-        max_weaver_retries: numeric_flag(&flags, "retries", DEFAULT_WEAVER_RETRIES),
-    };
+        numeric_flag(&flags, "seed", 0),
+        numeric_flag(&flags, "runs", 200),
+    );
+    campaign.max_weaver_retries = numeric_flag(&flags, "retries", DEFAULT_WEAVER_RETRIES);
+    campaign.jobs = numeric_flag(&flags, "jobs", 1);
+    campaign.fallback = !flags.contains_key("no-fallback");
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if campaign.jobs > hardware {
+        eprintln!(
+            "warning: --jobs {} exceeds the {hardware} hardware thread(s) available — \
+             extra workers only add contention",
+            campaign.jobs
+        );
+    }
     let graph = load_graph(&flags);
     let algo = make_algo(&flags, &graph);
     let schedule = parse_schedule(flags.get("schedule").map(String::as_str).unwrap_or("sw"));
     let cfg = config_for(&flags);
 
+    let started = std::time::Instant::now();
     let result =
         run_campaign(&cfg, &graph, algo.as_ref(), schedule, &campaign).unwrap_or_else(|e| {
             eprintln!("golden (fault-free) run failed: {e}");
             exit(1)
         });
+    let elapsed = started.elapsed();
 
     if flags.contains_key("details") {
         for run in &result.runs {
@@ -260,6 +291,20 @@ fn main() {
     }
     let json = result.summary.to_json();
     println!("{json}");
+    // Human-facing throughput line on stderr only: stdout must stay
+    // byte-identical so `scripts/check_fault_campaign.sh` can diff it.
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        f64::from(campaign.runs) / secs
+    } else {
+        f64::INFINITY
+    };
+    let s = &result.summary;
+    eprintln!(
+        "{} runs in {:.3}s ({:.1} runs/s, jobs={}): \
+         masked {} | sdc {} | detected-crash {} | hang {}",
+        campaign.runs, secs, rate, campaign.jobs, s.masked, s.sdc, s.detected_crash, s.hang
+    );
     if let Some(path) = flags.get("out") {
         if path.is_empty() {
             eprintln!("--out expects a file path");

@@ -32,12 +32,7 @@ fn campaign(spec: &str, seed: u64, runs: u32) -> sparseweaver::core::campaign::C
         &g,
         &Bfs::new(0),
         Schedule::SparseWeaver,
-        &CampaignConfig {
-            spec: FaultSpec::parse(spec).expect("valid spec"),
-            seed,
-            runs,
-            max_weaver_retries: 1,
-        },
+        &CampaignConfig::new(FaultSpec::parse(spec).expect("valid spec"), seed, runs),
     )
     .expect("golden run")
 }

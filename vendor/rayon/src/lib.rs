@@ -1,0 +1,325 @@
+//! Minimal, API-compatible stand-in for the subset of `rayon` the
+//! SparseWeaver workspace uses (see `vendor/README.md` for why the real
+//! crate cannot be fetched).
+//!
+//! Covered surface:
+//!
+//! - [`ThreadPoolBuilder::new`]`().num_threads(n).build()` →
+//!   [`ThreadPool::install`]
+//! - [`current_num_threads`]
+//! - `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` and
+//!   `vec.into_par_iter().map(f).collect::<Vec<_>>()` via the
+//!   [`prelude`]
+//!
+//! Execution model: `collect` fans the mapped items out over
+//! `std::thread::scope` workers that pull indices from a shared atomic
+//! counter; each worker accumulates `(index, value)` pairs and the
+//! results are merged and sorted by index, so **output order always
+//! matches input order** regardless of scheduling — the property the
+//! campaign runner's byte-deterministic JSON depends on. Worker panics
+//! propagate to the caller like rayon's. Nested parallelism inside a
+//! worker runs serially (no work stealing).
+
+use std::cell::Cell;
+use std::fmt;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of the closure (0 = no override). Workers themselves run
+    /// with an override of 1, so nested `par_iter`s serialize instead of
+    /// multiplying threads.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads a `par_iter` launched from this thread would
+/// use: the installed pool's size inside [`ThreadPool::install`],
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type matching rayon's fallible build API (the stand-in never
+/// actually fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count (available parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the worker count (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A logical thread pool. The stand-in spawns scoped threads per
+/// `collect` rather than keeping workers alive, but the observable
+/// behavior (worker count, result order, panic propagation) matches.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool installed: `par_iter`s inside use
+    /// [`ThreadPool::current_num_threads`] workers.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.threads));
+        let guard = RestoreThreads(prev);
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+struct RestoreThreads(usize);
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+/// Re-exports users `use rayon::prelude::*` for.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParMap, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator over `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Operations on parallel iterators (subset of rayon's trait, provided
+/// inherently on the concrete adapters; the trait exists so
+/// `use rayon::prelude::*` imports resolve).
+pub trait ParallelIterator {}
+
+impl<T> ParallelIterator for ParIter<T> {}
+impl<T, F> ParallelIterator for ParMap<T, F> {}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The `map` adapter.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the map over the installed worker count and collects the
+    /// results **in input order**.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_ordered(self.items, &self.f))
+    }
+}
+
+/// Maps `items` through `f` on `current_num_threads()` scoped workers,
+/// returning results in input order.
+fn par_map_ordered<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot holds one input; workers claim indices from the shared
+    // counter and take the input out of its slot.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    // Serialize nested parallelism inside workers.
+                    let prev = CURRENT_THREADS.with(|c| c.replace(1));
+                    let restore = RestoreThreads(prev);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = work[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("work item claimed twice");
+                        out.push((i, f(item)));
+                    }
+                    drop(restore);
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut all: Vec<(usize, R)> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let v = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let lens: Vec<usize> = pool.install(|| v.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 7);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn serial_fallback_without_install() {
+        let out: Vec<u32> = (0..10u32).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = pool.install(|| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|i| if i == 5 { panic!("boom") } else { i })
+                    .collect()
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn builder_default_uses_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

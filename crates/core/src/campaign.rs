@@ -20,6 +20,7 @@ use rayon::ThreadPoolBuilder;
 use sparseweaver_fault::{CampaignSummary, FaultCounts, FaultSpec, Outcome, SplitMix64};
 use sparseweaver_graph::Csr;
 use sparseweaver_sim::{GpuConfig, SimError};
+use sparseweaver_trace::ProfileReport;
 
 use crate::algorithms::Algorithm;
 use crate::schedule::Schedule;
@@ -51,6 +52,10 @@ pub struct CampaignConfig {
     /// classify as a hang — the knob that gives campaigns deterministic
     /// `hang` coverage.
     pub fallback: bool,
+    /// When set, every injected run attaches a latency profiler and the
+    /// per-run [`sparseweaver_trace::ProfileReport`]s are merged (in
+    /// run-index order) into [`CampaignResult::profile`].
+    pub profile: bool,
 }
 
 impl CampaignConfig {
@@ -64,6 +69,7 @@ impl CampaignConfig {
             max_weaver_retries: 1,
             jobs: 1,
             fallback: true,
+            profile: false,
         }
     }
 }
@@ -95,6 +101,10 @@ pub struct CampaignResult {
     /// is a bug in the machine model, and `swfault` fails the campaign
     /// on it.
     pub panics: u64,
+    /// Merged latency/imbalance profile across the injected runs, when
+    /// [`CampaignConfig::profile`] was set. Folded in run-index order,
+    /// so it is identical for every `jobs` value.
+    pub profile: Option<ProfileReport>,
 }
 
 /// Raw result of one injected run, before the index-ordered fold into
@@ -105,6 +115,7 @@ struct RunOutput {
     retries: u64,
     fell_back: bool,
     outcome: Option<(Outcome, String)>,
+    profile: Option<ProfileReport>,
 }
 
 /// Runs a full campaign: one fault-free golden run, then
@@ -142,6 +153,7 @@ pub fn run_campaign(
         session.inject_seed = seed;
         session.max_weaver_retries = campaign.max_weaver_retries;
         session.fallback = campaign.fallback;
+        session.profile = campaign.profile;
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let result = session.run(graph, algorithm, schedule);
             (result, session.last_faults())
@@ -155,12 +167,17 @@ pub fn run_campaign(
                     retries: 0,
                     fell_back: false,
                     outcome: None,
+                    profile: None,
                 }
             }
         };
-        let (retries, fell_back) = match &result {
-            Ok(report) => (report.weaver_retries, report.fell_back_from.is_some()),
-            Err(_) => (0, false),
+        let (retries, fell_back, profile) = match &result {
+            Ok(report) => (
+                report.weaver_retries,
+                report.fell_back_from.is_some(),
+                report.profile.clone(),
+            ),
+            Err(_) => (0, false, None),
         };
         let outcome = match result {
             Ok(report) => match report.output.mismatch(&golden, GOLDEN_TOL) {
@@ -197,6 +214,7 @@ pub fn run_campaign(
             retries,
             fell_back,
             outcome: Some(outcome),
+            profile,
         }
     };
 
@@ -219,7 +237,11 @@ pub fn run_campaign(
     };
     let mut runs = Vec::with_capacity(campaign.runs as usize);
     let mut panics = 0u64;
+    let mut merged_profile = campaign.profile.then(ProfileReport::default);
     for (index, out) in outputs.into_iter().enumerate() {
+        if let (Some(acc), Some(p)) = (merged_profile.as_mut(), out.profile.as_ref()) {
+            acc.merge(p);
+        }
         let Some((outcome, detail)) = out.outcome else {
             panics += 1;
             continue;
@@ -244,6 +266,7 @@ pub fn run_campaign(
         summary,
         runs,
         panics,
+        profile: merged_profile,
     })
 }
 
@@ -340,6 +363,29 @@ mod tests {
         );
         assert!(r.summary.hang > 0, "no hangs: {:?}", r.summary);
         assert_eq!(r.panics, 0);
+    }
+
+    #[test]
+    fn profiled_campaign_merges_identically_across_jobs() {
+        let run = |jobs: usize| {
+            let g = generators::uniform(24, 72, 7);
+            let cfg = GpuConfig::small_test();
+            let mut campaign =
+                CampaignConfig::new(FaultSpec::parse("reg=0.002,mem=0.001").unwrap(), 13, 6);
+            campaign.jobs = jobs;
+            campaign.profile = true;
+            run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.summary, parallel.summary);
+        let sp = serial.profile.expect("profile aggregated");
+        let pp = parallel.profile.expect("profile aggregated");
+        assert_eq!(sp, pp, "merged profile depends on worker scheduling");
+        assert!(sp.core_issues.iter().sum::<u64>() > 0);
+        // An unprofiled campaign carries no profile at all.
+        let plain = small_campaign("reg=0.0", 1, 1);
+        assert!(plain.profile.is_none());
     }
 
     #[test]

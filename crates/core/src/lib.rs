@@ -33,6 +33,7 @@ pub mod autotune;
 pub mod campaign;
 pub mod compiler;
 pub mod output;
+pub mod profile;
 pub mod runtime;
 pub mod schedule;
 pub mod session;

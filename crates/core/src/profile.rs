@@ -1,0 +1,569 @@
+//! The `profile.json` artifact: a self-contained, byte-deterministic
+//! snapshot of one run's performance profile.
+//!
+//! A profile artifact bundles, in one file:
+//!
+//! - a **fingerprint** of the machine configuration and the graph, so two
+//!   artifacts can be checked for comparability before their numbers are;
+//! - **top-down cycle accounting** in the style of the paper's Fig. 4:
+//!   every issue slot of the run is attributed to issued instructions, to
+//!   one of the issue-slot stall categories of
+//!   [`sparseweaver_sim::StallBreakdown`], or to idle;
+//! - **per-kernel tables** with per-phase cycle attribution;
+//! - the profiler's **latency histograms** (per memory level, Weaver
+//!   request round-trips, gather-loop iteration gaps) with p50/p90/p99;
+//! - **load-imbalance summaries** across cores and warps.
+//!
+//! Everything in the artifact is integer arithmetic over deterministic
+//! simulator counters, so the rendered bytes are identical across
+//! `--jobs` settings and with the fast-forward engine on or off. The
+//! companion `swprof` binary renders reports and run-to-run diffs from
+//! these files; [`flat_metrics`], [`diff`] and [`regressions`] are the
+//! library half of that tool.
+
+use sparseweaver_graph::Csr;
+use sparseweaver_sim::{GpuConfig, KernelStats, Phase};
+use sparseweaver_trace::json::{escape, Value};
+use sparseweaver_trace::{LatencyHistogram, ProfileReport};
+
+use crate::session::RunReport;
+
+/// Schema identifier written into every artifact.
+pub const PROFILE_SCHEMA: &str = "sparseweaver-profile-v1";
+
+/// A 64-bit FNV-1a hasher — tiny, stable across platforms, and good
+/// enough to detect "these two profiles came from different inputs".
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// Folds a byte slice into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprints a machine configuration. The full `Debug` rendering is
+/// hashed so every field (including nested hierarchy and Weaver
+/// parameters) participates without this module chasing struct changes.
+pub fn config_fingerprint(cfg: &GpuConfig) -> u64 {
+    let mut h = Fnv64::default();
+    h.write(format!("{cfg:?}").as_bytes());
+    h.finish()
+}
+
+/// Fingerprints a graph: vertex/edge counts plus the raw CSR arrays.
+pub fn graph_fingerprint(graph: &Csr) -> u64 {
+    let mut h = Fnv64::default();
+    h.write_u64(graph.num_vertices() as u64);
+    h.write_u64(graph.num_edges() as u64);
+    for &o in graph.offsets() {
+        h.write(&o.to_le_bytes());
+    }
+    for &t in graph.targets() {
+        h.write(&t.to_le_bytes());
+    }
+    for &w in graph.weights() {
+        h.write(&w.to_le_bytes());
+    }
+    h.finish()
+}
+
+fn histogram_json(h: &LatencyHistogram) -> String {
+    let mut buckets = String::new();
+    for (i, &count) in h.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !buckets.is_empty() {
+            buckets.push(',');
+        }
+        buckets.push_str(&format!(
+            "[{},{}]",
+            LatencyHistogram::bucket_upper(i),
+            count
+        ));
+    }
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+         \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.min_or_zero(),
+        h.max,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        buckets
+    )
+}
+
+fn stalls_json(s: &sparseweaver_sim::StallBreakdown) -> String {
+    format!(
+        "{{\"memory\":{},\"shared\":{},\"exec_dep\":{},\"weaver\":{},\"total\":{}}}",
+        s.memory,
+        s.shared,
+        s.exec_dep,
+        s.weaver,
+        s.total()
+    )
+}
+
+fn phases_json(phase_cycles: &[u64; Phase::COUNT]) -> String {
+    let mut out = String::from("{");
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{}",
+            escape(phase.label()),
+            phase_cycles[i]
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn kernel_json(name: &str, stats: &KernelStats) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"launches\":{},\"cycles\":{},\"instructions\":{},\
+         \"phases\":{},\"stalls\":{},\
+         \"other_units\":{{\"l1_queue\":{},\"barrier\":{}}}}}",
+        escape(name),
+        stats.launches,
+        stats.cycles,
+        stats.instructions,
+        phases_json(&stats.phase_cycles),
+        stalls_json(&stats.stalls),
+        stats.stalls.l1_queue,
+        stats.stalls.barrier,
+    )
+}
+
+fn imbalance_json(s: &sparseweaver_trace::ImbalanceSummary) -> String {
+    format!(
+        "{{\"entities\":{},\"min\":{},\"max\":{},\"mean\":{},\"imbalance_permille\":{}}}",
+        s.entities, s.min, s.max, s.mean, s.imbalance_permille
+    )
+}
+
+/// Renders the `profile.json` artifact for one run.
+///
+/// The output is a complete JSON document, all-integer and
+/// byte-deterministic for a given `(report, cfg, graph)` triple. When
+/// the run was executed without [`crate::Session::profile`], the
+/// histogram and imbalance sections are present but empty — the cycle
+/// accounting comes from [`KernelStats`], which is always collected.
+pub fn render(report: &RunReport, cfg: &GpuConfig, graph: &Csr) -> String {
+    let empty = ProfileReport::default();
+    let prof = report.profile.as_ref().unwrap_or(&empty);
+    let stats = &report.stats;
+
+    // Top-down accounting (Fig. 4): each core offers one issue slot per
+    // cycle; a slot was spent issuing, stalled for an issue-slot cause,
+    // or idle (no resident warp ready — includes drained tail cycles).
+    let issue_slots = report.cycles.saturating_mul(cfg.num_cores as u64);
+    let idle = issue_slots.saturating_sub(stats.instructions + stats.stalls.total());
+
+    let mut kernels = String::new();
+    for (i, (name, ks)) in report.per_kernel.iter().enumerate() {
+        if i > 0 {
+            kernels.push(',');
+        }
+        kernels.push_str(&kernel_json(name, ks));
+    }
+
+    let fell_back = match report.fell_back_from {
+        Some(s) => format!("\"{}\"", escape(&s.to_string())),
+        None => "null".to_string(),
+    };
+
+    let mut hists = String::new();
+    for (i, h) in prof.mem.iter().enumerate() {
+        hists.push_str(&format!(
+            "    \"mem_{}\": {},\n",
+            ProfileReport::mem_level_label(i),
+            histogram_json(h)
+        ));
+    }
+    hists.push_str(&format!(
+        "    \"weaver_latency\": {},\n",
+        histogram_json(&prof.weaver)
+    ));
+    hists.push_str(&format!(
+        "    \"gather_iteration\": {}",
+        histogram_json(&prof.gather_iteration)
+    ));
+
+    format!(
+        "{{\n\
+         \x20 \"schema\": \"{schema}\",\n\
+         \x20 \"schedule\": \"{schedule}\",\n\
+         \x20 \"algorithm\": \"{algorithm}\",\n\
+         \x20 \"fell_back_from\": {fell_back},\n\
+         \x20 \"config\": {{\"cores\":{cores},\"warps_per_core\":{wpc},\
+         \"threads_per_warp\":{tpw},\"fingerprint\":\"{cfp:016x}\"}},\n\
+         \x20 \"graph\": {{\"vertices\":{nv},\"edges\":{ne},\
+         \"fingerprint\":\"{gfp:016x}\"}},\n\
+         \x20 \"totals\": {{\n\
+         \x20   \"cycles\": {cycles},\n\
+         \x20   \"issue_slots\": {issue_slots},\n\
+         \x20   \"issued\": {issued},\n\
+         \x20   \"thread_instructions\": {ti},\n\
+         \x20   \"stalls\": {stalls},\n\
+         \x20   \"idle\": {idle},\n\
+         \x20   \"other_units\": {{\"l1_queue\":{l1q},\"barrier\":{bar}}}\n\
+         \x20 }},\n\
+         \x20 \"per_kernel\": [{kernels}],\n\
+         \x20 \"histograms\": {{\n{hists}\n\x20 }},\n\
+         \x20 \"imbalance\": {{\n\
+         \x20   \"core_issue\": {core_imb},\n\
+         \x20   \"warp_issue\": {warp_imb}\n\
+         \x20 }}\n\
+         }}\n",
+        schema = PROFILE_SCHEMA,
+        schedule = escape(&report.schedule.to_string()),
+        algorithm = escape(&report.algorithm),
+        fell_back = fell_back,
+        cores = cfg.num_cores,
+        wpc = cfg.warps_per_core,
+        tpw = cfg.threads_per_warp,
+        cfp = config_fingerprint(cfg),
+        nv = graph.num_vertices(),
+        ne = graph.num_edges(),
+        gfp = graph_fingerprint(graph),
+        cycles = report.cycles,
+        issue_slots = issue_slots,
+        issued = stats.instructions,
+        ti = stats.thread_instructions,
+        stalls = stalls_json(&stats.stalls),
+        idle = idle,
+        l1q = stats.stalls.l1_queue,
+        bar = stats.stalls.barrier,
+        kernels = kernels,
+        hists = hists,
+        core_imb = imbalance_json(&prof.core_imbalance()),
+        warp_imb = imbalance_json(&prof.warp_imbalance()),
+    )
+}
+
+/// One named scalar metric extracted from a profile document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted metric path, e.g. `totals.stalls.memory`.
+    pub name: String,
+    /// Value in the first (baseline) profile, if present.
+    pub a: Option<f64>,
+    /// Value in the second (candidate) profile, if present.
+    pub b: Option<f64>,
+}
+
+impl MetricDelta {
+    /// `b - a` when both sides are present.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.b? - self.a?)
+    }
+
+    /// Percent change relative to the baseline, when defined.
+    pub fn pct(&self) -> Option<f64> {
+        let (a, b) = (self.a?, self.b?);
+        if a == 0.0 {
+            None
+        } else {
+            Some((b - a) / a * 100.0)
+        }
+    }
+}
+
+fn flatten_into(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Num(n) => out.push((prefix.to_string(), *n)),
+        Value::Obj(map) => {
+            for (k, child) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(&path, child, out);
+            }
+        }
+        Value::Arr(items) => {
+            // Arrays of named objects (per_kernel) flatten by name;
+            // anonymous arrays (histogram buckets) are summarized by
+            // their quantile fields already and are skipped.
+            for item in items {
+                if let Some(name) = item.get("name").and_then(Value::as_str) {
+                    flatten_into(&format!("{prefix}.{name}"), item, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts every numeric metric from a parsed profile document as
+/// `(dotted_path, value)` pairs in a deterministic (sorted) order.
+/// Histogram bucket arrays are skipped — their content is summarized by
+/// the `count`/`sum`/`p*` fields.
+pub fn flat_metrics(doc: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    flatten_into("", doc, &mut out);
+    out.sort_by(|x, y| x.0.cmp(&y.0));
+    out
+}
+
+/// Whether a metric regressing *upward* is bad. Cycle counts, stall
+/// attributions, idle slots, latency quantiles and imbalance ratios are
+/// lower-is-better; raw event counts are neutral (a different schedule
+/// legitimately issues a different number of instructions).
+pub fn lower_is_better(name: &str) -> bool {
+    if name.ends_with(".name") {
+        return false;
+    }
+    name.contains(".stalls.")
+        || name.ends_with(".idle")
+        || name == "totals.cycles"
+        || name.ends_with(".cycles")
+        || name.ends_with(".p50")
+        || name.ends_with(".p90")
+        || name.ends_with(".p99")
+        || name.ends_with(".imbalance_permille")
+}
+
+/// Computes per-metric deltas between two parsed profile documents.
+/// The result covers the union of both metric sets, sorted by name;
+/// a metric missing on one side has `None` there.
+pub fn diff(a: &Value, b: &Value) -> Vec<MetricDelta> {
+    let fa = flat_metrics(a);
+    let fb = flat_metrics(b);
+    let mut names: Vec<&String> = fa.iter().map(|(n, _)| n).collect();
+    names.extend(fb.iter().map(|(n, _)| n));
+    names.sort();
+    names.dedup();
+    let lookup = |set: &[(String, f64)], name: &str| {
+        set.binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| set[i].1)
+    };
+    names
+        .into_iter()
+        .map(|name| MetricDelta {
+            name: name.clone(),
+            a: lookup(&fa, name),
+            b: lookup(&fb, name),
+        })
+        .collect()
+}
+
+/// Filters `deltas` down to regressions: lower-is-better metrics whose
+/// candidate value exceeds the baseline by more than `tolerance_pct`
+/// percent (a baseline of zero regresses on any positive candidate).
+pub fn regressions(deltas: &[MetricDelta], tolerance_pct: f64) -> Vec<MetricDelta> {
+    deltas
+        .iter()
+        .filter(|d| lower_is_better(&d.name))
+        .filter(|d| match (d.a, d.b) {
+            (Some(a), Some(b)) => b > a + a.abs() * tolerance_pct / 100.0 && b > a,
+            _ => false,
+        })
+        .cloned()
+        .collect()
+}
+
+/// Checks that two profiles describe comparable experiments: same
+/// schema, same config fingerprint, same graph fingerprint. Returns a
+/// human-readable list of mismatches (empty means comparable).
+pub fn comparability_issues(a: &Value, b: &Value) -> Vec<String> {
+    let mut issues = Vec::new();
+    let field = |doc: &Value, path: &[&str]| -> Option<String> {
+        let mut v = doc;
+        for p in path {
+            v = v.get(p)?;
+        }
+        v.as_str().map(str::to_string)
+    };
+    for (label, path) in [
+        ("schema", &["schema"] as &[&str]),
+        ("config fingerprint", &["config", "fingerprint"]),
+        ("graph fingerprint", &["graph", "fingerprint"]),
+    ] {
+        let va = field(a, path);
+        let vb = field(b, path);
+        if va != vb {
+            issues.push(format!(
+                "{label} differs: {} vs {}",
+                va.as_deref().unwrap_or("<missing>"),
+                vb.as_deref().unwrap_or("<missing>")
+            ));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::PageRank;
+    use crate::schedule::Schedule;
+    use crate::session::Session;
+    use sparseweaver_trace::json;
+
+    fn profiled_run() -> (RunReport, GpuConfig, Csr) {
+        let g = sparseweaver_graph::generators::uniform(40, 160, 5);
+        let cfg = GpuConfig::small_test();
+        let mut s = Session::new(cfg);
+        s.profile = true;
+        let r = s
+            .run(&g, &PageRank::new(2), Schedule::SparseWeaver)
+            .unwrap();
+        (r, cfg, g)
+    }
+
+    #[test]
+    fn fingerprints_separate_different_inputs() {
+        let cfg_a = GpuConfig::small_test();
+        let mut cfg_b = GpuConfig::small_test();
+        cfg_b.num_cores += 1;
+        assert_eq!(config_fingerprint(&cfg_a), config_fingerprint(&cfg_a));
+        assert_ne!(config_fingerprint(&cfg_a), config_fingerprint(&cfg_b));
+
+        let g_a = sparseweaver_graph::generators::uniform(30, 90, 7);
+        let g_b = sparseweaver_graph::generators::uniform(30, 90, 8);
+        assert_eq!(graph_fingerprint(&g_a), graph_fingerprint(&g_a));
+        assert_ne!(graph_fingerprint(&g_a), graph_fingerprint(&g_b));
+    }
+
+    #[test]
+    fn rendered_profile_parses_and_balances() {
+        let (r, cfg, g) = profiled_run();
+        let text = render(&r, &cfg, &g);
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(PROFILE_SCHEMA)
+        );
+        let totals = doc.get("totals").expect("totals");
+        let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_num).unwrap() as u64;
+        let slots = num(totals, "issue_slots");
+        let issued = num(totals, "issued");
+        let idle = num(totals, "idle");
+        let stall_total = num(totals.get("stalls").unwrap(), "total");
+        // Top-down accounting closes: every slot is attributed.
+        assert_eq!(slots, issued + stall_total + idle);
+        assert_eq!(slots, num(totals, "cycles") * cfg.num_cores as u64);
+        // Histograms made it into the artifact.
+        let weaver = doc
+            .get("histograms")
+            .unwrap()
+            .get("weaver_latency")
+            .unwrap();
+        assert!(num(weaver, "count") > 0);
+        assert!(num(weaver, "p99") >= num(weaver, "p50"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let (r, cfg, g) = profiled_run();
+        assert_eq!(render(&r, &cfg, &g), render(&r, &cfg, &g));
+        let (r2, cfg2, g2) = profiled_run();
+        assert_eq!(render(&r, &cfg, &g), render(&r2, &cfg2, &g2));
+    }
+
+    #[test]
+    fn flat_metrics_cover_kernels_by_name() {
+        let (r, cfg, g) = profiled_run();
+        let doc = json::parse(&render(&r, &cfg, &g)).unwrap();
+        let metrics = flat_metrics(&doc);
+        assert!(
+            metrics.windows(2).all(|w| w[0].0 < w[1].0),
+            "sorted, unique"
+        );
+        assert!(metrics.iter().any(|(n, _)| n == "totals.stalls.memory"));
+        assert!(metrics
+            .iter()
+            .any(|(n, _)| n.starts_with("per_kernel.") && n.ends_with(".cycles")));
+        assert!(metrics
+            .iter()
+            .any(|(n, _)| n == "histograms.weaver_latency.p99"));
+        // Bucket arrays are summarized, not flattened.
+        assert!(!metrics.iter().any(|(n, _)| n.contains("buckets")));
+    }
+
+    #[test]
+    fn diff_flags_only_lower_is_better_regressions() {
+        let a = json::parse(
+            r#"{"totals":{"cycles":100,"issued":50,"stalls":{"memory":10}},
+                "histograms":{"mem_l1":{"count":5,"p99":8}}}"#,
+        )
+        .unwrap();
+        let b = json::parse(
+            r#"{"totals":{"cycles":120,"issued":70,"stalls":{"memory":10}},
+                "histograms":{"mem_l1":{"count":9,"p99":8}}}"#,
+        )
+        .unwrap();
+        let deltas = diff(&a, &b);
+        let cycles = deltas.iter().find(|d| d.name == "totals.cycles").unwrap();
+        assert_eq!(cycles.delta(), Some(20.0));
+        assert_eq!(cycles.pct(), Some(20.0));
+        // 20% growth in cycles regresses at 5% tolerance but not at 25%.
+        let regs = regressions(&deltas, 5.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "totals.cycles");
+        assert!(regressions(&deltas, 25.0).is_empty());
+        // issued and count grew too, but they are neutral metrics.
+        assert!(!lower_is_better("totals.issued"));
+        assert!(!lower_is_better("histograms.mem_l1.count"));
+        assert!(lower_is_better("histograms.mem_l1.p99"));
+        assert!(lower_is_better("imbalance.core_issue.imbalance_permille"));
+    }
+
+    #[test]
+    fn comparability_checks_fingerprints() {
+        let (r, cfg, g) = profiled_run();
+        let doc = json::parse(&render(&r, &cfg, &g)).unwrap();
+        assert!(comparability_issues(&doc, &doc).is_empty());
+        let mut cfg2 = cfg;
+        cfg2.num_cores += 2;
+        let other = json::parse(&render(&r, &cfg2, &g)).unwrap();
+        let issues = comparability_issues(&doc, &other);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].contains("config fingerprint"));
+    }
+
+    #[test]
+    fn unprofiled_report_still_renders() {
+        let g = sparseweaver_graph::generators::uniform(30, 90, 3);
+        let cfg = GpuConfig::small_test();
+        let mut s = Session::new(cfg);
+        let r = s.run(&g, &PageRank::new(1), Schedule::Svm).unwrap();
+        assert!(r.profile.is_none());
+        let doc = json::parse(&render(&r, &cfg, &g)).unwrap();
+        let weaver = doc
+            .get("histograms")
+            .unwrap()
+            .get("weaver_latency")
+            .unwrap();
+        assert_eq!(weaver.get("count").and_then(Value::as_num), Some(0.0));
+    }
+}

@@ -4,7 +4,7 @@ use sparseweaver_fault::FaultHandle;
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_isa::Program;
 use sparseweaver_sim::{Gpu, KernelStats, SimError};
-use sparseweaver_trace::{CounterSnapshot, EventData, TraceHandle};
+use sparseweaver_trace::{CounterSnapshot, EventData, ProfileHandle, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
 
 use sparseweaver_lint::LintLevel;
@@ -78,6 +78,7 @@ pub struct Runtime<'a> {
     total: KernelStats,
     compiler: Compiler,
     tracer: Option<TraceHandle>,
+    profiler: Option<ProfileHandle>,
     fault: Option<FaultHandle>,
     max_weaver_retries: u32,
     weaver_retries: u64,
@@ -124,6 +125,7 @@ impl<'a> Runtime<'a> {
             total: KernelStats::default(),
             compiler: Compiler::default(),
             tracer: None,
+            profiler: None,
             fault: None,
             max_weaver_retries: DEFAULT_WEAVER_RETRIES,
             weaver_retries: 0,
@@ -163,6 +165,15 @@ impl<'a> Runtime<'a> {
     pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
         self.gpu.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches) a latency profiler on the GPU; all
+    /// subsequent launches through this runtime feed its histograms. A
+    /// retried launch (after a Weaver timeout) keeps recording into the
+    /// same profiler: the retry's work is part of the run's cost.
+    pub fn set_profiler(&mut self, profiler: Option<ProfileHandle>) {
+        self.gpu.set_profiler(profiler.clone());
+        self.profiler = profiler;
     }
 
     /// Attaches (or detaches) a deterministic fault injector on the GPU.

@@ -7,7 +7,8 @@ use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_lint::LintLevel;
 use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, Occupancy, SimError, WeaverMode};
 use sparseweaver_trace::{
-    CounterSnapshot, EventData, FileSink, TraceConfig, TraceHandle, TraceReport,
+    CounterSnapshot, EventData, FileSink, ProfileHandle, ProfileReport, TraceConfig, TraceHandle,
+    TraceReport,
 };
 
 use crate::algorithms::Algorithm;
@@ -34,6 +35,10 @@ pub struct RunReport {
     pub output: AlgoOutput,
     /// Structured trace + metrics, when [`Session::trace`] was set.
     pub trace: Option<TraceReport>,
+    /// Latency histograms and load-imbalance counters, when
+    /// [`Session::profile`] was set. Render with
+    /// [`crate::profile::render`].
+    pub profile: Option<ProfileReport>,
     /// The first I/O error hit while streaming the trace to
     /// [`Session::trace_out`], if any: the file on disk is missing
     /// events and must not be presented as a complete timeline.
@@ -94,6 +99,11 @@ pub struct Session {
     /// Implies tracing with [`Session::trace`]'s configuration (or the
     /// default one when `trace` is unset).
     pub trace_out: Option<PathBuf>,
+    /// When set, every [`Session::run`] attaches a latency profiler and
+    /// [`RunReport::profile`] is populated (default off). Profiling is
+    /// independent of tracing and adds no events — just deterministic
+    /// histograms and issue counters.
+    pub profile: bool,
     /// How the static verifier treats kernel findings before each launch
     /// (default: [`LintLevel::Deny`]).
     pub lint: LintLevel,
@@ -133,6 +143,7 @@ impl Session {
             l1_penalty: true,
             trace: None,
             trace_out: None,
+            profile: false,
             lint: LintLevel::default(),
             regalloc: true,
             inject: None,
@@ -324,6 +335,11 @@ impl Session {
             None => self.trace.map(TraceHandle::new),
         };
         rt.set_tracer(tracer.clone());
+        // The fallback re-run gets its own fresh profiler (only the
+        // schedule that actually executed is profiled): the failed
+        // attempt's handle died with its runtime.
+        let profiler = self.profile.then(ProfileHandle::new);
+        rt.set_profiler(profiler.clone());
         rt.set_fault_injector(fault.clone());
         rt.set_max_weaver_retries(self.max_weaver_retries);
         rt.set_fast_forward(self.fast_forward);
@@ -356,6 +372,7 @@ impl Session {
         let (stats, per_kernel) = rt.into_stats();
         let trace = tracer.map(|t| t.report());
         let sink_error = trace.as_ref().and_then(|t| t.sink_error);
+        let profile = profiler.map(|p| p.report());
         Ok(RunReport {
             schedule,
             algorithm: algorithm.name().to_string(),
@@ -364,6 +381,7 @@ impl Session {
             per_kernel,
             output,
             trace,
+            profile,
             sink_error,
             lint: self.lint,
             occupancy,
@@ -510,5 +528,33 @@ mod tests {
         assert_eq!(report.total_cycles, traced.cycles);
         assert!(!report.samples.is_empty());
         assert_eq!(report.totals.instructions, traced.stats.instructions);
+    }
+
+    #[test]
+    fn profiled_run_collects_report_without_changing_stats() {
+        let g = sparseweaver_graph::generators::uniform(40, 160, 5);
+        let mut s = Session::new(GpuConfig::small_test());
+        let plain = s
+            .run(&g, &PageRank::new(2), Schedule::SparseWeaver)
+            .unwrap();
+        assert!(plain.profile.is_none());
+        s.profile = true;
+        let profiled = s
+            .run(&g, &PageRank::new(2), Schedule::SparseWeaver)
+            .unwrap();
+        // Profiling must not perturb the cycle model either.
+        assert_eq!(plain.stats, profiled.stats);
+        assert_eq!(plain.per_kernel, profiled.per_kernel);
+        assert_eq!(plain.cycles, profiled.cycles);
+        let prof = profiled.profile.expect("profile collected");
+        // Every issued instruction was counted against a warp slot.
+        assert_eq!(
+            prof.core_issues.iter().sum::<u64>(),
+            profiled.stats.instructions
+        );
+        // A SparseWeaver schedule exercises the Weaver path.
+        assert!(prof.weaver.count > 0, "weaver histogram populated");
+        let mem_accesses: u64 = prof.mem.iter().map(|h| h.count).sum();
+        assert!(mem_accesses > 0, "memory histograms populated");
     }
 }

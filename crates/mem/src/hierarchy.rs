@@ -1,6 +1,6 @@
 //! The full memory hierarchy: per-core L1s, shared L2, optional L3, DRAM.
 
-use sparseweaver_trace::{EventData, MemLevel, TraceHandle};
+use sparseweaver_trace::{EventData, MemLevel, ProfileHandle, TraceHandle};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 
@@ -232,6 +232,7 @@ pub struct Hierarchy {
     atomic_port: Port,
     dram_accesses: u64,
     tracer: Option<TraceHandle>,
+    profiler: Option<ProfileHandle>,
 }
 
 impl Hierarchy {
@@ -249,6 +250,7 @@ impl Hierarchy {
             atomic_port: Port::new(cfg.atomic_ports),
             dram_accesses: 0,
             tracer: None,
+            profiler: None,
             cfg,
         }
     }
@@ -263,6 +265,19 @@ impl Hierarchy {
     /// [`access_unqueued`]: Hierarchy::access_unqueued
     pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
         self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches) a latency profiler. With a handle attached,
+    /// [`access`] and [`atomic`] record each request's issue→fill latency
+    /// (queueing included) into the per-level histograms.
+    /// [`access_unqueued`] (the EGHW unit port) carries no timestamp and
+    /// is excluded, mirroring its exclusion from the event stream.
+    ///
+    /// [`access`]: Hierarchy::access
+    /// [`atomic`]: Hierarchy::atomic
+    /// [`access_unqueued`]: Hierarchy::access_unqueued
+    pub fn set_profiler(&mut self, profiler: Option<ProfileHandle>) {
+        self.profiler = profiler;
     }
 
     fn emit_dram(&self, t: u64, write: bool) {
@@ -365,6 +380,9 @@ impl Hierarchy {
                 },
             );
         }
+        if let Some(p) = &self.profiler {
+            p.mem_latency(result.level.trace_level(), result.latency);
+        }
         result
     }
 
@@ -445,6 +463,9 @@ impl Hierarchy {
                     queue_delay,
                 },
             );
+        }
+        if let Some(p) = &self.profiler {
+            p.mem_latency(level.trace_level(), latency);
         }
         AccessResult {
             latency,

@@ -6,7 +6,7 @@ use sparseweaver_isa::{
     DecodedInstr, DecodedProgram, Instr, Program, Space, VoteOp, Width, NUM_REGS,
 };
 use sparseweaver_mem::{Hierarchy, MainMemory};
-use sparseweaver_trace::{Category, EventData, TraceHandle};
+use sparseweaver_trace::{Category, EventData, ProfileHandle, TraceHandle};
 use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
 use sparseweaver_weaver::{WeaverUnit, EMPTY_WORK_ID};
 
@@ -93,6 +93,7 @@ pub struct Core {
     pub stats: CoreStats,
     trace: Option<(Vec<TraceRecord>, usize)>,
     tracer: Option<TraceHandle>,
+    profiler: Option<ProfileHandle>,
     fault: Option<FaultHandle>,
     /// Cached `spec.fetch_rate > 0` / `spec.reg_rate > 0`, so the
     /// fault-free hot path pays no per-instruction borrow.
@@ -124,6 +125,7 @@ impl Core {
             stats: CoreStats::default(),
             trace: None,
             tracer: None,
+            profiler: None,
             fault: None,
             fault_fetch: false,
             fault_reg: false,
@@ -170,6 +172,14 @@ impl Core {
     pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
         self.weaver.set_tracer(tracer.clone(), self.id as u32);
         self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches) a latency profiler. With a handle attached,
+    /// the core records per-warp issues and `WEAVER_DEC_ID`
+    /// request→response latencies; with `None`, the hooks are single
+    /// `Option` branches and the cycle model is untouched.
+    pub fn set_profiler(&mut self, profiler: Option<ProfileHandle>) {
+        self.profiler = profiler;
     }
 
     /// Attaches (or detaches) the fault injector; the handle is forwarded
@@ -409,6 +419,9 @@ impl Core {
                         },
                     );
                 }
+            }
+            if let Some(p) = &self.profiler {
+                p.warp_issue(self.id, w);
             }
             let instr = self.fetch_with_faults(instr, w, program)?;
             self.exec(w, instr, cycle, args, hier, mem, num_cores, program)?;
@@ -833,6 +846,9 @@ impl Core {
             Instr::WeaverDecId { rd } => match self.weaver_mode {
                 WeaverMode::Weaver => {
                     let resp = self.weaver.dec_id(w, cycle);
+                    if let Some(p) = &self.profiler {
+                        p.weaver_dec(core_id, w, cycle, resp.ready_at);
+                    }
                     let warp = &mut self.warps[w];
                     for l in 0..lanes {
                         warp.write(l, rd, resp.batch.vids[l] as u64);
@@ -859,6 +875,9 @@ impl Core {
                             .write(slot + 4, batch.weights[l].max(0) as u64, 4);
                     }
                     self.eghw_dt[w].copy_from_slice(&batch.eids);
+                    if let Some(p) = &self.profiler {
+                        p.weaver_dec(core_id, w, cycle, batch.ready_at);
+                    }
                     let warp = &mut self.warps[w];
                     for l in 0..lanes {
                         warp.write(l, rd, batch.vids[l] as u64);

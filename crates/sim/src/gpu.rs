@@ -3,7 +3,7 @@
 use sparseweaver_fault::FaultHandle;
 use sparseweaver_isa::{DecodedProgram, Program};
 use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory};
-use sparseweaver_trace::{CounterSnapshot, EventData, StallCause, TraceHandle};
+use sparseweaver_trace::{CounterSnapshot, EventData, ProfileHandle, StallCause, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
 
 use crate::config::GpuConfig;
@@ -48,6 +48,7 @@ pub struct Gpu {
     hierarchy: Hierarchy,
     cores: Vec<Core>,
     tracer: Option<TraceHandle>,
+    profiler: Option<ProfileHandle>,
     fault: Option<FaultHandle>,
     occupancy: Occupancy,
     configured_warps_per_core: usize,
@@ -89,6 +90,7 @@ impl Gpu {
             configured_warps_per_core: cfg.warps_per_core,
             cfg,
             tracer: None,
+            profiler: None,
             fault: None,
             occupancy: Occupancy::default(),
             fast_forward: true,
@@ -142,6 +144,22 @@ impl Gpu {
             c.set_tracer(tracer.clone());
         }
         self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches, with `None`) a latency profiler.
+    ///
+    /// The handle is distributed to the memory hierarchy and every core:
+    /// subsequent launches record per-level memory latencies, Weaver
+    /// request→response latencies, gather-iteration gaps, and per-warp
+    /// issue counts into it. With no profiler attached — the default —
+    /// the hooks are `None` checks on hot paths and the cycle model is
+    /// untouched.
+    pub fn set_profiler(&mut self, profiler: Option<ProfileHandle>) {
+        self.hierarchy.set_profiler(profiler.clone());
+        for c in &mut self.cores {
+            c.set_profiler(profiler.clone());
+        }
+        self.profiler = profiler;
     }
 
     /// Attaches (or detaches, with `None`) a deterministic fault injector.
@@ -252,6 +270,9 @@ impl Gpu {
         let fault_before = self.fault.as_ref().map(|f| f.counts()).unwrap_or_default();
         if let Some(tr) = &self.tracer {
             tr.kernel_begin(program.name());
+        }
+        if let Some(p) = &self.profiler {
+            p.launch_begin();
         }
         let num_cores = self.cores.len();
         // Decode once; the per-cycle issue path never touches the word
@@ -977,6 +998,47 @@ mod tests {
             g.launch(&program, &[]).unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn profiling_does_not_change_kernel_stats_and_is_ff_invariant() {
+        use sparseweaver_trace::ProfileHandle;
+
+        let program = {
+            let mut a = Asm::new("profiled");
+            let tid = a.reg();
+            let addr = a.reg();
+            let v = a.reg();
+            a.csr(tid, CsrKind::GlobalTid);
+            a.muli(addr, tid, 8);
+            a.ldg(v, addr, 0, Width::B8);
+            a.add(v, v, tid);
+            a.stg(v, addr, 0, Width::B8);
+            a.bar();
+            a.atom(AtomOp::Add, v, addr, tid);
+            a.halt();
+            a.finish()
+        };
+        let run = |profiled: bool, fast_forward: bool| {
+            let mut g = gpu();
+            g.set_fast_forward(fast_forward);
+            let p = profiled.then(ProfileHandle::new);
+            g.set_profiler(p.clone());
+            let stats = g.launch(&program, &[]).unwrap();
+            (stats, p.map(|p| p.report()))
+        };
+        let (plain, none) = run(false, true);
+        let (profiled_ff, prof_ff) = run(true, true);
+        let (profiled_scan, prof_scan) = run(true, false);
+        assert!(none.is_none());
+        assert_eq!(plain, profiled_ff, "profiling perturbed the stats");
+        assert_eq!(plain, profiled_scan);
+        let (prof_ff, prof_scan) = (prof_ff.unwrap(), prof_scan.unwrap());
+        // Hooks fire at issue/access time, which fast-forward replays
+        // identically — the profiles must match structurally.
+        assert_eq!(prof_ff, prof_scan, "profile differs under fast-forward");
+        assert!(prof_ff.core_issues.iter().sum::<u64>() > 0);
+        assert!(prof_ff.mem[0].count + prof_ff.mem[3].count > 0);
     }
 
     #[test]

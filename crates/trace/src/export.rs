@@ -399,15 +399,22 @@ pub fn metrics_json(report: &TraceReport) -> String {
 }
 
 /// One [`CounterSnapshot`] as a JSON object.
+///
+/// The `stalls` object mixes units: `memory`, `shared`, `exec_dep` and
+/// `weaver` are issue-slot core-cycles and sum to the explicit
+/// `stall_total`; `l1_queue` is summed per *access* (port-contention
+/// delay) and `barrier` per *warp* (warp-cycles parked at a barrier), so
+/// neither contributes to `stall_total`.
 pub fn counters_json(c: &CounterSnapshot) -> String {
     let phases: Vec<String> = Phase::ALL
         .iter()
         .map(|&p| format!("\"{}\":{}", escape(p.label()), c.phase_cycles[p as usize]))
         .collect();
+    let stall_total = c.stall_memory + c.stall_shared + c.stall_exec_dep + c.stall_weaver;
     format!(
         "{{\"instructions\":{},\"thread_instructions\":{},\
          \"stalls\":{{\"memory\":{},\"shared\":{},\"exec_dep\":{},\"l1_queue\":{},\
-         \"barrier\":{},\"weaver\":{}}},\
+         \"barrier\":{},\"weaver\":{},\"stall_total\":{stall_total}}},\
          \"phase_cycles\":{{{}}},\
          \"cache\":{{\"l1_accesses\":{},\"l1_hits\":{},\"l2_accesses\":{},\"l2_hits\":{},\
          \"l3_accesses\":{},\"l3_hits\":{},\"dram_accesses\":{}}},\
@@ -571,6 +578,14 @@ mod tests {
         assert_eq!(c.get("instructions").unwrap().as_num(), Some(9.0));
         let kernels = v.get("kernels").unwrap().as_arr().unwrap();
         assert_eq!(kernels[0].get("name").unwrap().as_str(), Some("bfs_step"));
+        // stall_total sums the issue-slot categories only: l1_queue is
+        // per-access and barrier per-warp, so neither participates.
+        let totals = v.get("totals").unwrap().get("stalls").unwrap();
+        let n = |k: &str| totals.get(k).unwrap().as_num().unwrap();
+        assert_eq!(
+            n("stall_total"),
+            n("memory") + n("shared") + n("exec_dep") + n("weaver")
+        );
     }
 
     #[test]

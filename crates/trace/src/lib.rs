@@ -37,10 +37,12 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod tracer;
 
 pub use event::{EventData, MemLevel, Phase, StallCause, TableOp, TraceEvent, WeaverState};
 pub use metrics::{CounterSnapshot, KernelSpan, MetricSample};
+pub use profile::{ImbalanceSummary, LatencyHistogram, ProfileHandle, ProfileReport, Profiler};
 pub use sink::{FileSink, RingSink, TraceSink};
 pub use tracer::{Category, CategoryMask, TraceConfig, TraceHandle, TraceReport, Tracer};

@@ -110,20 +110,47 @@ impl TraceSink for RingSink {
 /// after the run.
 #[derive(Debug)]
 pub struct FileSink {
-    out: BufWriter<File>,
+    out: SinkOut,
     written: u64,
     error: Option<io::ErrorKind>,
 }
 
+/// Where a [`FileSink`] streams: a file on disk, or the process stdout
+/// (the CLI convention for a `-` path).
+#[derive(Debug)]
+enum SinkOut {
+    File(BufWriter<File>),
+    Stdout(io::Stdout),
+}
+
+impl SinkOut {
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            SinkOut::File(f) => f,
+            SinkOut::Stdout(s) => s,
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer().flush()
+    }
+}
+
 impl FileSink {
-    /// Creates (truncating) the file at `path`.
+    /// Creates (truncating) the file at `path`. A path of `-` streams to
+    /// stdout instead, following the usual CLI convention.
     ///
     /// # Errors
     ///
     /// Returns the underlying error when the file cannot be created.
     pub fn create(path: &Path) -> io::Result<FileSink> {
+        let out = if path.as_os_str() == "-" {
+            SinkOut::Stdout(io::stdout())
+        } else {
+            SinkOut::File(BufWriter::new(File::create(path)?))
+        };
         Ok(FileSink {
-            out: BufWriter::new(File::create(path)?),
+            out,
             written: 0,
             error: None,
         })
@@ -162,7 +189,7 @@ impl FileSink {
 impl TraceSink for FileSink {
     fn record(&mut self, event: TraceEvent) {
         let line = crate::export::event_json(&event);
-        if let Err(e) = writeln!(self.out, "{line}") {
+        if let Err(e) = writeln!(self.out.writer(), "{line}") {
             self.latch(&e);
             return;
         }
@@ -273,6 +300,16 @@ mod tests {
         }
         assert!(lines[42].contains("\"ts\":42"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dash_path_streams_to_stdout_without_creating_a_file() {
+        let mut s = FileSink::create(Path::new("-")).unwrap();
+        s.record(ev(7));
+        assert_eq!(s.written(), 1);
+        assert!(s.flush().is_ok());
+        assert!(s.io_error().is_none());
+        assert!(!Path::new("-").exists(), "no file literally named `-`");
     }
 
     #[test]

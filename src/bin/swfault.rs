@@ -51,7 +51,8 @@ USAGE:
                  produces byte-identical output; results fold in run order.
   --no-fallback  forbid degrading to S_wm when Weaver retries exhaust —
                  such runs classify as hangs instead of masked
-  --out FILE     also write the summary JSON to FILE
+  --out FILE     also write the summary JSON to FILE (`-` = stdout, which
+                 already carries it)
   --details      print one line per run (index, seed, class, detail)
 
   With no graph flag, a small built-in uniform graph is used so a default
@@ -307,14 +308,20 @@ fn main() {
     );
     if let Some(path) = flags.get("out") {
         if path.is_empty() {
-            eprintln!("--out expects a file path");
+            eprintln!("--out expects a file path (or `-` for stdout)");
             exit(2)
         }
-        std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            exit(1)
-        });
-        eprintln!("summary written to {path}");
+        if path == "-" {
+            // The summary JSON already went to stdout above; writing it
+            // again would duplicate the artifact.
+            eprintln!("summary already on stdout (--out -)");
+        } else {
+            std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!("summary written to {path}");
+        }
     }
     if result.panics > 0 {
         eprintln!(

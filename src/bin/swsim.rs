@@ -30,7 +30,8 @@ USAGE:
                [--iters N] [--source V] [--config vortex|eval|small|8core|regfile]
                [--json] [--all-schedules]
                [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
-               [--sample-every N] [--trace-out FILE.jsonl] [--lint off|warn|deny]
+               [--sample-every N] [--trace-out FILE.jsonl] [--profile-out FILE]
+               [--lint off|warn|deny]
                [--regalloc on|off] [--inject SPEC [--seed N]] [--hang-report FILE]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
@@ -48,6 +49,17 @@ TRACING:
   --sample-every N    counter-sample interval in cycles (default 1000)
   --metrics-out FILE  write a metrics-JSON document (counter time series)
   --trace-out FILE    stream events as JSONL (one object per line, nothing evicted)
+
+PROFILING:
+  --profile-out FILE  write a deterministic profile.json artifact: top-down
+                      cycle accounting, latency histograms (per memory
+                      level, Weaver round-trips, gather iterations) with
+                      p50/p90/p99, and core/warp load-imbalance summaries;
+                      read it with the `swprof` tool
+
+  Artifact flags (--metrics-out, --trace-out, --hang-report, --profile-out)
+  accept `-` as the path to write to stdout instead of a file; the run
+  summary then moves to stderr so stdout is exactly the artifact.
 
 LINTING:
   --lint LEVEL        static kernel verifier: off | warn | deny (default deny);
@@ -100,6 +112,7 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "sample-every",
             "metrics-out",
             "trace-out",
+            "profile-out",
             "lint",
             "regalloc",
             "inject",
@@ -359,6 +372,28 @@ fn lint_level(flags: &HashMap<String, String>) -> LintLevel {
     }
 }
 
+/// Writes an artifact to `path`, or to stdout when `path` is `-`. The
+/// confirmation line is suppressed in `--json` mode, skipped for stdout
+/// itself, and routed to stderr when some other artifact is streaming
+/// to stdout (it would corrupt that artifact's document).
+fn write_artifact(path: &str, body: String, what: &str, json: bool, stdout_is_artifact: bool) {
+    if path == "-" {
+        print!("{body}");
+        return;
+    }
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("cannot write {what} to {path}: {e}");
+        exit(1)
+    });
+    if !json {
+        if stdout_is_artifact {
+            eprintln!("{what} written to {path}");
+        } else {
+            println!("{what} written to {path}");
+        }
+    }
+}
+
 fn cmd_run(flags: HashMap<String, String>) {
     let sources = ["graph", "dataset", "gen"]
         .iter()
@@ -373,9 +408,22 @@ fn cmd_run(flags: HashMap<String, String>) {
         exit(2)
     }
     let (trace_cfg, trace_path, metrics_path, trace_out) = trace_setup(&flags);
+    let profile_out = flags.get("profile-out").map(|v| {
+        if v.is_empty() {
+            eprintln!("--profile-out expects a file path (or `-` for stdout)");
+            exit(2)
+        }
+        v.clone()
+    });
+    if profile_out.is_some() && flags.contains_key("all-schedules") {
+        eprintln!("--profile-out profiles a single schedule; drop --all-schedules");
+        exit(2)
+    }
     let graph = load_graph(&flags);
     let algo = make_algo(&flags, &graph);
-    let mut session = Session::new(config_for(&flags));
+    let cfg = config_for(&flags);
+    let mut session = Session::new(cfg);
+    session.profile = profile_out.is_some();
     session.trace = trace_cfg;
     session.trace_out = trace_out.clone().map(std::path::PathBuf::from);
     session.lint = lint_level(&flags);
@@ -406,6 +454,17 @@ fn cmd_run(flags: HashMap<String, String>) {
         v.clone()
     });
     let json = flags.contains_key("json");
+    // With an artifact streaming to stdout (path `-`), the run summary
+    // moves to stderr so stdout parses as one clean document.
+    let stdout_is_artifact = [&trace_path, &metrics_path, &trace_out, &profile_out]
+        .iter()
+        .any(|p| p.as_deref() == Some("-"))
+        || hang_report_path.as_deref() == Some("-");
+    macro_rules! summary {
+        ($($t:tt)*) => {
+            if stdout_is_artifact { eprintln!($($t)*) } else { println!($($t)*) }
+        };
+    }
     let mut sink_failed = false;
     let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
         Schedule::ALL.to_vec()
@@ -418,7 +477,7 @@ fn cmd_run(flags: HashMap<String, String>) {
         )]
     };
     if !json {
-        println!(
+        summary!(
             "graph: {} vertices, {} edges | algorithm: {}",
             graph.num_vertices(),
             graph.num_edges(),
@@ -439,11 +498,15 @@ fn cmd_run(flags: HashMap<String, String>) {
                     let hang = e.hang_report().expect("variant carries a report");
                     let mut body = hang.to_json();
                     body.push('\n');
-                    std::fs::write(path, body).unwrap_or_else(|err| {
-                        eprintln!("cannot write hang report to {path}: {err}");
-                        exit(1)
-                    });
-                    eprintln!("hang report written to {path}");
+                    if path == "-" {
+                        print!("{body}");
+                    } else {
+                        std::fs::write(path, body).unwrap_or_else(|err| {
+                            eprintln!("cannot write hang report to {path}: {err}");
+                            exit(1)
+                        });
+                        eprintln!("hang report written to {path}");
+                    }
                 }
                 exit(4)
             }
@@ -453,7 +516,7 @@ fn cmd_run(flags: HashMap<String, String>) {
             }
         };
         if json {
-            println!(
+            summary!(
                 "{}",
                 serde_json_line(&[
                     ("schedule", format!("{:?}", schedule.paper_name())),
@@ -484,7 +547,7 @@ fn cmd_run(flags: HashMap<String, String>) {
             } else {
                 String::new()
             };
-            println!(
+            summary!(
                 "{:<13} {:>12} cycles  {:>10} instrs  ipc {:>5.2}  {} launches{speed}{capped}",
                 schedule.to_string(),
                 report.cycles,
@@ -501,26 +564,33 @@ fn cmd_run(flags: HashMap<String, String>) {
             baseline = Some(report.cycles);
         }
         if let Some(trace) = &report.trace {
-            let write = |path: &str, body: String, what: &str| {
-                std::fs::write(path, body).unwrap_or_else(|e| {
-                    eprintln!("cannot write {what} to {path}: {e}");
-                    exit(1)
-                });
-                if !json {
-                    println!("{what} written to {path}");
-                }
-            };
             if let Some(path) = &trace_path {
-                write(path, export::chrome_trace_json(trace), "chrome trace");
+                write_artifact(
+                    path,
+                    export::chrome_trace_json(trace),
+                    "chrome trace",
+                    json,
+                    stdout_is_artifact,
+                );
             }
             if let Some(path) = &metrics_path {
-                write(path, export::metrics_json(trace), "metrics");
+                write_artifact(
+                    path,
+                    export::metrics_json(trace),
+                    "metrics",
+                    json,
+                    stdout_is_artifact,
+                );
             }
             if let Some(path) = &trace_out {
-                if !json {
-                    println!("event stream written to {path}");
+                if !json && path != "-" {
+                    summary!("event stream written to {path}");
                 }
             }
+        }
+        if let Some(path) = &profile_out {
+            let body = sparseweaver::core::profile::render(&report, &cfg, &graph);
+            write_artifact(path, body, "profile", json, stdout_is_artifact);
         }
     }
     if sink_failed {

@@ -10,6 +10,10 @@ fn swfault() -> Command {
     Command::new(env!("CARGO_BIN_EXE_swfault"))
 }
 
+fn swprof() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swprof"))
+}
+
 #[test]
 fn datasets_lists_all_nine() {
     let out = swsim().arg("datasets").output().expect("spawn");
@@ -262,6 +266,38 @@ fn bad_flag_combinations_exit_with_code_2() {
             "/tmp/t.json",
             "--trace-level",
             "everything",
+        ],
+        // Profiling across all schedules would overwrite one artifact.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--all-schedules",
+            "--profile-out",
+            "/tmp/p.json",
+        ],
+        // Artifact flags with a missing path value.
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--profile-out",
+        ],
+        &[
+            "run",
+            "--gen",
+            "uniform:40:160:1",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--metrics-out",
         ],
     ];
     for args in cases {
@@ -541,4 +577,257 @@ fn trace_flags_write_both_output_files() {
     assert!(metrics_body.contains("\"schema\":\"sparseweaver-metrics-v1\""));
     let _ = std::fs::remove_file(&trace);
     let _ = std::fs::remove_file(&metrics);
+}
+
+/// `-` as an artifact path writes to stdout instead of a file named `-`.
+#[test]
+fn dash_paths_write_artifacts_to_stdout() {
+    let dir = std::env::temp_dir().join("swsim_cli_dash_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base: &[&str] = &[
+        "run",
+        "--gen",
+        "uniform:24:72:7",
+        "--algo",
+        "bfs",
+        "--schedule",
+        "sw",
+        "--config",
+        "small",
+        "--json",
+    ];
+    // --metrics-out -: stdout is exactly the artifact (the --json run
+    // summary moves to stderr), so the whole stream parses as one doc.
+    let out = swsim()
+        .args(base)
+        .args(["--metrics-out", "-"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = sparseweaver::trace::json::parse(&text).expect("stdout is pure JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("sparseweaver-metrics-v1")
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("\"schedule\""),
+        "run summary moved to stderr"
+    );
+    // --profile-out -
+    let out = swsim()
+        .args(base)
+        .args(["--profile-out", "-"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = sparseweaver::trace::json::parse(&text).expect("stdout is pure JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("sparseweaver-profile-v1")
+    );
+    // --trace-out - streams JSONL events to stdout.
+    let out = swsim()
+        .args(base)
+        .args(["--trace-out", "-"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kernel_launch"), "events on stdout: {text}");
+    // --hang-report - prints the report to stdout on exit 4.
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:24:72:7",
+            "--algo",
+            "bfs",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--inject",
+            "weaver-drop=1.0",
+            "--seed",
+            "5",
+            "--fallback",
+            "off",
+            "--hang-report",
+            "-",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\":\"sparseweaver-hang-report-v1\""));
+    // In no case did a file literally named `-` appear.
+    assert!(!dir.join("-").exists(), "a file named `-` was created");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `swfault --out -` leaves stdout byte-identical to a run without --out:
+/// the summary JSON is already there, and no file is created.
+#[test]
+fn swfault_out_dash_keeps_stdout_identical_and_writes_no_file() {
+    let dir = std::env::temp_dir().join("swfault_cli_dash_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |extra: &[&str]| {
+        let out = swfault()
+            .args(["--inject", "reg=0.002", "--runs", "3", "--seed", "9"])
+            .args(extra)
+            .current_dir(&dir)
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let plain = run(&[]);
+    let dashed = run(&["--out", "-"]);
+    assert_eq!(plain, dashed, "--out - must not change stdout");
+    assert!(!dir.join("-").exists(), "a file named `-` was created");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end profile pipeline: swsim writes the artifact, swprof reads
+/// and diffs it, regression gating drives the exit code.
+#[test]
+fn profile_artifact_round_trips_through_swprof() {
+    let dir = std::env::temp_dir().join("swprof_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile_for = |schedule: &str, path: &std::path::Path| {
+        let out = swsim()
+            .args([
+                "run",
+                "--gen",
+                "uniform:60:240:3",
+                "--algo",
+                "bfs",
+                "--schedule",
+                schedule,
+                "--config",
+                "small",
+                "--profile-out",
+            ])
+            .arg(path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let sw = dir.join("sw.json");
+    let wm = dir.join("wm.json");
+    profile_for("sw", &sw);
+    profile_for("wm", &wm);
+
+    // report: human output carries the breakdown; --json is parseable.
+    let out = swprof().arg("report").arg(&sw).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("issue-slot breakdown"), "{text}");
+    assert!(text.contains("stall: weaver"), "{text}");
+    assert!(text.contains("latency histograms"), "{text}");
+    let out = swprof()
+        .arg("report")
+        .arg(&sw)
+        .arg("--json")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let line = String::from_utf8_lossy(&out.stdout);
+    assert!(line.trim_end().starts_with('{') && line.trim_end().ends_with('}'));
+    assert!(line.contains("\"totals.stalls.weaver\":"));
+
+    // Self-diff: byte-identical artifacts, nothing changes, exit 0.
+    let out = swprof()
+        .arg("diff")
+        .arg(&sw)
+        .arg(&sw)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no metric changed"));
+
+    // S_wm -> SparseWeaver shifts the stall composition toward the
+    // memory/weaver categories: the strict gate flags it, exit 1.
+    let out = swprof()
+        .arg("diff")
+        .arg(&wm)
+        .arg(&sw)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("totals.stalls.weaver"), "{text}");
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("improved"), "{text}");
+
+    // A non-profile document is rejected with exit 1.
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"schema\":\"something-else\"}\n").unwrap();
+    let out = swprof().arg("report").arg(&bogus).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swprof_selftest_is_healthy_and_usage_errors_exit_2() {
+    let out = swprof().arg("--selftest").output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("healthy"));
+
+    let out = swprof().arg("--version").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("swprof "));
+
+    for args in [
+        &["frobnicate"] as &[&str],
+        &["report"],
+        &["diff", "only-one.json"],
+        &["report", "a.json", "--bogus"],
+    ] {
+        let out = swprof().args(args).output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {:?} stderr: {}",
+            args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
 }

@@ -2,15 +2,17 @@
 //!
 //! - Idle-cycle fast-forward is a pure wall-clock optimisation — with it
 //!   on or off, every algorithm produces bit-identical [`RunReport`]s
-//!   (cycle counts, stats, per-kernel breakdowns, outputs).
+//!   (cycle counts, stats, per-kernel breakdowns, outputs) and, with
+//!   profiling on, byte-identical `profile.json` artifacts.
 //! - Parallel campaigns fold results in run-index order — any `--jobs`
-//!   value renders byte-identical summary JSON.
+//!   value renders byte-identical summary JSON and identical merged
+//!   profiles.
 //!
 //! See `docs/performance.md` for the invariants behind both claims.
 
 use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
 use sparseweaver::core::campaign::{run_campaign, CampaignConfig};
-use sparseweaver::core::{Schedule, Session};
+use sparseweaver::core::{profile, Schedule, Session};
 use sparseweaver::fault::FaultSpec;
 use sparseweaver::graph::generators;
 use sparseweaver::sim::GpuConfig;
@@ -28,11 +30,13 @@ fn algorithms() -> Vec<Box<dyn Algorithm>> {
 #[test]
 fn fast_forward_reports_are_identical_for_every_algorithm() {
     let g = generators::with_random_weights(&generators::powerlaw(120, 720, 1.9, 5), 32, 1);
+    let cfg = GpuConfig::small_test();
     for schedule in [Schedule::SparseWeaver, Schedule::Swm] {
         for algo in algorithms() {
             let run = |fast_forward: bool| {
-                let mut s = Session::new(GpuConfig::small_test());
+                let mut s = Session::new(cfg);
                 s.fast_forward = fast_forward;
+                s.profile = true;
                 s.run(&g, algo.as_ref(), schedule).expect("run")
             };
             let on = run(true);
@@ -45,6 +49,15 @@ fn fast_forward_reports_are_identical_for_every_algorithm() {
                 "{label}: per-kernel breakdowns differ"
             );
             assert_eq!(on.output, off.output, "{label}: outputs differ");
+            // The profiler observes the same issue/fill/response stream
+            // whether idle cycles are simulated or skipped...
+            assert_eq!(on.profile, off.profile, "{label}: profiles differ");
+            // ...and the rendered artifact is byte-identical.
+            assert_eq!(
+                profile::render(&on, &cfg, &g),
+                profile::render(&off, &cfg, &g),
+                "{label}: rendered profile.json differs"
+            );
         }
     }
 }
@@ -57,6 +70,7 @@ fn campaign_summary_json_is_byte_identical_across_jobs() {
     let run = |jobs: usize| {
         let mut campaign = CampaignConfig::new(spec, 2025, 16);
         campaign.jobs = jobs;
+        campaign.profile = true;
         run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).expect("campaign")
     };
     let serial = run(1);
@@ -64,4 +78,11 @@ fn campaign_summary_json_is_byte_identical_across_jobs() {
     assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
     assert_eq!(serial.runs, parallel.runs);
     assert_eq!(serial.panics, parallel.panics);
+    // The merged profile folds in run-index order: identical histograms
+    // and issue counters for every worker count.
+    assert_eq!(
+        serial.profile, parallel.profile,
+        "merged campaign profile depends on worker scheduling"
+    );
+    assert!(serial.profile.is_some());
 }

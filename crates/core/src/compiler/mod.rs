@@ -21,7 +21,7 @@ pub use virtualize::VirtualizedOps;
 use std::collections::{HashMap, HashSet};
 
 use sparseweaver_isa::{Asm, CsrKind, Program, Reg, Width};
-use sparseweaver_lint::LintLevel;
+use sparseweaver_lint::{AnalyzeGeom, LintLevel};
 use sparseweaver_sim::{GpuConfig, Phase};
 
 use crate::runtime::args;
@@ -47,6 +47,7 @@ use crate::FrameworkError;
 pub struct Compiler {
     level: LintLevel,
     regalloc: bool,
+    analyze: Option<AnalyzeGeom>,
     checked: HashSet<String>,
     processed: HashMap<String, Program>,
 }
@@ -58,11 +59,13 @@ impl Default for Compiler {
 }
 
 impl Compiler {
-    /// Creates a pipeline enforcing `level`, with register allocation on.
+    /// Creates a pipeline enforcing `level`, with register allocation on
+    /// and the abstract-interpretation analyzer off.
     pub fn new(level: LintLevel) -> Self {
         Compiler {
             level,
             regalloc: true,
+            analyze: None,
             checked: HashSet::new(),
             processed: HashMap::new(),
         }
@@ -71,6 +74,26 @@ impl Compiler {
     /// The enforcement level.
     pub fn level(&self) -> LintLevel {
         self.level
+    }
+
+    /// The launch geometry the opt-in SW-L5xx analyzer checks against,
+    /// if enabled.
+    pub fn analyze_geom(&self) -> Option<AnalyzeGeom> {
+        self.analyze
+    }
+
+    /// Enables (`Some(geom)`) or disables (`None`) the opt-in
+    /// abstract-interpretation gate that runs alongside the structural
+    /// lints: under [`LintLevel::Deny`] a kernel with a *proved*
+    /// violation (SW-L501) is rejected; warnings and advisories are
+    /// printed under [`LintLevel::Warn`]. Clears the verdict cache so
+    /// the change applies to kernels already seen.
+    pub fn set_analyze(&mut self, geom: Option<AnalyzeGeom>) {
+        if self.analyze != geom {
+            self.analyze = geom;
+            self.checked.clear();
+            self.processed.clear();
+        }
     }
 
     /// Whether the register-allocation pass runs in [`Compiler::process`].
@@ -88,17 +111,25 @@ impl Compiler {
         }
     }
 
-    /// Runs the static verifier over `program` (cached by kernel name).
+    /// Runs the static verifier over `program` (cached by kernel name),
+    /// plus the SW-L5xx abstract-interpretation gate when enabled via
+    /// [`Compiler::set_analyze`].
     ///
     /// # Errors
     ///
     /// Returns [`FrameworkError::Lint`] under [`LintLevel::Deny`] when
-    /// the program has error-severity findings.
+    /// the program has error-severity findings (structural, or a proved
+    /// SW-L501 bounds violation from the analyzer).
     pub fn check(&mut self, program: &Program) -> Result<(), FrameworkError> {
         if self.level == LintLevel::Off || self.checked.contains(program.name()) {
             return Ok(());
         }
-        let report = sparseweaver_lint::lint(program);
+        let mut report = sparseweaver_lint::lint(program);
+        if let Some(geom) = self.analyze {
+            report
+                .diagnostics
+                .extend(sparseweaver_lint::analyze(program, &geom).diagnostics);
+        }
         match self.level {
             LintLevel::Off => {}
             LintLevel::Warn => {

@@ -208,11 +208,26 @@ impl<'a> Runtime<'a> {
 
     /// Sets how the static verifier reacts to kernel findings (default:
     /// [`LintLevel::Deny`]). Resets the verdict cache; the register
-    /// allocation setting carries over.
+    /// allocation and analyzer settings carry over.
     pub fn set_lint(&mut self, level: LintLevel) {
         let regalloc = self.compiler.regalloc();
+        let analyze = self.compiler.analyze_geom();
         self.compiler = Compiler::new(level);
         self.compiler.set_regalloc(regalloc);
+        self.compiler.set_analyze(analyze);
+    }
+
+    /// Enables or disables the opt-in SW-L5xx abstract-interpretation
+    /// gate for subsequent launches (default: off). `Some(geom)` runs
+    /// the analyzer against that launch geometry alongside the
+    /// structural lints (see `Compiler::set_analyze`).
+    pub fn set_analyze(&mut self, geom: Option<sparseweaver_lint::AnalyzeGeom>) {
+        self.compiler.set_analyze(geom);
+    }
+
+    /// The analyzer's launch geometry, if the gate is enabled.
+    pub fn analyze_geom(&self) -> Option<sparseweaver_lint::AnalyzeGeom> {
+        self.compiler.analyze_geom()
     }
 
     /// The active lint enforcement level.

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 use sparseweaver_fault::{FaultCounts, FaultHandle, FaultInjector, FaultSpec};
 use sparseweaver_graph::{Csr, Direction};
-use sparseweaver_lint::LintLevel;
+use sparseweaver_lint::{AnalyzeGeom, LintLevel};
 use sparseweaver_sim::{Gpu, GpuConfig, KernelStats, Occupancy, SimError, WeaverMode};
 use sparseweaver_trace::{
     CounterSnapshot, EventData, FileSink, ProfileHandle, ProfileReport, TraceConfig, TraceHandle,
@@ -107,6 +107,12 @@ pub struct Session {
     /// How the static verifier treats kernel findings before each launch
     /// (default: [`LintLevel::Deny`]).
     pub lint: LintLevel,
+    /// Whether the abstract-interpretation analyzer (SW-L5xx: value
+    /// ranges, static OOB/race proofs, coalescing advisories) also runs
+    /// before each launch (default off). Analyzer *errors* (`SW-L501`,
+    /// proved out-of-bounds) reject the kernel under
+    /// [`LintLevel::Deny`]; warnings and advisories never block.
+    pub analyze: bool,
     /// Whether kernels pass through liveness-based register allocation
     /// before launch (default on). Turning it off runs template output
     /// verbatim — useful for A/B-ing the pass.
@@ -145,6 +151,7 @@ impl Session {
             trace_out: None,
             profile: false,
             lint: LintLevel::default(),
+            analyze: false,
             regalloc: true,
             inject: None,
             inject_seed: 0,
@@ -199,12 +206,38 @@ impl Session {
         direction: Direction,
         schedule: Schedule,
     ) -> Result<Runtime<'g>, FrameworkError> {
-        let gpu = Gpu::new(self.config_for(schedule));
+        let cfg = self.config_for(schedule);
+        let gpu = Gpu::new(cfg);
         let mut rt = Runtime::new(gpu, graph, direction, schedule)?;
         rt.set_lint(self.lint);
+        if self.analyze {
+            rt.set_analyze(Some(geom_of(&cfg)));
+        }
         rt.set_regalloc(self.regalloc);
         rt.set_fast_forward(self.fast_forward);
         Ok(rt)
+    }
+
+    /// Runs the abstract-interpretation analyzer over every kernel
+    /// `algorithm` generates under `schedule`, without executing
+    /// anything. Kernels are generated at the same occupancy-clamped
+    /// geometry a [`Session::run`] would use, so shared-memory layouts
+    /// and geometry CSR facts match the machine that would execute them.
+    /// Each returned report carries its kernel name and schedule.
+    pub fn analyze_kernels(
+        &self,
+        algorithm: &dyn Algorithm,
+        schedule: Schedule,
+    ) -> Result<Vec<sparseweaver_lint::LintReport>, FrameworkError> {
+        let (eff, _) = self.clamped_config(algorithm, schedule)?;
+        let geom = geom_of(&eff);
+        Ok(algorithm
+            .kernels(schedule, &eff)
+            .iter()
+            .map(|k| {
+                sparseweaver_lint::analyze(k, &geom).with_context(k.name(), schedule.paper_name())
+            })
+            .collect())
     }
 
     /// The effective configuration for running `algorithm` under
@@ -323,6 +356,9 @@ impl Session {
         gpu.set_configured_warps_per_core(configured);
         let mut rt = Runtime::new(gpu, graph, algorithm.direction(), schedule)?;
         rt.set_lint(self.lint);
+        if self.analyze {
+            rt.set_analyze(Some(geom_of(&eff)));
+        }
         rt.set_regalloc(self.regalloc);
         let tracer = match &self.trace_out {
             Some(path) => {
@@ -389,6 +425,17 @@ impl Session {
             fell_back_from: fallback_from.map(|(from, _)| from),
             faults: fault.map(|f| f.counts()),
         })
+    }
+}
+
+/// The analyzer's view of a machine configuration: the geometry CSRs
+/// and the shared-memory capacity, nothing else.
+fn geom_of(cfg: &GpuConfig) -> AnalyzeGeom {
+    AnalyzeGeom {
+        num_cores: cfg.num_cores as u64,
+        warps_per_core: cfg.warps_per_core as u64,
+        threads_per_warp: cfg.threads_per_warp as u64,
+        shared_mem_bytes: cfg.shared_mem_bytes as u64,
     }
 }
 

@@ -1,0 +1,596 @@
+//! Forward abstract-interpretation fixpoint over the lint CFG.
+//!
+//! Runs the [`crate::domain`] transfer functions over every reachable
+//! basic block: joins at merge points, widening at loop heads after a
+//! few visits, then a final recording pass that walks each block from
+//! its fixed in-state and collects the facts the SW-L5xx checkers
+//! consume — one [`AccessFact`] per memory instruction (with the
+//! constant byte offset folded into the address), one [`SplitFact`] per
+//! `split`, and one [`RegFact`] per register write.
+//!
+//! The entry state is *all registers = 0*: the simulator zero-fills the
+//! register file at every launch (`Warp::reset`), so this is exact, not
+//! an assumption.
+//!
+//! Barrier regions (for the SW-L511 may-happen-in-parallel check) are
+//! computed at pc granularity: take every intra-block `pc → pc+1` edge
+//! and every block-end → successor-start edge, cut the outgoing edge of
+//! every `Bar`, and number the connected components. Two shared-memory
+//! accesses can overlap in time across warps iff they live in the same
+//! component — a loop whose back edge bypasses the barrier correctly
+//! merges the components on either side of it. The model assumes warps
+//! arrive at *textually aligned* barriers (the structural SW-L301 check
+//! rejects mask-divergent barriers; the templates satisfy alignment by
+//! construction).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sparseweaver_isa::{CsrKind, Instr, Program, Space, VoteOp, Width, NUM_REGS};
+
+use crate::cfg::Cfg;
+use crate::domain::{AbsVal, AnalyzeGeom, Interval};
+
+/// Joins tolerated at a block before switching to widening.
+const WIDEN_AFTER: u32 = 3;
+
+/// What a memory instruction does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    /// Plain load.
+    Read,
+    /// Plain store.
+    Write,
+    /// Atomic read-modify-write.
+    Atomic,
+}
+
+/// One memory access with its abstract byte address.
+#[derive(Debug, Clone)]
+pub(crate) struct AccessFact {
+    pub pc: u32,
+    pub kind: AccessKind,
+    pub space: Space,
+    /// Access width in bytes.
+    pub width: u64,
+    /// First byte touched, constant offset folded in.
+    pub addr: AbsVal,
+    /// Barrier-region component the pc belongs to.
+    pub region: usize,
+}
+
+/// A `split` and the shape of its predicate.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitFact {
+    pub pc: u32,
+    pub cond: AbsVal,
+}
+
+/// The abstract value a register write produces.
+#[derive(Debug, Clone)]
+pub(crate) struct RegFact {
+    pub pc: u32,
+    pub reg: u8,
+    pub val: AbsVal,
+}
+
+/// Everything the fixpoint learned about one program.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Analysis {
+    pub accesses: Vec<AccessFact>,
+    pub splits: Vec<SplitFact>,
+    pub regs: Vec<RegFact>,
+    /// False only if the safety cap fired (the facts are then all-top
+    /// but still sound). Never expected on real kernels.
+    pub converged: bool,
+}
+
+fn csr_val(kind: CsrKind, geom: &AnalyzeGeom) -> AbsVal {
+    let tpw = geom.threads_per_warp as i64;
+    let wpc = geom.warps_per_core as i64;
+    let nc = geom.num_cores as i64;
+    let tpc = geom.threads_per_core() as i64;
+    match kind {
+        CsrKind::LaneId => AbsVal {
+            cw: 0,
+            rest: Interval::range(0, tpw - 1),
+            cl: Some(1),
+            syms: Vec::new(),
+            arg: false,
+        },
+        CsrKind::WarpId => AbsVal {
+            cw: 1,
+            rest: Interval::cst(0),
+            cl: Some(0),
+            syms: Vec::new(),
+            arg: false,
+        },
+        CsrKind::CoreId => AbsVal {
+            cw: 0,
+            rest: Interval::range(0, nc - 1),
+            cl: Some(0),
+            syms: Vec::new(),
+            arg: false,
+        },
+        // core·tpc + warp·tpw + lane
+        CsrKind::GlobalTid => AbsVal {
+            cw: tpw,
+            rest: Interval::range(0, (nc - 1) * tpc + tpw - 1),
+            cl: Some(1),
+            syms: Vec::new(),
+            arg: false,
+        },
+        // warp·tpw + lane
+        CsrKind::CoreTid => AbsVal {
+            cw: tpw,
+            rest: Interval::range(0, tpw - 1),
+            cl: Some(1),
+            syms: Vec::new(),
+            arg: false,
+        },
+        CsrKind::NumCores => AbsVal::cst(nc),
+        CsrKind::WarpsPerCore => AbsVal::cst(wpc),
+        CsrKind::ThreadsPerWarp => AbsVal::cst(tpw),
+        CsrKind::ThreadsPerCore => AbsVal::cst(tpc),
+        CsrKind::NumThreads => AbsVal::cst(nc * tpc),
+    }
+}
+
+/// Result shape of a load: bounded by the zero-extended width; the
+/// loaded value is warp-uniform when every lane reads the same address.
+fn ld_result(width: Width, addr: &AbsVal) -> AbsVal {
+    let rest = match width {
+        Width::B1 => Interval::range(0, 0xff),
+        Width::B4 => Interval::range(0, 0xffff_ffff),
+        Width::B8 => Interval::top(),
+    };
+    AbsVal {
+        cw: 0,
+        rest,
+        cl: if addr.cl == Some(0) { Some(0) } else { None },
+        syms: Vec::new(),
+        arg: false,
+    }
+}
+
+/// Applies one instruction to the state; returns the value written to
+/// the destination, if any (x0 writes are dropped, as in the warp).
+fn transfer(instr: &Instr, st: &mut [AbsVal], geom: &AnalyzeGeom) -> Option<(u8, AbsVal)> {
+    let tpw = geom.threads_per_warp;
+    let (rd, val) = match *instr {
+        Instr::Nop
+        | Instr::Halt
+        | Instr::Bar
+        | Instr::Phase(_)
+        | Instr::Jmp { .. }
+        | Instr::Join
+        | Instr::Br { .. }
+        | Instr::Tmc { .. }
+        | Instr::Split { .. }
+        | Instr::St { .. }
+        | Instr::WeaverReg { .. }
+        | Instr::WeaverSkip { .. } => return None,
+        Instr::LdImm { rd, imm } => (rd, AbsVal::cst(imm)),
+        Instr::Alu { op, rd, rs1, rs2 } => (
+            rd,
+            AbsVal::alu(op, &st[rs1.0 as usize], &st[rs2.0 as usize], geom),
+        ),
+        Instr::AluI { op, rd, rs1, imm } => (
+            rd,
+            AbsVal::alu(op, &st[rs1.0 as usize], &AbsVal::cst(imm), geom),
+        ),
+        Instr::Fpu { rd, rs1, rs2, .. } => {
+            let uniform = st[rs1.0 as usize].cl == Some(0) && st[rs2.0 as usize].cl == Some(0);
+            (
+                rd,
+                if uniform {
+                    AbsVal::top_uniform()
+                } else {
+                    AbsVal::top()
+                },
+            )
+        }
+        Instr::FCmp { rd, rs1, rs2, .. } => {
+            let uniform = st[rs1.0 as usize].cl == Some(0) && st[rs2.0 as usize].cl == Some(0);
+            (
+                rd,
+                AbsVal {
+                    cw: 0,
+                    rest: Interval::range(0, 1),
+                    cl: if uniform { Some(0) } else { None },
+                    syms: Vec::new(),
+                    arg: false,
+                },
+            )
+        }
+        Instr::CvtIF { rd, rs1 } | Instr::CvtFI { rd, rs1 } => (
+            rd,
+            if st[rs1.0 as usize].cl == Some(0) {
+                AbsVal::top_uniform()
+            } else {
+                AbsVal::top()
+            },
+        ),
+        Instr::Csr { rd, kind } => (rd, csr_val(kind, geom)),
+        Instr::LdArg { rd, idx } => (rd, AbsVal::arg_base(idx)),
+        Instr::Ld {
+            rd, addr, width, ..
+        } => (rd, ld_result(width, &st[addr.0 as usize])),
+        // The old value an atomic returns is unconstrained and
+        // generally differs per lane.
+        Instr::Atom { rd, .. } => (rd, AbsVal::top()),
+        Instr::Vote { op, rd, .. } => {
+            let rest = match op {
+                VoteOp::All | VoteOp::Any => Interval::range(0, 1),
+                VoteOp::Ballot => {
+                    if tpw >= 63 {
+                        Interval::range(0, i64::MAX)
+                    } else {
+                        Interval::range(0, (1i64 << tpw) - 1)
+                    }
+                }
+            };
+            (
+                rd,
+                AbsVal {
+                    cw: 0,
+                    rest,
+                    cl: Some(0), // broadcast to all lanes
+                    syms: Vec::new(),
+                    arg: false,
+                },
+            )
+        }
+        // -1 when distribution is complete, otherwise a vertex/edge id.
+        Instr::WeaverDecId { rd } | Instr::WeaverDecLoc { rd } => (
+            rd,
+            AbsVal {
+                cw: 0,
+                rest: Interval::range(-1, i64::MAX),
+                cl: None,
+                syms: Vec::new(),
+                arg: false,
+            },
+        ),
+    };
+    if rd.0 == 0 {
+        return None;
+    }
+    st[rd.0 as usize] = val.clone();
+    Some((rd.0, val))
+}
+
+/// Connected components of the pc graph after cutting every `Bar`'s
+/// outgoing edges; maps each reachable pc to its region id (numbered in
+/// increasing order of the region's smallest pc).
+pub(crate) fn barrier_regions(p: &Program, cfg: &Cfg) -> BTreeMap<u32, usize> {
+    let is_bar = |pc: u32| matches!(p.get(pc), Some(Instr::Bar));
+    // Undirected adjacency over reachable pcs.
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&pc, _) in cfg.block_of.iter() {
+        adj.entry(pc).or_default();
+    }
+    let link = |a: u32, b: u32, adj: &mut BTreeMap<u32, Vec<u32>>| {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    };
+    for block in &cfg.blocks {
+        for pc in block.start..block.end.saturating_sub(1) {
+            if !is_bar(pc) {
+                link(pc, pc + 1, &mut adj);
+            }
+        }
+        if block.end > block.start {
+            let last = block.end - 1;
+            if !is_bar(last) {
+                for &s in &block.succs {
+                    link(last, cfg.blocks[s].start, &mut adj);
+                }
+            }
+        }
+    }
+    let mut region: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut next = 0usize;
+    let pcs: Vec<u32> = adj.keys().copied().collect();
+    for &start in &pcs {
+        if region.contains_key(&start) {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut queue = VecDeque::from([start]);
+        let mut seen = BTreeSet::from([start]);
+        while let Some(pc) = queue.pop_front() {
+            region.insert(pc, id);
+            for &n in &adj[&pc] {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    region
+}
+
+/// Runs the joint fixpoint and recording pass.
+pub(crate) fn analyze_program(p: &Program, cfg: &Cfg, geom: &AnalyzeGeom) -> Analysis {
+    let mut analysis = Analysis {
+        converged: true,
+        ..Analysis::default()
+    };
+    let Some(entry) = cfg.entry() else {
+        return analysis;
+    };
+
+    let entry_state: Vec<AbsVal> = vec![AbsVal::cst(0); NUM_REGS];
+    let mut in_states: BTreeMap<usize, Vec<AbsVal>> = BTreeMap::new();
+    in_states.insert(entry, entry_state);
+    let mut visits: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut work: VecDeque<usize> = VecDeque::from([entry]);
+    let mut queued: BTreeSet<usize> = BTreeSet::from([entry]);
+
+    // Each register's abstract value at a block can only change a
+    // bounded number of times (join/widen are monotone and widening
+    // caps the interval chains), so this cap is far above any real
+    // fixpoint; it exists to make non-termination impossible.
+    let cap = cfg.blocks.len() * NUM_REGS * 96 + 4096;
+    let mut steps = 0usize;
+
+    while let Some(b) = work.pop_front() {
+        queued.remove(&b);
+        steps += 1;
+        if steps > cap {
+            analysis.converged = false;
+            break;
+        }
+        let mut st = in_states[&b].clone();
+        for pc in cfg.blocks[b].pcs() {
+            if let Some(instr) = p.get(pc) {
+                transfer(instr, &mut st, geom);
+            }
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let changed = match in_states.get(&succ) {
+                None => {
+                    in_states.insert(succ, st.clone());
+                    true
+                }
+                Some(cur) => {
+                    let v = visits.entry(succ).or_insert(0);
+                    *v += 1;
+                    let widen = *v > WIDEN_AFTER;
+                    let merged: Vec<AbsVal> = cur
+                        .iter()
+                        .zip(st.iter())
+                        .map(|(c, n)| {
+                            if widen {
+                                AbsVal::widen(c, n, geom)
+                            } else {
+                                AbsVal::join(c, n, geom)
+                            }
+                        })
+                        .collect();
+                    if &merged != cur {
+                        in_states.insert(succ, merged);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if changed && queued.insert(succ) {
+                work.push_back(succ);
+            }
+        }
+    }
+
+    let regions = barrier_regions(p, cfg);
+    let all_top: Vec<AbsVal> = vec![AbsVal::top(); NUM_REGS];
+
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        // If the cap fired, the recorded states may under-approximate;
+        // degrade every fact to top (sound, never precise — and never
+        // expected to happen).
+        let st0 = if analysis.converged {
+            match in_states.get(&bi) {
+                Some(s) => s,
+                None => continue, // unreachable from entry
+            }
+        } else {
+            &all_top
+        };
+        let mut st = st0.clone();
+        for pc in block.pcs() {
+            let Some(instr) = p.get(pc) else { continue };
+            let region = regions.get(&pc).copied().unwrap_or(usize::MAX);
+            match *instr {
+                Instr::Ld {
+                    addr,
+                    offset,
+                    width,
+                    space,
+                    ..
+                } => analysis.accesses.push(AccessFact {
+                    pc,
+                    kind: AccessKind::Read,
+                    space,
+                    width: width.bytes(),
+                    addr: AbsVal::alu(
+                        sparseweaver_isa::AluOp::Add,
+                        &st[addr.0 as usize],
+                        &AbsVal::cst(offset as i64),
+                        geom,
+                    ),
+                    region,
+                }),
+                Instr::St {
+                    addr,
+                    offset,
+                    width,
+                    space,
+                    ..
+                } => analysis.accesses.push(AccessFact {
+                    pc,
+                    kind: AccessKind::Write,
+                    space,
+                    width: width.bytes(),
+                    addr: AbsVal::alu(
+                        sparseweaver_isa::AluOp::Add,
+                        &st[addr.0 as usize],
+                        &AbsVal::cst(offset as i64),
+                        geom,
+                    ),
+                    region,
+                }),
+                Instr::Atom { addr, space, .. } => analysis.accesses.push(AccessFact {
+                    pc,
+                    kind: AccessKind::Atomic,
+                    space,
+                    width: 8,
+                    addr: st[addr.0 as usize].clone(),
+                    region,
+                }),
+                Instr::Split { rs1, .. } => analysis.splits.push(SplitFact {
+                    pc,
+                    cond: st[rs1.0 as usize].clone(),
+                }),
+                _ => {}
+            }
+            if let Some((reg, val)) = transfer(instr, &mut st, geom) {
+                analysis.regs.push(RegFact { pc, reg, val });
+            }
+        }
+    }
+
+    analysis.accesses.sort_by_key(|a| a.pc);
+    analysis.splits.sort_by_key(|s| s.pc);
+    analysis.regs.sort_by_key(|r| (r.pc, r.reg));
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseweaver_isa::Asm;
+
+    fn geom() -> AnalyzeGeom {
+        AnalyzeGeom {
+            num_cores: 2,
+            warps_per_core: 4,
+            threads_per_warp: 8,
+            shared_mem_bytes: 1024,
+        }
+    }
+
+    fn run(p: &Program) -> Analysis {
+        let cfg = Cfg::build(p);
+        analyze_program(p, &cfg, &geom())
+    }
+
+    #[test]
+    fn straight_line_lane_affine_address() {
+        let mut a = Asm::new("lane_addr");
+        let (lane, addr) = (a.reg(), a.reg());
+        a.csr(lane, CsrKind::LaneId);
+        a.slli(addr, lane, 3);
+        a.addi(addr, addr, 64);
+        a.sts(a.zero(), addr, 0, Width::B8);
+        a.halt();
+        let an = run(&a.finish());
+        assert!(an.converged);
+        assert_eq!(an.accesses.len(), 1);
+        let acc = &an.accesses[0];
+        assert_eq!(acc.kind, AccessKind::Write);
+        assert_eq!(acc.addr.cl, Some(8));
+        assert_eq!((acc.addr.rest.lo, acc.addr.rest.hi), (64, 120));
+        assert_eq!(acc.addr.rest.stride, 8);
+    }
+
+    #[test]
+    fn loop_counter_widens_but_keeps_stride() {
+        let mut a = Asm::new("loop8");
+        let (i, n) = (a.reg(), a.reg());
+        a.li(i, 0);
+        a.li(n, 4096);
+        let top = a.new_label();
+        a.bind(top);
+        a.addi(i, i, 8);
+        a.bltu(i, n, top);
+        a.halt();
+        let an = run(&a.finish());
+        assert!(an.converged);
+        // The add's recorded value: stride-8 congruence survives the
+        // widening (mod 2^64) even though the bounds escape.
+        let add = an.regs.iter().find(|r| r.pc == 2).unwrap();
+        assert_eq!(add.val.rest.stride, 8);
+        assert_eq!(add.val.rest.lo.rem_euclid(8), 0, "{:?}", add.val.rest);
+        assert_eq!(add.val.cl, Some(0));
+    }
+
+    #[test]
+    fn barrier_regions_split_and_loops_merge() {
+        let mut a = Asm::new("regions");
+        a.nop(); // pc 0
+        a.bar(); // pc 1
+        a.nop(); // pc 2
+        a.halt(); // pc 3
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        let r = barrier_regions(&p, &cfg);
+        assert_eq!(r[&0], r[&1]);
+        assert_ne!(r[&1], r[&2]);
+        assert_eq!(r[&2], r[&3]);
+
+        // A loop whose back edge skips the barrier must merge regions.
+        let mut a = Asm::new("loopy");
+        let (i, n) = (a.reg(), a.reg());
+        a.li(i, 0);
+        a.li(n, 4);
+        let top = a.new_label();
+        a.bind(top); // pc 2
+        a.bar(); // pc 3
+        a.addi(i, i, 1); // pc 4
+        a.bltu(i, n, top); // pc 5 → back to 2 without a bar
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        let r = barrier_regions(&p, &cfg);
+        assert_eq!(r[&2], r[&4], "back edge bypassing the bar must merge");
+        assert_eq!(r[&3], r[&2], "bar pc belongs to the upstream region");
+    }
+
+    #[test]
+    fn join_of_two_constants_becomes_range() {
+        let mut a = Asm::new("phi");
+        let (c, v) = (a.reg(), a.reg());
+        a.li(c, 1);
+        let other = a.new_label();
+        let done = a.new_label();
+        a.beq(c, a.zero(), other);
+        a.li(v, 16);
+        a.jmp(done);
+        a.bind(other);
+        a.li(v, 48);
+        a.bind(done);
+        let out = a.reg();
+        a.addi(out, v, 0);
+        a.halt();
+        let an = run(&a.finish());
+        let fact = an
+            .regs
+            .iter()
+            .rev()
+            .find(|r| r.val.rest.lo == 16)
+            .expect("joined value recorded");
+        assert_eq!(fact.val.rest.hi, 48);
+        assert_eq!(fact.val.rest.stride, 32);
+        assert_eq!(fact.val.cl, Some(0));
+    }
+
+    #[test]
+    fn empty_program_is_fine() {
+        let p = Program::new("empty", vec![]);
+        let an = run(&p);
+        assert!(an.converged);
+        assert!(an.accesses.is_empty());
+    }
+}

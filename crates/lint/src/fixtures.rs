@@ -4,7 +4,9 @@
 //! negative-path test suite: each is the minimal program triggering one of
 //! the hazards the verifier exists to catch.
 
-use sparseweaver_isa::{Asm, CsrKind, Instr, Program};
+use sparseweaver_isa::{Asm, CsrKind, Instr, Program, Width};
+
+use crate::AnalyzeGeom;
 
 /// The four seeded ill-formed programs, each paired with the rule ID it
 /// must trigger.
@@ -15,6 +17,105 @@ pub fn ill_formed() -> Vec<(Program, &'static str)> {
         (divergent_barrier(), "SW-L301"),
         (unregistered_decode(), "SW-L401"),
     ]
+}
+
+/// The launch geometry every analyzer fixture is checked against.
+pub fn analyzer_geom() -> AnalyzeGeom {
+    AnalyzeGeom {
+        num_cores: 2,
+        warps_per_core: 4,
+        threads_per_warp: 8,
+        shared_mem_bytes: 1024,
+    }
+}
+
+/// Seeded analyzer fixtures: programs that are structurally well-formed
+/// (clean under [`crate::lint`]) but trigger one SW-L5xx finding each
+/// under [`crate::analyze`] at [`analyzer_geom`].
+pub fn analyzer_flagged() -> Vec<(Program, &'static str)> {
+    vec![
+        (oob_proved(), "SW-L501"),
+        (oob_possible(), "SW-L502"),
+        (barrier_interval_race(), "SW-L511"),
+        (coalesced_stream(), "SW-L521"),
+        (bank_conflicted(), "SW-L522"),
+        (uniform_split(), "SW-L531"),
+    ]
+}
+
+/// Stores past the end of the 1 KiB scratchpad on every lane: proved OOB.
+pub fn oob_proved() -> Program {
+    let mut a = Asm::new("bad_oob_proved");
+    let addr = a.reg();
+    a.li(addr, 4096);
+    a.sts(a.zero(), addr, 0, Width::B8);
+    a.halt();
+    a.finish()
+}
+
+/// Lane-scaled store whose top lanes straddle the scratchpad end:
+/// possibly OOB (lane 7 · 256 = 1792 ≥ 1024), but not provably so for
+/// every lane.
+pub fn oob_possible() -> Program {
+    let mut a = Asm::new("bad_oob_possible");
+    let (lane, addr) = (a.reg(), a.reg());
+    a.csr(lane, CsrKind::LaneId);
+    a.slli(addr, lane, 8);
+    a.sts(a.zero(), addr, 0, Width::B8);
+    a.halt();
+    a.finish()
+}
+
+/// Writes a per-core-thread slot, then immediately reads the *next*
+/// thread's slot with no intervening barrier: write/read race across
+/// warps within one barrier interval.
+pub fn barrier_interval_race() -> Program {
+    let mut a = Asm::new("bad_barrier_interval_race");
+    let (ctid, addr, v) = (a.reg(), a.reg(), a.reg());
+    a.csr(ctid, CsrKind::CoreTid);
+    a.slli(addr, ctid, 3);
+    a.sts(ctid, addr, 0, Width::B8);
+    a.lds(v, addr, 8, Width::B8);
+    a.sts(v, addr, 0, Width::B8);
+    a.halt();
+    a.finish()
+}
+
+/// Dense global-tid-indexed stream: provably coalesced (SW-L521 advice).
+pub fn coalesced_stream() -> Program {
+    let mut a = Asm::new("ok_coalesced_stream");
+    let (tid, addr, base, v) = (a.reg(), a.reg(), a.reg(), a.reg());
+    a.csr(tid, CsrKind::GlobalTid);
+    a.slli(addr, tid, 3);
+    a.ldarg(base, 0);
+    a.add(addr, addr, base);
+    a.ldg(v, addr, 0, Width::B8);
+    a.stg(v, addr, 0, Width::B8);
+    a.halt();
+    a.finish()
+}
+
+/// Column-major shared access (lane stride 32 words apart): every lane
+/// hits the same 4-byte bank — predicted serialization (SW-L522).
+pub fn bank_conflicted() -> Program {
+    let mut a = Asm::new("bad_bank_conflicted");
+    let (lane, addr, v) = (a.reg(), a.reg(), a.reg());
+    a.csr(lane, CsrKind::LaneId);
+    a.slli(addr, lane, 7); // lane · 128 B = word stride 32 → one bank
+    a.lds(v, addr, 0, Width::B4);
+    a.halt();
+    a.finish()
+}
+
+/// A split on a warp-uniform predicate: no divergence possible — a
+/// candidate for the S_dae address-generation slice (SW-L531 advice).
+pub fn uniform_split() -> Program {
+    let mut a = Asm::new("ok_uniform_split");
+    let wid = a.reg();
+    a.csr(wid, CsrKind::WarpId);
+    a.if_nonzero(wid, |a| a.nop());
+    a.halt();
+    a.finish()
 }
 
 /// Reads two registers nothing ever wrote.
@@ -73,6 +174,27 @@ mod tests {
                 report.to_text()
             );
             assert!(!report.is_clean(), "{} unexpectedly clean", program.name());
+        }
+    }
+
+    #[test]
+    fn every_analyzer_fixture_triggers_its_rule_and_lints_clean() {
+        let geom = analyzer_geom();
+        for (program, rule_id) in analyzer_flagged() {
+            let lint = crate::lint(&program);
+            assert!(
+                lint.is_clean(),
+                "{} has structural errors:\n{}",
+                program.name(),
+                lint.to_text()
+            );
+            let report = crate::analyze(&program, &geom);
+            assert!(
+                report.diagnostics.iter().any(|d| d.rule.id() == rule_id),
+                "{} did not trigger {rule_id}:\n{}",
+                program.name(),
+                report.to_text()
+            );
         }
     }
 }

@@ -39,12 +39,17 @@
 
 #![warn(missing_docs)]
 
+mod absint;
 mod cfg;
 mod dataflow;
+mod domain;
 pub mod facts;
 pub mod fixtures;
+mod memcheck;
+mod uniform;
 mod weaver;
 
+pub use domain::AnalyzeGeom;
 pub use facts::DataflowFacts;
 
 use std::fmt;
@@ -54,6 +59,10 @@ use sparseweaver_isa::Program;
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Purely informational performance/structure advice from the
+    /// analyzer (coalescing, bank conflicts, uniform branches). Never
+    /// makes a program unclean.
+    Advice,
     /// Suspicious but not known to break execution (dead writes,
     /// unreachable code, possibly-undefined reads).
     Warning,
@@ -65,6 +74,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Advice => write!(f, "advice"),
             Severity::Warning => write!(f, "warning"),
             Severity::Error => write!(f, "error"),
         }
@@ -97,11 +107,28 @@ pub enum Rule {
     /// SW-L402: a Weaver decode may run before registration is
     /// barrier-synchronized.
     WeaverDecodeUnsynced,
+    /// SW-L501: a memory access is *proved* out of bounds against the
+    /// launch geometry.
+    OobProved,
+    /// SW-L502: a store/atomic *may* be out of bounds (not provably safe).
+    OobPossible,
+    /// SW-L511: two shared-memory accesses (at least one a store) may
+    /// race across warps within one barrier interval.
+    SharedRace,
+    /// SW-L521: a global access is provably coalesced (dense lane
+    /// stride or uniform broadcast).
+    Coalesced,
+    /// SW-L522: a global access predicts line-fill replay, or a shared
+    /// access predicts bank-conflict serialization.
+    MemReplay,
+    /// SW-L531: a split predicate is warp-uniform — a candidate for a
+    /// uniform branch / S_dae address-generation slice.
+    UniformSplit,
 }
 
 impl Rule {
     /// Every rule, in catalog order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 17] = [
         Rule::UseBeforeDef,
         Rule::MaybeUndefined,
         Rule::DeadWrite,
@@ -113,6 +140,12 @@ impl Rule {
         Rule::TmcAllLanesOff,
         Rule::WeaverDecodeUnregistered,
         Rule::WeaverDecodeUnsynced,
+        Rule::OobProved,
+        Rule::OobPossible,
+        Rule::SharedRace,
+        Rule::Coalesced,
+        Rule::MemReplay,
+        Rule::UniformSplit,
     ];
 
     /// The stable rule ID, e.g. `"SW-L101"`.
@@ -129,13 +162,24 @@ impl Rule {
             Rule::TmcAllLanesOff => "SW-L302",
             Rule::WeaverDecodeUnregistered => "SW-L401",
             Rule::WeaverDecodeUnsynced => "SW-L402",
+            Rule::OobProved => "SW-L501",
+            Rule::OobPossible => "SW-L502",
+            Rule::SharedRace => "SW-L511",
+            Rule::Coalesced => "SW-L521",
+            Rule::MemReplay => "SW-L522",
+            Rule::UniformSplit => "SW-L531",
         }
     }
 
     /// The rule's fixed severity.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::MaybeUndefined | Rule::DeadWrite | Rule::UnreachableCode => Severity::Warning,
+            Rule::MaybeUndefined
+            | Rule::DeadWrite
+            | Rule::UnreachableCode
+            | Rule::OobPossible
+            | Rule::SharedRace => Severity::Warning,
+            Rule::Coalesced | Rule::MemReplay | Rule::UniformSplit => Severity::Advice,
             _ => Severity::Error,
         }
     }
@@ -154,6 +198,12 @@ impl Rule {
             Rule::TmcAllLanesOff => "tmc sets an all-lanes-off mask",
             Rule::WeaverDecodeUnregistered => "weaver decode with no WEAVER_REG on any path",
             Rule::WeaverDecodeUnsynced => "weaver decode before registration is barrier-synced",
+            Rule::OobProved => "memory access proved out of bounds",
+            Rule::OobPossible => "store/atomic may be out of bounds",
+            Rule::SharedRace => "shared-memory accesses may race across warps",
+            Rule::Coalesced => "global access is provably coalesced",
+            Rule::MemReplay => "predicted line-fill replay or bank-conflict serialization",
+            Rule::UniformSplit => "split predicate is warp-uniform",
         }
     }
 }
@@ -234,11 +284,23 @@ impl std::str::FromStr for LintLevel {
 pub struct LintReport {
     /// Name of the linted kernel.
     pub program: String,
+    /// Originating kernel name, when the caller knows it (campaign
+    /// context). Attached to every finding in text and JSON output.
+    pub kernel: Option<String>,
+    /// Originating schedule (paper name, e.g. `S_vm`), when known.
+    pub schedule: Option<String>,
     /// All findings, ordered by pc then rule.
     pub diagnostics: Vec<Diagnostic>,
 }
 
 impl LintReport {
+    /// Attaches kernel/schedule provenance; echoed on every finding.
+    pub fn with_context(mut self, kernel: &str, schedule: &str) -> Self {
+        self.kernel = Some(kernel.to_string());
+        self.schedule = Some(schedule.to_string());
+        self
+    }
+
     /// Number of error-severity findings.
     pub fn error_count(&self) -> usize {
         self.diagnostics
@@ -249,42 +311,85 @@ impl LintReport {
 
     /// Number of warning-severity findings.
     pub fn warning_count(&self) -> usize {
-        self.diagnostics.len() - self.error_count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
     }
 
-    /// Whether the program has no error-severity findings. Warnings do not
-    /// make a program unclean.
+    /// Number of advice-severity findings.
+    pub fn advice_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Advice)
+            .count()
+    }
+
+    /// Whether the program has no error-severity findings. Warnings and
+    /// advice do not make a program unclean.
     pub fn is_clean(&self) -> bool {
         self.error_count() == 0
+    }
+
+    /// `kernel @ schedule` provenance prefix for one finding line.
+    fn context_tag(&self) -> Option<String> {
+        match (&self.kernel, &self.schedule) {
+            (Some(k), Some(s)) => Some(format!("{k} @ {s}")),
+            (Some(k), None) => Some(k.clone()),
+            (None, Some(s)) => Some(s.clone()),
+            (None, None) => None,
+        }
     }
 
     /// Multi-line human-readable listing (one line per finding).
     pub fn to_text(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
+        let _ = write!(
             out,
             "kernel `{}`: {} error(s), {} warning(s)",
             self.program,
             self.error_count(),
             self.warning_count()
         );
+        if self.advice_count() > 0 {
+            let _ = write!(out, ", {} advisories", self.advice_count());
+        }
+        out.push('\n');
+        let tag = self.context_tag();
         for d in &self.diagnostics {
-            let _ = writeln!(out, "  {d}");
+            match &tag {
+                Some(t) => {
+                    let _ = writeln!(out, "  [{t}] {d}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {d}");
+                }
+            }
         }
         out
     }
 
     /// One JSON object with the program name, counts, and every finding.
+    /// Kernel/schedule provenance, when set, appears both at the top
+    /// level and on every finding.
     pub fn to_json(&self) -> String {
         use fmt::Write as _;
+        let mut ctx = String::new();
+        if let Some(k) = &self.kernel {
+            ctx.push_str(&format!(",\"kernel\":\"{}\"", escape_json(k)));
+        }
+        if let Some(s) = &self.schedule {
+            ctx.push_str(&format!(",\"schedule\":\"{}\"", escape_json(s)));
+        }
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"program\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            "{{\"program\":\"{}\"{ctx},\"errors\":{},\"warnings\":{},\"advice\":{},\"diagnostics\":[",
             escape_json(&self.program),
             self.error_count(),
-            self.warning_count()
+            self.warning_count(),
+            self.advice_count()
         );
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -292,7 +397,7 @@ impl LintReport {
             }
             let _ = write!(
                 out,
-                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"pc\":{}{ctx},\"message\":\"{}\"}}",
                 d.rule.id(),
                 d.severity(),
                 d.pc,
@@ -331,8 +436,201 @@ pub fn lint(program: &Program) -> LintReport {
     diagnostics.sort_by_key(|d| (d.pc, d.rule));
     LintReport {
         program: program.name().to_string(),
+        kernel: None,
+        schedule: None,
         diagnostics,
     }
+}
+
+/// A flattened abstract value for external consumers (`--facts`,
+/// property tests). All claims are congruences mod 2^64 over the
+/// register bit pattern `v` viewed as `i64`:
+///
+/// * `v ≡ warp_coeff·warp_id + Σ coeff·arg + r (mod 2^64)` for some `r`
+///   in `[lo, hi]` with `r ≡ lo (mod stride)` (when `stride > 0`);
+/// * `lane_stride = Some(c)`: within one warp, `v(lane) − c·lane` is
+///   the same for every lane (`Some(0)` = warp-uniform);
+/// * `arg_derived`: the value carries a kernel-argument base (pointer
+///   or size) and is exempt from bounds checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractValue {
+    /// Interval lower bound of the residual `r`.
+    pub lo: i64,
+    /// Interval upper bound of the residual `r`.
+    pub hi: i64,
+    /// Congruence stride of the residual (0 = constant).
+    pub stride: u64,
+    /// Coefficient of the warp-id-within-core term.
+    pub warp_coeff: i64,
+    /// Per-lane stride within a warp, `None` = divergent.
+    pub lane_stride: Option<i64>,
+    /// `(argument index, coefficient)` symbolic terms.
+    pub args: Vec<(u8, i64)>,
+    /// Whether a kernel-argument base taints the value.
+    pub arg_derived: bool,
+}
+
+impl AbstractValue {
+    fn flatten(v: &domain::AbsVal) -> Self {
+        AbstractValue {
+            lo: v.rest.lo,
+            hi: v.rest.hi,
+            stride: v.rest.stride,
+            warp_coeff: v.cw,
+            lane_stride: v.cl,
+            args: v.syms.clone(),
+            arg_derived: v.arg,
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut s = String::new();
+        for (idx, c) in &self.args {
+            s.push_str(&format!("{c}·arg{idx} + "));
+        }
+        if self.warp_coeff != 0 {
+            s.push_str(&format!("{}·warp + ", self.warp_coeff));
+        }
+        if self.stride == 0 {
+            s.push_str(&format!("{}", self.lo));
+        } else {
+            s.push_str(&format!("[{}, {}]/{}", self.lo, self.hi, self.stride));
+        }
+        match self.lane_stride {
+            Some(0) => s.push_str("  (uniform)"),
+            Some(c) => s.push_str(&format!("  (lane·{c})")),
+            None => s.push_str("  (divergent)"),
+        }
+        if self.arg_derived {
+            s.push_str("  (arg)");
+        }
+        s
+    }
+}
+
+/// One register write and the abstract value it produces.
+#[derive(Debug, Clone)]
+pub struct ValueFact {
+    /// Instruction index of the write.
+    pub pc: u32,
+    /// Destination register.
+    pub reg: u8,
+    /// The abstract value written.
+    pub value: AbstractValue,
+}
+
+/// One memory access with its abstract byte address.
+#[derive(Debug, Clone)]
+pub struct AccessSummary {
+    /// Instruction index of the access.
+    pub pc: u32,
+    /// `"load"`, `"store"`, or `"atomic"`.
+    pub kind: &'static str,
+    /// `"global"` or `"shared"`.
+    pub space: &'static str,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Barrier-region id (accesses in the same region may overlap in
+    /// time across warps).
+    pub region: usize,
+    /// Abstract first-byte address, constant offset folded in.
+    pub addr: AbstractValue,
+}
+
+/// The raw facts behind an analyzer run, for `--facts` and tests.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisFacts {
+    /// Per-write register facts, ordered by `(pc, reg)`.
+    pub values: Vec<ValueFact>,
+    /// Per-access address facts, ordered by pc.
+    pub accesses: Vec<AccessSummary>,
+    /// False only if the fixpoint safety cap fired (facts degrade to
+    /// top but stay sound).
+    pub converged: bool,
+}
+
+impl AnalysisFacts {
+    /// Human-readable dump, one line per fact.
+    pub fn to_text(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "facts: {} register write(s), {} access(es), converged: {}",
+            self.values.len(),
+            self.accesses.len(),
+            self.converged
+        );
+        for v in &self.values {
+            let _ = writeln!(out, "  pc {:>4}: x{} = {}", v.pc, v.reg, v.value.render());
+        }
+        for a in &self.accesses {
+            let _ = writeln!(
+                out,
+                "  pc {:>4}: {} {} {}B region {} @ {}",
+                a.pc,
+                a.space,
+                a.kind,
+                a.width,
+                a.region,
+                a.addr.render()
+            );
+        }
+        out
+    }
+}
+
+/// Runs the abstract-interpretation analyzer over `program` against a
+/// concrete launch geometry, producing the SW-L5xx findings.
+pub fn analyze(program: &Program, geom: &AnalyzeGeom) -> LintReport {
+    analyze_with_facts(program, geom).0
+}
+
+/// [`analyze`], also returning the raw fixpoint facts.
+pub fn analyze_with_facts(program: &Program, geom: &AnalyzeGeom) -> (LintReport, AnalysisFacts) {
+    let cfg = cfg::Cfg::build(program);
+    let analysis = absint::analyze_program(program, &cfg, geom);
+    let mut diagnostics = memcheck::check(&analysis, geom);
+    diagnostics.extend(uniform::check(&analysis, geom));
+    diagnostics.sort_by_key(|d| (d.pc, d.rule));
+    let report = LintReport {
+        program: program.name().to_string(),
+        kernel: None,
+        schedule: None,
+        diagnostics,
+    };
+    let facts = AnalysisFacts {
+        values: analysis
+            .regs
+            .iter()
+            .map(|r| ValueFact {
+                pc: r.pc,
+                reg: r.reg,
+                value: AbstractValue::flatten(&r.val),
+            })
+            .collect(),
+        accesses: analysis
+            .accesses
+            .iter()
+            .map(|a| AccessSummary {
+                pc: a.pc,
+                kind: match a.kind {
+                    absint::AccessKind::Read => "load",
+                    absint::AccessKind::Write => "store",
+                    absint::AccessKind::Atomic => "atomic",
+                },
+                space: match a.space {
+                    sparseweaver_isa::Space::Global => "global",
+                    sparseweaver_isa::Space::Shared => "shared",
+                },
+                width: a.width,
+                region: a.region,
+                addr: AbstractValue::flatten(&a.addr),
+            })
+            .collect(),
+        converged: analysis.converged,
+    };
+    (report, facts)
 }
 
 #[cfg(test)]

@@ -1,0 +1,334 @@
+//! SW-L501/502 static bounds checks and SW-L511 shared-memory race
+//! detection over the [`crate::absint`] facts.
+//!
+//! # Bounds policy
+//!
+//! * SW-L501 (error) fires only on **proofs**: a shared access whose
+//!   whole address range lies outside `[0, shared_mem_bytes)`, or a
+//!   global access provably at a negative address.
+//! * SW-L502 (warning) fires on *possible* violations, and only for
+//!   **writes and atomics**. Unprovable loads are the normal case for
+//!   the paper's gather kernels (a binary-searched index can rarely be
+//!   bounded statically), but an unproven store can corrupt another
+//!   warp's scratchpad, which is worth a warning.
+//! * Addresses derived from kernel arguments (`arg = true`) are exempt:
+//!   the argument is a device pointer or size whose magnitude only the
+//!   runtime knows.
+//!
+//! # Race model
+//!
+//! Two shared accesses may race iff they sit in the same barrier region
+//! (see `absint::barrier_regions`), at least one is a plain store, and
+//! the cross-warp overlap below cannot be refuted. Within one warp,
+//! lanes execute in lockstep, so only *cross-warp* interleavings count;
+//! accesses whose addresses share the same symbolic argument terms
+//! cancel those terms exactly, which is how per-warp scratchpad layouts
+//! like `warp_id·768 + …` are proven disjoint. Accesses with *different*
+//! argument terms (arrays carved from argument-dependent bases like
+//! `n·8`) are skipped — such arrays are assumed disjoint, consistent
+//! with the `arg` exemption above. Atomic-vs-atomic pairs never race;
+//! per-lane conflicts inside one warp are out of scope.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sparseweaver_isa::Space;
+
+use crate::absint::{AccessFact, AccessKind, Analysis};
+use crate::domain::AnalyzeGeom;
+use crate::{Diagnostic, Rule};
+
+/// 2^64, the register wrap modulus, as an `i128`.
+const MOD: i128 = 1i128 << 64;
+
+/// Whether `[lo, hi]` contains a multiple of 2^64 (including 0).
+fn window_hits_wrap(lo: i128, hi: i128) -> bool {
+    lo <= hi && hi.div_euclid(MOD) * MOD >= lo
+}
+
+/// Byte extent `[first, last]` of an access over all warps, with the
+/// (shared) symbolic terms left out: `rest + cw·[0, wpc−1] + [0, w)`.
+fn extent(a: &AccessFact, wpc: i128) -> (i128, i128) {
+    let swing = a.addr.cw as i128 * (wpc - 1);
+    let lo = a.addr.rest.lo as i128 + swing.min(0);
+    let hi = a.addr.rest.hi as i128 + swing.max(0) + a.width as i128 - 1;
+    (lo, hi)
+}
+
+/// True when a cross-warp overlap between `a` and `b` cannot be refuted.
+fn may_race(a: &AccessFact, b: &AccessFact, geom: &AnalyzeGeom) -> bool {
+    if geom.warps_per_core < 2 {
+        return false;
+    }
+    // Differing argument bases: assumed-disjoint arrays (see module docs).
+    if a.addr.syms != b.addr.syms {
+        return false;
+    }
+    let wpc = geom.warps_per_core as i128;
+    if a.addr.cw == b.addr.cw {
+        // Same warp coefficient c: byte equality between warp w_a and
+        // warp w_b = w_a − d requires c·d + (r_a + i) − (r_b + j) ≡ 0
+        // (mod 2^64) for some d ≠ 0, i ∈ [0, w_a), j ∈ [0, w_b).
+        let c = a.addr.cw as i128;
+        let w_lo = b.addr.rest.lo as i128 - a.addr.rest.hi as i128 - (a.width as i128 - 1);
+        let w_hi = b.addr.rest.hi as i128 - a.addr.rest.lo as i128 + (b.width as i128 - 1);
+        if c == 0 {
+            return window_hits_wrap(w_lo, w_hi);
+        }
+        for k in 1..wpc {
+            if window_hits_wrap(w_lo + k * c, w_hi + k * c)
+                || window_hits_wrap(w_lo - k * c, w_hi - k * c)
+            {
+                return true;
+            }
+        }
+        false
+    } else {
+        // Different coefficients: refute only via disjoint extents
+        // (modulo the wrap candidates).
+        let (alo, ahi) = extent(a, wpc);
+        let (blo, bhi) = extent(b, wpc);
+        window_hits_wrap(blo - ahi, bhi - alo)
+    }
+}
+
+/// Runs the bounds checks over every access.
+fn check_bounds(analysis: &Analysis, geom: &AnalyzeGeom, out: &mut Vec<Diagnostic>) {
+    let smem = geom.shared_mem_bytes as i128;
+    for a in &analysis.accesses {
+        if a.addr.arg {
+            continue;
+        }
+        let what = match a.kind {
+            AccessKind::Read => "load",
+            AccessKind::Write => "store",
+            AccessKind::Atomic => "atomic",
+        };
+        let full = a.addr.full_range(geom);
+        let lo = full.lo as i128;
+        let last = full.hi as i128 + a.width as i128 - 1;
+        match a.space {
+            Space::Shared => {
+                if last < 0 || lo >= smem {
+                    out.push(Diagnostic::new(
+                        Rule::OobProved,
+                        a.pc,
+                        format!(
+                            "shared {what} provably out of bounds: bytes [{lo}, {}] \
+                             outside scratchpad [0, {smem})",
+                            last + 1
+                        ),
+                    ));
+                } else if (lo < 0 || last >= smem) && a.kind != AccessKind::Read {
+                    out.push(Diagnostic::new(
+                        Rule::OobPossible,
+                        a.pc,
+                        format!(
+                            "shared {what} may be out of bounds: bytes [{lo}, {}] \
+                             not provably within scratchpad [0, {smem})",
+                            last + 1
+                        ),
+                    ));
+                }
+            }
+            Space::Global => {
+                if full.hi < 0 {
+                    out.push(Diagnostic::new(
+                        Rule::OobProved,
+                        a.pc,
+                        format!(
+                            "global {what} provably at a negative address [{lo}, {}]",
+                            last + 1
+                        ),
+                    ));
+                } else if lo < 0 && a.kind != AccessKind::Read {
+                    out.push(Diagnostic::new(
+                        Rule::OobPossible,
+                        a.pc,
+                        format!("global {what} may target a negative address (low bound {lo})"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the cross-warp race check over shared accesses.
+fn check_races(analysis: &Analysis, geom: &AnalyzeGeom, out: &mut Vec<Diagnostic>) {
+    let shared: Vec<&AccessFact> = analysis
+        .accesses
+        .iter()
+        .filter(|a| a.space == Space::Shared)
+        .collect();
+    // anchor pc (a plain store) → racing partner pcs
+    let mut partners: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for (i, a) in shared.iter().enumerate() {
+        for b in shared.iter().skip(i) {
+            if a.region != b.region {
+                continue;
+            }
+            // Races need at least one plain store in the pair.
+            let (anchor, other) = match (a.kind, b.kind) {
+                (AccessKind::Write, AccessKind::Write) => (a.pc.min(b.pc), a.pc.max(b.pc)),
+                (AccessKind::Write, _) => (a.pc, b.pc),
+                (_, AccessKind::Write) => (b.pc, a.pc),
+                _ => continue,
+            };
+            if may_race(a, b, geom) {
+                partners.entry(anchor).or_default().insert(other);
+            }
+        }
+    }
+    for (pc, others) in partners {
+        let listed: Vec<String> = others
+            .iter()
+            .take(3)
+            .map(|p| {
+                if *p == pc {
+                    "itself (other warps)".to_string()
+                } else {
+                    format!("pc {p}")
+                }
+            })
+            .collect();
+        let more = others.len().saturating_sub(3);
+        let tail = if more > 0 {
+            format!(" and {more} more")
+        } else {
+            String::new()
+        };
+        out.push(Diagnostic::new(
+            Rule::SharedRace,
+            pc,
+            format!(
+                "shared-memory store may race across warps with {}{tail} \
+                 within the same barrier interval",
+                listed.join(", ")
+            ),
+        ));
+    }
+}
+
+/// All SW-L501/502/511 findings for one analyzed program.
+pub(crate) fn check(analysis: &Analysis, geom: &AnalyzeGeom) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_bounds(analysis, geom, &mut out);
+    check_races(analysis, geom, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::analyze_program;
+    use crate::cfg::Cfg;
+    use sparseweaver_isa::{Asm, CsrKind, Width};
+
+    fn geom() -> AnalyzeGeom {
+        AnalyzeGeom {
+            num_cores: 2,
+            warps_per_core: 4,
+            threads_per_warp: 8,
+            shared_mem_bytes: 1024,
+        }
+    }
+
+    fn diags(p: &sparseweaver_isa::Program) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(p);
+        let an = analyze_program(p, &cfg, &geom());
+        check(&an, &geom())
+    }
+
+    #[test]
+    fn proved_oob_store_fires_l501() {
+        let mut a = Asm::new("oob");
+        let addr = a.reg();
+        a.li(addr, 4096); // ≥ shared_mem_bytes = 1024
+        a.sts(a.zero(), addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().any(|d| d.rule == Rule::OobProved), "{d:?}");
+    }
+
+    #[test]
+    fn straddling_store_fires_l502_not_l501() {
+        let mut a = Asm::new("straddle");
+        let (lane, addr) = (a.reg(), a.reg());
+        a.csr(lane, CsrKind::LaneId);
+        a.slli(addr, lane, 8); // lanes reach up to 7·256 = 1792 > 1024
+        a.sts(a.zero(), addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().any(|d| d.rule == Rule::OobPossible), "{d:?}");
+        assert!(!d.iter().any(|d| d.rule == Rule::OobProved), "{d:?}");
+    }
+
+    #[test]
+    fn unprovable_load_is_quiet_but_store_warns() {
+        // Loads with unprovable indices are the gather norm — no L502.
+        let mut a = Asm::new("load_quiet");
+        let (v, addr) = (a.reg(), a.reg());
+        a.weaver_dec_id(v); // unbounded
+        a.if_nonzero(v, |_| {});
+        a.slli(addr, v, 3);
+        a.lds(v, addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().all(|d| d.rule != Rule::OobPossible), "{d:?}");
+    }
+
+    #[test]
+    fn per_warp_scratch_is_race_free_but_overlap_races() {
+        // Disjoint per-warp slabs: warp_id·64 + lane·8 — provably safe.
+        let mut a = Asm::new("slabs");
+        let (wid, lane, addr, t) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.csr(wid, CsrKind::WarpId);
+        a.csr(lane, CsrKind::LaneId);
+        a.slli(addr, wid, 6);
+        a.slli(t, lane, 3);
+        a.add(addr, addr, t);
+        a.sts(a.zero(), addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().all(|d| d.rule != Rule::SharedRace), "{d:?}");
+
+        // Same layout but slabs of 32 bytes: lane·8 spans 0..63 — warps
+        // collide.
+        let mut a = Asm::new("overlap");
+        let (wid, lane, addr, t) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.csr(wid, CsrKind::WarpId);
+        a.csr(lane, CsrKind::LaneId);
+        a.slli(addr, wid, 5);
+        a.slli(t, lane, 3);
+        a.add(addr, addr, t);
+        a.sts(a.zero(), addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().any(|d| d.rule == Rule::SharedRace), "{d:?}");
+    }
+
+    #[test]
+    fn barrier_separates_write_from_read() {
+        // write lane slot; bar; read neighbor warp's slot — no race.
+        let mut a = Asm::new("bar_sep");
+        let (ctid, addr, v) = (a.reg(), a.reg(), a.reg());
+        a.csr(ctid, CsrKind::CoreTid);
+        a.slli(addr, ctid, 3);
+        a.sts(ctid, addr, 0, Width::B8);
+        a.bar();
+        a.lds(v, addr, 8, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().all(|d| d.rule != Rule::SharedRace), "{d:?}");
+
+        // Without the barrier the read may see a half-updated neighbor.
+        let mut a = Asm::new("no_bar");
+        let (ctid, addr, v) = (a.reg(), a.reg(), a.reg());
+        a.csr(ctid, CsrKind::CoreTid);
+        a.slli(addr, ctid, 3);
+        a.sts(ctid, addr, 0, Width::B8);
+        a.lds(v, addr, 8, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().any(|d| d.rule == Rule::SharedRace), "{d:?}");
+    }
+}

@@ -1,0 +1,252 @@
+//! SW-L521/522 coalescing and bank-conflict advisories plus the
+//! SW-L531 uniform-branch advisory, built on the lane-affinity facts
+//! (`AbsVal::cl`) computed by [`crate::absint`].
+//!
+//! # Coalescing model
+//!
+//! The memory hierarchy moves 64-byte lines (`sparseweaver-mem`'s
+//! `LINE_BYTES`); a warp access that keeps all lanes inside few lines
+//! fills fast, one that scatters lanes across many lines pays one fill
+//! per line. For a lane-affine address `base + c·lane` the number of
+//! distinct lines a warp can touch is at most
+//! `((tpw−1)·|c| + width + 63) / 64` — that quotient is the predicted
+//! replay factor. `c == width` (dense) and `c == 0` (broadcast) earn a
+//! SW-L521 "coalesced" note; larger strides or divergent addresses earn
+//! SW-L522 with the predicted replay.
+//!
+//! # Bank model
+//!
+//! The shared scratchpad is modeled as 32 banks × 4 bytes. For a
+//! word-aligned lane-affine stride the conflict degree is the maximum
+//! number of lanes mapping to one bank, computed exactly by walking
+//! `lane · (c/4) mod 32`. Divergent shared addresses are left quiet:
+//! the paper's search-based kernels (e.g. S_wm binary search) are
+//! divergent by design and flagging every probe would be noise.
+
+use crate::absint::{AccessKind, Analysis};
+use crate::domain::AnalyzeGeom;
+use crate::{Diagnostic, Rule};
+
+use sparseweaver_isa::Space;
+
+/// Fill granularity of the memory hierarchy, in bytes. Kept in sync
+/// with `sparseweaver-mem::LINE_BYTES` (asserted in the crate tests).
+pub(crate) const LINE_BYTES: u64 = 64;
+
+const BANKS: u64 = 32;
+const BANK_BYTES: u64 = 4;
+
+/// Distinct 64-byte lines a warp touches for lane stride `c` (bytes):
+/// the spanned line count, clamped at one line per lane.
+fn lines_per_warp(c: u64, width: u64, tpw: u64) -> u64 {
+    ((tpw - 1) * c + width).div_ceil(LINE_BYTES).min(tpw.max(1))
+}
+
+/// Maximum number of lanes hitting one 4-byte bank for word stride `w`.
+fn bank_conflict_degree(word_stride: u64, tpw: u64) -> u64 {
+    let mut hits = [0u64; BANKS as usize];
+    for lane in 0..tpw {
+        hits[((lane * word_stride) % BANKS) as usize] += 1;
+    }
+    hits.iter().copied().max().unwrap_or(1)
+}
+
+/// All SW-L521/522/531 advisories for one analyzed program.
+pub(crate) fn check(analysis: &Analysis, geom: &AnalyzeGeom) -> Vec<Diagnostic> {
+    let tpw = geom.threads_per_warp;
+    let mut out = Vec::new();
+    for a in &analysis.accesses {
+        let what = match a.kind {
+            AccessKind::Read => "load",
+            AccessKind::Write => "store",
+            AccessKind::Atomic => "atomic",
+        };
+        match a.space {
+            Space::Global => match a.addr.cl {
+                Some(0) => out.push(Diagnostic::new(
+                    Rule::Coalesced,
+                    a.pc,
+                    format!(
+                        "global {what} is a warp-uniform broadcast: one line fill \
+                         serves all {tpw} lanes"
+                    ),
+                )),
+                Some(c) if c.unsigned_abs() == a.width => {
+                    let lines = lines_per_warp(a.width, a.width, tpw);
+                    out.push(Diagnostic::new(
+                        Rule::Coalesced,
+                        a.pc,
+                        format!(
+                            "global {what} is coalesced (lane stride {} B == access \
+                             width): ~{lines} line fill(s) per warp",
+                            a.width
+                        ),
+                    ));
+                }
+                Some(c) => {
+                    let stride = c.unsigned_abs().min(LINE_BYTES * tpw);
+                    let lines = lines_per_warp(stride, a.width, tpw);
+                    let dense = lines_per_warp(a.width, a.width, tpw);
+                    if lines > dense {
+                        out.push(Diagnostic::new(
+                            Rule::MemReplay,
+                            a.pc,
+                            format!(
+                                "strided global {what} (lane stride {} B): predicted \
+                                 ~{lines} line fills per warp vs {dense} if coalesced",
+                                c.unsigned_abs()
+                            ),
+                        ));
+                    }
+                }
+                None => out.push(Diagnostic::new(
+                    Rule::MemReplay,
+                    a.pc,
+                    format!(
+                        "address-divergent global {what}: up to {tpw} line fills \
+                         per warp (gather/scatter replay)"
+                    ),
+                )),
+            },
+            Space::Shared => {
+                if let Some(c) = a.addr.cl {
+                    let c = c.unsigned_abs();
+                    if c != 0 && c % BANK_BYTES == 0 {
+                        let degree = bank_conflict_degree(c / BANK_BYTES, tpw);
+                        if degree > 1 {
+                            out.push(Diagnostic::new(
+                                Rule::MemReplay,
+                                a.pc,
+                                format!(
+                                    "shared {what} with lane stride {c} B maps {degree} \
+                                     lanes to the same bank: predicted {degree}-way \
+                                     serialization"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for s in &analysis.splits {
+        if s.cond.cl == Some(0) {
+            out.push(Diagnostic::new(
+                Rule::UniformSplit,
+                s.pc,
+                "split predicate is warp-uniform: no divergence possible; candidate \
+                 for a uniform branch / S_dae address-generation slice"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::analyze_program;
+    use crate::cfg::Cfg;
+    use sparseweaver_isa::{Asm, CsrKind, Width};
+
+    fn geom() -> AnalyzeGeom {
+        AnalyzeGeom {
+            num_cores: 2,
+            warps_per_core: 4,
+            threads_per_warp: 8,
+            shared_mem_bytes: 1024,
+        }
+    }
+
+    fn diags(p: &sparseweaver_isa::Program) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(p);
+        let an = analyze_program(p, &cfg, &geom());
+        check(&an, &geom())
+    }
+
+    #[test]
+    fn line_bytes_matches_mem_crate() {
+        assert_eq!(LINE_BYTES, sparseweaver_mem::LINE_BYTES);
+    }
+
+    #[test]
+    fn dense_lane_stride_is_coalesced() {
+        let mut a = Asm::new("dense");
+        let (tid, addr, base, v) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.csr(tid, CsrKind::GlobalTid);
+        a.slli(addr, tid, 3);
+        a.ldarg(base, 0);
+        a.add(addr, addr, base);
+        a.ldg(v, addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().any(|d| d.rule == Rule::Coalesced), "{d:?}");
+        assert!(d.iter().all(|d| d.rule != Rule::MemReplay), "{d:?}");
+    }
+
+    #[test]
+    fn wide_stride_predicts_replay() {
+        let mut a = Asm::new("stride512");
+        let (tid, addr, base, v) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.csr(tid, CsrKind::GlobalTid);
+        a.slli(addr, tid, 9); // 512 B lane stride → 8 lines per warp
+        a.ldarg(base, 0);
+        a.add(addr, addr, base);
+        a.ldg(v, addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        let replay = d.iter().find(|d| d.rule == Rule::MemReplay).expect("L522");
+        assert!(
+            replay.message.contains("~8 line fills"),
+            "{}",
+            replay.message
+        );
+    }
+
+    #[test]
+    fn divergent_gather_predicts_replay() {
+        let mut a = Asm::new("gather");
+        let (idx, addr, base, v) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.weaver_dec_loc(idx);
+        a.slli(addr, idx, 3);
+        a.ldarg(base, 0);
+        a.add(addr, addr, base);
+        a.ldg(v, addr, 0, Width::B8);
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(
+            d.iter()
+                .any(|d| d.rule == Rule::MemReplay && d.message.contains("divergent")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn stride_32_shared_hits_one_bank() {
+        // word stride 8 → lanes 0..8 hit banks {0,8,16,24,0,8,16,24}:
+        // 2-way conflict at tpw = 8.
+        let mut a = Asm::new("banks");
+        let (lane, addr, v) = (a.reg(), a.reg(), a.reg());
+        a.csr(lane, CsrKind::LaneId);
+        a.slli(addr, lane, 5);
+        a.lds(v, addr, 0, Width::B4);
+        a.halt();
+        let d = diags(&a.finish());
+        let conflict = d.iter().find(|d| d.rule == Rule::MemReplay).expect("L522");
+        assert!(conflict.message.contains("2-way"), "{}", conflict.message);
+    }
+
+    #[test]
+    fn uniform_split_gets_l531() {
+        let mut a = Asm::new("usplit");
+        let wid = a.reg();
+        a.csr(wid, CsrKind::WarpId);
+        a.if_nonzero(wid, |a| {
+            a.nop();
+        });
+        a.halt();
+        let d = diags(&a.finish());
+        assert!(d.iter().any(|d| d.rule == Rule::UniformSplit), "{d:?}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Soundness property test for the abstract-interpretation domains.
+//!
+//! Generates random straight-line programs over the integer subset of
+//! the ISA (immediates, ALU ops, CSR reads, kernel-argument loads),
+//! runs every thread of a small launch grid concretely with
+//! `AluOp::apply`, and checks that no concrete register value ever
+//! escapes its abstract fact:
+//!
+//! * **Interval + linear shape**: `v − warp_coeff·warp − Σ coeff·arg`
+//!   (computed wrapping, i.e. mod 2^64) must land inside `[lo, hi]` on
+//!   the `lo + k·stride` lattice. Because the abstract claims are
+//!   congruences mod 2^64 over the register bit pattern, the residual
+//!   is an exact `i64` — no slack term is needed.
+//! * **Lane affinity**: when the fact says `lane_stride = Some(c)`,
+//!   `v(lane) − c·lane` must be identical across the lanes of each
+//!   warp (again wrapping).
+
+use proptest::prelude::*;
+
+use sparseweaver_isa::{AluOp, CsrKind, Instr, Program, Reg};
+use sparseweaver_lint::{analyze_with_facts, AnalyzeGeom};
+
+const GEOM: AnalyzeGeom = AnalyzeGeom {
+    num_cores: 2,
+    warps_per_core: 3,
+    threads_per_warp: 4,
+    shared_mem_bytes: 256,
+};
+
+/// Concrete kernel-argument values handed to `LdArg` during the
+/// concrete runs (the analyzer keeps them symbolic).
+const ARGS: [i64; 4] = [1 << 40, -977, 65_536, 3];
+
+/// Registers kept small so the generated programs reuse values often.
+fn small_reg() -> impl Strategy<Value = Reg> {
+    (1u8..8).prop_map(Reg)
+}
+
+fn imm() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        any::<i64>(),
+        -64i64..64,
+        prop::sample::select(vec![0i64, 1, 7, 8, 63, 64, i64::MIN, i64::MAX]),
+    ]
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (small_reg(), imm()).prop_map(|(rd, imm)| Instr::LdImm { rd, imm }),
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            small_reg(),
+            small_reg(),
+            small_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            small_reg(),
+            small_reg(),
+            imm()
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluI { op, rd, rs1, imm }),
+        (small_reg(), prop::sample::select(CsrKind::ALL.to_vec()))
+            .prop_map(|(rd, kind)| Instr::Csr { rd, kind }),
+        (small_reg(), 0u8..ARGS.len() as u8).prop_map(|(rd, idx)| Instr::LdArg { rd, idx }),
+    ]
+}
+
+fn straight_line() -> impl Strategy<Value = Program> {
+    prop::collection::vec(instr(), 1..24).prop_map(|mut body| {
+        body.push(Instr::Halt);
+        Program::new("prop", body)
+    })
+}
+
+fn csr_concrete(kind: CsrKind, core: u64, warp: u64, lane: u64) -> u64 {
+    let tpw = GEOM.threads_per_warp;
+    let tpc = GEOM.threads_per_core();
+    match kind {
+        CsrKind::LaneId => lane,
+        CsrKind::WarpId => warp,
+        CsrKind::CoreId => core,
+        CsrKind::GlobalTid => core * tpc + warp * tpw + lane,
+        CsrKind::CoreTid => warp * tpw + lane,
+        CsrKind::NumCores => GEOM.num_cores,
+        CsrKind::WarpsPerCore => GEOM.warps_per_core,
+        CsrKind::ThreadsPerWarp => tpw,
+        CsrKind::ThreadsPerCore => tpc,
+        CsrKind::NumThreads => GEOM.num_cores * tpc,
+    }
+}
+
+/// Executes the straight-line program for one thread, returning the
+/// value written at each pc (x0 writes dropped, like the warp does).
+fn run_thread(p: &Program, core: u64, warp: u64, lane: u64) -> Vec<(u32, u8, u64)> {
+    let mut regs = [0u64; 64];
+    let mut writes = Vec::new();
+    for (pc, instr) in p.instrs().iter().enumerate() {
+        let (rd, val) = match *instr {
+            Instr::Halt => break,
+            Instr::LdImm { rd, imm } => (rd, imm as u64),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                (rd, op.apply(regs[rs1.0 as usize], regs[rs2.0 as usize]))
+            }
+            Instr::AluI { op, rd, rs1, imm } => (rd, op.apply(regs[rs1.0 as usize], imm as u64)),
+            Instr::Csr { rd, kind } => (rd, csr_concrete(kind, core, warp, lane)),
+            Instr::LdArg { rd, idx } => (rd, ARGS[idx as usize] as u64),
+            ref other => panic!("generator emitted unsupported {other:?}"),
+        };
+        if rd.0 == 0 {
+            continue;
+        }
+        regs[rd.0 as usize] = val;
+        writes.push((pc as u32, rd.0, val));
+    }
+    writes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn concrete_values_never_escape_abstract_facts(p in straight_line()) {
+        let (_report, facts) = analyze_with_facts(&p, &GEOM);
+        prop_assert!(facts.converged);
+        // (pc, reg) → abstract value, for quick lookup.
+        let by_site: std::collections::BTreeMap<(u32, u8), &sparseweaver_lint::AbstractValue> =
+            facts.values.iter().map(|v| ((v.pc, v.reg), &v.value)).collect();
+
+        for core in 0..GEOM.num_cores {
+            for warp in 0..GEOM.warps_per_core {
+                // Per-warp traces, indexed by lane, for the affinity check.
+                let traces: Vec<Vec<(u32, u8, u64)>> = (0..GEOM.threads_per_warp)
+                    .map(|lane| run_thread(&p, core, warp, lane))
+                    .collect();
+
+                for (lane, trace) in traces.iter().enumerate() {
+                    for &(pc, reg, raw) in trace {
+                        let fact = by_site
+                            .get(&(pc, reg))
+                            .unwrap_or_else(|| panic!("no fact for pc {pc} reg {reg}"));
+                        // Interval claim: the residual after removing the
+                        // warp and argument terms (mod 2^64) sits on the
+                        // stride lattice within [lo, hi].
+                        let mut t = (raw as i64).wrapping_sub(fact.warp_coeff.wrapping_mul(warp as i64));
+                        for &(idx, coeff) in &fact.args {
+                            t = t.wrapping_sub(coeff.wrapping_mul(ARGS[idx as usize]));
+                        }
+                        prop_assert!(
+                            fact.lo <= t && t <= fact.hi,
+                            "pc {pc} x{reg}: residual {t} outside [{}, {}] (raw {raw:#x}, \
+                             core {core} warp {warp} lane {lane})\n{p}",
+                            fact.lo, fact.hi
+                        );
+                        if fact.stride > 1 {
+                            let off = (t as i128 - fact.lo as i128) % fact.stride as i128;
+                            prop_assert!(
+                                off == 0,
+                                "pc {pc} x{reg}: residual {t} off the {}-stride lattice \
+                                 anchored at {}\n{p}",
+                                fact.stride, fact.lo
+                            );
+                        }
+                        // Lane-affinity claim: v − c·lane identical across
+                        // the warp.
+                        if let Some(c) = fact.lane_stride {
+                            let here = (raw as i64).wrapping_sub(c.wrapping_mul(lane as i64));
+                            let (pc0, reg0, raw0) = traces[0]
+                                .iter()
+                                .copied()
+                                .find(|&(p0, r0, _)| p0 == pc && r0 == reg)
+                                .expect("lane 0 executed the same straight line");
+                            prop_assert_eq!((pc0, reg0), (pc, reg));
+                            let base = (raw0 as i64).wrapping_sub(c.wrapping_mul(0));
+                            prop_assert!(
+                                here == base,
+                                "pc {pc} x{reg}: lane shape Some({c}) broken: lane {lane} \
+                                 residual {here} != lane 0 residual {base}\n{p}",
+                                );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

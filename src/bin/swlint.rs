@@ -6,17 +6,25 @@
 //! balance, barrier-under-divergence deadlocks, `tmc 0` wedges, and the
 //! Weaver registration protocol. Rule catalog: `docs/lint-rules.md`.
 //!
+//! With `--analyze`, additionally runs the abstract-interpretation
+//! engine (SW-L5xx): value ranges, warp uniformity, static OOB/race
+//! checks, and the coalescing advisor, against the launch geometry of
+//! the selected `--config`.
+//!
 //! ```text
 //! swlint                         # every algorithm x every schedule
 //! swlint --algo bfs --schedule sw
 //! swlint --json                  # one LintReport JSON object per line
-//! swlint --selftest              # verify the seeded ill-formed fixtures
+//! swlint --analyze [--json]      # + SW-L5xx abstract interpretation
+//! swlint --analyze --facts       # dump the raw fixpoint facts
+//! swlint --selftest              # verify the seeded fixtures
 //! swlint --version
 //! ```
 //!
-//! Exit status: 0 when every kernel is clean, 1 when any error-severity
-//! finding fires (including `--selftest`, whose fixtures must all fire),
-//! 2 on usage errors.
+//! Exit status: 0 when every kernel is clean (and, for `--selftest`,
+//! when every seeded fixture triggers its documented rule — same
+//! convention as `swprof --selftest`), 1 when any error-severity
+//! finding fires or a selftest fixture misses, 2 on usage errors.
 
 use std::collections::{HashMap, HashSet};
 use std::process::exit;
@@ -27,8 +35,19 @@ use sparseweaver::core::algorithms::{
 use sparseweaver::core::Schedule;
 use sparseweaver::graph::Direction;
 use sparseweaver::isa::Program;
-use sparseweaver::lint::{fixtures, lint, LintReport};
+use sparseweaver::lint::{analyze_with_facts, fixtures, lint, AnalyzeGeom, LintReport};
 use sparseweaver::sim::GpuConfig;
+
+/// The launch geometry the analyzer checks against, from the same
+/// `--config` the simulator would launch with.
+fn analyze_geom(cfg: &GpuConfig) -> AnalyzeGeom {
+    AnalyzeGeom {
+        num_cores: cfg.num_cores as u64,
+        warps_per_core: cfg.warps_per_core as u64,
+        threads_per_warp: cfg.threads_per_warp as u64,
+        shared_mem_bytes: cfg.shared_mem_bytes as u64,
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -36,7 +55,7 @@ fn usage() -> ! {
 
 USAGE:
   swlint [--algo ALGO] [--schedule S] [--config vortex|eval|small|8core|regfile]
-         [--regalloc on|off] [--regs] [--json]
+         [--regalloc on|off] [--regs] [--json] [--analyze] [--facts]
   swlint --selftest [--json]
   swlint --version
 
@@ -44,17 +63,26 @@ USAGE:
   S:     svm | em | wm | cm | sw | eghw                          (default: all)
 
   --json      one LintReport JSON object per kernel, one per line
+              (with --analyze, a second object per kernel for SW-L5xx)
+  --analyze   also run the abstract-interpretation engine (SW-L5xx:
+              static OOB, barrier-interval races, coalescing/bank
+              advisories, uniform branches) against the launch geometry
+              of --config; findings carry kernel + schedule context
+  --facts     with --analyze, dump the raw value/access facts the
+              fixpoint computed (implies --analyze)
   --regalloc  on|off: run liveness-based register allocation before
               linting, as the runtime does before launching (default on)
   --regs      print one `LABEL PRE POST` register-high-water line per
               kernel instead of lint reports (drives the CI register-
               pressure budget); the exit code still reflects lint errors
-  --selftest  lint the seeded ill-formed programs and check that each
-              triggers exactly its documented rule (exits 1: they are
-              ill-formed by construction)
+  --selftest  check the seeded fixtures: each ill-formed program must
+              trigger its documented rule, and each analyzer fixture its
+              SW-L5xx rule; exits 0 when the verifier is healthy, 1 when
+              any fixture misses (same convention as swprof --selftest)
 
 Rule catalog: docs/lint-rules.md (SW-L1xx dataflow, SW-L2xx divergence
-stack, SW-L3xx barrier/mask, SW-L4xx Weaver protocol)."
+stack, SW-L3xx barrier/mask, SW-L4xx Weaver protocol, SW-L5xx abstract
+interpretation)."
     );
     exit(2)
 }
@@ -81,7 +109,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     }
     for k in flags.keys() {
         if ![
-            "algo", "schedule", "config", "json", "selftest", "regalloc", "regs",
+            "algo", "schedule", "config", "json", "selftest", "regalloc", "regs", "analyze",
+            "facts",
         ]
         .contains(&k.as_str())
         {
@@ -201,14 +230,19 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
     let json = flags.contains_key("json");
     let regalloc = regalloc_flag(flags);
     let regs_mode = flags.contains_key("regs");
+    let facts_mode = flags.contains_key("facts");
+    let analyze_mode = flags.contains_key("analyze") || facts_mode;
     let cfg = config_for(flags);
+    let geom = analyze_geom(&cfg);
     let schedules = parse_schedules(flags);
     let algo_filter = flags.get("algo").map(String::as_str);
     let mut seen: HashSet<String> = HashSet::new();
     let mut kernels = 0usize;
     let mut errors = 0usize;
     let mut warnings = 0usize;
-    let mut process = |label: String, program: Program| {
+    let mut advisories = 0usize;
+    let mut diverged = 0usize;
+    let mut process = |label: String, schedule: Schedule, program: Program| {
         let pre = program.register_high_water();
         let program = maybe_allocate(program, regalloc);
         let report = lint(&program);
@@ -217,8 +251,30 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
         warnings += report.warning_count();
         if regs_mode {
             println!("{label} {pre} {}", program.register_high_water());
-        } else {
-            report_line(&label, &program, &report, json);
+            return;
+        }
+        report_line(&label, &program, &report, json);
+        if analyze_mode {
+            let (areport, facts) = analyze_with_facts(&program, &geom);
+            let areport = areport.with_context(program.name(), schedule.paper_name());
+            errors += areport.error_count();
+            warnings += areport.warning_count();
+            advisories += areport.advice_count();
+            if !facts.converged {
+                diverged += 1;
+            }
+            if json {
+                println!("{}", areport.to_json());
+            } else if !areport.diagnostics.is_empty() {
+                for line in areport.to_text().lines().skip(1) {
+                    println!("      {line}");
+                }
+            }
+            if facts_mode && !json {
+                for line in facts.to_text().lines() {
+                    println!("      {line}");
+                }
+            }
         }
     };
     for (name, algo) in algorithms(algo_filter) {
@@ -232,7 +288,7 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
                 if !seen.insert(label.clone()) {
                     continue;
                 }
-                process(label, program);
+                process(label, schedule, program);
             }
         }
     }
@@ -244,12 +300,23 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
                 if !seen.insert(label.clone()) {
                     continue;
                 }
-                process(label, program);
+                process(label, schedule, program);
             }
         }
     }
     if !json && !regs_mode {
-        println!("{kernels} kernel(s) linted: {errors} error(s), {warnings} warning(s)");
+        if analyze_mode {
+            println!(
+                "{kernels} kernel(s) linted+analyzed: {errors} error(s), {warnings} warning(s), \
+                 {advisories} advisories"
+            );
+        } else {
+            println!("{kernels} kernel(s) linted: {errors} error(s), {warnings} warning(s)");
+        }
+    }
+    if diverged > 0 {
+        eprintln!("{diverged} kernel(s) hit the fixpoint safety cap");
+        return 1;
     }
     if errors > 0 {
         1
@@ -258,8 +325,11 @@ fn cmd_lint(flags: &HashMap<String, String>) -> i32 {
     }
 }
 
-/// Lints the seeded ill-formed programs and checks each triggers exactly
-/// its documented rule — a liveness check for the verifier itself.
+/// Checks the seeded fixtures: each ill-formed program must trigger its
+/// documented rule under `lint`, and each analyzer fixture its SW-L5xx
+/// rule under `analyze` — a liveness check for the verifier itself.
+/// Exits 0 when healthy, 1 when any fixture misses, matching the
+/// `swprof --selftest` convention.
 fn cmd_selftest(json: bool) -> i32 {
     let mut ok = true;
     let mut findings = 0usize;
@@ -286,18 +356,42 @@ fn cmd_selftest(json: bool) -> i32 {
         }
         ok &= hit;
     }
+    let geom = fixtures::analyzer_geom();
+    for (program, expected_rule) in fixtures::analyzer_flagged() {
+        let (report, _) = analyze_with_facts(&program, &geom);
+        let hit = report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule.id() == expected_rule);
+        findings += report.diagnostics.len();
+        if json {
+            println!("{}", report.to_json());
+        } else if hit {
+            println!(
+                "ok    {:<28} triggers {expected_rule} as documented",
+                program.name()
+            );
+        } else {
+            println!(
+                "MISS  {:<28} expected {expected_rule}, got:\n{}",
+                program.name(),
+                report.to_text()
+            );
+        }
+        ok &= hit;
+    }
     if !json {
         println!(
-            "selftest: {} fixture(s), {findings} error finding(s), verifier {}",
-            fixtures::ill_formed().len(),
+            "selftest: {} fixture(s), {findings} finding(s), verifier {}",
+            fixtures::ill_formed().len() + fixtures::analyzer_flagged().len(),
             if ok { "healthy" } else { "BROKEN" }
         );
     }
-    // The fixtures are ill-formed by construction: a clean exit here would
-    // mean the verifier went blind, so any outcome with findings exits 1
-    // and a miss (verifier regression) exits 2.
-    if !ok {
-        2
+    // Every fixture is seeded to trigger a specific rule; a miss means
+    // the verifier went blind. Healthy exits 0, a regression exits 1 —
+    // the same convention as `swprof --selftest`.
+    if ok {
+        0
     } else {
         1
     }

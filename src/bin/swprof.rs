@@ -16,10 +16,8 @@
 //!
 //! Exit status: 0 success (and, for `diff`, no regression beyond the
 //! tolerance); 1 on read/parse failures, regressions, or a broken
-//! selftest; 2 on usage errors. Note the contrast with `swlint
-//! --selftest`, which exits 1 when *healthy*: its fixtures are ill-formed
-//! by construction, while `swprof --selftest` fixtures are well-formed
-//! and a clean pass exits 0.
+//! selftest; 2 on usage errors. `swlint --selftest` follows the same
+//! convention: healthy exits 0, a fixture miss exits 1.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -61,9 +59,8 @@ DIFF:
 
 SELFTEST:
   Exercises parse / flatten / diff / regression gating on built-in
-  fixtures. Exits 0 when the engine is healthy, 1 when broken (the
-  fixtures are well-formed — unlike swlint's, which are ill-formed by
-  construction and make a healthy selftest exit 1)."
+  fixtures. Exits 0 when the engine is healthy, 1 when broken — the
+  same convention as swlint --selftest."
     );
     exit(2)
 }

@@ -31,7 +31,7 @@ USAGE:
                [--json] [--all-schedules]
                [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
                [--sample-every N] [--trace-out FILE.jsonl] [--profile-out FILE]
-               [--lint off|warn|deny]
+               [--lint off|warn|deny] [--analyze]
                [--regalloc on|off] [--inject SPEC [--seed N]] [--hang-report FILE]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
@@ -65,6 +65,11 @@ LINTING:
   --lint LEVEL        static kernel verifier: off | warn | deny (default deny);
                       `deny` rejects kernels with error findings before launch
                       (see also the standalone `swlint` tool)
+  --analyze           also run the abstract-interpretation analyzer (SW-L5xx:
+                      value ranges, static OOB/race proofs, coalescing
+                      advisories) over each schedule's kernels before running,
+                      printing its findings; a *proved* out-of-bounds access
+                      (SW-L501) rejects the kernel under --lint deny
 
 REGISTER ALLOCATION:
   --regalloc on|off   liveness-based register allocation before launch
@@ -114,6 +119,7 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "trace-out",
             "profile-out",
             "lint",
+            "analyze",
             "regalloc",
             "inject",
             "seed",
@@ -427,6 +433,7 @@ fn cmd_run(flags: HashMap<String, String>) {
     session.trace = trace_cfg;
     session.trace_out = trace_out.clone().map(std::path::PathBuf::from);
     session.lint = lint_level(&flags);
+    session.analyze = flags.contains_key("analyze");
     session.regalloc = regalloc_flag(&flags);
     if let Some(spec) = flags.get("inject") {
         session.inject = Some(FaultSpec::parse(spec).unwrap_or_else(|e| {
@@ -486,6 +493,25 @@ fn cmd_run(flags: HashMap<String, String>) {
     }
     let mut baseline = None;
     for schedule in schedules {
+        if session.analyze {
+            match session.analyze_kernels(algo.as_ref(), schedule) {
+                Ok(reports) => {
+                    for r in &reports {
+                        if json {
+                            summary!("{}", r.to_json());
+                        } else if !r.is_clean() || r.advice_count() > 0 {
+                            for line in r.to_text().lines().skip(1) {
+                                summary!("  {line}");
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("analyze failed: {e}");
+                    exit(1)
+                }
+            }
+        }
         let report = match session.run(&graph, algo.as_ref(), schedule) {
             Ok(report) => report,
             Err(e @ FrameworkError::Lint { .. }) => {

@@ -14,6 +14,65 @@ fn swprof() -> Command {
     Command::new(env!("CARGO_BIN_EXE_swprof"))
 }
 
+fn swlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swlint"))
+}
+
+/// The tools share one selftest convention: healthy exits 0, a broken
+/// fixture exits 1. Both binaries sit in the same matrix so a drift in
+/// either direction fails here by name.
+#[test]
+fn selftest_exit_codes_are_aligned_across_tools() {
+    for (name, mut cmd) in [("swlint", swlint()), ("swprof", swprof())] {
+        let out = cmd.arg("--selftest").output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} --selftest (healthy) stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("healthy"),
+            "{name} --selftest must report healthy"
+        );
+    }
+}
+
+/// `swsim run --analyze` surfaces the analyzer's coalescing advisories
+/// ahead of the run summary and still exits 0 (advisories never gate).
+#[test]
+fn swsim_run_analyze_prints_advisories_and_exits_zero() {
+    let out = swsim()
+        .args([
+            "run",
+            "--gen",
+            "uniform:60:240:3",
+            "--algo",
+            "pr",
+            "--schedule",
+            "sw",
+            "--config",
+            "small",
+            "--iters",
+            "2",
+            "--analyze",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SW-L521"), "no coalescing advisory:\n{text}");
+    assert!(
+        text.contains("@ SparseWeaver]"),
+        "no schedule context:\n{text}"
+    );
+    assert!(text.contains("cycles"), "run summary missing:\n{text}");
+}
+
 #[test]
 fn datasets_lists_all_nine() {
     let out = swsim().arg("datasets").output().expect("spawn");

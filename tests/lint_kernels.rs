@@ -17,7 +17,7 @@ use sparseweaver::core::algorithms::{
 use sparseweaver::core::compiler::regalloc;
 use sparseweaver::core::{Schedule, Session};
 use sparseweaver::graph::Direction;
-use sparseweaver::lint::{fixtures, lint, Severity};
+use sparseweaver::lint::{analyze, analyze_with_facts, fixtures, lint, AnalyzeGeom, Severity};
 use sparseweaver::sim::GpuConfig;
 
 fn algorithms() -> Vec<(&'static str, Box<dyn Algorithm>)> {
@@ -185,6 +185,110 @@ fn ill_formed_fixtures_trigger_their_documented_rules() {
     }
 }
 
+/// Mirror of the lint crate's analyzer-fixture unit test at the
+/// integration level: each seeded SW-L5xx fixture is structurally
+/// lint-clean (the analyzer finds what the structural verifier cannot)
+/// yet trips exactly its documented rule at the fixture geometry.
+#[test]
+fn analyzer_fixtures_trigger_their_documented_rules() {
+    let geom = fixtures::analyzer_geom();
+    let fixtures = fixtures::analyzer_flagged();
+    assert_eq!(fixtures.len(), 6, "the six seeded analyzer fixtures");
+    let mut rules_seen = Vec::new();
+    for (program, expected_rule) in fixtures {
+        let structural = lint(&program);
+        assert!(
+            structural.is_clean() && structural.warning_count() == 0,
+            "{} must be structurally clean:\n{}",
+            program.name(),
+            structural.to_text()
+        );
+        let report = analyze(&program, &geom);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule.id() == expected_rule),
+            "{} expected {expected_rule}, got:\n{}",
+            program.name(),
+            report.to_text()
+        );
+        rules_seen.push(expected_rule);
+    }
+    for expected in [
+        "SW-L501", "SW-L502", "SW-L511", "SW-L521", "SW-L522", "SW-L531",
+    ] {
+        assert!(
+            rules_seen.contains(&expected),
+            "missing analyzer fixture for {expected}"
+        );
+    }
+}
+
+/// The abstract-interpretation fixpoint converges on every built-in
+/// kernel under every schedule, and its JSON report is byte-identical
+/// across runs (the CI golden gate depends on this determinism).
+#[test]
+fn analyzer_converges_and_is_deterministic_on_every_builtin_kernel() {
+    let cfg = GpuConfig::small_test();
+    let geom = AnalyzeGeom {
+        num_cores: cfg.num_cores as u64,
+        warps_per_core: cfg.warps_per_core as u64,
+        threads_per_warp: cfg.threads_per_warp as u64,
+        shared_mem_bytes: cfg.shared_mem_bytes as u64,
+    };
+    let mut analyzed = 0usize;
+    for (algo_name, algo) in algorithms() {
+        for schedule in Schedule::ALL {
+            for program in algo.kernels(schedule, &cfg) {
+                let (first, facts) = analyze_with_facts(&program, &geom);
+                assert!(
+                    facts.converged,
+                    "{algo_name}:{} ({schedule:?}): fixpoint diverged",
+                    program.name()
+                );
+                // A proved out-of-bounds access in a shipped kernel
+                // would also trip the runtime launch gate.
+                assert_eq!(
+                    first.error_count(),
+                    0,
+                    "{algo_name}:{} ({schedule:?}):\n{}",
+                    program.name(),
+                    first.to_text()
+                );
+                let second = analyze(&program, &geom);
+                assert_eq!(
+                    first.to_json(),
+                    second.to_json(),
+                    "analyzer output must be deterministic"
+                );
+                analyzed += 1;
+            }
+        }
+    }
+    assert!(analyzed >= algorithms().len() * Schedule::ALL.len());
+}
+
+/// `Session::analyze_kernels` stamps every report with the kernel name
+/// and the schedule's paper notation, in both the struct fields and the
+/// JSON document.
+#[test]
+fn session_analyze_kernels_attaches_kernel_and_schedule_context() {
+    let session = Session::new(GpuConfig::small_test());
+    let reports = session
+        .analyze_kernels(&PageRank::new(1), Schedule::SparseWeaver)
+        .expect("kernel generation succeeds");
+    assert!(!reports.is_empty());
+    for r in &reports {
+        let kernel = r.kernel.as_deref().expect("kernel context set");
+        assert!(kernel.starts_with("pagerank"), "{kernel}");
+        assert_eq!(r.schedule.as_deref(), Some("SparseWeaver"));
+        let json = r.to_json();
+        assert!(json.contains(&format!("\"kernel\":\"{kernel}\"")), "{json}");
+        assert!(json.contains("\"schedule\":\"SparseWeaver\""), "{json}");
+    }
+}
+
 // ---------------------------------------------------------------- swlint CLI
 
 fn swlint() -> Command {
@@ -231,15 +335,18 @@ fn swlint_json_emits_one_report_per_line() {
 }
 
 #[test]
-fn swlint_selftest_exits_one_and_names_every_rule() {
+fn swlint_selftest_exits_zero_when_healthy_and_names_every_rule() {
     let out = swlint().arg("--selftest").output().expect("spawn");
     assert_eq!(
         out.status.code(),
-        Some(1),
-        "fixtures are ill-formed by design"
+        Some(0),
+        "healthy selftest exits 0 (same convention as swprof --selftest)"
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    for rule in ["SW-L101", "SW-L201", "SW-L301", "SW-L401"] {
+    for rule in [
+        "SW-L101", "SW-L201", "SW-L301", "SW-L401", "SW-L501", "SW-L502", "SW-L511", "SW-L521",
+        "SW-L522", "SW-L531",
+    ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
     assert!(text.contains("verifier healthy"), "{text}");

@@ -34,6 +34,7 @@ pub mod campaign;
 pub mod compiler;
 pub mod output;
 pub mod profile;
+pub mod replay;
 pub mod runtime;
 pub mod schedule;
 pub mod session;

@@ -176,6 +176,16 @@ impl<'a> Runtime<'a> {
         self.profiler = profiler;
     }
 
+    /// Attaches (or detaches) a memory-trace recorder on the GPU; all
+    /// subsequent launches through this runtime append `swmtrace-v1`
+    /// records (hierarchy requests in service order, kernel launches,
+    /// barrier arrivals) into it. A retried launch keeps recording into
+    /// the same capture: the retry's traffic is part of the run's memory
+    /// behavior.
+    pub fn set_mem_recorder(&mut self, recorder: Option<sparseweaver_mem::MemRecorderHandle>) {
+        self.gpu.set_mem_recorder(recorder);
+    }
+
     /// Attaches (or detaches) a deterministic fault injector on the GPU.
     ///
     /// With an injector whose spec can drop Weaver responses, every launch

@@ -57,6 +57,11 @@ pub struct RunReport {
     pub fell_back_from: Option<Schedule>,
     /// Injection counters, when a fault injector was attached.
     pub faults: Option<FaultCounts>,
+    /// Capture summary (records, bytes, latched sink error) of the
+    /// memory trace streamed to [`Session::mem_trace_out`], if set. A
+    /// non-`None` `sink_error` means the file on disk is truncated and
+    /// must not be presented as a complete capture.
+    pub mem_trace: Option<sparseweaver_mem::RecorderSummary>,
 }
 
 impl RunReport {
@@ -135,6 +140,13 @@ pub struct Session {
     /// ([`sparseweaver_sim::Gpu::set_fast_forward`]); the off switch
     /// exists for determinism cross-checks and perf A/B runs.
     pub fast_forward: bool,
+    /// When set, every [`Session::run`] streams a binary `swmtrace-v1`
+    /// memory-access trace to this file (`-` for stdout) for offline
+    /// replay with `swreplay`; [`RunReport::mem_trace`] summarizes the
+    /// capture. On a graceful-degradation fallback the file is recreated
+    /// for the re-run, so the capture always describes the schedule that
+    /// actually executed.
+    pub mem_trace_out: Option<PathBuf>,
     /// Injection counters of the most recent [`Session::run`], kept even
     /// when the run errored (the [`RunReport`] is lost on that path).
     last_faults: Option<FaultCounts>,
@@ -158,6 +170,7 @@ impl Session {
             max_weaver_retries: crate::runtime::DEFAULT_WEAVER_RETRIES,
             fallback: true,
             fast_forward: true,
+            mem_trace_out: None,
             last_faults: None,
         }
     }
@@ -379,6 +392,20 @@ impl Session {
         rt.set_fault_injector(fault.clone());
         rt.set_max_weaver_retries(self.max_weaver_retries);
         rt.set_fast_forward(self.fast_forward);
+        // Created after the machine: the capture header carries the
+        // effective (clamped, penalty-applied) hierarchy configuration,
+        // which is what a replay must rebuild for bit-identity.
+        let recorder = match &self.mem_trace_out {
+            Some(path) => Some(
+                sparseweaver_mem::MemRecorderHandle::create(path, &eff.hierarchy).map_err(|e| {
+                    FrameworkError::Io {
+                        what: format!("creating memory trace file {}: {e}", path.display()),
+                    }
+                })?,
+            ),
+            None => None,
+        };
+        rt.set_mem_recorder(recorder.clone());
         if let (Some(tr), Some((from, kernel))) = (&tracer, &fallback_from) {
             tr.emit(
                 0,
@@ -404,6 +431,7 @@ impl Session {
         }
         let output = algorithm.run(&mut rt)?;
         let occupancy = rt.gpu().occupancy();
+        let mem_trace = recorder.map(|r| r.finalize(&rt.gpu().mem_stats()));
         let weaver_retries = rt.weaver_retries();
         let (stats, per_kernel) = rt.into_stats();
         let trace = tracer.map(|t| t.report());
@@ -424,6 +452,7 @@ impl Session {
             weaver_retries,
             fell_back_from: fallback_from.map(|(from, _)| from),
             faults: fault.map(|f| f.counts()),
+            mem_trace,
         })
     }
 }

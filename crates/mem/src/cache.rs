@@ -1,6 +1,60 @@
 //! Set-associative, write-back, write-allocate, LRU cache (timing-only).
 
+use std::fmt;
+
 use crate::{line_of, LINE_BYTES};
+
+/// Why a cache geometry is unusable, reported by
+/// [`CacheConfig::validate`]/[`CacheConfig::checked`].
+///
+/// [`Cache::access`] indexes sets with a `& (num_sets - 1)` mask, which
+/// is only a modulo when the set count is a power of two. A geometry that
+/// violates that would *silently alias* distinct sets into each other —
+/// every hit/miss counter the sweep reports would be wrong with no error
+/// anywhere — so it must be rejected as a typed error on every
+/// construction path, including deserialized and swept configurations
+/// that never go through [`CacheConfig::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `size_bytes / (line * ways)` leaves zero sets.
+    NoSets {
+        /// The rejected capacity.
+        size_bytes: u64,
+        /// The rejected associativity.
+        ways: u32,
+    },
+    /// The set count is not a power of two, so the set-index mask would
+    /// alias sets.
+    NonPowerOfTwoSets {
+        /// The rejected capacity.
+        size_bytes: u64,
+        /// The rejected associativity.
+        ways: u32,
+        /// The resulting (non-power-of-two) set count.
+        num_sets: u64,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::NoSets { size_bytes, ways } => {
+                write!(f, "cache too small for {ways} ways ({size_bytes} bytes)")
+            }
+            CacheConfigError::NonPowerOfTwoSets {
+                size_bytes,
+                ways,
+                num_sets,
+            } => write!(
+                f,
+                "number of sets must be a power of two (got {num_sets} \
+                 from {size_bytes} bytes x {ways} ways)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
 
 /// Geometry of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -17,16 +71,54 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics unless the geometry is a power-of-two number of non-empty
-    /// sets.
+    /// sets. Fallible callers (config deserializers, sweep drivers) use
+    /// [`CacheConfig::checked`] instead.
     pub fn new(size_bytes: u64, ways: u32) -> Self {
+        match Self::checked(size_bytes, ways) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`CacheConfig::new`], but returns a typed
+    /// [`CacheConfigError`] instead of panicking — the constructor for
+    /// geometries that come from user input (deserialized configs, sweep
+    /// grids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] unless the geometry is a
+    /// power-of-two number of non-empty sets.
+    pub fn checked(size_bytes: u64, ways: u32) -> Result<Self, CacheConfigError> {
         let cfg = CacheConfig { size_bytes, ways };
-        assert!(cfg.num_sets() > 0, "cache too small for {ways} ways");
-        assert!(
-            cfg.num_sets().is_power_of_two(),
-            "number of sets must be a power of two (got {})",
-            cfg.num_sets()
-        );
-        cfg
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates the geometry of an already-built value. The struct has
+    /// public fields and can be deserialized, so any consumer that did
+    /// not obtain it from [`CacheConfig::new`]/[`CacheConfig::checked`]
+    /// must call this before building a [`Cache`] on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] unless the geometry is a
+    /// power-of-two number of non-empty sets.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.num_sets() == 0 {
+            return Err(CacheConfigError::NoSets {
+                size_bytes: self.size_bytes,
+                ways: self.ways,
+            });
+        }
+        if !self.num_sets().is_power_of_two() {
+            return Err(CacheConfigError::NonPowerOfTwoSets {
+                size_bytes: self.size_bytes,
+                ways: self.ways,
+                num_sets: self.num_sets(),
+            });
+        }
+        Ok(())
     }
 
     /// Number of sets.
@@ -106,7 +198,20 @@ pub struct Cache {
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CacheConfig::validate`] rejects `cfg`. The geometry
+    /// is re-checked here — not only in [`CacheConfig::new`] — because
+    /// the config type has public fields and derives `Deserialize`: a
+    /// hand-built or deserialized geometry must never reach
+    /// [`Cache::access`]'s power-of-two set mask and silently alias
+    /// sets. Fallible callers validate the config up front and surface
+    /// the typed error instead.
     pub fn new(cfg: CacheConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let sets = vec![vec![Line::default(); cfg.ways as usize]; cfg.num_sets() as usize];
         Cache {
             cfg,
@@ -208,6 +313,53 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
         let _ = CacheConfig::new(192, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn hand_built_bad_config_cannot_reach_cache() {
+        // Bypass CacheConfig::new entirely (the serde/sweep path): the
+        // struct literal used to slip straight into Cache::new and alias
+        // sets through the `& (num_sets - 1)` mask. 192 bytes / 1 way =
+        // 3 sets; the mask would fold set 2 into set 0 silently.
+        let bad = CacheConfig {
+            size_bytes: 192,
+            ways: 1,
+        };
+        let _ = Cache::new(bad);
+    }
+
+    #[test]
+    fn checked_and_validate_report_typed_errors() {
+        let bad = CacheConfig {
+            size_bytes: 192,
+            ways: 1,
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(CacheConfigError::NonPowerOfTwoSets {
+                size_bytes: 192,
+                ways: 1,
+                num_sets: 3
+            })
+        );
+        assert_eq!(
+            CacheConfig::checked(64, 4),
+            Err(CacheConfigError::NoSets {
+                size_bytes: 64,
+                ways: 4
+            })
+        );
+        assert!(CacheConfig::checked(64, 4)
+            .unwrap_err()
+            .to_string()
+            .contains("too small"));
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("power of two"));
+        assert_eq!(CacheConfig::checked(512, 2), Ok(CacheConfig::new(512, 2)));
     }
 
     #[test]

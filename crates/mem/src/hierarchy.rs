@@ -1,8 +1,11 @@
 //! The full memory hierarchy: per-core L1s, shared L2, optional L3, DRAM.
 
+use std::fmt;
+
 use sparseweaver_trace::{EventData, MemLevel, ProfileHandle, TraceHandle};
 
-use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
+use crate::mtrace::MemRecorderHandle;
 
 /// Configuration of the whole hierarchy.
 ///
@@ -68,6 +71,69 @@ impl HierarchyConfig {
         let mut cfg = Self::vortex_default(num_cores);
         cfg.l1 = CacheConfig::new(32 * 1024, 4);
         cfg
+    }
+
+    /// Validates every cache geometry in the configuration.
+    ///
+    /// Hand-built and deserialized configs (replay sweeps, trace headers)
+    /// never went through [`CacheConfig::new`]'s checks; this is the
+    /// typed gate such paths must pass before a [`Hierarchy`] (or a swept
+    /// variant of one) is constructed, so a bad set count is an error
+    /// instead of silent set aliasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HierarchyConfigError`] naming the offending level if
+    /// `num_cores` is zero or any of L1/L2/L3 fails
+    /// [`CacheConfig::validate`].
+    pub fn validate(&self) -> Result<(), HierarchyConfigError> {
+        if self.num_cores == 0 {
+            return Err(HierarchyConfigError::NoCores);
+        }
+        let level = |name: &'static str, r: Result<(), CacheConfigError>| {
+            r.map_err(|source| HierarchyConfigError::Level {
+                level: name,
+                source,
+            })
+        };
+        level("l1", self.l1.validate())?;
+        level("l2", self.l2.validate())?;
+        if let Some(l3) = &self.l3 {
+            level("l3", l3.validate())?;
+        }
+        Ok(())
+    }
+}
+
+/// A hierarchy configuration rejected by [`HierarchyConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyConfigError {
+    /// The configuration has zero cores (no L1s to build).
+    NoCores,
+    /// One cache level has a bad geometry.
+    Level {
+        /// Which level (`"l1"`, `"l2"`, `"l3"`).
+        level: &'static str,
+        /// The underlying geometry error.
+        source: CacheConfigError,
+    },
+}
+
+impl fmt::Display for HierarchyConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyConfigError::NoCores => write!(f, "hierarchy must have at least one core"),
+            HierarchyConfigError::Level { level, source } => write!(f, "{level}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HierarchyConfigError::NoCores => None,
+            HierarchyConfigError::Level { source, .. } => Some(source),
+        }
     }
 }
 
@@ -233,6 +299,7 @@ pub struct Hierarchy {
     dram_accesses: u64,
     tracer: Option<TraceHandle>,
     profiler: Option<ProfileHandle>,
+    recorder: Option<MemRecorderHandle>,
 }
 
 impl Hierarchy {
@@ -251,6 +318,7 @@ impl Hierarchy {
             dram_accesses: 0,
             tracer: None,
             profiler: None,
+            recorder: None,
             cfg,
         }
     }
@@ -278,6 +346,20 @@ impl Hierarchy {
     /// [`access_unqueued`]: Hierarchy::access_unqueued
     pub fn set_profiler(&mut self, profiler: Option<ProfileHandle>) {
         self.profiler = profiler;
+    }
+
+    /// Attaches (or detaches) a memory-trace recorder
+    /// ([`crate::mtrace`]). With a handle attached, every [`access`],
+    /// [`access_unqueued`], and [`atomic`] appends one `swmtrace-v1`
+    /// record in service order — the sequence [`crate::replay`] feeds
+    /// back to reproduce this hierarchy's stats bit for bit. Purely
+    /// observational: timing and stats are unchanged.
+    ///
+    /// [`access`]: Hierarchy::access
+    /// [`access_unqueued`]: Hierarchy::access_unqueued
+    /// [`atomic`]: Hierarchy::atomic
+    pub fn set_recorder(&mut self, recorder: Option<MemRecorderHandle>) {
+        self.recorder = recorder;
     }
 
     fn emit_dram(&self, t: u64, write: bool) {
@@ -383,6 +465,9 @@ impl Hierarchy {
         if let Some(p) = &self.profiler {
             p.mem_latency(result.level.trace_level(), result.latency);
         }
+        if let Some(r) = &self.recorder {
+            r.access(core, addr, write, now, result.level);
+        }
         result
     }
 
@@ -391,6 +476,14 @@ impl Hierarchy {
     /// queueing. Units run ahead of the GPU clock, so routing them through
     /// the shared (monotonic) port models would corrupt the port clocks.
     pub fn access_unqueued(&mut self, core: usize, addr: u64, write: bool) -> AccessResult {
+        let result = self.access_unqueued_inner(core, addr, write);
+        if let Some(r) = &self.recorder {
+            r.access_unqueued(core, addr, write, result.level);
+        }
+        result
+    }
+
+    fn access_unqueued_inner(&mut self, core: usize, addr: u64, write: bool) -> AccessResult {
         let mut latency = self.cfg.l1_latency;
         let a1 = self.l1[core].access(addr, write);
         if let Some(victim) = a1.evicted_dirty {
@@ -466,6 +559,9 @@ impl Hierarchy {
         }
         if let Some(p) = &self.profiler {
             p.mem_latency(level.trace_level(), latency);
+        }
+        if let Some(r) = &self.recorder {
+            r.atomic(core, addr, now, level);
         }
         AccessResult {
             latency,
@@ -769,6 +865,22 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(plain.stats(), traced.stats());
+    }
+
+    #[test]
+    fn validate_names_the_offending_level() {
+        let mut cfg = HierarchyConfig::vortex_default(1);
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.l2 = CacheConfig {
+            size_bytes: 192,
+            ways: 1,
+        };
+        let e = cfg.validate().expect_err("bad l2");
+        assert!(matches!(e, HierarchyConfigError::Level { level: "l2", .. }));
+        assert!(e.to_string().starts_with("l2: "), "{e}");
+        cfg.l2 = CacheConfig::new(2048, 2);
+        cfg.num_cores = 0;
+        assert_eq!(cfg.validate(), Err(HierarchyConfigError::NoCores));
     }
 
     #[test]

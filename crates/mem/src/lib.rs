@@ -24,10 +24,17 @@
 pub mod cache;
 pub mod hierarchy;
 pub mod main_memory;
+pub mod mtrace;
+pub mod replay;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, LevelStats, PortOccupancy};
+pub use cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
+pub use hierarchy::{
+    AccessResult, Hierarchy, HierarchyConfig, HierarchyConfigError, HitLevel, LevelStats,
+    PortOccupancy,
+};
 pub use main_memory::{MainMemory, MemFault};
+pub use mtrace::{MemRecord, MemRecorderHandle, MemTrace, MemTraceError, RecorderSummary};
+pub use replay::{ReplayError, VerifyOutcome};
 
 /// Cache line size in bytes, fixed at 64 as on Vortex.
 pub const LINE_BYTES: u64 = 64;

@@ -211,10 +211,12 @@ impl MainMemory {
         let a = addr as usize;
         let w = width as usize;
         assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported access width {w}");
-        let slice = self
-            .data
-            .get(a..a + w)
-            .unwrap_or_else(|| panic!("device read of {w} bytes at {addr:#x} out of bounds"));
+        // checked_add: an address near usize::MAX must report out of
+        // bounds, not an arithmetic-overflow panic in debug builds.
+        let slice = a
+            .checked_add(w)
+            .and_then(|end| self.data.get(a..end))
+            .unwrap_or_else(|| panic!("host read of {w} bytes at {addr:#x} out of bounds"));
         let mut buf = [0u8; 8];
         buf[..w].copy_from_slice(slice);
         u64::from_le_bytes(buf)
@@ -231,10 +233,10 @@ impl MainMemory {
         let w = width as usize;
         assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported access width {w}");
         let bytes = value.to_le_bytes();
-        let slice = self
-            .data
-            .get_mut(a..a + w)
-            .unwrap_or_else(|| panic!("device write of {w} bytes at {addr:#x} out of bounds"));
+        let slice = a
+            .checked_add(w)
+            .and_then(|end| self.data.get_mut(a..end))
+            .unwrap_or_else(|| panic!("host write of {w} bytes at {addr:#x} out of bounds"));
         slice.copy_from_slice(&bytes[..w]);
     }
 
@@ -358,6 +360,20 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_read_panics() {
         MainMemory::new(4).read(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_near_usize_max_is_oob_not_overflow() {
+        // `a + w` on the old path overflowed usize (a panic with a
+        // different message in debug, silent wrap in release).
+        MainMemory::new(4).read(u64::MAX, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_near_usize_max_is_oob_not_overflow() {
+        MainMemory::new(4).write(u64::MAX - 2, 0, 8);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use sparseweaver_fault::FaultHandle;
 use sparseweaver_isa::{
     DecodedInstr, DecodedProgram, Instr, Program, Space, VoteOp, Width, NUM_REGS,
 };
-use sparseweaver_mem::{Hierarchy, MainMemory};
+use sparseweaver_mem::{Hierarchy, MainMemory, MemRecorderHandle};
 use sparseweaver_trace::{Category, EventData, ProfileHandle, TraceHandle};
 use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
 use sparseweaver_weaver::{WeaverUnit, EMPTY_WORK_ID};
@@ -94,6 +94,7 @@ pub struct Core {
     trace: Option<(Vec<TraceRecord>, usize)>,
     tracer: Option<TraceHandle>,
     profiler: Option<ProfileHandle>,
+    recorder: Option<MemRecorderHandle>,
     fault: Option<FaultHandle>,
     /// Cached `spec.fetch_rate > 0` / `spec.reg_rate > 0`, so the
     /// fault-free hot path pays no per-instruction borrow.
@@ -126,6 +127,7 @@ impl Core {
             trace: None,
             tracer: None,
             profiler: None,
+            recorder: None,
             fault: None,
             fault_fetch: false,
             fault_reg: false,
@@ -180,6 +182,14 @@ impl Core {
     /// `Option` branches and the cycle model is untouched.
     pub fn set_profiler(&mut self, profiler: Option<ProfileHandle>) {
         self.profiler = profiler;
+    }
+
+    /// Attaches (or detaches) a memory-trace recorder. The core's share
+    /// of the capture is context, not accesses: it stamps the executing
+    /// warp before each instruction (the hierarchy hooks don't know the
+    /// requester's warp) and records barrier arrivals.
+    pub fn set_mem_recorder(&mut self, recorder: Option<MemRecorderHandle>) {
+        self.recorder = recorder;
     }
 
     /// Attaches (or detaches) the fault injector; the handle is forwarded
@@ -529,6 +539,9 @@ impl Core {
         let lanes = self.lanes;
         let core_id = self.id;
         self.stats.thread_instructions += self.warps[w].active_count() as u64;
+        if let Some(r) = &self.recorder {
+            r.set_warp(w as u32);
+        }
         // Transient register-file upset: one bit of one register word of
         // the executing warp may flip, visible to all subsequent reads.
         if self.fault_reg {
@@ -549,6 +562,9 @@ impl Core {
                 self.halt_warp(w);
             }
             Instr::Bar => {
+                if let Some(r) = &self.recorder {
+                    r.barrier(core_id, w as u32, cycle);
+                }
                 self.warps[w].state = WarpState::AtBarrier;
                 self.maybe_release_barrier();
             }
@@ -870,9 +886,15 @@ impl Core {
                     let staging = eghw_staging_base(self.shared.len(), self.warps.len(), lanes);
                     for l in 0..lanes {
                         let slot = staging + ((w * lanes + l) as u64) * 8;
-                        self.shared.write(slot, batch.others[l].max(0) as u64, 4);
+                        // Staged through the fallible path: a scratchpad
+                        // too small for the staging area is a typed fault
+                        // naming the kernel, not a process abort.
                         self.shared
-                            .write(slot + 4, batch.weights[l].max(0) as u64, 4);
+                            .try_write(slot, batch.others[l].max(0) as u64, 4)
+                            .map_err(|e| mem_fault(program, &e))?;
+                        self.shared
+                            .try_write(slot + 4, batch.weights[l].max(0) as u64, 4)
+                            .map_err(|e| mem_fault(program, &e))?;
                     }
                     self.eghw_dt[w].copy_from_slice(&batch.eids);
                     if let Some(p) = &self.profiler {

@@ -2,7 +2,7 @@
 
 use sparseweaver_fault::FaultHandle;
 use sparseweaver_isa::{DecodedProgram, Program};
-use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory};
+use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory, MemRecorderHandle};
 use sparseweaver_trace::{CounterSnapshot, EventData, ProfileHandle, StallCause, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
 
@@ -49,6 +49,7 @@ pub struct Gpu {
     cores: Vec<Core>,
     tracer: Option<TraceHandle>,
     profiler: Option<ProfileHandle>,
+    recorder: Option<MemRecorderHandle>,
     fault: Option<FaultHandle>,
     occupancy: Occupancy,
     configured_warps_per_core: usize,
@@ -91,6 +92,7 @@ impl Gpu {
             cfg,
             tracer: None,
             profiler: None,
+            recorder: None,
             fault: None,
             occupancy: Occupancy::default(),
             fast_forward: true,
@@ -160,6 +162,23 @@ impl Gpu {
             c.set_profiler(profiler.clone());
         }
         self.profiler = profiler;
+    }
+
+    /// Attaches (or detaches, with `None`) a memory-trace recorder.
+    ///
+    /// The handle is distributed to the memory hierarchy (which appends
+    /// one `swmtrace-v1` record per request, in service order) and every
+    /// core (which stamps warp context and barrier arrivals); the GPU
+    /// itself records each kernel launch, so a replay resets the port
+    /// clocks exactly where the live machine did. With no recorder
+    /// attached — the default — the hooks are `None` checks and the
+    /// cycle model is untouched.
+    pub fn set_mem_recorder(&mut self, recorder: Option<MemRecorderHandle>) {
+        self.hierarchy.set_recorder(recorder.clone());
+        for c in &mut self.cores {
+            c.set_mem_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
     }
 
     /// Attaches (or detaches, with `None`) a deterministic fault injector.
@@ -265,6 +284,9 @@ impl Gpu {
             c.reset_for_launch(resident);
         }
         self.hierarchy.reset_ports();
+        if let Some(r) = &self.recorder {
+            r.kernel_launch(program.name());
+        }
         let mem_before = self.hierarchy.stats();
         let traffic_before = self.mem.traffic();
         let fault_before = self.fault.as_ref().map(|f| f.counts()).unwrap_or_default();
@@ -693,6 +715,71 @@ mod tests {
         for t in 0..g.config().total_threads() as u64 {
             assert_eq!(g.mem().read(t * 8, 8), 42, "thread {t}");
         }
+    }
+
+    #[test]
+    fn mem_recorder_capture_replays_bit_identically() {
+        use sparseweaver_mem::{mtrace, replay, MemRecorderHandle};
+
+        // A kernel mixing loads, stores, atomics, and a barrier; two
+        // launches so the capture crosses a port-clock reset.
+        let mut a = Asm::new("capture_mix");
+        let tid = a.reg();
+        let addr = a.reg();
+        let v = a.reg();
+        let one = a.reg();
+        a.csr(tid, CsrKind::GlobalTid);
+        a.muli(addr, tid, 8);
+        a.stg(tid, addr, 0, Width::B8);
+        a.bar();
+        a.ldg(v, addr, 0, Width::B8);
+        a.li(addr, 128);
+        a.li(one, 1);
+        a.atom(AtomOp::Add, v, addr, one);
+        a.halt();
+        let p = a.finish();
+
+        let mut g = gpu();
+        let rec = MemRecorderHandle::in_memory(&g.config().hierarchy);
+        g.set_mem_recorder(Some(rec.clone()));
+        g.launch(&p, &[]).unwrap();
+        g.launch(&p, &[]).unwrap();
+        let live = g.mem_stats();
+        let summary = rec.finalize(&live);
+        assert!(summary.sink_error.is_none());
+        assert!(summary.records > 0);
+
+        let trace = mtrace::parse(&rec.take_bytes().unwrap()).expect("well-formed capture");
+        let (kernels, accesses, _unqueued, atomics, barriers) = trace.counts();
+        assert_eq!(kernels, 2);
+        assert!(accesses > 0 && atomics > 0 && barriers > 0);
+        let outcome = replay::verify(&trace).expect("valid capture config");
+        assert_eq!(outcome.replayed, live, "replay must be bit-identical");
+        assert!(outcome.matches());
+    }
+
+    #[test]
+    fn mem_recorder_does_not_change_stats_or_output() {
+        use sparseweaver_mem::MemRecorderHandle;
+
+        let mut a = Asm::new("rec_neutral");
+        let tid = a.reg();
+        let addr = a.reg();
+        a.csr(tid, CsrKind::GlobalTid);
+        a.muli(addr, tid, 8);
+        a.stg(tid, addr, 0, Width::B8);
+        a.halt();
+        let p = a.finish();
+
+        let mut plain = gpu();
+        let s1 = plain.launch(&p, &[]).unwrap();
+        let mut recorded = gpu();
+        let rec = MemRecorderHandle::in_memory(&recorded.config().hierarchy);
+        recorded.set_mem_recorder(Some(rec));
+        let s2 = recorded.launch(&p, &[]).unwrap();
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.mem, s2.mem);
+        assert_eq!(plain.mem_stats(), recorded.mem_stats());
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! `swreplay` — replay captured memory traces against arbitrary cache
+//! geometries.
+//!
+//! Consumes the binary `swmtrace-v1` captures written by
+//! `swsim run --mem-trace-out` and re-runs *only* the memory hierarchy
+//! against them — no cores, no decode, no Weaver — which makes a
+//! cache-geometry sweep orders of magnitude faster than re-simulating.
+//!
+//! ```text
+//! swreplay verify --trace t.swmtrace          # replay == live, bit for bit?
+//! swreplay info --trace t.swmtrace            # header + record counts
+//! swreplay sweep --trace t.swmtrace \
+//!     --l1-sizes 4096,8192,16384 --ways 2,4 --jobs 8 --out replay.json
+//! swreplay --version
+//! ```
+//!
+//! Exit status: 0 success; 1 the capture-config replay did not reproduce
+//! the live stats (a simulator bug — the hierarchy is meant to be a pure
+//! function of its call sequence); 2 usage error; 3 trace file I/O
+//! error; 4 corrupt or truncated trace (the error names the byte
+//! offset).
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use sparseweaver::core::replay::{render, sweep, trace_fingerprint, SweepSpec, REPLAY_SCHEMA};
+use sparseweaver::mem::mtrace::parse;
+use sparseweaver::mem::replay::verify;
+use sparseweaver::mem::{LevelStats, MemTrace};
+
+fn usage() -> ! {
+    eprintln!(
+        "swreplay — SparseWeaver memory-trace replay and cache-sweep driver
+
+USAGE:
+  swreplay verify --trace FILE [--json]
+  swreplay sweep  --trace FILE [--l1-sizes CSV] [--ways CSV]
+                  [--jobs N] [--out FILE]
+  swreplay info   --trace FILE [--json]
+  swreplay --version
+
+  FILE is an swmtrace-v1 capture written by `swsim run --mem-trace-out`;
+  `-` reads the trace from stdin.
+
+VERIFY:
+  Replays the trace under its own capture configuration and compares the
+  resulting LevelStats against the live run's stats recorded in the
+  trace footer. They must match bit for bit; a mismatch exits 1.
+
+SWEEP:
+  Replays the trace under every L1 geometry in the
+  `--l1-sizes` x `--ways` cross product (the capture configuration with
+  its L1 replaced) and writes a deterministic `{REPLAY_SCHEMA}` JSON
+  artifact: per-config LevelStats and DRAM counters, FNV config
+  fingerprints, and the capture self-check. Output bytes are identical
+  for any `--jobs` value.
+  --l1-sizes CSV  L1 sizes in bytes
+                  (default 4096,8192,16384,32768,65536,131072,262144,524288)
+  --ways CSV      L1 associativities (default 2,4)
+  --jobs N        worker threads (default 1)
+  --out FILE      artifact path (default `-`, stdout)
+
+INFO:
+  Prints the capture header (hierarchy configuration), record counts,
+  and the live run's footer stats without replaying anything.
+
+EXIT CODES:
+  0 success | 1 capture-config replay mismatch | 2 usage error |
+  3 trace I/O error | 4 corrupt or truncated trace"
+    );
+    exit(2)
+}
+
+/// Flags each subcommand accepts; anything else is a usage error.
+fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
+    let allowed: &[&str] = match cmd {
+        "verify" => &["trace", "json"],
+        "sweep" => &["trace", "l1-sizes", "ways", "jobs", "out"],
+        "info" => &["trace", "json"],
+        _ => return,
+    };
+    for k in flags.keys() {
+        if !allowed.contains(&k.as_str()) {
+            eprintln!("unknown flag `--{k}` for `swreplay {cmd}`");
+            exit(2)
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let next_is_value = args
+                .get(i + 1)
+                .map(|n| !n.starts_with("--"))
+                .unwrap_or(false);
+            if next_is_value {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+/// Reads the trace file named by `--trace` (or stdin for `-`) and
+/// parses it. I/O failures exit 3; parse failures exit 4 with the
+/// offending byte offset.
+fn load_trace(flags: &HashMap<String, String>) -> (Vec<u8>, MemTrace) {
+    let path = match flags.get("trace") {
+        Some(p) if !p.is_empty() => p.clone(),
+        _ => {
+            eprintln!("--trace FILE is required (`-` for stdin)");
+            exit(2)
+        }
+    };
+    let bytes = if path == "-" {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        match std::io::stdin().read_to_end(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("cannot read memory trace from stdin: {e}");
+                exit(3)
+            }
+        }
+    } else {
+        match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read memory trace {path}: {e}");
+                exit(3)
+            }
+        }
+    };
+    let trace = match parse(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(4)
+        }
+    };
+    (bytes, trace)
+}
+
+fn csv_u64(flags: &HashMap<String, String>, name: &str, default: &[u64]) -> Vec<u64> {
+    match flags.get(name) {
+        None => default.to_vec(),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--{name}: `{s}` is not an unsigned integer");
+                    exit(2)
+                })
+            })
+            .collect(),
+    }
+}
+
+fn csv_u32(flags: &HashMap<String, String>, name: &str, default: &[u32]) -> Vec<u32> {
+    csv_u64(
+        flags,
+        name,
+        &default.iter().map(|&w| w as u64).collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .map(|w| {
+        u32::try_from(w).unwrap_or_else(|_| {
+            eprintln!("--{name}: `{w}` does not fit in 32 bits");
+            exit(2)
+        })
+    })
+    .collect()
+}
+
+fn stats_line(prefix: &str, s: &LevelStats) {
+    println!(
+        "{prefix}L1 {}/{} hits | L2 {}/{} hits{} | DRAM {} accesses",
+        s.l1.hits,
+        s.l1.accesses,
+        s.l2.hits,
+        s.l2.accesses,
+        match &s.l3 {
+            Some(l3) => format!(" | L3 {}/{} hits", l3.hits, l3.accesses),
+            None => String::new(),
+        },
+        s.dram_accesses
+    );
+}
+
+fn stats_json(s: &LevelStats) -> String {
+    let l3 = match &s.l3 {
+        Some(l3) => format!(
+            "{{\"accesses\":{},\"hits\":{},\"misses\":{},\"writebacks\":{}}}",
+            l3.accesses, l3.hits, l3.misses, l3.writebacks
+        ),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"l1\":{{\"accesses\":{},\"hits\":{},\"misses\":{},\"writebacks\":{}}},\
+         \"l2\":{{\"accesses\":{},\"hits\":{},\"misses\":{},\"writebacks\":{}}},\
+         \"l3\":{l3},\"dram_accesses\":{}}}",
+        s.l1.accesses,
+        s.l1.hits,
+        s.l1.misses,
+        s.l1.writebacks,
+        s.l2.accesses,
+        s.l2.hits,
+        s.l2.misses,
+        s.l2.writebacks,
+        s.dram_accesses
+    )
+}
+
+fn cmd_verify(flags: HashMap<String, String>) {
+    let (_, trace) = load_trace(&flags);
+    let outcome = match verify(&trace) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(4)
+        }
+    };
+    let json = flags.contains_key("json");
+    if json {
+        println!(
+            "{{\"verified\":{},\"live\":{},\"replayed\":{}}}",
+            outcome.matches(),
+            stats_json(&outcome.live),
+            stats_json(&outcome.replayed)
+        );
+    } else if outcome.matches() {
+        println!("verified: replay reproduces the live run bit for bit");
+        stats_line("  ", &outcome.live);
+    } else {
+        println!("MISMATCH: replay diverged from the live run");
+        stats_line("  live:     ", &outcome.live);
+        stats_line("  replayed: ", &outcome.replayed);
+    }
+    if !outcome.matches() {
+        exit(1)
+    }
+}
+
+fn cmd_info(flags: HashMap<String, String>) {
+    let (bytes, trace) = load_trace(&flags);
+    let (kernels, accesses, unqueued, atomics, barriers) = trace.counts();
+    let cfg = &trace.config;
+    if flags.contains_key("json") {
+        println!(
+            "{{\"fingerprint\":\"{:016x}\",\"bytes\":{},\"records\":{},\
+             \"kernels\":{kernels},\"accesses\":{accesses},\"unqueued\":{unqueued},\
+             \"atomics\":{atomics},\"barriers\":{barriers},\
+             \"cores\":{},\"l1_bytes\":{},\"l1_ways\":{},\"l2_bytes\":{},\"l2_ways\":{},\
+             \"live\":{}}}",
+            trace_fingerprint(&bytes),
+            bytes.len(),
+            trace.records.len(),
+            cfg.num_cores,
+            cfg.l1.size_bytes,
+            cfg.l1.ways,
+            cfg.l2.size_bytes,
+            cfg.l2.ways,
+            stats_json(&trace.live_stats)
+        );
+        return;
+    }
+    println!(
+        "swmtrace-v1 capture: {} records in {} bytes (fingerprint {:016x})",
+        trace.records.len(),
+        bytes.len(),
+        trace_fingerprint(&bytes)
+    );
+    println!(
+        "  captured on: {} cores | L1 {}B x{} | L2 {}B x{}{}",
+        cfg.num_cores,
+        cfg.l1.size_bytes,
+        cfg.l1.ways,
+        cfg.l2.size_bytes,
+        cfg.l2.ways,
+        match &cfg.l3 {
+            Some(l3) => format!(" | L3 {}B x{}", l3.size_bytes, l3.ways),
+            None => String::new(),
+        }
+    );
+    println!(
+        "  records: {kernels} kernel launches, {accesses} accesses \
+         ({unqueued} unqueued), {atomics} atomics, {barriers} barriers"
+    );
+    stats_line("  live: ", &trace.live_stats);
+}
+
+fn cmd_sweep(flags: HashMap<String, String>) {
+    let (bytes, trace) = load_trace(&flags);
+    let spec = SweepSpec {
+        l1_sizes: csv_u64(
+            &flags,
+            "l1-sizes",
+            &[4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288],
+        ),
+        ways: csv_u32(&flags, "ways", &[2, 4]),
+        jobs: match flags.get("jobs") {
+            None => 1,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs: `{v}` is not a positive integer");
+                exit(2)
+            }),
+        },
+    };
+    if spec.jobs == 0 {
+        eprintln!("--jobs must be at least 1");
+        exit(2)
+    }
+    let result = match sweep(&trace, trace_fingerprint(&bytes), &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2)
+        }
+    };
+    let body = render(&result, &trace);
+    let out = flags.get("out").cloned().unwrap_or_else(|| "-".into());
+    if out == "-" {
+        print!("{body}");
+    } else {
+        if let Err(e) = std::fs::write(&out, body) {
+            eprintln!("cannot write replay artifact to {out}: {e}");
+            exit(3)
+        }
+        eprintln!(
+            "replay artifact written to {out} ({} configs, verified: {})",
+            result.entries.len(),
+            result.verified()
+        );
+    }
+    // The swept numbers are only trustworthy if the capture-config
+    // replay reproduced the live run.
+    if !result.verified() {
+        eprintln!("MISMATCH: capture-config replay diverged from the live run");
+        exit(1)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("swreplay {}", sparseweaver::VERSION);
+        return;
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage()
+    }
+    let (pos, flags) = parse_flags(&args);
+    let cmd = pos.first().map(String::as_str).unwrap_or("");
+    if pos.len() != 1 {
+        eprintln!("swreplay takes one subcommand (got {:?})", pos);
+        exit(2)
+    }
+    check_flags(cmd, &flags);
+    match cmd {
+        "verify" => cmd_verify(flags),
+        "sweep" => cmd_sweep(flags),
+        "info" => cmd_info(flags),
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            usage()
+        }
+    }
+}

@@ -31,7 +31,7 @@ USAGE:
                [--json] [--all-schedules]
                [--trace FILE [--trace-level warp|mem|weaver|all]] [--metrics-out FILE]
                [--sample-every N] [--trace-out FILE.jsonl] [--profile-out FILE]
-               [--lint off|warn|deny] [--analyze]
+               [--mem-trace-out FILE] [--lint off|warn|deny] [--analyze]
                [--regalloc on|off] [--inject SPEC [--seed N]] [--hang-report FILE]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
@@ -57,8 +57,14 @@ PROFILING:
                       p50/p90/p99, and core/warp load-imbalance summaries;
                       read it with the `swprof` tool
 
-  Artifact flags (--metrics-out, --trace-out, --hang-report, --profile-out)
-  accept `-` as the path to write to stdout instead of a file; the run
+MEMORY TRACE:
+  --mem-trace-out FILE  capture a compact binary per-warp memory-access
+                      trace (swmtrace-v1: coalesced line accesses with
+                      core/warp/cycle/rw/level, kernel launches, barriers)
+                      for offline cache-geometry sweeps with `swreplay`
+
+  Artifact flags (--metrics-out, --trace-out, --hang-report, --profile-out,
+  --mem-trace-out) accept `-` as the path to write to stdout instead of a file; the run
   summary then moves to stderr so stdout is exactly the artifact.
 
 LINTING:
@@ -118,6 +124,7 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "metrics-out",
             "trace-out",
             "profile-out",
+            "mem-trace-out",
             "lint",
             "analyze",
             "regalloc",
@@ -425,6 +432,17 @@ fn cmd_run(flags: HashMap<String, String>) {
         eprintln!("--profile-out profiles a single schedule; drop --all-schedules");
         exit(2)
     }
+    let mem_trace_out = flags.get("mem-trace-out").map(|v| {
+        if v.is_empty() {
+            eprintln!("--mem-trace-out expects a file path (or `-` for stdout)");
+            exit(2)
+        }
+        v.clone()
+    });
+    if mem_trace_out.is_some() && flags.contains_key("all-schedules") {
+        eprintln!("--mem-trace-out captures a single schedule; drop --all-schedules");
+        exit(2)
+    }
     let graph = load_graph(&flags);
     let algo = make_algo(&flags, &graph);
     let cfg = config_for(&flags);
@@ -432,6 +450,7 @@ fn cmd_run(flags: HashMap<String, String>) {
     session.profile = profile_out.is_some();
     session.trace = trace_cfg;
     session.trace_out = trace_out.clone().map(std::path::PathBuf::from);
+    session.mem_trace_out = mem_trace_out.clone().map(std::path::PathBuf::from);
     session.lint = lint_level(&flags);
     session.analyze = flags.contains_key("analyze");
     session.regalloc = regalloc_flag(&flags);
@@ -463,9 +482,15 @@ fn cmd_run(flags: HashMap<String, String>) {
     let json = flags.contains_key("json");
     // With an artifact streaming to stdout (path `-`), the run summary
     // moves to stderr so stdout parses as one clean document.
-    let stdout_is_artifact = [&trace_path, &metrics_path, &trace_out, &profile_out]
-        .iter()
-        .any(|p| p.as_deref() == Some("-"))
+    let stdout_is_artifact = [
+        &trace_path,
+        &metrics_path,
+        &trace_out,
+        &profile_out,
+        &mem_trace_out,
+    ]
+    .iter()
+    .any(|p| p.as_deref() == Some("-"))
         || hang_report_path.as_deref() == Some("-");
     macro_rules! summary {
         ($($t:tt)*) => {
@@ -585,6 +610,27 @@ fn cmd_run(flags: HashMap<String, String>) {
         if let Some(kind) = report.sink_error {
             eprintln!("warning: trace event stream is incomplete ({kind:?}); events were lost");
             sink_failed = true;
+        }
+        if let Some(mt) = &report.mem_trace {
+            match mt.sink_error {
+                Some(kind) => {
+                    eprintln!(
+                        "warning: memory trace is incomplete ({kind:?}); the capture is truncated"
+                    );
+                    sink_failed = true;
+                }
+                None => {
+                    if let Some(path) = &mem_trace_out {
+                        if !json && path != "-" {
+                            summary!(
+                                "memory trace written to {path} ({} records, {} bytes)",
+                                mt.records,
+                                mt.bytes
+                            );
+                        }
+                    }
+                }
+            }
         }
         if baseline.is_none() {
             baseline = Some(report.cycles);

@@ -10,8 +10,6 @@
 //! N worker threads — output order and bytes are identical at any N;
 //! `--out DIR` additionally writes one text file per artifact.
 
-use std::io::Write;
-
 use rayon::ThreadPoolBuilder;
 use sparseweaver_bench::experiments::par_map;
 
@@ -100,8 +98,14 @@ fn main() {
         println!("{}", "=".repeat(78));
         if let Some(dir) = &out_dir {
             let path = format!("{dir}/{id}.txt");
-            let mut file = std::fs::File::create(&path).expect("create report file");
-            file.write_all(report.as_bytes()).expect("write report");
+            sparseweaver_core::checkpoint::write_atomic(
+                std::path::Path::new(&path),
+                report.as_bytes(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write report to {path}: {e}");
+                std::process::exit(1)
+            });
         }
     }
 }

@@ -133,7 +133,7 @@ impl Algorithm for Bfs {
             rt.launch(&gather, &[dist, cur, next, level])?;
             // Host-side frontier swap (device-visible state only).
             let next_bytes: Vec<u64> = (0..nv as u64)
-                .map(|i| rt.gpu().mem().read(next + i, 1))
+                .map(|i| rt.read_u8(next + i) as u64)
                 .collect();
             if next_bytes.iter().all(|&b| b == 0) {
                 break;

@@ -151,7 +151,7 @@ impl Algorithm for ConnectedComponents {
             rt.write_u8(changed, 0);
             rt.launch(&gather, &[label, changed])?;
             rt.launch(&apply, &[label, changed])?;
-            if rt.gpu().mem().read(changed, 1) == 0 {
+            if rt.read_u8(changed) == 0 {
                 break;
             }
             rounds += 1;

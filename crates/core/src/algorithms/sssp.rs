@@ -261,7 +261,7 @@ impl Sssp {
         let mut rounds: u64 = 0;
         loop {
             rt.launch(&gather, &[dist, cur, next])?;
-            let changed = (0..nv as u64).any(|i| rt.gpu().mem().read(next + i, 1) != 0);
+            let changed = (0..nv as u64).any(|i| rt.read_u8(next + i) != 0);
             if !changed {
                 break;
             }
@@ -300,7 +300,7 @@ impl Sssp {
             wlen = rt.read_u64(next_cnt);
             // Clear the membership flags for the vertices just queued.
             for i in 0..wlen {
-                let v = rt.gpu().mem().read(next_list + 4 * i, 4);
+                let v = rt.read_u32(next_list + 4 * i) as u64;
                 rt.write_u64(in_next + 8 * v, 0);
             }
             std::mem::swap(&mut cur_list, &mut next_list);

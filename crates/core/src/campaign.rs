@@ -13,16 +13,23 @@
 //! `(spec, seed, runs)`. The `swfault` binary is a thin CLI over this
 //! module; the property tests drive it directly.
 
+use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
-use sparseweaver_fault::{CampaignSummary, FaultCounts, FaultSpec, Outcome, SplitMix64};
+use sparseweaver_fault::{CampaignSummary, FaultSpec, Outcome, SplitMix64};
 use sparseweaver_graph::Csr;
 use sparseweaver_sim::{GpuConfig, SimError};
+use sparseweaver_trace::json::{self, Value};
 use sparseweaver_trace::ProfileReport;
 
 use crate::algorithms::Algorithm;
+use crate::checkpoint::CheckpointError;
 use crate::schedule::Schedule;
 use crate::session::Session;
 use crate::FrameworkError;
@@ -74,6 +81,28 @@ impl CampaignConfig {
     }
 }
 
+/// Journal and early-stop controller for [`run_campaign_with`], kept
+/// separate from [`CampaignConfig`] (which stays `Copy`).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignCtl {
+    /// Append-only JSONL journal: a header line identifying the campaign
+    /// (spec, seed, runs, schedule, algorithm, config/graph fingerprints)
+    /// followed by one line per completed run, appended and flushed as
+    /// runs finish. Survives a kill at any point: the header and every
+    /// fully written line stay valid, and a torn final line is tolerated
+    /// on resume.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal: already-journaled run indices are folded
+    /// from their recorded outcomes and only missing indices re-execute.
+    /// The golden run always re-executes (it is deterministic). Requires
+    /// [`CampaignCtl::journal`].
+    pub resume: bool,
+    /// Cooperative stop flag, checked at run boundaries: queued runs are
+    /// skipped (runs already executing complete and are journaled) and
+    /// the campaign returns [`FrameworkError::Interrupted`].
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
 /// One classified run of a campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignRun {
@@ -105,17 +134,24 @@ pub struct CampaignResult {
     /// [`CampaignConfig::profile`] was set. Folded in run-index order,
     /// so it is identical for every `jobs` value.
     pub profile: Option<ProfileReport>,
+    /// The first I/O error hit while appending to the campaign journal,
+    /// if any: the journal on disk is missing entries, so a later
+    /// `--resume` will (harmlessly, deterministically) re-execute them.
+    pub journal_error: Option<std::io::ErrorKind>,
 }
 
 /// Raw result of one injected run, before the index-ordered fold into
-/// the summary. `outcome == None` means the run panicked.
+/// the summary. `outcome == None` means the run panicked (journaled, so a
+/// resume retries it); `skipped` means a stop request kept the run from
+/// starting (never journaled).
 struct RunOutput {
     seed: u64,
-    faults: Option<FaultCounts>,
+    faults_total: Option<u64>,
     retries: u64,
     fell_back: bool,
     outcome: Option<(Outcome, String)>,
     profile: Option<ProfileReport>,
+    skipped: bool,
 }
 
 /// Runs a full campaign: one fault-free golden run, then
@@ -143,11 +179,104 @@ pub fn run_campaign(
     schedule: Schedule,
     campaign: &CampaignConfig,
 ) -> Result<CampaignResult, FrameworkError> {
+    run_campaign_with(
+        cfg,
+        graph,
+        algorithm,
+        schedule,
+        campaign,
+        &CampaignCtl::default(),
+    )
+}
+
+/// [`run_campaign`] with a journal and stop controller: completed runs
+/// are appended to an on-disk journal as they finish, a stop request ends
+/// the campaign at a run boundary with [`FrameworkError::Interrupted`],
+/// and [`CampaignCtl::resume`] re-executes only the runs the journal is
+/// missing — rendering a [`CampaignSummary`] byte-identical to the
+/// uninterrupted campaign's, at any [`CampaignConfig::jobs`] value.
+///
+/// # Errors
+///
+/// Everything [`run_campaign`] returns, plus journal errors: a journal
+/// whose header does not match this campaign's identity (spec, seed,
+/// runs, schedule, algorithm, config/graph fingerprints) or whose body is
+/// corrupt is refused with a typed [`CheckpointError`], and a stop
+/// request surfaces as [`FrameworkError::Interrupted`] after in-flight
+/// runs were journaled.
+pub fn run_campaign_with(
+    cfg: &GpuConfig,
+    graph: &Csr,
+    algorithm: &dyn Algorithm,
+    schedule: Schedule,
+    campaign: &CampaignConfig,
+    ctl: &CampaignCtl,
+) -> Result<CampaignResult, FrameworkError> {
+    if ctl.journal.is_some() && campaign.profile {
+        // Per-run profiles are not journaled, so a resumed merge would
+        // silently miss the already-completed runs' histograms.
+        return Err(FrameworkError::Io {
+            what: "the campaign journal does not record per-run profiles; \
+                   disable profiling to use a journal"
+                .to_string(),
+        });
+    }
+    if ctl.resume && ctl.journal.is_none() {
+        return Err(FrameworkError::Io {
+            what: "campaign resume requires a journal path".to_string(),
+        });
+    }
     let mut golden_session = Session::new(*cfg);
     let golden = golden_session.run(graph, algorithm, schedule)?.output;
 
+    // Journal setup: load completed entries on resume, then open for
+    // appending (or start fresh with a header line).
+    let mut completed: BTreeMap<u32, RunOutput> = BTreeMap::new();
+    let mut journal_file = None;
+    if let Some(path) = &ctl.journal {
+        let header = journal_header(campaign, schedule, algorithm.name(), cfg, graph);
+        let io_err = |what: &str, e: std::io::Error| FrameworkError::Io {
+            what: format!("{what} campaign journal {}: {e}", path.display()),
+        };
+        let loaded = if ctl.resume {
+            load_journal(path, &header, campaign)?
+        } else {
+            None
+        };
+        let file = match loaded {
+            Some(entries) => {
+                completed = entries;
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| io_err("opening", e))?
+            }
+            None => {
+                let mut f = std::fs::File::create(path).map_err(|e| io_err("creating", e))?;
+                writeln!(f, "{header}").map_err(|e| io_err("writing", e))?;
+                f
+            }
+        };
+        journal_file = Some(Mutex::new(file));
+    }
+    let journal = &journal_file;
+    let journal_error: Mutex<Option<std::io::ErrorKind>> = Mutex::new(None);
+
     let run_one = |index: u32| -> RunOutput {
         let seed = SplitMix64::child_seed(campaign.seed, index as u64);
+        // A stop request skips queued runs; runs already executing finish
+        // and are journaled, so nothing completed is ever lost.
+        if ctl.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst)) {
+            return RunOutput {
+                seed,
+                faults_total: None,
+                retries: 0,
+                fell_back: false,
+                outcome: None,
+                profile: None,
+                skipped: true,
+            };
+        }
         let mut session = Session::new(*cfg);
         session.inject = Some(campaign.spec);
         session.inject_seed = seed;
@@ -158,78 +287,105 @@ pub fn run_campaign(
             let result = session.run(graph, algorithm, schedule);
             (result, session.last_faults())
         }));
-        let (result, faults) = match caught {
-            Ok(pair) => pair,
-            Err(_) => {
-                return RunOutput {
+        let out = match caught {
+            Err(_) => RunOutput {
+                seed,
+                faults_total: None,
+                retries: 0,
+                fell_back: false,
+                outcome: None,
+                profile: None,
+                skipped: false,
+            },
+            Ok((result, faults)) => {
+                let (retries, fell_back, profile) = match &result {
+                    Ok(report) => (
+                        report.weaver_retries,
+                        report.fell_back_from.is_some(),
+                        report.profile.clone(),
+                    ),
+                    Err(_) => (0, false, None),
+                };
+                let outcome = match result {
+                    Ok(report) => match report.output.mismatch(&golden, GOLDEN_TOL) {
+                        None => {
+                            let mut detail = String::from("output matches golden");
+                            if report.weaver_retries > 0 {
+                                detail.push_str(&format!(
+                                    " after {} retr{}",
+                                    report.weaver_retries,
+                                    if report.weaver_retries == 1 {
+                                        "y"
+                                    } else {
+                                        "ies"
+                                    }
+                                ));
+                            }
+                            if let Some(from) = report.fell_back_from {
+                                detail.push_str(&format!(" (fell back from {from:?} to S_wm)"));
+                            }
+                            (Outcome::Masked, detail)
+                        }
+                        Some(at) => (Outcome::Sdc, format!("output diverges at index {at}")),
+                    },
+                    Err(FrameworkError::Sim(
+                        e @ (SimError::Deadlock { .. }
+                        | SimError::CycleLimit { .. }
+                        | SimError::WeaverTimeout { .. }),
+                    )) => (Outcome::Hang, e.to_string()),
+                    Err(e) => (Outcome::DetectedCrash, e.to_string()),
+                };
+                RunOutput {
                     seed,
-                    faults: None,
-                    retries: 0,
-                    fell_back: false,
-                    outcome: None,
-                    profile: None,
+                    faults_total: faults.map(|f| f.total()),
+                    retries,
+                    fell_back,
+                    outcome: Some(outcome),
+                    profile,
+                    skipped: false,
                 }
             }
         };
-        let (retries, fell_back, profile) = match &result {
-            Ok(report) => (
-                report.weaver_retries,
-                report.fell_back_from.is_some(),
-                report.profile.clone(),
-            ),
-            Err(_) => (0, false, None),
-        };
-        let outcome = match result {
-            Ok(report) => match report.output.mismatch(&golden, GOLDEN_TOL) {
-                None => {
-                    let mut detail = String::from("output matches golden");
-                    if report.weaver_retries > 0 {
-                        detail.push_str(&format!(
-                            " after {} retr{}",
-                            report.weaver_retries,
-                            if report.weaver_retries == 1 {
-                                "y"
-                            } else {
-                                "ies"
-                            }
-                        ));
-                    }
-                    if let Some(from) = report.fell_back_from {
-                        detail.push_str(&format!(" (fell back from {from:?} to S_wm)"));
-                    }
-                    (Outcome::Masked, detail)
-                }
-                Some(at) => (Outcome::Sdc, format!("output diverges at index {at}")),
-            },
-            Err(FrameworkError::Sim(
-                e @ (SimError::Deadlock { .. }
-                | SimError::CycleLimit { .. }
-                | SimError::WeaverTimeout { .. }),
-            )) => (Outcome::Hang, e.to_string()),
-            Err(e) => (Outcome::DetectedCrash, e.to_string()),
-        };
-        RunOutput {
-            seed,
-            faults,
-            retries,
-            fell_back,
-            outcome: Some(outcome),
-            profile,
+        if let Some(j) = journal {
+            // Append and flush as the run completes: a kill afterwards
+            // finds this run durable. Append errors are latched, not
+            // fatal — a lost entry only means a resume re-runs it.
+            let line = journal_line(index, &out);
+            let mut f = j.lock().expect("journal mutex");
+            if let Err(e) = writeln!(f, "{line}").and_then(|()| f.flush()) {
+                let mut latch = journal_error.lock().expect("journal error latch");
+                latch.get_or_insert(e.kind());
+            }
         }
+        out
     };
 
-    let outputs: Vec<RunOutput> = if campaign.jobs > 1 && campaign.runs > 1 {
+    let todo: Vec<u32> = (0..campaign.runs)
+        .filter(|i| !completed.contains_key(i))
+        .collect();
+    let outputs: Vec<(u32, RunOutput)> = if campaign.jobs > 1 && todo.len() > 1 {
         let pool = ThreadPoolBuilder::new()
             .num_threads(campaign.jobs)
             .build()
             .expect("campaign thread pool");
-        pool.install(|| (0..campaign.runs).into_par_iter().map(run_one).collect())
+        pool.install(|| {
+            todo.clone()
+                .into_par_iter()
+                .map(|i| (i, run_one(i)))
+                .collect()
+        })
     } else {
-        (0..campaign.runs).map(run_one).collect()
+        todo.iter().map(|&i| (i, run_one(i))).collect()
     };
+    for (index, out) in outputs {
+        if !out.skipped {
+            completed.insert(index, out);
+        }
+    }
 
     // Fold in run-index order: the summary counters and the JSON they
-    // render to must not depend on worker scheduling.
+    // render to must not depend on worker scheduling — or on how many
+    // invocations (via the journal) it took to complete the campaign.
     let mut summary = CampaignSummary {
         spec: campaign.spec.to_string(),
         seed: campaign.seed,
@@ -237,8 +393,13 @@ pub fn run_campaign(
     };
     let mut runs = Vec::with_capacity(campaign.runs as usize);
     let mut panics = 0u64;
+    let mut missing = 0u32;
     let mut merged_profile = campaign.profile.then(ProfileReport::default);
-    for (index, out) in outputs.into_iter().enumerate() {
+    for index in 0..campaign.runs {
+        let Some(out) = completed.remove(&index) else {
+            missing += 1;
+            continue;
+        };
         if let (Some(acc), Some(p)) = (merged_profile.as_mut(), out.profile.as_ref()) {
             acc.merge(p);
         }
@@ -246,19 +407,29 @@ pub fn run_campaign(
             panics += 1;
             continue;
         };
-        if let Some(f) = out.faults {
-            summary.faults_injected += f.total();
-        }
+        summary.faults_injected += out.faults_total.unwrap_or(0);
         summary.retries += out.retries;
         if out.fell_back {
             summary.fallbacks += 1;
         }
         summary.record(outcome);
         runs.push(CampaignRun {
-            index: index as u32,
+            index,
             seed: out.seed,
             outcome,
             detail,
+        });
+    }
+    if missing > 0 {
+        let saved = match &ctl.journal {
+            Some(path) => format!("completed runs are journaled in {}", path.display()),
+            None => "no journal was configured, completed runs are lost".to_string(),
+        };
+        return Err(FrameworkError::Interrupted {
+            what: format!(
+                "campaign stopped with {missing} of {} runs not started; {saved}",
+                campaign.runs
+            ),
         });
     }
 
@@ -267,7 +438,175 @@ pub fn run_campaign(
         runs,
         panics,
         profile: merged_profile,
+        journal_error: journal_error.into_inner().expect("journal error latch"),
     })
+}
+
+/// The journal's identity line: everything that must match for a resume
+/// to be sound. Large integers (seeds, fingerprints) are hex strings so
+/// the JSON round-trips exactly through an `f64`-based parser.
+fn journal_header(
+    campaign: &CampaignConfig,
+    schedule: Schedule,
+    algorithm: &str,
+    cfg: &GpuConfig,
+    graph: &Csr,
+) -> String {
+    format!(
+        "{{\"schema\":\"sparseweaver-fault-journal-v1\",\"spec\":\"{}\",\
+         \"seed\":\"{:#018x}\",\"runs\":{},\"schedule\":\"{}\",\"algo\":\"{}\",\
+         \"config_fp\":\"{:#018x}\",\"graph_fp\":\"{:#018x}\"}}",
+        json::escape(&campaign.spec.to_string()),
+        campaign.seed,
+        campaign.runs,
+        schedule.paper_name(),
+        json::escape(algorithm),
+        crate::profile::config_fingerprint(cfg),
+        crate::profile::graph_fingerprint(graph),
+    )
+}
+
+/// One journal line per completed run. Panicked runs record
+/// `"outcome":null` and are re-executed on resume.
+fn journal_line(index: u32, out: &RunOutput) -> String {
+    let mut line = format!("{{\"index\":{index},\"seed\":\"{:#018x}\"", out.seed);
+    match &out.outcome {
+        None => line.push_str(",\"outcome\":null}"),
+        Some((outcome, detail)) => {
+            line.push_str(&format!(
+                ",\"outcome\":\"{}\",\"detail\":\"{}\",\"faults\":{},\
+                 \"retries\":{},\"fell_back\":{}}}",
+                outcome.label(),
+                json::escape(detail),
+                out.faults_total
+                    .map_or_else(|| "null".to_string(), |v| v.to_string()),
+                out.retries,
+                out.fell_back,
+            ));
+        }
+    }
+    line
+}
+
+/// Loads a journal for resumption. Returns the completed runs keyed by
+/// index, `None` when the file is missing or its header line never made
+/// it to disk intact (start fresh), or an error when the journal belongs
+/// to a different campaign or a non-final line is corrupt. The torn
+/// *final* line a kill can leave behind is tolerated and dropped; its run
+/// simply re-executes.
+fn load_journal(
+    path: &Path,
+    expected_header: &str,
+    campaign: &CampaignConfig,
+) -> Result<Option<BTreeMap<u32, RunOutput>>, FrameworkError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(FrameworkError::Io {
+                what: format!("reading campaign journal {}: {e}", path.display()),
+            })
+        }
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return Ok(None);
+    };
+    if header != expected_header {
+        if json::parse(header).is_err() && text.lines().count() == 1 {
+            // The kill landed mid-header: nothing usable, start over.
+            return Ok(None);
+        }
+        return Err(CheckpointError::Restore {
+            what: format!(
+                "campaign journal {} was written by a different campaign \
+                 (header {header:?}, expected {expected_header:?})",
+                path.display()
+            ),
+        }
+        .into());
+    }
+    let rest: Vec<&str> = lines.collect();
+    let mut entries = BTreeMap::new();
+    for (i, line) in rest.iter().enumerate() {
+        let corrupt = |what: String| -> FrameworkError {
+            CheckpointError::Corrupt {
+                what: format!("campaign journal {} line {}: {what}", path.display(), i + 2),
+            }
+            .into()
+        };
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            // Only the final line may be torn (the append was cut short).
+            Err(_) if i + 1 == rest.len() => break,
+            Err(e) => return Err(corrupt(e)),
+        };
+        let index = parsed
+            .get("index")
+            .and_then(Value::as_num)
+            .ok_or_else(|| corrupt("missing run index".into()))? as u32;
+        if index >= campaign.runs {
+            return Err(corrupt(format!(
+                "run index {index} out of range (campaign has {} runs)",
+                campaign.runs
+            )));
+        }
+        let seed = parsed
+            .get("seed")
+            .and_then(parse_hex_u64)
+            .ok_or_else(|| corrupt("missing or malformed seed".into()))?;
+        if seed != SplitMix64::child_seed(campaign.seed, index as u64) {
+            return Err(corrupt(format!(
+                "seed {seed:#x} does not derive from the campaign seed for run {index}"
+            )));
+        }
+        let outcome = match parsed.get("outcome") {
+            Some(Value::Null) => None,
+            Some(Value::Str(label)) => {
+                let outcome = Outcome::from_label(label)
+                    .ok_or_else(|| corrupt(format!("unknown outcome label {label:?}")))?;
+                let detail = parsed
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| corrupt("missing detail".into()))?
+                    .to_string();
+                Some((outcome, detail))
+            }
+            _ => return Err(corrupt("missing outcome".into())),
+        };
+        let faults_total = match parsed.get("faults") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_num()
+                    .ok_or_else(|| corrupt("malformed fault count".into()))? as u64,
+            ),
+        };
+        let retries = parsed.get("retries").and_then(Value::as_num).unwrap_or(0.0) as u64;
+        let fell_back = matches!(parsed.get("fell_back"), Some(Value::Bool(true)));
+        // A run journaled twice (e.g. a panic retried on an earlier
+        // resume) keeps the latest entry.
+        entries.insert(
+            index,
+            RunOutput {
+                seed,
+                faults_total,
+                retries,
+                fell_back,
+                outcome,
+                profile: None,
+                skipped: false,
+            },
+        );
+    }
+    // Panicked entries re-execute: drop them after parsing (their lines
+    // stay valid, the re-run appends a fresh entry).
+    entries.retain(|_, out| out.outcome.is_some());
+    Ok(Some(entries))
+}
+
+fn parse_hex_u64(v: &Value) -> Option<u64> {
+    let s = v.as_str()?;
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
 }
 
 #[cfg(test)]
@@ -386,6 +725,247 @@ mod tests {
         // An unprofiled campaign carries no profile at all.
         let plain = small_campaign("reg=0.0", 1, 1);
         assert!(plain.profile.is_none());
+    }
+
+    #[test]
+    fn journaled_campaign_resumes_byte_identically() {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        let campaign = CampaignConfig::new(
+            FaultSpec::parse("reg=0.005,mem=0.002,fetch=0.002").unwrap(),
+            11,
+            8,
+        );
+        let golden =
+            run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap();
+
+        let path = std::env::temp_dir().join("sw_campaign_journal_resume.jsonl");
+        let ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            ..CampaignCtl::default()
+        };
+        let full = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &ctl,
+        )
+        .unwrap();
+        assert_eq!(full.summary, golden.summary);
+        assert!(full.journal_error.is_none());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 9, "header + one line per run");
+
+        // Keep the header and the first three completed entries, as if
+        // the campaign had been killed mid-flight...
+        let partial: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&path, format!("{}\n", partial.join("\n"))).unwrap();
+        // ...and resume at a different worker count.
+        let mut parallel = campaign;
+        parallel.jobs = 4;
+        let resume_ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            resume: true,
+            ..CampaignCtl::default()
+        };
+        let resumed = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &parallel,
+            &resume_ctl,
+        )
+        .unwrap();
+        assert_eq!(resumed.summary, golden.summary);
+        assert_eq!(resumed.summary.to_json(), golden.summary.to_json());
+        assert_eq!(resumed.runs, golden.runs);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_tolerates_torn_final_line() {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        let campaign = CampaignConfig::new(FaultSpec::parse("reg=0.002,mem=0.001").unwrap(), 42, 4);
+        let golden =
+            run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap();
+
+        let path = std::env::temp_dir().join("sw_campaign_journal_torn.jsonl");
+        let ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            ..CampaignCtl::default()
+        };
+        run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &ctl,
+        )
+        .unwrap();
+        // Cut the final line mid-write, as a kill would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 17]).unwrap();
+        let resume_ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            resume: true,
+            ..CampaignCtl::default()
+        };
+        let resumed = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &resume_ctl,
+        )
+        .unwrap();
+        assert_eq!(resumed.summary.to_json(), golden.summary.to_json());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_refuses_a_different_campaign() {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        let campaign = CampaignConfig::new(FaultSpec::parse("reg=0.002").unwrap(), 1, 2);
+        let path = std::env::temp_dir().join("sw_campaign_journal_mismatch.jsonl");
+        let ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            ..CampaignCtl::default()
+        };
+        run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &ctl,
+        )
+        .unwrap();
+        // A different seed is a different campaign: the journal must not
+        // be folded into it.
+        let mut other = campaign;
+        other.seed = 2;
+        let resume_ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            resume: true,
+            ..CampaignCtl::default()
+        };
+        let err = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &other,
+            &resume_ctl,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                FrameworkError::Checkpoint(CheckpointError::Restore { .. })
+            ),
+            "unexpected error: {err:?}"
+        );
+        // Corrupting a non-final line is refused too.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = "{\"index\":0,\"seed\":\"0xdead\",\"outcome\":\"masked\"}".into();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &resume_ctl,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                FrameworkError::Checkpoint(CheckpointError::Corrupt { .. })
+            ),
+            "unexpected error: {err:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stopped_campaign_is_interrupted_and_resumable() {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        let campaign = CampaignConfig::new(FaultSpec::parse("reg=0.002,mem=0.001").unwrap(), 9, 6);
+        let golden =
+            run_campaign(&cfg, &g, &Bfs::new(0), Schedule::SparseWeaver, &campaign).unwrap();
+
+        let path = std::env::temp_dir().join("sw_campaign_journal_stop.jsonl");
+        // A pre-set stop flag: every queued run is skipped, completed
+        // entries (none) stay journaled, and the campaign reports the
+        // interruption.
+        let stop = Arc::new(AtomicBool::new(true));
+        let ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            stop: Some(stop),
+            ..CampaignCtl::default()
+        };
+        let err = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &ctl,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, FrameworkError::Interrupted { .. }),
+            "unexpected error: {err:?}"
+        );
+        // The journal header survived, so a resume completes the campaign.
+        let resume_ctl = CampaignCtl {
+            journal: Some(path.clone()),
+            resume: true,
+            ..CampaignCtl::default()
+        };
+        let resumed = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &resume_ctl,
+        )
+        .unwrap();
+        assert_eq!(resumed.summary.to_json(), golden.summary.to_json());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_rejects_profiled_campaigns() {
+        let g = generators::uniform(24, 72, 7);
+        let cfg = GpuConfig::small_test();
+        let mut campaign = CampaignConfig::new(FaultSpec::parse("reg=0.002").unwrap(), 1, 2);
+        campaign.profile = true;
+        let ctl = CampaignCtl {
+            journal: Some(std::env::temp_dir().join("sw_campaign_journal_profile.jsonl")),
+            ..CampaignCtl::default()
+        };
+        let err = run_campaign_with(
+            &cfg,
+            &g,
+            &Bfs::new(0),
+            Schedule::SparseWeaver,
+            &campaign,
+            &ctl,
+        )
+        .unwrap_err();
+        assert!(matches!(&err, FrameworkError::Io { .. }));
     }
 
     #[test]

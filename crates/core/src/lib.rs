@@ -31,6 +31,7 @@ pub mod algorithms;
 pub mod analytic;
 pub mod autotune;
 pub mod campaign;
+pub mod checkpoint;
 pub mod compiler;
 pub mod output;
 pub mod profile;
@@ -39,6 +40,7 @@ pub mod runtime;
 pub mod schedule;
 pub mod session;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use output::AlgoOutput;
 pub use runtime::Runtime;
 pub use schedule::Schedule;
@@ -76,6 +78,17 @@ pub enum FrameworkError {
         /// Iterations attempted.
         iterations: u64,
     },
+    /// Writing, reading, or restoring a checkpoint failed (see
+    /// [`checkpoint::CheckpointError`]).
+    Checkpoint(checkpoint::CheckpointError),
+    /// The run was stopped early by a signal, the wall-clock watchdog, or
+    /// a `--stop-after-launches` bound. State up to the stop point was
+    /// persisted (a final checkpoint or campaign-journal entry) so the
+    /// run can be resumed.
+    Interrupted {
+        /// What stopped the run and where its state was saved.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for FrameworkError {
@@ -99,6 +112,8 @@ impl std::fmt::Display for FrameworkError {
                 algorithm,
                 iterations,
             } => write!(f, "{algorithm} did not converge in {iterations} iterations"),
+            FrameworkError::Checkpoint(e) => write!(f, "{e}"),
+            FrameworkError::Interrupted { what } => write!(f, "run interrupted: {what}"),
         }
     }
 }
@@ -108,6 +123,12 @@ impl std::error::Error for FrameworkError {}
 impl From<sparseweaver_sim::SimError> for FrameworkError {
     fn from(e: sparseweaver_sim::SimError) -> Self {
         FrameworkError::Sim(e)
+    }
+}
+
+impl From<checkpoint::CheckpointError> for FrameworkError {
+    fn from(e: checkpoint::CheckpointError) -> Self {
+        FrameworkError::Checkpoint(e)
     }
 }
 

@@ -1,5 +1,11 @@
 //! The host runtime: device memory layout, uploads, kernel launches.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use sparseweaver_fault::FaultHandle;
 use sparseweaver_graph::{Csr, Direction};
 use sparseweaver_isa::Program;
@@ -9,6 +15,7 @@ use sparseweaver_weaver::eghw::EghwLayout;
 
 use sparseweaver_lint::LintLevel;
 
+use crate::checkpoint::{Checkpoint, CheckpointError, HostEvent};
 use crate::compiler::Compiler;
 use crate::schedule::Schedule;
 use crate::FrameworkError;
@@ -39,6 +46,55 @@ pub mod args {
 
 /// Default bound on launch retries after a Weaver response timeout.
 pub const DEFAULT_WEAVER_RETRIES: u32 = 2;
+
+/// Checkpoint and early-stop policy for one run, built by
+/// [`crate::session::Session`] from the CLI flags.
+///
+/// Checkpoints are taken at kernel-launch boundaries: after a launch's
+/// statistics are folded into the run totals, the runtime snapshots the
+/// complete machine and host state. A run stopped by the cooperative
+/// `stop` flag (signal handler or wall-clock watchdog) or by the
+/// deterministic `stop_after_launches` bound writes a final checkpoint
+/// (when `out` is set) and returns [`FrameworkError::Interrupted`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointCtl {
+    /// Where checkpoints are written (atomically: temp file + rename).
+    /// `None` disables checkpointing; the stop knobs still work.
+    pub out: Option<PathBuf>,
+    /// Write a checkpoint every `every` completed launches; 0 means only
+    /// when stopping.
+    pub every: u64,
+    /// The original `swsim run` argument vector, embedded so `swsim
+    /// resume` can rebuild the session.
+    pub argv: Vec<String>,
+    /// FNV-1a fingerprint of the effective GPU configuration.
+    pub config_fp: u64,
+    /// FNV-1a fingerprint of the input graph.
+    pub graph_fp: u64,
+    /// Fallback provenance, set by the session on an `S_wm` re-run after
+    /// Weaver retry exhaustion.
+    pub fell_back_from: Option<(Schedule, String)>,
+    /// Cooperative stop flag, set by the signal handler or watchdog.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Deterministic stop bound for CI: behave exactly like a stop
+    /// request once this many launches have completed.
+    pub stop_after_launches: Option<u64>,
+}
+
+/// Host-interaction bookkeeping for checkpoint record/replay.
+#[derive(Debug, Default)]
+struct HostState {
+    /// Record host events into `log` (on whenever checkpointing is on).
+    recording: bool,
+    /// The full, ordered host-event history since run start. On resume
+    /// this is seeded from the checkpoint so later checkpoints keep the
+    /// complete history.
+    log: Vec<HostEvent>,
+    /// Events still to be replayed on a resumed run; empty in live mode.
+    replay: VecDeque<HostEvent>,
+    /// The checkpointed allocator cursor, verified when `replay` drains.
+    verify_alloc: Option<u64>,
+}
 
 /// Addresses of the uploaded graph view.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +138,9 @@ pub struct Runtime<'a> {
     fault: Option<FaultHandle>,
     max_weaver_retries: u32,
     weaver_retries: u64,
+    launches: u64,
+    ckpt: Option<CheckpointCtl>,
+    host: RefCell<HostState>,
 }
 
 impl<'a> Runtime<'a> {
@@ -129,6 +188,9 @@ impl<'a> Runtime<'a> {
             fault: None,
             max_weaver_retries: DEFAULT_WEAVER_RETRIES,
             weaver_retries: 0,
+            launches: 0,
+            ckpt: None,
+            host: RefCell::new(HostState::default()),
         };
         rt.device.offsets = rt.upload_u32(rt.view.offsets().to_vec().as_slice());
         rt.device.edges = rt.upload_u32(rt.view.targets().to_vec().as_slice());
@@ -209,6 +271,194 @@ impl<'a> Runtime<'a> {
         self.weaver_retries
     }
 
+    /// Kernel launches completed so far (replayed launches included).
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Installs the checkpoint/early-stop policy. With a policy whose
+    /// `out` is set, the runtime records every host/device interaction so
+    /// checkpoints can be resumed deterministically.
+    pub fn set_checkpoint_ctl(&mut self, ctl: Option<CheckpointCtl>) {
+        self.host.borrow_mut().recording = ctl.as_ref().is_some_and(|c| c.out.is_some());
+        self.ckpt = ctl;
+    }
+
+    /// Restores a checkpoint into this runtime: the complete machine
+    /// state, the accumulated statistics, and the host-event log. The
+    /// algorithm driver then re-runs from its start in *replay* mode (no
+    /// simulation, reads served from the log, writes suppressed) until
+    /// the log drains at the checkpoint boundary, at which point live
+    /// simulation continues bit-identically to an uninterrupted run.
+    ///
+    /// Must be called after the tracer/profiler/fault handles are
+    /// attached and before the algorithm runs. The caller is responsible
+    /// for fingerprint verification ([`Checkpoint::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Checkpoint`] when the snapshot does not fit the
+    /// rebuilt machine or the attached instrumentation does not match
+    /// the checkpointed instrumentation.
+    pub fn resume_from(&mut self, ck: &Checkpoint) -> Result<(), FrameworkError> {
+        let restore = |what: String| FrameworkError::Checkpoint(CheckpointError::Restore { what });
+        self.gpu.restore_state(&ck.gpu).map_err(restore)?;
+        match (&self.tracer, &ck.tracer) {
+            (Some(t), Some(state)) => t
+                .restore_state(state)
+                .map_err(|e| restore(format!("tracer: {e}")))?,
+            (None, None) => {}
+            (have, _) => {
+                return Err(restore(format!(
+                    "tracer mismatch: checkpoint {} tracer state but the rebuilt \
+                     session {} a tracer",
+                    if ck.tracer.is_some() { "has" } else { "has no" },
+                    if have.is_some() {
+                        "attached"
+                    } else {
+                        "did not attach"
+                    },
+                )))
+            }
+        }
+        match (&self.profiler, &ck.profile) {
+            (Some(p), Some(report)) => p.restore_state(report),
+            (None, None) => {}
+            (have, _) => {
+                return Err(restore(format!(
+                    "profiler mismatch: checkpoint {} profiler state but the rebuilt \
+                     session {} a profiler",
+                    if ck.profile.is_some() {
+                        "has"
+                    } else {
+                        "has no"
+                    },
+                    if have.is_some() {
+                        "attached"
+                    } else {
+                        "did not attach"
+                    },
+                )))
+            }
+        }
+        match (&self.fault, &ck.fault) {
+            (Some(f), Some(state)) => f.restore_state(state),
+            (None, None) => {}
+            (have, _) => {
+                return Err(restore(format!(
+                    "fault-injector mismatch: checkpoint {} injector state but the \
+                     rebuilt session {} an injector",
+                    if ck.fault.is_some() { "has" } else { "has no" },
+                    if have.is_some() {
+                        "attached"
+                    } else {
+                        "did not attach"
+                    },
+                )))
+            }
+        }
+        self.launches = ck.launches;
+        self.weaver_retries = ck.weaver_retries;
+        self.total = ck.total.clone();
+        self.per_kernel = ck.per_kernel.clone();
+        let mut host = self.host.borrow_mut();
+        host.log = ck.host_log.clone();
+        host.replay = ck.host_log.iter().cloned().collect();
+        host.verify_alloc = Some(ck.next_alloc);
+        Ok(())
+    }
+
+    /// Whether the runtime is still replaying a restored host-event log.
+    fn replaying(&self) -> bool {
+        !self.host.borrow().replay.is_empty()
+    }
+
+    /// Pops the next replayed host read, or `None` in live mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on host-replay divergence: the algorithm driver performed
+    /// a read where the recorded run performed a launch. Drivers are
+    /// deterministic functions of their read results, so this indicates
+    /// a corrupted checkpoint payload or a driver/runtime mismatch.
+    fn replay_read(&self) -> Option<u64> {
+        let mut host = self.host.borrow_mut();
+        if host.replay.is_empty() {
+            return None;
+        }
+        match host.replay.pop_front() {
+            Some(HostEvent::Read(bits)) => Some(bits),
+            other => panic!(
+                "checkpoint host-replay divergence: expected a recorded host read, \
+                 found {other:?}"
+            ),
+        }
+    }
+
+    /// Records a live host read when checkpoint recording is on.
+    fn record_read(&self, bits: u64) {
+        let mut host = self.host.borrow_mut();
+        if host.recording {
+            host.log.push(HostEvent::Read(bits));
+        }
+    }
+
+    /// Assembles a complete checkpoint of the current (launch-boundary)
+    /// state under the policy `ctl`.
+    fn make_checkpoint(&self, ctl: &CheckpointCtl) -> Checkpoint {
+        Checkpoint {
+            config_fp: ctl.config_fp,
+            graph_fp: ctl.graph_fp,
+            argv: ctl.argv.clone(),
+            schedule: self.schedule,
+            fell_back_from: ctl.fell_back_from.clone(),
+            launches: self.launches,
+            next_alloc: self.next_alloc,
+            weaver_retries: self.weaver_retries,
+            total: self.total.clone(),
+            per_kernel: self.per_kernel.clone(),
+            host_log: self.host.borrow().log.clone(),
+            gpu: self.gpu.save_state(),
+            tracer: self.tracer.as_ref().map(|t| t.save_state()),
+            profile: self.profiler.as_ref().map(|p| p.save_state()),
+            fault: self.fault.as_ref().map(|f| f.save_state()),
+        }
+    }
+
+    /// Launch-boundary policy hook: periodic checkpoints, cooperative
+    /// stop, and the deterministic `--stop-after-launches` bound.
+    fn after_launch(&self) -> Result<(), FrameworkError> {
+        let Some(ctl) = &self.ckpt else {
+            return Ok(());
+        };
+        let stop_hit = ctl.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst));
+        let bound_hit = ctl.stop_after_launches.is_some_and(|n| self.launches >= n);
+        let cadence_hit = ctl.every > 0 && self.launches.is_multiple_of(ctl.every);
+        if let Some(out) = &ctl.out {
+            if cadence_hit || stop_hit || bound_hit {
+                self.make_checkpoint(ctl).save(out)?;
+            }
+        }
+        if stop_hit || bound_hit {
+            let saved = match &ctl.out {
+                Some(out) => format!("checkpoint written to {}", out.display()),
+                None => "no --checkpoint-out configured, state discarded".to_string(),
+            };
+            let why = if stop_hit {
+                "stop requested (signal or wall-clock watchdog)"
+            } else {
+                "--stop-after-launches bound reached"
+            };
+            return Err(FrameworkError::Interrupted {
+                what: format!(
+                    "{why} at launch boundary {launches}; {saved}",
+                    launches = self.launches
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Enables or disables the simulator's idle-cycle fast-forward cache
     /// for subsequent launches (default on; bit-identical either way —
     /// see [`Gpu::set_fast_forward`]).
@@ -278,14 +528,18 @@ impl<'a> Runtime<'a> {
     /// Uploads a `u32` slice; returns its device address.
     pub fn upload_u32(&mut self, data: &[u32]) -> u64 {
         let base = self.alloc(4 * data.len() as u64);
-        self.gpu.mem_mut().write_u32_slice(base, data);
+        if !self.replaying() {
+            self.gpu.mem_mut().write_u32_slice(base, data);
+        }
         base
     }
 
     /// Uploads an `f64` slice; returns its device address.
     pub fn upload_f64(&mut self, data: &[f64]) -> u64 {
         let base = self.alloc(8 * data.len() as u64);
-        self.gpu.mem_mut().write_f64_slice(base, data);
+        if !self.replaying() {
+            self.gpu.mem_mut().write_f64_slice(base, data);
+        }
         base
     }
 
@@ -297,8 +551,10 @@ impl<'a> Runtime<'a> {
     /// Allocates `count` `u64`s initialized to `fill`.
     pub fn alloc_u64(&mut self, count: usize, fill: u64) -> u64 {
         let base = self.alloc(8 * count as u64);
-        for i in 0..count {
-            self.gpu.mem_mut().write(base + 8 * i as u64, fill, 8);
+        if !self.replaying() {
+            for i in 0..count {
+                self.gpu.mem_mut().write(base + 8 * i as u64, fill, 8);
+            }
         }
         base
     }
@@ -306,46 +562,99 @@ impl<'a> Runtime<'a> {
     /// Allocates `count` bytes initialized to `fill`.
     pub fn alloc_u8(&mut self, count: usize, fill: u8) -> u64 {
         let base = self.alloc(count as u64);
-        for i in 0..count {
-            self.gpu.mem_mut().write(base + i as u64, fill as u64, 1);
+        if !self.replaying() {
+            for i in 0..count {
+                self.gpu.mem_mut().write(base + i as u64, fill as u64, 1);
+            }
         }
         base
     }
 
     /// Reads one 64-bit word.
     pub fn read_u64(&self, addr: u64) -> u64 {
-        self.gpu.mem().read(addr, 8)
+        if let Some(bits) = self.replay_read() {
+            return bits;
+        }
+        let v = self.gpu.mem().read(addr, 8);
+        self.record_read(v);
+        v
+    }
+
+    /// Reads one 32-bit word.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        if let Some(bits) = self.replay_read() {
+            return bits as u32;
+        }
+        let v = self.gpu.mem().read(addr, 4);
+        self.record_read(v);
+        v as u32
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        if let Some(bits) = self.replay_read() {
+            return bits as u8;
+        }
+        let v = self.gpu.mem().read(addr, 1);
+        self.record_read(v);
+        v as u8
     }
 
     /// Writes one 64-bit word.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        self.gpu.mem_mut().write(addr, value, 8);
+        if !self.replaying() {
+            self.gpu.mem_mut().write(addr, value, 8);
+        }
     }
 
     /// Writes one 32-bit word.
     pub fn write_u32(&mut self, addr: u64, value: u32) {
-        self.gpu.mem_mut().write(addr, value as u64, 4);
+        if !self.replaying() {
+            self.gpu.mem_mut().write(addr, value as u64, 4);
+        }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        self.gpu.mem_mut().write(addr, value as u64, 1);
+        if !self.replaying() {
+            self.gpu.mem_mut().write(addr, value as u64, 1);
+        }
     }
 
     /// Reads `count` f64s.
     pub fn read_f64_vec(&self, addr: u64, count: usize) -> Vec<f64> {
-        self.gpu.mem().read_f64_slice(addr, count)
+        if self.replaying() {
+            return (0..count)
+                .map(|_| {
+                    f64::from_bits(
+                        self.replay_read()
+                            .expect("checkpoint host-replay divergence: f64 read past end of log"),
+                    )
+                })
+                .collect();
+        }
+        let v = self.gpu.mem().read_f64_slice(addr, count);
+        for x in &v {
+            self.record_read(x.to_bits());
+        }
+        v
     }
 
     /// Reads `count` u64s.
     pub fn read_u64_vec(&self, addr: u64, count: usize) -> Vec<u64> {
         (0..count)
-            .map(|i| self.gpu.mem().read(addr + 8 * i as u64, 8))
+            .map(|i| self.read_u64(addr + 8 * i as u64))
             .collect()
     }
 
     /// Host-side copy of `count` bytes (frontier swaps).
     pub fn copy_bytes(&mut self, src: u64, dst: u64, count: usize) {
+        // The internal reads are device-side bookkeeping, not driver
+        // decisions, so they are not recorded; in replay mode the whole
+        // copy is suppressed (device memory already holds the result).
+        if self.replaying() {
+            return;
+        }
         for i in 0..count as u64 {
             let v = self.gpu.mem().read(src + i, 1);
             self.gpu.mem_mut().write(dst + i, v, 1);
@@ -354,6 +663,9 @@ impl<'a> Runtime<'a> {
 
     /// Fills `count` bytes with `value`.
     pub fn fill_bytes(&mut self, addr: u64, value: u8, count: usize) {
+        if self.replaying() {
+            return;
+        }
         for i in 0..count as u64 {
             self.gpu.mem_mut().write(addr + i, value as u64, 1);
         }
@@ -402,6 +714,9 @@ impl<'a> Runtime<'a> {
         program: &Program,
         extra: &[u64],
     ) -> Result<KernelStats, FrameworkError> {
+        if self.replaying() {
+            return Ok(self.replay_launch(program));
+        }
         let program = self.compiler.process(program)?;
         let mut argv = self.common_args();
         argv.extend_from_slice(extra);
@@ -450,7 +765,50 @@ impl<'a> Runtime<'a> {
             self.per_kernel
                 .push((program.name().to_string(), stats.clone()));
         }
+        self.launches += 1;
+        {
+            let mut host = self.host.borrow_mut();
+            if host.recording {
+                host.log.push(HostEvent::LaunchDone(stats.clone()));
+            }
+        }
+        self.after_launch()?;
         Ok(stats)
+    }
+
+    /// A launch during host-log replay: no compilation, no simulation, no
+    /// re-accumulation (the restored totals already include it) — the
+    /// recorded statistics are returned so the driver sees what it saw.
+    ///
+    /// # Panics
+    ///
+    /// Panics on host-replay divergence (the recorded run read here
+    /// instead of launching, or the allocator cursor drifted) — see
+    /// [`Runtime::replay_read`].
+    fn replay_launch(&mut self, program: &Program) -> KernelStats {
+        let mut host = self.host.borrow_mut();
+        let stats = match host.replay.pop_front() {
+            Some(HostEvent::LaunchDone(stats)) => stats,
+            other => panic!(
+                "checkpoint host-replay divergence: expected a recorded launch of \
+                 kernel `{}`, found {other:?}",
+                program.name()
+            ),
+        };
+        if host.replay.is_empty() {
+            // The log drained at the checkpoint boundary: verify the
+            // bump allocator re-derived the checkpointed cursor before
+            // switching back to live simulation.
+            if let Some(expected) = host.verify_alloc.take() {
+                assert_eq!(
+                    self.next_alloc, expected,
+                    "checkpoint host-replay divergence: allocator cursor {} after \
+                     replay, checkpoint recorded {expected}",
+                    self.next_alloc
+                );
+            }
+        }
+        stats
     }
 
     /// Accumulated stats across all launches so far.

@@ -56,6 +56,27 @@ impl Schedule {
         matches!(self, Schedule::SparseWeaver | Schedule::Eghw)
     }
 
+    /// A stable numeric id for on-disk formats (the `swckpt-v1`
+    /// checkpoint codec). Never renumber these: old checkpoints must
+    /// keep decoding to the same scheme.
+    pub fn stable_id(self) -> u8 {
+        match self {
+            Schedule::Svm => 0,
+            Schedule::Sem => 1,
+            Schedule::Swm => 2,
+            Schedule::Scm => 3,
+            Schedule::Stwc => 4,
+            Schedule::SparseWeaver => 5,
+            Schedule::Eghw => 6,
+        }
+    }
+
+    /// Maps a [`Schedule::stable_id`] back to the scheme; `None` for
+    /// unknown ids (a corrupt or future-format checkpoint).
+    pub fn from_stable_id(id: u8) -> Option<Schedule> {
+        Schedule::ALL.into_iter().find(|s| s.stable_id() == id)
+    }
+
     /// The paper's notation for the scheme.
     pub fn paper_name(self) -> &'static str {
         match self {

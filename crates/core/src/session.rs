@@ -12,9 +12,10 @@ use sparseweaver_trace::{
 };
 
 use crate::algorithms::Algorithm;
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::compiler::Compiler;
 use crate::output::AlgoOutput;
-use crate::runtime::Runtime;
+use crate::runtime::{CheckpointCtl, Runtime};
 use crate::schedule::Schedule;
 use crate::FrameworkError;
 
@@ -147,6 +148,14 @@ pub struct Session {
     /// for the re-run, so the capture always describes the schedule that
     /// actually executed.
     pub mem_trace_out: Option<PathBuf>,
+    /// Checkpoint and early-stop policy applied to every run (default
+    /// `None`). The session fills in the config/graph fingerprints and
+    /// fallback provenance per run; callers set the output path, cadence,
+    /// embedded argv, and stop knobs. Incompatible with
+    /// [`Session::mem_trace_out`] (the memory-trace recorder is not part
+    /// of the checkpointed state) and with a `-` (stdout)
+    /// [`Session::trace_out`] — the CLI rejects both combinations.
+    pub checkpoint: Option<CheckpointCtl>,
     /// Injection counters of the most recent [`Session::run`], kept even
     /// when the run errored (the [`RunReport`] is lost on that path).
     last_faults: Option<FaultCounts>,
@@ -171,6 +180,7 @@ impl Session {
             fallback: true,
             fast_forward: true,
             mem_trace_out: None,
+            checkpoint: None,
             last_faults: None,
         }
     }
@@ -325,7 +335,7 @@ impl Session {
             .inject
             .filter(|s| s.is_active())
             .map(|spec| FaultHandle::new(FaultInjector::new(spec, self.inject_seed)));
-        let result = match self.run_once(graph, algorithm, schedule, fault.clone(), None) {
+        let result = match self.run_once(graph, algorithm, schedule, fault.clone(), None, None) {
             Err(FrameworkError::Sim(SimError::WeaverTimeout { kernel, .. }))
                 if self.fallback && schedule.uses_unit() =>
             {
@@ -339,6 +349,7 @@ impl Session {
                     Schedule::Swm,
                     fault.clone(),
                     Some((schedule, kernel)),
+                    None,
                 )
                 .map(|mut report| {
                     // The launch that exhausted its budget retried exactly
@@ -353,9 +364,83 @@ impl Session {
         result
     }
 
+    /// Resumes a run from a checkpoint written by an earlier, interrupted
+    /// invocation with the same session settings, graph, and algorithm.
+    ///
+    /// The machine is rebuilt exactly as [`Session::run`] builds it —
+    /// including entering the graceful-degradation re-run directly when
+    /// the checkpoint records one — the checkpointed state is restored
+    /// into it, and the recorded host-side decisions are replayed up to
+    /// the interruption point, after which simulation continues live. The
+    /// final [`RunReport`] is bit-identical to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ConfigMismatch`] /
+    /// [`CheckpointError::GraphMismatch`] (wrapped in
+    /// [`FrameworkError::Checkpoint`]) when the rebuilt machine or graph
+    /// does not match the checkpoint's fingerprints, plus everything
+    /// [`Session::run`] can return.
+    pub fn resume(
+        &mut self,
+        graph: &Csr,
+        algorithm: &dyn Algorithm,
+        ck: &Checkpoint,
+    ) -> Result<RunReport, FrameworkError> {
+        let fault = self
+            .inject
+            .filter(|s| s.is_active())
+            .map(|spec| FaultHandle::new(FaultInjector::new(spec, self.inject_seed)));
+        let fallback_from = ck.fell_back_from.clone();
+        let result = match self.run_once(
+            graph,
+            algorithm,
+            ck.schedule,
+            fault.clone(),
+            fallback_from.clone(),
+            Some(ck),
+        ) {
+            Err(FrameworkError::Sim(SimError::WeaverTimeout { kernel, .. }))
+                if self.fallback && ck.schedule.uses_unit() && fallback_from.is_none() =>
+            {
+                // The resumed attempt exhausted its retries after the
+                // checkpoint: degrade exactly as the uninterrupted run
+                // would, with a fresh (non-resumed) software re-run.
+                self.run_once(
+                    graph,
+                    algorithm,
+                    Schedule::Swm,
+                    fault.clone(),
+                    Some((ck.schedule, kernel)),
+                    None,
+                )
+                .map(|mut report| {
+                    report.weaver_retries += self.max_weaver_retries as u64;
+                    report
+                })
+            }
+            other => other,
+        };
+        let result = result.map(|mut report| {
+            if fallback_from.is_some() {
+                // [`Session::run`] applies this adjustment when it enters
+                // the fallback re-run; the checkpoint was taken inside
+                // that re-run, so re-apply it here.
+                report.weaver_retries += self.max_weaver_retries as u64;
+            }
+            report
+        });
+        self.last_faults = fault.map(|f| f.counts());
+        result
+    }
+
     /// One attempt of [`Session::run`] under exactly `schedule`.
     /// `fallback_from` marks this as the graceful-degradation re-run:
     /// `(originally requested schedule, kernel that exhausted retries)`.
+    /// With `resume` set, the machine is restored from that checkpoint
+    /// after all observability handles are attached, and the side effects
+    /// that the restored state already contains (the fallback-entry trace
+    /// event and totals) are not re-applied.
     fn run_once(
         &mut self,
         graph: &Csr,
@@ -363,8 +448,29 @@ impl Session {
         schedule: Schedule,
         fault: Option<FaultHandle>,
         fallback_from: Option<(Schedule, String)>,
+        resume: Option<&Checkpoint>,
     ) -> Result<RunReport, FrameworkError> {
         let (eff, configured) = self.clamped_config(algorithm, schedule)?;
+        // Fingerprint the *effective* (clamped, penalty-applied) config —
+        // the machine that actually runs — matching what
+        // `crate::profile::render` stamps into `metrics.json`.
+        let fps = (resume.is_some() || self.checkpoint.is_some()).then(|| {
+            (
+                crate::profile::config_fingerprint(&eff),
+                crate::profile::graph_fingerprint(graph),
+            )
+        });
+        if let (Some(ck), Some((cfp, gfp))) = (resume, fps) {
+            ck.verify(cfp, gfp)?;
+        }
+        if resume.is_some() && self.mem_trace_out.is_some() {
+            return Err(CheckpointError::Restore {
+                what: "memory-trace capture (--mem-trace-out) is not part of the \
+                       checkpointed state and cannot be resumed"
+                    .to_string(),
+            }
+            .into());
+        }
         let mut gpu = Gpu::new(eff);
         gpu.set_configured_warps_per_core(configured);
         let mut rt = Runtime::new(gpu, graph, algorithm.direction(), schedule)?;
@@ -376,7 +482,16 @@ impl Session {
         let tracer = match &self.trace_out {
             Some(path) => {
                 let cfg = self.trace.unwrap_or_default();
-                let sink = FileSink::create(path).map_err(|e| FrameworkError::Io {
+                // A resume appends to the existing trace file: the restored
+                // sink state truncates it back to the checkpointed byte
+                // count, while `create` would wipe the pre-interruption
+                // events.
+                let sink = if resume.is_some() {
+                    FileSink::reopen(path)
+                } else {
+                    FileSink::create(path)
+                }
+                .map_err(|e| FrameworkError::Io {
                     what: format!("creating trace file {}: {e}", path.display()),
                 })?;
                 Some(TraceHandle::with_sink(cfg, Box::new(sink)))
@@ -406,28 +521,44 @@ impl Session {
             None => None,
         };
         rt.set_mem_recorder(recorder.clone());
-        if let (Some(tr), Some((from, kernel))) = (&tracer, &fallback_from) {
-            tr.emit(
-                0,
-                0,
-                EventData::WeaverFallback {
-                    kernel: kernel.clone(),
-                    schedule: schedule.paper_name().to_string(),
-                },
-            );
-            // The failed attempt's tracer died with it; carry what the
-            // injector did to that run (the drops that exhausted the
-            // retry budget) into this run's totals so `metrics.json`
-            // explains the fallback it reports.
-            let pre = fault.as_ref().map(|f| f.counts()).unwrap_or_default();
-            tr.add_totals(&CounterSnapshot {
-                faults_injected: pre.total(),
-                weaver_drops: pre.weaver_drops,
-                weaver_retries: self.max_weaver_retries as u64,
-                weaver_fallbacks: 1,
-                ..CounterSnapshot::default()
-            });
-            let _ = from;
+        if let Some(policy) = &self.checkpoint {
+            let mut ctl = policy.clone();
+            let (cfp, gfp) = fps.expect("fingerprints computed when a policy is set");
+            ctl.config_fp = cfp;
+            ctl.graph_fp = gfp;
+            ctl.fell_back_from = fallback_from.clone();
+            rt.set_checkpoint_ctl(Some(ctl));
+        }
+        // On a resume the restored tracer state already contains the
+        // fallback-entry event and totals — re-applying them here would
+        // double-count the degradation.
+        if resume.is_none() {
+            if let (Some(tr), Some((from, kernel))) = (&tracer, &fallback_from) {
+                tr.emit(
+                    0,
+                    0,
+                    EventData::WeaverFallback {
+                        kernel: kernel.clone(),
+                        schedule: schedule.paper_name().to_string(),
+                    },
+                );
+                // The failed attempt's tracer died with it; carry what the
+                // injector did to that run (the drops that exhausted the
+                // retry budget) into this run's totals so `metrics.json`
+                // explains the fallback it reports.
+                let pre = fault.as_ref().map(|f| f.counts()).unwrap_or_default();
+                tr.add_totals(&CounterSnapshot {
+                    faults_injected: pre.total(),
+                    weaver_drops: pre.weaver_drops,
+                    weaver_retries: self.max_weaver_retries as u64,
+                    weaver_fallbacks: 1,
+                    ..CounterSnapshot::default()
+                });
+                let _ = from;
+            }
+        }
+        if let Some(ck) = resume {
+            rt.resume_from(ck)?;
         }
         let output = algorithm.run(&mut rt)?;
         let occupancy = rt.gpu().occupancy();
@@ -604,6 +735,79 @@ mod tests {
         assert_eq!(report.total_cycles, traced.cycles);
         assert!(!report.samples.is_empty());
         assert_eq!(report.totals.instructions, traced.stats.instructions);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let g = sparseweaver_graph::generators::powerlaw(48, 240, 1.8, 7);
+        let algo = PageRank::new(4);
+        let mut plain = Session::new(GpuConfig::small_test());
+        plain.trace = Some(TraceConfig::default());
+        plain.profile = true;
+        let golden = plain.run(&g, &algo, Schedule::SparseWeaver).unwrap();
+
+        let path = std::env::temp_dir().join("sw_session_resume.swckpt");
+        let mut s = plain.clone();
+        s.checkpoint = Some(CheckpointCtl {
+            out: Some(path.clone()),
+            every: 1,
+            stop_after_launches: Some(3),
+            ..CheckpointCtl::default()
+        });
+        match s.run(&g, &algo, Schedule::SparseWeaver) {
+            Err(FrameworkError::Interrupted { .. }) => {}
+            other => panic!("expected an interrupted run, got {other:?}"),
+        }
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.launches, 3);
+        // Clear the stop bound: the resumed run goes to completion (still
+        // writing checkpoints on the way).
+        s.checkpoint.as_mut().unwrap().stop_after_launches = None;
+        let resumed = s.resume(&g, &algo, &ck).unwrap();
+        assert_eq!(golden.stats, resumed.stats);
+        assert_eq!(golden.per_kernel, resumed.per_kernel);
+        assert_eq!(golden.cycles, resumed.cycles);
+        assert!(golden.output.approx_eq(&resumed.output, 0.0));
+        assert_eq!(golden.occupancy, resumed.occupancy);
+        let (gt, rt) = (golden.trace.unwrap(), resumed.trace.unwrap());
+        assert_eq!(gt.totals, rt.totals);
+        assert_eq!(gt.samples, rt.samples);
+        assert_eq!(gt.kernels, rt.kernels);
+        assert_eq!(golden.profile, resumed.profile);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_fingerprint_mismatch() {
+        let g = sparseweaver_graph::generators::uniform(30, 90, 11);
+        let algo = PageRank::new(2);
+        let path = std::env::temp_dir().join("sw_session_resume_mismatch.swckpt");
+        let mut s = Session::new(GpuConfig::small_test());
+        s.checkpoint = Some(CheckpointCtl {
+            out: Some(path.clone()),
+            every: 1,
+            stop_after_launches: Some(2),
+            ..CheckpointCtl::default()
+        });
+        match s.run(&g, &algo, Schedule::Svm) {
+            Err(FrameworkError::Interrupted { .. }) => {}
+            other => panic!("expected an interrupted run, got {other:?}"),
+        }
+        let ck = Checkpoint::load(&path).unwrap();
+        // A different graph must be rejected up front.
+        let other = sparseweaver_graph::generators::uniform(31, 90, 11);
+        match s.resume(&other, &algo, &ck) {
+            Err(FrameworkError::Checkpoint(CheckpointError::GraphMismatch { .. })) => {}
+            r => panic!("expected a graph mismatch, got {r:?}"),
+        }
+        // So must a different machine configuration.
+        let mut s2 = s.clone();
+        s2.config_mut().warps_per_core *= 2;
+        match s2.resume(&g, &algo, &ck) {
+            Err(FrameworkError::Checkpoint(CheckpointError::ConfigMismatch { .. })) => {}
+            r => panic!("expected a config mismatch, got {r:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

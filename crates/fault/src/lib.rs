@@ -81,6 +81,17 @@ impl SplitMix64 {
         let mut g = SplitMix64::new(campaign_seed ^ index.wrapping_mul(0xa076_1d64_78bd_642f));
         g.next_u64()
     }
+
+    /// The raw generator state (for checkpointing). Restoring it with
+    /// [`SplitMix64::set_state`] resumes the stream at the same position.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a raw generator state captured with [`SplitMix64::state`].
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
 }
 
 /// Which rates are active, parsed from `--inject <spec>`.
@@ -342,6 +353,38 @@ impl FaultInjector {
     pub fn clear_weaver_faulty(&mut self) {
         self.weaver_faulty = false;
     }
+
+    /// Captures the injector's mutable state — RNG cursor, cumulative
+    /// counters, and the sticky faulty mark — for a checkpoint. The spec
+    /// is not part of the state: a restored injector must be built from
+    /// the same spec, which the checkpoint layer fingerprints separately.
+    pub fn save_state(&self) -> FaultInjectorState {
+        FaultInjectorState {
+            rng: self.rng.state(),
+            counts: self.counts,
+            weaver_faulty: self.weaver_faulty,
+        }
+    }
+
+    /// Restores a state captured with [`FaultInjector::save_state`]; the
+    /// RNG stream resumes exactly where the snapshot was taken.
+    pub fn restore_state(&mut self, state: &FaultInjectorState) {
+        self.rng.set_state(state.rng);
+        self.counts = state.counts;
+        self.weaver_faulty = state.weaver_faulty;
+    }
+}
+
+/// The mutable state of a [`FaultInjector`], as captured by
+/// [`FaultInjector::save_state`] for crash-safe checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjectorState {
+    /// Raw [`SplitMix64`] cursor.
+    pub rng: u64,
+    /// Cumulative injection counters at snapshot time.
+    pub counts: FaultCounts,
+    /// Whether a response drop had marked the Weaver unit faulty.
+    pub weaver_faulty: bool,
 }
 
 /// A cloneable shared handle to one [`FaultInjector`], mirroring
@@ -379,6 +422,16 @@ impl FaultHandle {
     pub fn spec(&self) -> FaultSpec {
         self.0.borrow().spec()
     }
+
+    /// See [`FaultInjector::save_state`].
+    pub fn save_state(&self) -> FaultInjectorState {
+        self.0.borrow().save_state()
+    }
+
+    /// See [`FaultInjector::restore_state`].
+    pub fn restore_state(&self, state: &FaultInjectorState) {
+        self.0.borrow_mut().restore_state(state);
+    }
 }
 
 /// The four-way classification of one fault-campaign run.
@@ -404,6 +457,19 @@ impl Outcome {
             Outcome::DetectedCrash => "detected_crash",
             Outcome::Hang => "hang",
         }
+    }
+
+    /// Maps an [`Outcome::label`] back to the class; `None` for unknown
+    /// labels (a corrupt or future-format campaign journal).
+    pub fn from_label(label: &str) -> Option<Outcome> {
+        [
+            Outcome::Masked,
+            Outcome::Sdc,
+            Outcome::DetectedCrash,
+            Outcome::Hang,
+        ]
+        .into_iter()
+        .find(|o| o.label() == label)
     }
 }
 

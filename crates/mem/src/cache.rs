@@ -167,6 +167,33 @@ struct Line {
     last_use: u64,
 }
 
+/// One cache line's checkpointable state (tag array entry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineState {
+    /// Whether the line holds a tag.
+    pub valid: bool,
+    /// Whether the line is dirty (would write back on eviction).
+    pub dirty: bool,
+    /// The stored tag.
+    pub tag: u64,
+    /// LRU timestamp (value of `tick` at last touch).
+    pub last_use: u64,
+}
+
+/// A complete snapshot of one cache's mutable state: the tag array in
+/// set-major order, the LRU clock, and the hit/miss counters. Geometry is
+/// *not* included — it belongs to the configuration the owner was built
+/// from, which checkpoint restore validates separately.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheState {
+    /// All lines, flattened set-major (`sets * ways` entries).
+    pub lines: Vec<LineState>,
+    /// The LRU clock.
+    pub tick: u64,
+    /// Accumulated counters.
+    pub stats: CacheStats,
+}
+
 /// The outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheAccess {
@@ -282,6 +309,58 @@ impl Cache {
             hit: false,
             evicted_dirty,
         }
+    }
+
+    /// Captures the complete mutable state (tag array, LRU clock,
+    /// counters) for checkpointing.
+    pub fn save_state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .sets
+                .iter()
+                .flat_map(|set| set.iter())
+                .map(|l| LineState {
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    tag: l.tag,
+                    last_use: l.last_use,
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured with [`Cache::save_state`] into a cache of
+    /// the *same geometry*.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the snapshot's line count
+    /// does not match this cache's `sets * ways`.
+    pub fn restore_state(&mut self, state: &CacheState) -> Result<(), String> {
+        let expect = self.sets.len() * self.cfg.ways as usize;
+        if state.lines.len() != expect {
+            return Err(format!(
+                "cache snapshot has {} lines, geometry needs {expect}",
+                state.lines.len()
+            ));
+        }
+        let ways = self.cfg.ways as usize;
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            for (j, line) in set.iter_mut().enumerate() {
+                let s = &state.lines[i * ways + j];
+                *line = Line {
+                    valid: s.valid,
+                    dirty: s.dirty,
+                    tag: s.tag,
+                    last_use: s.last_use,
+                };
+            }
+        }
+        self.tick = state.tick;
+        self.stats = state.stats;
+        Ok(())
     }
 
     /// Invalidates everything (e.g. when reconfiguring between runs).

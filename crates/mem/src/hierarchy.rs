@@ -4,7 +4,7 @@ use std::fmt;
 
 use sparseweaver_trace::{EventData, MemLevel, ProfileHandle, TraceHandle};
 
-use crate::cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheConfigError, CacheState, CacheStats};
 use crate::mtrace::MemRecorderHandle;
 
 /// Configuration of the whole hierarchy.
@@ -258,6 +258,38 @@ impl Port {
         }
         cycle
     }
+}
+
+/// One port's mutable queue state (checkpointable). Capacity and stride
+/// come from the configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortState {
+    /// The cycle the current service window ends.
+    pub cycle: u64,
+    /// Slots consumed in the current window.
+    pub used: u64,
+}
+
+/// A complete snapshot of the hierarchy's mutable state: every tag array,
+/// every port queue, and the DRAM access counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchyState {
+    /// Per-core L1 snapshots.
+    pub l1: Vec<CacheState>,
+    /// Shared L2 snapshot.
+    pub l2: CacheState,
+    /// Shared L3 snapshot, if configured.
+    pub l3: Option<CacheState>,
+    /// Per-core L1 port queues.
+    pub l1_ports: Vec<PortState>,
+    /// Shared L2 port queue.
+    pub l2_port: PortState,
+    /// DRAM port queue.
+    pub dram_port: PortState,
+    /// Atomic-bank port queue.
+    pub atomic_port: PortState,
+    /// Total DRAM requests so far.
+    pub dram_accesses: u64,
 }
 
 /// One port's queue state at a point in time, reported by
@@ -631,6 +663,66 @@ impl Hierarchy {
             l3: self.l3.as_ref().map(|c| c.stats()),
             dram_accesses: self.dram_accesses,
         }
+    }
+
+    /// Captures the complete mutable state for checkpointing.
+    pub fn save_state(&self) -> HierarchyState {
+        let port = |p: &Port| PortState {
+            cycle: p.cycle,
+            used: p.used,
+        };
+        HierarchyState {
+            l1: self.l1.iter().map(Cache::save_state).collect(),
+            l2: self.l2.save_state(),
+            l3: self.l3.as_ref().map(Cache::save_state),
+            l1_ports: self.l1_ports.iter().map(port).collect(),
+            l2_port: port(&self.l2_port),
+            dram_port: port(&self.dram_port),
+            atomic_port: port(&self.atomic_port),
+            dram_accesses: self.dram_accesses,
+        }
+    }
+
+    /// Restores state captured with [`Hierarchy::save_state`] into a
+    /// hierarchy built from the *same configuration*.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the snapshot's shape
+    /// (core count, L3 presence, line counts) does not match this
+    /// hierarchy's configuration.
+    pub fn restore_state(&mut self, state: &HierarchyState) -> Result<(), String> {
+        if state.l1.len() != self.l1.len() || state.l1_ports.len() != self.l1_ports.len() {
+            return Err(format!(
+                "hierarchy snapshot has {} cores, configuration needs {}",
+                state.l1.len(),
+                self.l1.len()
+            ));
+        }
+        if state.l3.is_some() != self.l3.is_some() {
+            return Err("hierarchy snapshot disagrees with configuration about L3".into());
+        }
+        for (cache, snap) in self.l1.iter_mut().zip(&state.l1) {
+            cache.restore_state(snap).map_err(|e| format!("l1: {e}"))?;
+        }
+        self.l2
+            .restore_state(&state.l2)
+            .map_err(|e| format!("l2: {e}"))?;
+        if let (Some(l3), Some(snap)) = (&mut self.l3, &state.l3) {
+            l3.restore_state(snap).map_err(|e| format!("l3: {e}"))?;
+        }
+        let restore = |p: &mut Port, s: &PortState| {
+            p.cycle = s.cycle;
+            p.used = s.used;
+        };
+        for (p, s) in self.l1_ports.iter_mut().zip(&state.l1_ports) {
+            restore(p, s);
+        }
+        restore(&mut self.l2_port, &state.l2_port);
+        restore(&mut self.dram_port, &state.dram_port);
+        restore(&mut self.atomic_port, &state.atomic_port);
+        self.dram_accesses = state.dram_accesses;
+        Ok(())
     }
 
     /// Resets the port clocks (between kernel launches: simulated time

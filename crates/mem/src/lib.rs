@@ -27,10 +27,10 @@ pub mod main_memory;
 pub mod mtrace;
 pub mod replay;
 
-pub use cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheConfigError, CacheState, CacheStats, LineState};
 pub use hierarchy::{
-    AccessResult, Hierarchy, HierarchyConfig, HierarchyConfigError, HitLevel, LevelStats,
-    PortOccupancy,
+    AccessResult, Hierarchy, HierarchyConfig, HierarchyConfigError, HierarchyState, HitLevel,
+    LevelStats, PortOccupancy, PortState,
 };
 pub use main_memory::{MainMemory, MemFault};
 pub use mtrace::{MemRecord, MemRecorderHandle, MemTrace, MemTraceError, RecorderSummary};

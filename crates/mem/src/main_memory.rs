@@ -112,6 +112,25 @@ impl MainMemory {
         self.writes.set(0);
     }
 
+    /// Sets the traffic counters to previously captured values (checkpoint
+    /// restore).
+    pub fn restore_traffic(&self, reads: u64, writes: u64) {
+        self.reads.set(reads);
+        self.writes.set(writes);
+    }
+
+    /// The raw contents, for bulk checkpointing.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Replaces the contents wholesale (checkpoint restore). The memory
+    /// adopts `bytes` exactly — including its length.
+    pub fn restore_contents(&mut self, bytes: &[u8]) {
+        self.data.clear();
+        self.data.extend_from_slice(bytes);
+    }
+
     /// Size in bytes.
     pub fn len(&self) -> usize {
         self.data.len()

@@ -461,7 +461,14 @@ pub struct RecorderSummary {
 }
 
 enum RecorderSink {
-    File(io::BufWriter<std::fs::File>),
+    /// Streams into a same-directory temporary; [`RecorderSink::commit`]
+    /// renames it over `dest` at finalization so a reader (or a crash)
+    /// never observes a truncated capture at the final path.
+    File {
+        writer: io::BufWriter<std::fs::File>,
+        tmp: std::path::PathBuf,
+        dest: std::path::PathBuf,
+    },
     Stdout(io::Stdout),
     Memory(Vec<u8>),
 }
@@ -469,7 +476,7 @@ enum RecorderSink {
 impl RecorderSink {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
         match self {
-            RecorderSink::File(f) => f.write_all(buf),
+            RecorderSink::File { writer, .. } => writer.write_all(buf),
             RecorderSink::Stdout(s) => s.write_all(buf),
             RecorderSink::Memory(v) => {
                 v.extend_from_slice(buf);
@@ -480,11 +487,34 @@ impl RecorderSink {
 
     fn flush(&mut self) -> io::Result<()> {
         match self {
-            RecorderSink::File(f) => f.flush(),
+            RecorderSink::File { writer, .. } => writer.flush(),
             RecorderSink::Stdout(s) => s.flush(),
             RecorderSink::Memory(_) => Ok(()),
         }
     }
+
+    /// Publishes a file capture: syncs the temporary and renames it over
+    /// the destination. No-op for stdout/memory sinks.
+    fn commit(&mut self) -> io::Result<()> {
+        match self {
+            RecorderSink::File { writer, tmp, dest } => {
+                writer.get_ref().sync_all()?;
+                std::fs::rename(tmp, dest)
+            }
+            RecorderSink::Stdout(_) | RecorderSink::Memory(_) => Ok(()),
+        }
+    }
+}
+
+/// The sibling temporary path a file capture streams into before the
+/// finalize-time rename (same scheme as `write_atomic` in the core crate).
+fn tmp_path(dest: &Path) -> std::path::PathBuf {
+    let mut name = dest
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    dest.with_file_name(name)
 }
 
 struct Recorder {
@@ -596,7 +626,12 @@ impl MemRecorderHandle {
         let sink = if path == Path::new("-") {
             RecorderSink::Stdout(io::stdout())
         } else {
-            RecorderSink::File(io::BufWriter::new(std::fs::File::create(path)?))
+            let tmp = tmp_path(path);
+            RecorderSink::File {
+                writer: io::BufWriter::new(std::fs::File::create(&tmp)?),
+                tmp,
+                dest: path.to_path_buf(),
+            }
         };
         Ok(Self::with_sink(sink, cfg))
     }
@@ -716,7 +751,7 @@ impl MemRecorderHandle {
             push_varint(&mut r.scratch, stats.dram_accesses);
             r.emit();
             if r.err.is_none() {
-                if let Err(e) = r.sink.flush() {
+                if let Err(e) = r.sink.flush().and_then(|()| r.sink.commit()) {
                     r.err = Some(e.kind());
                 }
             }

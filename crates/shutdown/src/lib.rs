@@ -1,0 +1,111 @@
+//! Cooperative shutdown plumbing for SparseWeaver binaries.
+//!
+//! The simulator and campaign runner stop at deterministic boundaries (kernel
+//! launches, completed campaign runs) rather than dying mid-write. This crate
+//! owns the two ways a stop can be requested from the outside:
+//!
+//! - **Signals.** [`install_signal_handler`] registers a SIGINT/SIGTERM
+//!   handler that sets a shared [`AtomicBool`]. The handler only stores to an
+//!   atomic, which is async-signal-safe.
+//! - **Wall clock.** [`spawn_watchdog`] starts a detached thread that sets the
+//!   same flag once a wall-clock budget expires.
+//!
+//! Everything that consumes the flag lives elsewhere; the rest of the
+//! workspace stays `#![forbid(unsafe_code)]` and this crate contains the only
+//! `unsafe` in the project (the raw `signal(2)` binding).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Shared stop flag: set by signal handlers or the watchdog, polled by the
+/// simulator at launch boundaries and by the campaign runner between runs.
+pub type StopFlag = Arc<AtomicBool>;
+
+/// Creates a fresh, unset stop flag.
+pub fn stop_flag() -> StopFlag {
+    Arc::new(AtomicBool::new(false))
+}
+
+/// The flag the installed signal handler stores into. Signal handlers cannot
+/// carry closures, so the target lives in a process-wide cell.
+static SIGNAL_TARGET: OnceLock<StopFlag> = OnceLock::new();
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: a relaxed store to an atomic, nothing else.
+    if let Some(flag) = SIGNAL_TARGET.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Routes SIGINT and SIGTERM to `flag`: the first signal sets the flag so the
+/// caller can stop at the next safe boundary.
+///
+/// Only the first installation wins; later calls with a different flag return
+/// `false` and leave the original target in place (the handler can only ever
+/// observe one cell for the lifetime of the process).
+pub fn install_signal_handler(flag: &StopFlag) -> bool {
+    let installed = SIGNAL_TARGET.get_or_init(|| Arc::clone(flag));
+    if !Arc::ptr_eq(installed, flag) {
+        return false;
+    }
+    // SAFETY: `on_signal` is an `extern "C" fn(i32)` that only performs an
+    // atomic store, which is async-signal-safe. `signal` is the libc binding.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+    true
+}
+
+/// Spawns a detached watchdog thread that sets `flag` after `max_wall_secs`
+/// seconds. The thread holds only a weak-free clone of the flag and exits
+/// after firing; there is nothing to join.
+pub fn spawn_watchdog(flag: &StopFlag, max_wall_secs: u64) {
+    let flag = Arc::clone(flag);
+    std::thread::Builder::new()
+        .name("sw-watchdog".into())
+        .spawn(move || {
+            std::thread::sleep(Duration::from_secs(max_wall_secs));
+            flag.store(true, Ordering::Relaxed);
+        })
+        .expect("spawn watchdog thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_flag_is_unset() {
+        assert!(!stop_flag().load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn watchdog_sets_flag() {
+        let flag = stop_flag();
+        spawn_watchdog(&flag, 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !flag.load(Ordering::Relaxed) {
+            assert!(std::time::Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn signal_handler_installs_once() {
+        let first = stop_flag();
+        assert!(install_signal_handler(&first));
+        // Re-installing the same flag is fine; a different flag is refused.
+        assert!(install_signal_handler(&first));
+        let second = stop_flag();
+        assert!(!install_signal_handler(&second));
+    }
+}

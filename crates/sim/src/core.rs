@@ -10,9 +10,12 @@ use sparseweaver_trace::{Category, EventData, ProfileHandle, TraceHandle};
 use sparseweaver_weaver::eghw::{EghwLayout, EghwUnit};
 use sparseweaver_weaver::{WeaverUnit, EMPTY_WORK_ID};
 
+use sparseweaver_weaver::eghw::EghwState;
+use sparseweaver_weaver::WeaverUnitState;
+
 use crate::config::{GpuConfig, WeaverMode};
 use crate::stats::{PendKind, Phase, StallBreakdown};
-use crate::warp::{full_mask, lanes_of, SimtEntry, Warp, WarpState};
+use crate::warp::{full_mask, lanes_of, SimtEntry, Warp, WarpSnapshot, WarpState};
 use crate::SimError;
 
 /// Why a core could not issue this cycle, and when it can retry.
@@ -58,7 +61,7 @@ pub struct TraceRecord {
 }
 
 /// Per-core counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoreStats {
     /// Warp-instructions issued.
     pub instructions: u64,
@@ -70,6 +73,33 @@ pub struct CoreStats {
     pub phase_cycles: [u64; Phase::COUNT],
     /// Finish cycle of this core for the current launch.
     pub finish_cycle: u64,
+}
+
+/// A complete snapshot of one core's mutable state. The debugging-only
+/// per-instruction trace buffer ([`Core::enable_trace`]) is not part of
+/// the snapshot; it is cleared at every launch anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreState {
+    /// All warp contexts, in warp order.
+    pub warps: Vec<WarpSnapshot>,
+    /// Scratchpad memory contents.
+    pub shared_data: Vec<u8>,
+    /// Scratchpad `(reads, writes)` traffic counters.
+    pub shared_traffic: (u64, u64),
+    /// The Weaver unit.
+    pub weaver: WeaverUnitState,
+    /// The EGHW baseline unit.
+    pub eghw: EghwState,
+    /// EGHW per-warp DT mirror rows.
+    pub eghw_dt: Vec<Vec<i64>>,
+    /// Round-robin scheduler cursor.
+    pub next_warp: u64,
+    /// Non-halted warp count.
+    pub resident: u64,
+    /// Warps participating in the current launch.
+    pub active_warps: u64,
+    /// Per-launch counters.
+    pub stats: CoreStats,
 }
 
 /// One SIMT core.
@@ -293,6 +323,63 @@ impl Core {
         for row in &mut self.eghw_dt {
             row.iter_mut().for_each(|e| *e = EMPTY_WORK_ID);
         }
+    }
+
+    /// Captures the complete mutable state for checkpointing.
+    pub fn save_state(&self) -> CoreState {
+        CoreState {
+            warps: self.warps.iter().map(Warp::save_state).collect(),
+            shared_data: self.shared.bytes().to_vec(),
+            shared_traffic: self.shared.traffic(),
+            weaver: self.weaver.save_state(),
+            eghw: self.eghw.save_state(),
+            eghw_dt: self.eghw_dt.clone(),
+            next_warp: self.next_warp as u64,
+            resident: self.resident as u64,
+            active_warps: self.active_warps as u64,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restores state captured with [`Core::save_state`] into a core built
+    /// from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the snapshot's shape does
+    /// not match this core's configuration.
+    pub fn restore_state(&mut self, state: &CoreState) -> Result<(), String> {
+        if state.warps.len() != self.warps.len() {
+            return Err(format!(
+                "core snapshot has {} warps, configuration needs {}",
+                state.warps.len(),
+                self.warps.len()
+            ));
+        }
+        if state.eghw_dt.len() != self.eghw_dt.len()
+            || state.eghw_dt.iter().any(|r| r.len() != self.lanes)
+        {
+            return Err("core snapshot EGHW DT shape mismatch".into());
+        }
+        for (i, (warp, snap)) in self.warps.iter_mut().zip(&state.warps).enumerate() {
+            warp.restore_state(snap)
+                .map_err(|e| format!("warp {i}: {e}"))?;
+        }
+        self.weaver
+            .restore_state(&state.weaver)
+            .map_err(|e| format!("weaver: {e}"))?;
+        self.eghw
+            .restore_state(&state.eghw)
+            .map_err(|e| format!("eghw: {e}"))?;
+        self.shared.restore_contents(&state.shared_data);
+        self.shared
+            .restore_traffic(state.shared_traffic.0, state.shared_traffic.1);
+        self.eghw_dt.clone_from(&state.eghw_dt);
+        self.next_warp = state.next_warp as usize;
+        self.resident = state.resident as usize;
+        self.active_warps = state.active_warps as usize;
+        self.stats = state.stats.clone();
+        Ok(())
     }
 
     fn maybe_release_barrier(&mut self) {

@@ -6,8 +6,10 @@ use sparseweaver_mem::{Hierarchy, LevelStats, MainMemory, MemRecorderHandle};
 use sparseweaver_trace::{CounterSnapshot, EventData, ProfileHandle, StallCause, TraceHandle};
 use sparseweaver_weaver::eghw::EghwLayout;
 
+use sparseweaver_mem::HierarchyState;
+
 use crate::config::GpuConfig;
-use crate::core::{Blocked, Core, IssueOutcome};
+use crate::core::{Blocked, Core, CoreState, IssueOutcome};
 use crate::stats::{KernelStats, PendKind};
 use crate::SimError;
 
@@ -73,6 +75,30 @@ pub struct Occupancy {
     /// Warps per core the machine was configured with (see
     /// [`Gpu::set_configured_warps_per_core`]).
     pub configured: usize,
+}
+
+/// Complete dynamic state of a [`Gpu`], as captured by
+/// [`Gpu::save_state`] for checkpointing.
+///
+/// Everything the machine mutates across launches is here: per-core
+/// state (warps, Weaver/EGHW units, shared memory), the cache
+/// hierarchy's arrays and port clocks, device-memory contents and
+/// traffic counters, and the occupancy gauges of the most recent
+/// launch. Configuration and attached handles (tracer, profiler,
+/// fault injector) are *not* part of the state — a restore target is
+/// rebuilt from the same configuration first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuState {
+    /// Per-core state, in core-ID order.
+    pub cores: Vec<CoreState>,
+    /// Cache arrays, port clocks, and DRAM access count.
+    pub hierarchy: HierarchyState,
+    /// Device-memory contents.
+    pub mem_data: Vec<u8>,
+    /// Device-memory `(reads, writes)` traffic counters.
+    pub mem_traffic: (u64, u64),
+    /// Occupancy gauges of the most recent launch.
+    pub occupancy: Occupancy,
 }
 
 impl Gpu {
@@ -248,6 +274,55 @@ impl Gpu {
         let mut all: Vec<_> = self.cores.iter_mut().flat_map(|c| c.take_trace()).collect();
         all.sort_by_key(|r| (r.cycle, r.core, r.warp));
         all
+    }
+
+    /// Captures the complete dynamic machine state for a checkpoint.
+    ///
+    /// Taken between launches (the cycle loop is not re-entrant), the
+    /// snapshot plus the original configuration fully determines every
+    /// subsequent launch: restoring it onto a freshly built `Gpu` of
+    /// the same configuration is bit-identical to never having stopped.
+    pub fn save_state(&self) -> GpuState {
+        GpuState {
+            cores: self.cores.iter().map(Core::save_state).collect(),
+            hierarchy: self.hierarchy.save_state(),
+            mem_data: self.mem.bytes().to_vec(),
+            mem_traffic: self.mem.traffic(),
+            occupancy: self.occupancy,
+        }
+    }
+
+    /// Restores machine state captured by [`Gpu::save_state`].
+    ///
+    /// The target must be built from the same configuration the state
+    /// was captured under; shape mismatches (core count, warp count,
+    /// cache geometry, table sizes) are rejected with a description of
+    /// the first offending component.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch; the machine may be left
+    /// partially restored and should be discarded.
+    pub fn restore_state(&mut self, state: &GpuState) -> Result<(), String> {
+        if state.cores.len() != self.cores.len() {
+            return Err(format!(
+                "core count mismatch: state has {}, machine has {}",
+                state.cores.len(),
+                self.cores.len()
+            ));
+        }
+        for (i, (core, cs)) in self.cores.iter_mut().zip(&state.cores).enumerate() {
+            core.restore_state(cs)
+                .map_err(|e| format!("core {i}: {e}"))?;
+        }
+        self.hierarchy
+            .restore_state(&state.hierarchy)
+            .map_err(|e| format!("hierarchy: {e}"))?;
+        self.mem.restore_contents(&state.mem_data);
+        self.mem
+            .restore_traffic(state.mem_traffic.0, state.mem_traffic.1);
+        self.occupancy = state.occupancy;
+        Ok(())
     }
 
     /// Runs `program` to completion on all cores and returns its stats.
@@ -1327,6 +1402,65 @@ mod tests {
         for t in 0..threads as u64 {
             assert_eq!(g.mem().read(t * 8, 8), 42, "thread {t}");
         }
+    }
+
+    #[test]
+    fn save_restore_between_launches_is_bit_identical() {
+        // An iterative kernel whose behavior depends on memory left by the
+        // previous launch and on warm caches: run 4 launches straight,
+        // versus 2 launches, checkpoint, restore into a fresh machine, and
+        // run the remaining 2. Stats and memory must match exactly.
+        let program = {
+            let mut a = Asm::new("iterate");
+            let tid = a.reg();
+            let addr = a.reg();
+            let v = a.reg();
+            a.csr(tid, CsrKind::GlobalTid);
+            a.muli(addr, tid, 8);
+            a.ldg(v, addr, 0, Width::B8);
+            a.add(v, v, tid);
+            a.stg(v, addr, 0, Width::B8);
+            a.bar();
+            a.atom(AtomOp::Add, v, addr, tid);
+            a.halt();
+            a.finish()
+        };
+        let mut straight = gpu();
+        let mut straight_stats = Vec::new();
+        for _ in 0..4 {
+            straight_stats.push(straight.launch(&program, &[]).unwrap());
+        }
+
+        let mut first = gpu();
+        let mut resumed_stats = Vec::new();
+        for _ in 0..2 {
+            resumed_stats.push(first.launch(&program, &[]).unwrap());
+        }
+        let state = first.save_state();
+        drop(first);
+        let mut second = gpu();
+        second.restore_state(&state).unwrap();
+        // The snapshot round-trips exactly.
+        assert_eq!(second.save_state(), state);
+        for _ in 0..2 {
+            resumed_stats.push(second.launch(&program, &[]).unwrap());
+        }
+
+        assert_eq!(straight_stats, resumed_stats);
+        assert_eq!(straight.mem_stats(), second.mem_stats());
+        assert_eq!(straight.mem().traffic(), second.mem().traffic());
+        for t in 0..straight.config().total_threads() as u64 {
+            assert_eq!(straight.mem().read(t * 8, 8), second.mem().read(t * 8, 8));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let g = gpu();
+        let mut state = g.save_state();
+        state.cores.pop();
+        let mut h = gpu();
+        assert!(h.restore_state(&state).is_err());
     }
 
     #[test]

@@ -64,6 +64,32 @@ pub enum PendKind {
     Weaver,
 }
 
+impl PendKind {
+    /// A stable index for checkpoint encoding.
+    pub fn kind_id(self) -> u8 {
+        match self {
+            PendKind::None => 0,
+            PendKind::Memory => 1,
+            PendKind::Shared => 2,
+            PendKind::Exec => 3,
+            PendKind::Weaver => 4,
+        }
+    }
+
+    /// The inverse of [`PendKind::kind_id`]; `None` for unknown ids
+    /// (a corrupt checkpoint).
+    pub fn from_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => PendKind::None,
+            1 => PendKind::Memory,
+            2 => PendKind::Shared,
+            3 => PendKind::Exec,
+            4 => PendKind::Weaver,
+            _ => return None,
+        })
+    }
+}
+
 /// Statistics for one kernel launch (or an accumulation of launches).
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct KernelStats {

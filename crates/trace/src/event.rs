@@ -76,6 +76,27 @@ impl MemLevel {
             MemLevel::Dram => "DRAM",
         }
     }
+
+    /// A stable index for checkpoint encoding.
+    pub fn level_id(self) -> u8 {
+        match self {
+            MemLevel::L1 => 0,
+            MemLevel::L2 => 1,
+            MemLevel::L3 => 2,
+            MemLevel::Dram => 3,
+        }
+    }
+
+    /// The inverse of [`MemLevel::level_id`]; `None` for unknown ids.
+    pub fn from_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => MemLevel::L1,
+            1 => MemLevel::L2,
+            2 => MemLevel::L3,
+            3 => MemLevel::Dram,
+            _ => return None,
+        })
+    }
 }
 
 /// Why a core could not issue (mirrors the simulator's stall breakdown).
@@ -103,6 +124,29 @@ impl StallCause {
             StallCause::Weaver => "weaver",
             StallCause::Barrier => "barrier",
         }
+    }
+
+    /// A stable index for checkpoint encoding.
+    pub fn cause_id(self) -> u8 {
+        match self {
+            StallCause::Memory => 0,
+            StallCause::Shared => 1,
+            StallCause::ExecDep => 2,
+            StallCause::Weaver => 3,
+            StallCause::Barrier => 4,
+        }
+    }
+
+    /// The inverse of [`StallCause::cause_id`]; `None` for unknown ids.
+    pub fn from_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => StallCause::Memory,
+            1 => StallCause::Shared,
+            2 => StallCause::ExecDep,
+            3 => StallCause::Weaver,
+            4 => StallCause::Barrier,
+            _ => return None,
+        })
     }
 }
 
@@ -148,6 +192,12 @@ impl WeaverState {
         }
     }
 
+    /// Non-panicking variant of [`WeaverState::from_id`]: `None` for ids
+    /// outside 0–8 (a corrupt checkpoint).
+    pub fn try_from_id(id: u8) -> Option<WeaverState> {
+        (id <= 8).then(|| WeaverState::from_id(id))
+    }
+
     /// Fig. 6 label, e.g. `"S2:decode"`.
     pub fn label(self) -> &'static str {
         match self {
@@ -186,6 +236,27 @@ impl TableOp {
             TableOp::DtWrite => "dt_write",
             TableOp::DtRead => "dt_read",
         }
+    }
+
+    /// A stable index for checkpoint encoding.
+    pub fn op_id(self) -> u8 {
+        match self {
+            TableOp::StWrite => 0,
+            TableOp::StFetch => 1,
+            TableOp::DtWrite => 2,
+            TableOp::DtRead => 3,
+        }
+    }
+
+    /// The inverse of [`TableOp::op_id`]; `None` for unknown ids.
+    pub fn from_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => TableOp::StWrite,
+            1 => TableOp::StFetch,
+            2 => TableOp::DtWrite,
+            3 => TableOp::DtRead,
+            _ => return None,
+        })
     }
 }
 

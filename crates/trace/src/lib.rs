@@ -44,5 +44,7 @@ pub mod tracer;
 pub use event::{EventData, MemLevel, Phase, StallCause, TableOp, TraceEvent, WeaverState};
 pub use metrics::{CounterSnapshot, KernelSpan, MetricSample};
 pub use profile::{ImbalanceSummary, LatencyHistogram, ProfileHandle, ProfileReport, Profiler};
-pub use sink::{FileSink, RingSink, TraceSink};
-pub use tracer::{Category, CategoryMask, TraceConfig, TraceHandle, TraceReport, Tracer};
+pub use sink::{FileSink, RingSink, SinkState, TraceSink};
+pub use tracer::{
+    Category, CategoryMask, TraceConfig, TraceHandle, TraceReport, Tracer, TracerState,
+};

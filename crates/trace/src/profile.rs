@@ -335,6 +335,19 @@ impl Profiler {
         self.last_dec.clear();
         std::mem::take(&mut self.report)
     }
+
+    /// A non-draining copy of the collected report, for checkpoints
+    /// taken at launch boundaries (the per-warp gap cursors reset at the
+    /// next `launch_begin`, so the report is the whole resumable state).
+    pub fn save_state(&self) -> ProfileReport {
+        self.report.clone()
+    }
+
+    /// Restores a report captured by [`Profiler::save_state`].
+    pub fn restore_state(&mut self, report: &ProfileReport) {
+        self.report = report.clone();
+        self.last_dec.clear();
+    }
 }
 
 /// Shared handle to a [`Profiler`], cloned into every component that
@@ -379,6 +392,16 @@ impl ProfileHandle {
     /// Drains and returns the collected [`ProfileReport`].
     pub fn report(&self) -> ProfileReport {
         self.0.borrow_mut().take_report()
+    }
+
+    /// See [`Profiler::save_state`].
+    pub fn save_state(&self) -> ProfileReport {
+        self.0.borrow().save_state()
+    }
+
+    /// See [`Profiler::restore_state`].
+    pub fn restore_state(&self, report: &ProfileReport) {
+        self.0.borrow_mut().restore_state(report);
     }
 }
 

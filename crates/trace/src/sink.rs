@@ -1,11 +1,35 @@
 //! Event sinks: where emitted events go.
 
 use std::collections::VecDeque;
-use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::event::TraceEvent;
+
+/// Resumable state of a [`TraceSink`], captured into checkpoints.
+///
+/// A ring sink carries its buffered events; a streaming file sink only
+/// carries its progress counters — the events themselves already live in
+/// the file, which the resuming process truncates back to `bytes` (runs
+/// killed after the checkpoint may have written further).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkState {
+    /// In-memory ring buffer: the retained events and the eviction count.
+    Ring {
+        /// Buffered events in arrival order.
+        events: Vec<TraceEvent>,
+        /// Events evicted to make room.
+        dropped: u64,
+    },
+    /// Streaming file sink progress.
+    File {
+        /// Events successfully written.
+        written: u64,
+        /// Bytes those events occupy on disk.
+        bytes: u64,
+    },
+}
 
 /// Destination for emitted [`TraceEvent`]s.
 ///
@@ -31,6 +55,19 @@ pub trait TraceSink {
     fn io_error(&self) -> Option<io::ErrorKind> {
         None
     }
+
+    /// Captures the sink's resumable state for a checkpoint. Streaming
+    /// sinks flush first so the captured byte count matches the file.
+    fn save_state(&mut self) -> SinkState;
+
+    /// Restores state captured by [`TraceSink::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the state does not fit this sink
+    /// (wrong kind, over capacity, or the underlying file rejects the
+    /// truncation).
+    fn restore_state(&mut self, state: &SinkState) -> Result<(), String>;
 }
 
 /// A bounded ring buffer keeping the most recent `capacity` events.
@@ -95,6 +132,31 @@ impl TraceSink for RingSink {
     fn drain(&mut self) -> Vec<TraceEvent> {
         self.buf.drain(..).collect()
     }
+
+    fn save_state(&mut self) -> SinkState {
+        SinkState::Ring {
+            events: self.buf.iter().cloned().collect(),
+            dropped: self.dropped,
+        }
+    }
+
+    fn restore_state(&mut self, state: &SinkState) -> Result<(), String> {
+        match state {
+            SinkState::Ring { events, dropped } => {
+                if events.len() > self.capacity {
+                    return Err(format!(
+                        "ring state holds {} events but capacity is {}",
+                        events.len(),
+                        self.capacity
+                    ));
+                }
+                self.buf = events.iter().cloned().collect();
+                self.dropped = *dropped;
+                Ok(())
+            }
+            SinkState::File { .. } => Err("file-sink state cannot restore a ring sink".into()),
+        }
+    }
 }
 
 /// A streaming sink writing one JSON object per event to a `.jsonl` file.
@@ -112,6 +174,7 @@ impl TraceSink for RingSink {
 pub struct FileSink {
     out: SinkOut,
     written: u64,
+    bytes: u64,
     error: Option<io::ErrorKind>,
 }
 
@@ -152,6 +215,33 @@ impl FileSink {
         Ok(FileSink {
             out,
             written: 0,
+            bytes: 0,
+            error: None,
+        })
+    }
+
+    /// Opens the existing file at `path` *without truncating it*, for a
+    /// resume: the caller then restores a [`SinkState::File`] captured at
+    /// checkpoint time, which trims the file back to the checkpointed
+    /// byte count and continues appending. A path of `-` cannot be
+    /// resumed (already-printed stdout cannot be taken back) and is
+    /// rejected at restore time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the file cannot be opened.
+    pub fn reopen(path: &Path) -> io::Result<FileSink> {
+        let out = if path.as_os_str() == "-" {
+            SinkOut::Stdout(io::stdout())
+        } else {
+            SinkOut::File(BufWriter::new(
+                OpenOptions::new().read(true).write(true).open(path)?,
+            ))
+        };
+        Ok(FileSink {
+            out,
+            written: 0,
+            bytes: 0,
             error: None,
         })
     }
@@ -194,6 +284,7 @@ impl TraceSink for FileSink {
             return;
         }
         self.written += 1;
+        self.bytes += line.len() as u64 + 1;
     }
 
     fn buffered(&self) -> usize {
@@ -215,6 +306,38 @@ impl TraceSink for FileSink {
 
     fn io_error(&self) -> Option<io::ErrorKind> {
         self.error
+    }
+
+    fn save_state(&mut self) -> SinkState {
+        // Flush so the on-disk byte count matches the captured one; a
+        // failure latches and the report layer surfaces the truncation.
+        if let Err(e) = self.out.flush() {
+            self.latch(&e);
+        }
+        SinkState::File {
+            written: self.written,
+            bytes: self.bytes,
+        }
+    }
+
+    fn restore_state(&mut self, state: &SinkState) -> Result<(), String> {
+        let SinkState::File { written, bytes } = state else {
+            return Err("ring-sink state cannot restore a file sink".into());
+        };
+        match &mut self.out {
+            SinkOut::File(w) => {
+                let f = w.get_mut();
+                f.set_len(*bytes)
+                    .and_then(|()| f.seek(SeekFrom::End(0)))
+                    .map_err(|e| format!("truncating trace file to {bytes} bytes: {e}"))?;
+            }
+            SinkOut::Stdout(_) => {
+                return Err("a trace streamed to stdout cannot be resumed".into());
+            }
+        }
+        self.written = *written;
+        self.bytes = *bytes;
+        Ok(())
     }
 }
 

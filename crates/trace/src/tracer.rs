@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use crate::event::{EventData, TraceEvent};
 use crate::metrics::{CounterSnapshot, KernelSpan, MetricSample};
-use crate::sink::{RingSink, TraceSink};
+use crate::sink::{RingSink, SinkState, TraceSink};
 
 /// Event categories, selectable via `swsim run --trace-level`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +226,37 @@ impl Tracer {
         self.committed.add(extra);
     }
 
+    /// Captures the tracer's accumulated state for a checkpoint.
+    ///
+    /// Only valid between launches (no kernel in flight); the sampling
+    /// cadence and category mask come from configuration and are rebuilt
+    /// by the resuming session, so they are not part of the state.
+    pub fn save_state(&mut self) -> TracerState {
+        TracerState {
+            base: self.base,
+            committed: self.committed,
+            samples: self.samples.clone(),
+            kernels: self.kernels.clone(),
+            sink: self.sink.save_state(),
+        }
+    }
+
+    /// Restores state captured by [`Tracer::save_state`] onto a freshly
+    /// configured tracer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the sink state does not fit the
+    /// attached sink.
+    pub fn restore_state(&mut self, state: &TracerState) -> Result<(), String> {
+        self.sink.restore_state(&state.sink)?;
+        self.base = state.base;
+        self.committed = state.committed;
+        self.samples = state.samples.clone();
+        self.kernels = state.kernels.clone();
+        Ok(())
+    }
+
     /// Drains everything collected so far into a [`TraceReport`].
     pub fn take_report(&mut self) -> TraceReport {
         // Drain first: streaming sinks flush on drain, which is where a
@@ -311,6 +342,37 @@ impl TraceHandle {
     pub fn report(&self) -> TraceReport {
         self.0.borrow_mut().take_report()
     }
+
+    /// See [`Tracer::save_state`].
+    pub fn save_state(&self) -> TracerState {
+        self.0.borrow_mut().save_state()
+    }
+
+    /// See [`Tracer::restore_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the sink state does not fit.
+    pub fn restore_state(&self, state: &TracerState) -> Result<(), String> {
+        self.0.borrow_mut().restore_state(state)
+    }
+}
+
+/// Resumable state of a [`Tracer`], captured into checkpoints: the
+/// global time base, committed counter totals, collected samples and
+/// kernel spans, and the sink's own state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerState {
+    /// Total cycles of completed launches (the global-cycle base).
+    pub base: u64,
+    /// Counter totals committed by completed launches.
+    pub committed: CounterSnapshot,
+    /// Collected metric samples.
+    pub samples: Vec<MetricSample>,
+    /// Completed kernel spans.
+    pub kernels: Vec<KernelSpan>,
+    /// The event sink's state.
+    pub sink: SinkState,
 }
 
 /// Everything a traced run collected, ready for export.

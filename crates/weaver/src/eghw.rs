@@ -49,6 +49,27 @@ struct Current {
     remaining: u32,
 }
 
+/// A complete snapshot of one EGHW unit's mutable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EghwState {
+    /// Installed graph buffer addresses.
+    pub layout: EghwLayout,
+    /// Registered vertex IDs by hardware slot.
+    pub slots: Vec<Option<u32>>,
+    /// Scan cursor into the slots.
+    pub cursor: u64,
+    /// The vertex being expanded: `(vid, next_eid, remaining)`.
+    pub current: Option<(u32, u32, u32)>,
+    /// Whether a registration round is open.
+    pub in_registration: bool,
+    /// The cycle the unit frees up.
+    pub busy_until: u64,
+    /// One-line stream buffers (offsets / edges / weights).
+    pub line_buf: [Option<u64>; 3],
+    /// Total unit-issued memory reads.
+    pub total_reads: u64,
+}
+
 /// The EGHW unit state.
 ///
 /// Memory is reached through a caller-supplied closure so the unit stays
@@ -205,6 +226,50 @@ impl EghwUnit {
             exhausted: filled == 0,
             unit_reads,
         }
+    }
+
+    /// Captures the complete mutable state for checkpointing.
+    pub fn save_state(&self) -> EghwState {
+        EghwState {
+            layout: self.layout,
+            slots: self.slots.clone(),
+            cursor: self.cursor as u64,
+            current: self.current.map(|c| (c.vid, c.next_eid, c.remaining)),
+            in_registration: self.in_registration,
+            busy_until: self.busy_until,
+            line_buf: self.line_buf,
+            total_reads: self.total_reads,
+        }
+    }
+
+    /// Restores state captured with [`EghwUnit::save_state`] into a unit
+    /// of the same shape (warps × lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the snapshot's slot count
+    /// does not match this unit's.
+    pub fn restore_state(&mut self, state: &EghwState) -> Result<(), String> {
+        if state.slots.len() != self.slots.len() {
+            return Err(format!(
+                "eghw snapshot has {} slots, configuration needs {}",
+                state.slots.len(),
+                self.slots.len()
+            ));
+        }
+        self.layout = state.layout;
+        self.slots = state.slots.clone();
+        self.cursor = state.cursor as usize;
+        self.current = state.current.map(|(vid, next_eid, remaining)| Current {
+            vid,
+            next_eid,
+            remaining,
+        });
+        self.in_registration = state.in_registration;
+        self.busy_until = state.busy_until;
+        self.line_buf = state.line_buf;
+        self.total_reads = state.total_reads;
+        Ok(())
     }
 
     /// Resets the unit between kernels.

@@ -59,6 +59,24 @@ impl FsmState {
             FsmState::End => 8,
         }
     }
+
+    /// The state for a Fig. 6 index, the inverse of
+    /// [`FsmState::state_id`]. Returns `None` for ids past S8 (a corrupt
+    /// checkpoint, surfaced as a typed error by the caller).
+    pub fn from_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => FsmState::Init,
+            1 => FsmState::LoadCed,
+            2 => FsmState::Decode,
+            3 => FsmState::FetchSt,
+            4 => FsmState::UpdateCed,
+            5 => FsmState::UpdateDt,
+            6 => FsmState::Wait,
+            7 => FsmState::Drain,
+            8 => FsmState::End,
+            _ => return None,
+        })
+    }
 }
 
 /// Current Entry Data: the ST entry being decoded.
@@ -67,6 +85,34 @@ struct Ced {
     vid: u32,
     next_eid: u32,
     remaining: u32,
+}
+
+/// The CED buffer's checkpointable contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CedState {
+    /// The vertex being decoded.
+    pub vid: u32,
+    /// The next edge ID to emit.
+    pub next_eid: u32,
+    /// Edges left to emit for this vertex.
+    pub remaining: u32,
+}
+
+/// A complete snapshot of the FSM's mutable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmSnapshot {
+    /// The installed ST's slots (capacity = length).
+    pub st: Vec<Option<crate::tables::StEntry>>,
+    /// Scan cursor into the ST.
+    pub st_pos: u64,
+    /// The CED buffer, if an entry is loaded.
+    pub ced: Option<CedState>,
+    /// Skipped vertex IDs, sorted (the live set is unordered).
+    pub skip: Vec<u32>,
+    /// Current state as its Fig. 6 index.
+    pub state_id: u8,
+    /// Transitions recorded since the last reset, as Fig. 6 indices.
+    pub trace: Vec<u8>,
 }
 
 /// The result of one decode request: one OD buffer worth of work items.
@@ -296,6 +342,52 @@ impl WeaverFsm {
             st_fetches,
             exhausted: filled == 0,
         }
+    }
+
+    /// Captures the complete mutable state for checkpointing.
+    pub fn save_state(&self) -> FsmSnapshot {
+        let mut skip: Vec<u32> = self.skip.iter().copied().collect();
+        skip.sort_unstable();
+        FsmSnapshot {
+            st: self.st.slots().to_vec(),
+            st_pos: self.st_pos as u64,
+            ced: self.ced.map(|c| CedState {
+                vid: c.vid,
+                next_eid: c.next_eid,
+                remaining: c.remaining,
+            }),
+            skip,
+            state_id: self.state.state_id(),
+            trace: self.trace.iter().map(|s| s.state_id()).collect(),
+        }
+    }
+
+    /// Restores state captured with [`WeaverFsm::save_state`]. The lane
+    /// width is construction state and is not part of the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if a state id in the snapshot
+    /// is not a valid Fig. 6 index.
+    pub fn restore_state(&mut self, snap: &FsmSnapshot) -> Result<(), String> {
+        let state = FsmState::from_id(snap.state_id)
+            .ok_or_else(|| format!("invalid FSM state id {}", snap.state_id))?;
+        let trace = snap
+            .trace
+            .iter()
+            .map(|&id| FsmState::from_id(id).ok_or_else(|| format!("invalid FSM state id {id}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.st = SparseTable::from_slots(snap.st.clone());
+        self.st_pos = snap.st_pos as usize;
+        self.ced = snap.ced.map(|c| Ced {
+            vid: c.vid,
+            next_eid: c.next_eid,
+            remaining: c.remaining,
+        });
+        self.skip = snap.skip.iter().copied().collect();
+        self.state = state;
+        self.trace = trace;
+        Ok(())
     }
 
     /// Decodes everything remaining, returning all `(vid, eid)` work items

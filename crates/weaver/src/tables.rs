@@ -85,6 +85,17 @@ impl SparseTable {
             .enumerate()
             .filter_map(|(i, e)| e.map(|e| (i, e)))
     }
+
+    /// All slots in index order (checkpointing). Length is the capacity.
+    pub fn slots(&self) -> &[Option<StEntry>] {
+        &self.entries
+    }
+
+    /// Rebuilds a table from slots captured with [`SparseTable::slots`].
+    /// The capacity is the slot count.
+    pub fn from_slots(slots: Vec<Option<StEntry>>) -> Self {
+        SparseTable { entries: slots }
+    }
 }
 
 /// The Dense Work ID Table: one row of edge IDs per warp.
@@ -130,6 +141,36 @@ impl DenseTable {
     /// Panics if `warp` is out of range.
     pub fn load_row(&self, warp: usize) -> &[i64] {
         &self.rows[warp]
+    }
+
+    /// All rows in warp order (checkpointing).
+    pub fn rows(&self) -> &[Vec<i64>] {
+        &self.rows
+    }
+
+    /// Restores rows captured with [`DenseTable::rows`] into a table of
+    /// the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the snapshot's shape
+    /// differs from this table's.
+    pub fn restore_rows(&mut self, rows: &[Vec<i64>]) -> Result<(), String> {
+        if rows.len() != self.rows.len()
+            || rows.iter().zip(&self.rows).any(|(a, b)| a.len() != b.len())
+        {
+            return Err(format!(
+                "dense-table snapshot shape {}x{} does not match {}x{}",
+                rows.len(),
+                rows.first().map_or(0, Vec::len),
+                self.rows.len(),
+                self.rows.first().map_or(0, Vec::len),
+            ));
+        }
+        for (row, snap) in self.rows.iter_mut().zip(rows) {
+            row.copy_from_slice(snap);
+        }
+        Ok(())
     }
 }
 

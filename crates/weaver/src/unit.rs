@@ -17,7 +17,7 @@ use std::fmt;
 use sparseweaver_fault::{FaultHandle, WeaverFault};
 use sparseweaver_trace::{EventData, TableOp, TraceHandle, WeaverState};
 
-use crate::fsm::{DecodeBatch, WeaverFsm};
+use crate::fsm::{DecodeBatch, FsmSnapshot, WeaverFsm};
 use crate::tables::{DenseTable, SparseTable, StEntry};
 
 /// A registration addressed a Sparse Table slot past the configured
@@ -66,6 +66,27 @@ impl Default for WeaverConfig {
             auto_mask: true,
         }
     }
+}
+
+/// A complete snapshot of one Weaver unit's mutable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeaverUnitState {
+    /// The decode FSM (including the installed ST).
+    pub fsm: FsmSnapshot,
+    /// The DT rows.
+    pub dt: Vec<Vec<i64>>,
+    /// Pending registration slots for the current round.
+    pub staging: Vec<Option<StEntry>>,
+    /// Whether a registration round is open.
+    pub in_registration: bool,
+    /// The cycle the unit's pipeline frees up.
+    pub busy_until: u64,
+    /// Total ST fetches.
+    pub st_fetches: u64,
+    /// Total decode requests served.
+    pub dec_requests: u64,
+    /// Total registered entries.
+    pub registrations: u64,
 }
 
 /// A decode response delivered to the requesting warp.
@@ -330,6 +351,50 @@ impl WeaverUnit {
     /// Whether the distribution scan has ended.
     pub fn is_end(&self) -> bool {
         self.fsm.is_end()
+    }
+
+    /// Captures the complete mutable state for checkpointing.
+    pub fn save_state(&self) -> WeaverUnitState {
+        WeaverUnitState {
+            fsm: self.fsm.save_state(),
+            dt: self.dt.rows().to_vec(),
+            staging: self.staging.slots().to_vec(),
+            in_registration: self.in_registration,
+            busy_until: self.busy_until,
+            st_fetches: self.st_fetches,
+            dec_requests: self.dec_requests,
+            registrations: self.registrations,
+        }
+    }
+
+    /// Restores state captured with [`WeaverUnit::save_state`] into a unit
+    /// of the same shape (warps, lanes, ST capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the snapshot's shape does
+    /// not match this unit's configuration.
+    pub fn restore_state(&mut self, state: &WeaverUnitState) -> Result<(), String> {
+        if state.staging.len() != self.cfg.st_capacity {
+            return Err(format!(
+                "weaver snapshot has ST capacity {}, configuration needs {}",
+                state.staging.len(),
+                self.cfg.st_capacity
+            ));
+        }
+        self.dt
+            .restore_rows(&state.dt)
+            .map_err(|e| format!("dt: {e}"))?;
+        self.fsm
+            .restore_state(&state.fsm)
+            .map_err(|e| format!("fsm: {e}"))?;
+        self.staging = SparseTable::from_slots(state.staging.clone());
+        self.in_registration = state.in_registration;
+        self.busy_until = state.busy_until;
+        self.st_fetches = state.st_fetches;
+        self.dec_requests = state.dec_requests;
+        self.registrations = state.registrations;
+        Ok(())
     }
 
     /// Resets the unit between kernels.

@@ -14,12 +14,14 @@
 //! via `scripts/check_fault_campaign.sh`.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::exit;
 
 use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
-use sparseweaver::core::campaign::{run_campaign, CampaignConfig};
+use sparseweaver::core::campaign::{run_campaign_with, CampaignConfig, CampaignCtl};
+use sparseweaver::core::checkpoint::write_atomic;
 use sparseweaver::core::runtime::DEFAULT_WEAVER_RETRIES;
-use sparseweaver::core::Schedule;
+use sparseweaver::core::{FrameworkError, Schedule};
 use sparseweaver::fault::FaultSpec;
 use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
 use sparseweaver::sim::GpuConfig;
@@ -35,6 +37,7 @@ USAGE:
           [--config vortex|eval|small|8core|regfile]
           [--retries N] [--jobs N] [--no-fallback]
           [--out FILE] [--details]
+          [--journal FILE [--resume]] [--max-wall-secs N]
   swfault --version
 
   SPEC:  comma-separated site=rate clauses, sites:
@@ -58,10 +61,24 @@ USAGE:
   With no graph flag, a small built-in uniform graph is used so a default
   campaign finishes quickly.
 
+JOURNAL / RESUME:
+  --journal FILE  append-only JSONL journal: a header identifying the
+                 campaign, then one line per completed run, flushed as
+                 runs finish. With a journal, SIGINT/SIGTERM stop the
+                 campaign gracefully at a run boundary (exit 5)
+  --resume       re-run only the indices the journal is missing, then
+                 render the summary — byte-identical to the uninterrupted
+                 campaign at any --jobs value. The journal must have been
+                 written by the same campaign (spec, seed, runs, graph,
+                 config); a torn final line from a kill is tolerated
+  --max-wall-secs N  wall-clock watchdog: request a graceful stop after N
+                 seconds
+
 EXIT CODES:
   0 campaign ran, every run classified, no panics | 1 campaign failed
   (golden run error, a run escaped classification, or a panic in the
-  machine model) | 2 usage error"
+  machine model) | 2 usage error | 5 stopped early by a signal or the
+  watchdog — completed runs are journaled, finish with --resume"
     );
     exit(2)
 }
@@ -84,6 +101,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         "no-fallback",
         "out",
         "details",
+        "journal",
+        "resume",
+        "max-wall-secs",
     ];
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -271,13 +291,53 @@ fn main() {
     let schedule = parse_schedule(flags.get("schedule").map(String::as_str).unwrap_or("sw"));
     let cfg = config_for(&flags);
 
+    let journal = match flags.get("journal") {
+        Some(p) if p.is_empty() || p == "-" => {
+            eprintln!("--journal expects a file path (the journal is append-only JSONL)");
+            exit(2)
+        }
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => None,
+    };
+    let resume = flags.contains_key("resume");
+    if resume && journal.is_none() {
+        eprintln!("--resume requires --journal FILE (the journal records completed runs)");
+        exit(2)
+    }
+    let max_wall_secs: u64 = numeric_flag(&flags, "max-wall-secs", 0);
+    let mut ctl = CampaignCtl {
+        journal,
+        resume,
+        stop: None,
+    };
+    if ctl.journal.is_some() || max_wall_secs > 0 {
+        let stop = sparseweaver::shutdown::stop_flag();
+        sparseweaver::shutdown::install_signal_handler(&stop);
+        if max_wall_secs > 0 {
+            sparseweaver::shutdown::spawn_watchdog(&stop, max_wall_secs);
+        }
+        ctl.stop = Some(stop);
+    }
+
     let started = std::time::Instant::now();
-    let result =
-        run_campaign(&cfg, &graph, algo.as_ref(), schedule, &campaign).unwrap_or_else(|e| {
-            eprintln!("golden (fault-free) run failed: {e}");
-            exit(1)
+    let result = run_campaign_with(&cfg, &graph, algo.as_ref(), schedule, &campaign, &ctl)
+        .unwrap_or_else(|e| match e {
+            FrameworkError::Interrupted { .. } => {
+                eprintln!("campaign stopped: {e}");
+                exit(5)
+            }
+            _ => {
+                eprintln!("campaign failed: {e}");
+                exit(1)
+            }
         });
     let elapsed = started.elapsed();
+    if let Some(kind) = result.journal_error {
+        eprintln!(
+            "warning: journal append failed ({kind:?}) — a later --resume may re-run \
+             some completed runs"
+        );
+    }
 
     if flags.contains_key("details") {
         for run in &result.runs {
@@ -316,7 +376,7 @@ fn main() {
             // again would duplicate the artifact.
             eprintln!("summary already on stdout (--out -)");
         } else {
-            std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            write_atomic(Path::new(path), format!("{json}\n").as_bytes()).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 exit(1)
             });

@@ -21,8 +21,10 @@
 //! offset).
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::exit;
 
+use sparseweaver::core::checkpoint::write_atomic;
 use sparseweaver::core::replay::{render, sweep, trace_fingerprint, SweepSpec, REPLAY_SCHEMA};
 use sparseweaver::mem::mtrace::parse;
 use sparseweaver::mem::replay::verify;
@@ -334,7 +336,7 @@ fn cmd_sweep(flags: HashMap<String, String>) {
     if out == "-" {
         print!("{body}");
     } else {
-        if let Err(e) = std::fs::write(&out, body) {
+        if let Err(e) = write_atomic(Path::new(&out), body.as_bytes()) {
             eprintln!("cannot write replay artifact to {out}: {e}");
             exit(3)
         }

@@ -11,10 +11,13 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use sparseweaver::core::algorithms::{Algorithm, Bfs, ConnectedComponents, PageRank, Spmv, Sssp};
-use sparseweaver::core::{FrameworkError, Schedule, Session};
+use sparseweaver::core::checkpoint::write_atomic;
+use sparseweaver::core::runtime::CheckpointCtl;
+use sparseweaver::core::{Checkpoint, FrameworkError, Schedule, Session};
 use sparseweaver::fault::FaultSpec;
 use sparseweaver::graph::{dataset, generators, io, Csr, DatasetId};
 use sparseweaver::lint::LintLevel;
@@ -33,6 +36,10 @@ USAGE:
                [--sample-every N] [--trace-out FILE.jsonl] [--profile-out FILE]
                [--mem-trace-out FILE] [--lint off|warn|deny] [--analyze]
                [--regalloc on|off] [--inject SPEC [--seed N]] [--hang-report FILE]
+               [--checkpoint-out FILE [--checkpoint-every N]] [--max-wall-secs N]
+               [--stop-after-launches N]
+  swsim resume CKPT [--checkpoint-out FILE] [--checkpoint-every N]
+               [--max-wall-secs N] [--stop-after-launches N] [--json]
   swsim gen    (--dataset ID | --gen SPEC) -o FILE
   swsim disasm --algo ALGO --schedule S [--config ...]
   swsim datasets
@@ -94,11 +101,34 @@ FAULT INJECTION:
                       retries exhaust (default on); `off` surfaces the
                       timeout as a hang instead
 
+CHECKPOINT / RESUME:
+  --checkpoint-out FILE  write a binary `swckpt-v1` checkpoint of the
+                      complete simulator state (atomically: temp file +
+                      rename) at launch boundaries; `swsim resume FILE`
+                      continues the run bit-identically. Incompatible with
+                      --all-schedules, --mem-trace-out, and `--trace-out -`
+  --checkpoint-every N  checkpoint every N completed kernel launches
+                      (default 0: only when the run is stopped early)
+  --max-wall-secs N   wall-clock watchdog: request a graceful stop after N
+                      seconds (a final checkpoint is written when
+                      --checkpoint-out is set)
+  --stop-after-launches N  deterministic stop bound: behave exactly like a
+                      signal/watchdog stop once N launches have completed
+                      (counted cumulatively across a resume)
+
+  With any of these flags, SIGINT/SIGTERM also request a graceful stop at
+  the next launch boundary instead of killing the process mid-write.
+  `swsim resume` rebuilds the run from the flags embedded in the
+  checkpoint; only the flags listed above may be given again (stop budgets
+  are per-invocation and are not inherited).
+
 EXIT CODES:
   0 success | 1 run error | 2 usage error, or a kernel rejected by the
   static verifier (--lint deny) | 3 run succeeded but the --trace-out
   stream hit an I/O error (file truncated) | 4 hang — deadlock, cycle
-  limit or Weaver timeout (report written if --hang-report was given)"
+  limit or Weaver timeout (report written if --hang-report was given) |
+  5 stopped early by a signal, the watchdog, or --stop-after-launches
+  (resumable from the checkpoint if --checkpoint-out was set)"
     );
     exit(2)
 }
@@ -132,6 +162,17 @@ fn check_flags(cmd: &str, flags: &HashMap<String, String>) {
             "seed",
             "hang-report",
             "fallback",
+            "checkpoint-out",
+            "checkpoint-every",
+            "max-wall-secs",
+            "stop-after-launches",
+        ],
+        "resume" => &[
+            "checkpoint-out",
+            "checkpoint-every",
+            "max-wall-secs",
+            "stop-after-launches",
+            "json",
         ],
         "gen" => &["graph", "dataset", "gen", "out"],
         "disasm" => &["algo", "schedule", "config"],
@@ -394,7 +435,9 @@ fn write_artifact(path: &str, body: String, what: &str, json: bool, stdout_is_ar
         print!("{body}");
         return;
     }
-    std::fs::write(path, body).unwrap_or_else(|e| {
+    // Atomic (temp file + rename): a crash or full disk mid-write never
+    // leaves a half-written artifact at the destination path.
+    write_atomic(Path::new(path), body.as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write {what} to {path}: {e}");
         exit(1)
     });
@@ -407,7 +450,12 @@ fn write_artifact(path: &str, body: String, what: &str, json: bool, stdout_is_ar
     }
 }
 
-fn cmd_run(flags: HashMap<String, String>) {
+/// Shared driver behind `swsim run` and `swsim resume`. `argv` is the
+/// argument vector embedded into checkpoints (for `run`, this invocation's
+/// own arguments; for `resume`, the original run's, kept canonical so a
+/// resumed run's checkpoints are themselves resumable). `resume` carries
+/// the loaded checkpoint when continuing an interrupted run.
+fn cmd_run(argv: Vec<String>, flags: HashMap<String, String>, resume: Option<Checkpoint>) {
     let sources = ["graph", "dataset", "gen"]
         .iter()
         .filter(|s| flags.contains_key(**s))
@@ -443,6 +491,52 @@ fn cmd_run(flags: HashMap<String, String>) {
         eprintln!("--mem-trace-out captures a single schedule; drop --all-schedules");
         exit(2)
     }
+    let opt_numeric = |name: &str| -> Option<u64> {
+        flags.get(name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} expects a number, got `{v}`");
+                exit(2)
+            })
+        })
+    };
+    let checkpoint_out = flags.get("checkpoint-out").map(|v| {
+        if v.is_empty() {
+            eprintln!("--checkpoint-out expects a file path");
+            exit(2)
+        }
+        if v == "-" {
+            eprintln!("--checkpoint-out is a binary artifact and cannot stream to stdout");
+            exit(2)
+        }
+        v.clone()
+    });
+    let checkpoint_every: u64 = numeric_flag(&flags, "checkpoint-every", || 0);
+    let max_wall_secs = opt_numeric("max-wall-secs");
+    let stop_after_launches = opt_numeric("stop-after-launches");
+    if flags.contains_key("checkpoint-every") && checkpoint_out.is_none() {
+        eprintln!("--checkpoint-every requires --checkpoint-out");
+        exit(2)
+    }
+    if checkpoint_out.is_some() {
+        if flags.contains_key("all-schedules") {
+            eprintln!("--checkpoint-out checkpoints a single schedule; drop --all-schedules");
+            exit(2)
+        }
+        if mem_trace_out.is_some() {
+            eprintln!(
+                "--checkpoint-out cannot be combined with --mem-trace-out: the \
+                 memory-trace recorder is not part of the checkpointed state"
+            );
+            exit(2)
+        }
+        if trace_out.as_deref() == Some("-") {
+            eprintln!(
+                "--checkpoint-out cannot be combined with `--trace-out -`: a stdout \
+                 event stream cannot be rewound on resume"
+            );
+            exit(2)
+        }
+    }
     let graph = load_graph(&flags);
     let algo = make_algo(&flags, &graph);
     let cfg = config_for(&flags);
@@ -472,6 +566,24 @@ fn cmd_run(flags: HashMap<String, String>) {
             exit(2)
         }
     };
+    // Checkpointing and graceful shutdown: any of the stop/checkpoint
+    // flags routes SIGINT/SIGTERM (and the wall-clock watchdog) to a
+    // cooperative stop at the next launch boundary.
+    if checkpoint_out.is_some() || max_wall_secs.is_some() || stop_after_launches.is_some() {
+        let stop = sparseweaver::shutdown::stop_flag();
+        sparseweaver::shutdown::install_signal_handler(&stop);
+        if let Some(secs) = max_wall_secs {
+            sparseweaver::shutdown::spawn_watchdog(&stop, secs);
+        }
+        session.checkpoint = Some(CheckpointCtl {
+            out: checkpoint_out.clone().map(PathBuf::from),
+            every: checkpoint_every,
+            argv: argv.clone(),
+            stop: Some(stop),
+            stop_after_launches,
+            ..CheckpointCtl::default()
+        });
+    }
     let hang_report_path = flags.get("hang-report").map(|v| {
         if v.is_empty() {
             eprintln!("--hang-report expects a file path");
@@ -498,7 +610,12 @@ fn cmd_run(flags: HashMap<String, String>) {
         };
     }
     let mut sink_failed = false;
-    let schedules: Vec<Schedule> = if flags.contains_key("all-schedules") {
+    let schedules: Vec<Schedule> = if let Some(ck) = &resume {
+        // The checkpoint records the schedule that was actually executing
+        // (after a graceful-degradation fallback this is `S_wm`, not the
+        // originally requested scheme).
+        vec![ck.schedule]
+    } else if flags.contains_key("all-schedules") {
         Schedule::ALL.to_vec()
     } else {
         vec![parse_schedule(
@@ -537,11 +654,19 @@ fn cmd_run(flags: HashMap<String, String>) {
                 }
             }
         }
-        let report = match session.run(&graph, algo.as_ref(), schedule) {
+        let result = match &resume {
+            Some(ck) => session.resume(&graph, algo.as_ref(), ck),
+            None => session.run(&graph, algo.as_ref(), schedule),
+        };
+        let report = match result {
             Ok(report) => report,
             Err(e @ FrameworkError::Lint { .. }) => {
                 eprintln!("run failed: {e}");
                 exit(2)
+            }
+            Err(e @ FrameworkError::Interrupted { .. }) => {
+                eprintln!("run stopped: {e}");
+                exit(5)
             }
             Err(FrameworkError::Sim(e)) if e.hang_report().is_some() => {
                 eprintln!("run failed: {e}");
@@ -552,7 +677,7 @@ fn cmd_run(flags: HashMap<String, String>) {
                     if path == "-" {
                         print!("{body}");
                     } else {
-                        std::fs::write(path, body).unwrap_or_else(|err| {
+                        write_atomic(Path::new(path), body.as_bytes()).unwrap_or_else(|err| {
                             eprintln!("cannot write hang report to {path}: {err}");
                             exit(1)
                         });
@@ -670,6 +795,48 @@ fn cmd_run(flags: HashMap<String, String>) {
     }
 }
 
+/// `swsim resume CKPT`: loads the checkpoint, rebuilds the run from the
+/// flags embedded in it, and continues to completion (bit-identical to
+/// the uninterrupted run). Stop budgets (`--max-wall-secs`,
+/// `--stop-after-launches`) are per-invocation and deliberately not
+/// inherited from the embedded flags — the bound that interrupted the
+/// original run would otherwise re-fire immediately. The checkpoint
+/// output path and cadence *are* inherited, so a resumed run keeps
+/// writing resumable checkpoints unless overridden.
+fn cmd_resume(pos: Vec<String>, flags: HashMap<String, String>) {
+    let Some(path) = pos.first() else {
+        eprintln!("swsim resume needs a checkpoint path");
+        usage()
+    };
+    let ck = Checkpoint::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot resume from {path}: {e}");
+        exit(1)
+    });
+    if ck.argv.first().map(String::as_str) != Some("run") {
+        eprintln!(
+            "checkpoint {path} embeds an unexpected command {:?} (expected `run`)",
+            ck.argv.first()
+        );
+        exit(1)
+    }
+    let (_pos, mut eff) = parse_flags(&ck.argv[1..]);
+    check_flags("run", &eff);
+    eff.remove("max-wall-secs");
+    eff.remove("stop-after-launches");
+    for k in [
+        "checkpoint-out",
+        "checkpoint-every",
+        "max-wall-secs",
+        "stop-after-launches",
+        "json",
+    ] {
+        if let Some(v) = flags.get(k) {
+            eff.insert(k.to_string(), v.clone());
+        }
+    }
+    cmd_run(ck.argv.clone(), eff, Some(ck))
+}
+
 fn serde_json_line(fields: &[(&str, String)]) -> String {
     let body: Vec<String> = fields
         .iter()
@@ -687,11 +854,15 @@ fn serde_json_line(fields: &[(&str, String)]) -> String {
 fn cmd_gen(flags: HashMap<String, String>) {
     let graph = load_graph(&flags);
     let out = flags.get("out").cloned().unwrap_or_else(|| usage());
-    let file = std::fs::File::create(&out).unwrap_or_else(|e| {
-        eprintln!("cannot create {out}: {e}");
+    let mut body = Vec::new();
+    io::write_edge_list(&graph, &mut body).unwrap_or_else(|e| {
+        eprintln!("cannot render edge list for {out}: {e}");
         exit(1)
     });
-    io::write_edge_list(&graph, std::io::BufWriter::new(file)).expect("write edge list");
+    write_atomic(Path::new(&out), &body).unwrap_or_else(|e| {
+        eprintln!("cannot write edge list to {out}: {e}");
+        exit(1)
+    });
     println!(
         "wrote {} vertices, {} edges to {out}",
         graph.num_vertices(),
@@ -758,10 +929,11 @@ fn main() {
         return;
     }
     let Some(cmd) = args.first() else { usage() };
-    let (_pos, flags) = parse_flags(&args[1..]);
+    let (pos, flags) = parse_flags(&args[1..]);
     check_flags(cmd, &flags);
     match cmd.as_str() {
-        "run" => cmd_run(flags),
+        "run" => cmd_run(args.clone(), flags, None),
+        "resume" => cmd_resume(pos, flags),
         "gen" => cmd_gen(flags),
         "disasm" => cmd_disasm(flags),
         "datasets" => cmd_datasets(),

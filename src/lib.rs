@@ -25,6 +25,9 @@
 //! - [`lint`] — the kernel-IR static verifier: CFG/dataflow analysis with
 //!   divergence, barrier-deadlock, and Weaver-protocol checks
 //!   (see `docs/lint-rules.md`).
+//! - [`shutdown`] — cooperative shutdown plumbing: SIGINT/SIGTERM handling
+//!   and the wall-clock watchdog behind `--max-wall-secs`
+//!   (see `docs/robustness.md`).
 //! - [`core`] — the graph framework: algorithms, scheduling schemes, the
 //!   kernel compiler, host runtime, analytic models, auto-tuner.
 //!
@@ -48,6 +51,7 @@ pub use sparseweaver_graph as graph;
 pub use sparseweaver_isa as isa;
 pub use sparseweaver_lint as lint;
 pub use sparseweaver_mem as mem;
+pub use sparseweaver_shutdown as shutdown;
 pub use sparseweaver_sim as sim;
 pub use sparseweaver_trace as trace;
 pub use sparseweaver_weaver as weaver;

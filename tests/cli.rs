@@ -890,3 +890,193 @@ fn swprof_selftest_is_healthy_and_usage_errors_exit_2() {
         );
     }
 }
+
+/// An interrupted `swsim run` (via the deterministic `--stop-after-launches`
+/// bound) exits 5, writes a checkpoint, and `swsim resume` finishes the run
+/// with metrics bytes identical to an uninterrupted golden run.
+#[test]
+fn swsim_checkpoint_stop_and_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join("swsim_cli_ckpt_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("run.swckpt");
+    let golden = dir.join("golden.json");
+    let resumed = dir.join("resumed.json");
+    let base = [
+        "run",
+        "--gen",
+        "powerlaw:48:240:1.8:7",
+        "--algo",
+        "pr",
+        "--iters",
+        "3",
+        "--schedule",
+        "sw",
+        "--config",
+        "small",
+    ];
+
+    let out = swsim()
+        .args(base)
+        .args(["--metrics-out", golden.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "golden: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = swsim()
+        .args(base)
+        .args([
+            "--checkpoint-out",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+            "--stop-after-launches",
+            "2",
+            "--metrics-out",
+            resumed.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "interrupted run must exit 5; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ck.exists(), "checkpoint file must exist after the stop");
+    assert!(
+        !resumed.exists(),
+        "an interrupted run must not publish a metrics artifact"
+    );
+
+    let out = swsim()
+        .args(["resume", ck.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "resume: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = std::fs::read(&golden).unwrap();
+    let b = std::fs::read(&resumed).unwrap();
+    assert_eq!(a, b, "resumed metrics must be byte-identical to golden");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint flag combinations that cannot work are usage errors (exit 2),
+/// and resuming from garbage is a run error (exit 1), not a panic.
+#[test]
+fn swsim_checkpoint_flag_gates_and_corrupt_checkpoint() {
+    let dir = std::env::temp_dir().join("swsim_cli_ckpt_gate_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = ["run", "--gen", "uniform:24:72:3", "--algo", "bfs"];
+    for extra in [
+        &["--checkpoint-every", "4"] as &[&str],
+        &["--checkpoint-out", "-"],
+        &["--checkpoint-out", "x.swckpt", "--all-schedules"],
+    ] {
+        let out = swsim().args(base).args(extra).output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {:?} stderr: {}",
+            extra,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let bogus = dir.join("bogus.swckpt");
+    std::fs::write(&bogus, b"not a checkpoint at all").unwrap();
+    let out = swsim()
+        .args(["resume", bogus.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checkpoint"),
+        "error must name the checkpoint: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `swfault --resume` without a journal is a usage error; an interrupted
+/// journal resumed at a different `--jobs` renders the summary byte-identical
+/// to the uninterrupted campaign.
+#[test]
+fn swfault_journal_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join("swfault_cli_journal_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("campaign.jsonl");
+    let base = [
+        "--inject",
+        "reg=0.002,mem=0.001",
+        "--runs",
+        "8",
+        "--seed",
+        "42",
+    ];
+
+    let out = swfault()
+        .args(base)
+        .arg("--resume")
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--resume without --journal must be a usage error"
+    );
+
+    let out = swfault().args(base).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let golden = out.stdout.clone();
+
+    let out = swfault()
+        .args(base)
+        .args(["--journal", journal.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, golden, "a journaled campaign changes no bytes");
+
+    // Simulate a kill by dropping the last 4 completed-run records.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let keep: Vec<&str> = text.lines().take(5).collect();
+    std::fs::write(&journal, format!("{}\n", keep.join("\n"))).unwrap();
+
+    let out = swfault()
+        .args(base)
+        .args(["--journal", journal.to_str().unwrap(), "--resume"])
+        .args(["--jobs", "4"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        out.stdout, golden,
+        "resumed summary must be byte-identical at any --jobs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
